@@ -1,0 +1,344 @@
+//! The scenario runner: closed-loop workload × controller × gauge sampling.
+
+use microsim::World;
+use serde::Serialize;
+use sim_core::{SimDuration, SimTime};
+use sora_core::{Controller, UtilizationProbe};
+use std::collections::HashMap;
+use telemetry::{RequestId, ServiceId};
+use workload::{Mix, UserAction, UserPool};
+
+/// What to record each sample period (the panels of Figs. 10–12).
+#[derive(Debug, Clone, Copy)]
+pub struct Watch {
+    /// The service whose CPU utilisation / limit / replica count and
+    /// running threads are recorded.
+    pub service: ServiceId,
+    /// Optionally, a connection pool (`caller → target`) whose in-use and
+    /// established counts are recorded.
+    pub conns: Option<(ServiceId, ServiceId)>,
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Controller invocation period (Kubernetes' default control grid is
+    /// 15 s, which the paper adopts).
+    pub control_period: SimDuration,
+    /// Gauge sampling period (1 s in the paper's timeline figures).
+    pub sample_period: SimDuration,
+    /// Goodput threshold used in reports (e.g. 400 ms in Table 2).
+    pub report_rtt: SimDuration,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            control_period: SimDuration::from_secs(15),
+            sample_period: SimDuration::from_secs(1),
+            report_rtt: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// One gauge sample (a row of the timeline panels).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SampleRow {
+    /// Sample time in seconds.
+    pub t_secs: f64,
+    /// Watched service CPU utilisation (0..1 of its limit).
+    pub utilization: f64,
+    /// Watched service CPU limit in millicores.
+    pub cpu_limit_mc: u32,
+    /// Ready replicas of the watched service.
+    pub replicas: usize,
+    /// Threads in service across replicas ("Running Threads").
+    pub running_threads: usize,
+    /// Per-replica thread-pool limit.
+    pub thread_limit: usize,
+    /// Connections in use (0 when no pool watched).
+    pub conns_in_use: usize,
+    /// Established connections = pool size × caller replicas (0 when no
+    /// pool watched).
+    pub conns_established: usize,
+}
+
+/// End-of-run summary (the rows of Tables 2 and 3).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    /// Completed requests.
+    pub completed: u64,
+    /// Requests dropped without a response.
+    pub dropped: u64,
+    /// Mean response time in milliseconds.
+    pub mean_rt_ms: f64,
+    /// 95th percentile response time in milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile response time in milliseconds.
+    pub p99_ms: f64,
+    /// Average goodput (completions within the report threshold) in
+    /// requests/second over the run.
+    pub goodput_rps: f64,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Gauge samples, one per sample period.
+    pub timeline: Vec<SampleRow>,
+    /// Per-second goodput (requests/second within the report threshold).
+    pub goodput_timeline: Vec<(f64, f64)>,
+    /// Per-second mean response time (milliseconds).
+    pub rt_timeline: Vec<(f64, f64)>,
+    /// The run summary.
+    pub summary: Summary,
+}
+
+/// Drives a closed-loop [`UserPool`] against a world, invoking `controller`
+/// on the control grid and sampling gauges on the sample grid.
+///
+/// The request mix can change mid-run (`mix_schedule`: `(from, mix)` pairs,
+/// later entries override earlier ones) — the §5.3 request-type drift.
+pub struct Scenario {
+    config: ScenarioConfig,
+    pool: UserPool,
+    mix_schedule: Vec<(SimTime, Mix)>,
+    watch: Watch,
+    probe: UtilizationProbe,
+}
+
+impl Scenario {
+    /// Creates a scenario with a single, constant request mix.
+    pub fn new(config: ScenarioConfig, pool: UserPool, mix: Mix, watch: Watch) -> Self {
+        Scenario {
+            config,
+            pool,
+            mix_schedule: vec![(SimTime::ZERO, mix)],
+            watch,
+            probe: UtilizationProbe::new(),
+        }
+    }
+
+    /// Adds a mix switch at `from` (used for state-drift experiments).
+    pub fn with_mix_change(mut self, from: SimTime, mix: Mix) -> Self {
+        self.mix_schedule.push((from, mix));
+        self.mix_schedule.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    fn mix_at(&self, t: SimTime) -> &Mix {
+        self.mix_schedule
+            .iter()
+            .rev()
+            .find(|&&(from, _)| from <= t)
+            .map(|(_, m)| m)
+            .expect("schedule starts at time zero")
+    }
+
+    /// Runs the scenario to the end of the user pool's trace.
+    pub fn run(mut self, world: &mut World, controller: &mut dyn Controller) -> RunResult {
+        let mut rng = sim_core::SimRng::seed_from(0xC0FFEE);
+        let mut user_of: HashMap<RequestId, u64> = HashMap::new();
+        let mut timeline = Vec::new();
+        let mut next_sample = self.config.sample_period;
+        let mut next_control = self.config.control_period;
+        let mut now = SimTime::ZERO;
+
+        let handle_done = |world: &mut World,
+                               pool: &mut UserPool,
+                               user_of: &mut HashMap<RequestId, u64>,
+                               completions: Vec<microsim::Completion>| {
+            for c in completions {
+                if let Some(user) = user_of.remove(&c.request) {
+                    pool.on_completion(c.completed, user);
+                }
+            }
+            for dropped in world.drain_dropped() {
+                if let Some(user) = user_of.remove(&dropped) {
+                    // The client sees an error "now"; approximate with the
+                    // world clock.
+                    pool.on_drop(world.now(), user);
+                }
+            }
+        };
+
+        loop {
+            // Fire any control/sample ticks we have reached.
+            let tick = SimTime::ZERO + next_sample.min(next_control);
+            if tick <= now {
+                let done = world.run_until(tick);
+                handle_done(world, &mut self.pool, &mut user_of, done);
+                if SimTime::ZERO + next_control == tick {
+                    controller.control(world, tick);
+                    next_control += self.config.control_period;
+                }
+                if SimTime::ZERO + next_sample == tick {
+                    timeline.push(self.sample(world, tick));
+                    next_sample += self.config.sample_period;
+                }
+                continue;
+            }
+            match self.pool.next_action(now) {
+                UserAction::Send { at, user } => {
+                    let bounded = at.min(tick);
+                    if bounded < at {
+                        // A grid tick falls before the send: process it first.
+                        now = bounded;
+                        continue;
+                    }
+                    let done = world.run_until(at);
+                    handle_done(world, &mut self.pool, &mut user_of, done);
+                    let rtype = self.mix_at(at).sample(&mut rng);
+                    let id = world.inject_at(at, rtype);
+                    user_of.insert(id, user);
+                    now = at;
+                }
+                UserAction::Idle { until } => {
+                    let target = until.min(tick);
+                    let done = world.run_until(target);
+                    handle_done(world, &mut self.pool, &mut user_of, done);
+                    now = target;
+                }
+                UserAction::Finished => break,
+            }
+        }
+        // Drain whatever is still in flight.
+        let end = now + SimDuration::from_secs(30);
+        let done = world.run_until(end);
+        handle_done(world, &mut self.pool, &mut user_of, done);
+
+        let client = world.client();
+        let bucket = self.config.sample_period;
+        let run_end = now;
+        let goodput_timeline: Vec<(f64, f64)> = client
+            .goodput_timeline(self.config.report_rtt)
+            .into_iter()
+            .filter(|&(t, _)| t < run_end)
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect();
+        let rt_timeline: Vec<(f64, f64)> = client
+            .response_time_timeline()
+            .into_iter()
+            .filter(|&(t, _)| t < run_end)
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect();
+        let _ = bucket;
+        let summary = Summary {
+            completed: client.total(),
+            dropped: world.dropped(),
+            mean_rt_ms: client
+                .mean_response_time()
+                .map_or(0.0, |d| d.as_millis_f64()),
+            p95_ms: client.percentile(95.0).map_or(0.0, |d| d.as_millis_f64()),
+            p99_ms: client.percentile(99.0).map_or(0.0, |d| d.as_millis_f64()),
+            goodput_rps: if run_end > SimTime::ZERO {
+                client.goodput_rate(SimTime::ZERO, run_end, self.config.report_rtt)
+            } else {
+                0.0
+            },
+        };
+        RunResult { timeline, goodput_timeline, rt_timeline, summary }
+    }
+
+    fn sample(&mut self, world: &mut World, now: SimTime) -> SampleRow {
+        let svc = self.watch.service;
+        let (conns_in_use, conns_established) = match self.watch.conns {
+            Some((caller, target)) => (
+                world.conns_in_use(caller, target),
+                world.conns_established(caller, target),
+            ),
+            None => (0, 0),
+        };
+        SampleRow {
+            t_secs: now.as_secs_f64(),
+            utilization: self.probe.read(world, svc, now),
+            cpu_limit_mc: world.cpu_limit(svc).get(),
+            replicas: world.ready_replicas(svc).len(),
+            running_threads: world.running_threads(svc),
+            thread_limit: world.thread_limit(svc),
+            conns_in_use,
+            conns_established,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SockShop, SockShopParams};
+    use sim_core::{Dist, SimRng};
+    use sora_core::NullController;
+    use workload::{RateCurve, TraceShape};
+
+    fn scenario(secs: u64, users: f64) -> (SockShop, Scenario) {
+        let shop = SockShop::build(SockShopParams::default(), SimRng::seed_from(5));
+        let curve = RateCurve::new(TraceShape::DualPhase, users, SimDuration::from_secs(secs));
+        let pool = UserPool::new(curve, Dist::exponential_ms(1_000.0), SimRng::seed_from(9));
+        let watch = Watch { service: shop.cart, conns: None };
+        let mix = Mix::single(shop.get_cart);
+        let sc = Scenario::new(
+            ScenarioConfig { report_rtt: SimDuration::from_millis(400), ..Default::default() },
+            pool,
+            mix,
+            watch,
+        );
+        (shop, sc)
+    }
+
+    #[test]
+    fn runs_a_short_trace_end_to_end() {
+        let (mut shop, sc) = scenario(60, 200.0);
+        let mut ctl = NullController;
+        let res = sc.run(&mut shop.world, &mut ctl);
+        // 60 one-second samples (the sample at t=60 may or may not land).
+        assert!((59..=61).contains(&res.timeline.len()), "{}", res.timeline.len());
+        assert!(res.summary.completed > 2_000, "closed loop cycles: {:?}", res.summary);
+        assert_eq!(res.summary.dropped, 0);
+        assert!(res.summary.p99_ms >= res.summary.p95_ms);
+        assert!(res.summary.goodput_rps > 0.0);
+        // Dual phase: second-half goodput exceeds first half.
+        let half = res.goodput_timeline.len() / 2;
+        let first: f64 = res.goodput_timeline[..half].iter().map(|p| p.1).sum();
+        let second: f64 = res.goodput_timeline[half..].iter().map(|p| p.1).sum();
+        assert!(second > first * 1.3, "dual-phase load shape: {first} vs {second}");
+    }
+
+    #[test]
+    fn mix_changes_take_effect_mid_run() {
+        let (mut shop, sc) = scenario(40, 100.0);
+        let sc = sc.with_mix_change(
+            SimTime::from_secs(20),
+            Mix::single(shop.get_catalogue),
+        );
+        let mut ctl = NullController;
+        let res = sc.run(&mut shop.world, &mut ctl);
+        assert!(res.summary.completed > 500);
+        // After the switch the catalogue path must have seen traffic.
+        let pod = shop.world.ready_replicas(shop.catalogue)[0];
+        assert!(
+            shop.world.completions_of(pod).unwrap().len() > 100,
+            "catalogue traffic after the mix switch"
+        );
+    }
+
+    #[test]
+    fn watch_with_conns_records_pool_gauges() {
+        let shop = SockShop::build(SockShopParams::default(), SimRng::seed_from(5));
+        let curve =
+            RateCurve::new(TraceShape::SlowlyVarying, 150.0, SimDuration::from_secs(30));
+        let pool = UserPool::new(curve, Dist::exponential_ms(500.0), SimRng::seed_from(9));
+        let watch =
+            Watch { service: shop.catalogue, conns: Some((shop.catalogue, shop.catalogue_db)) };
+        let sc = Scenario::new(
+            ScenarioConfig::default(),
+            pool,
+            Mix::single(shop.get_catalogue),
+            watch,
+        );
+        let mut shop = shop;
+        let mut ctl = NullController;
+        let res = sc.run(&mut shop.world, &mut ctl);
+        assert!(res.timeline.iter().all(|r| r.conns_established == 10));
+        assert!(res.timeline.iter().any(|r| r.conns_in_use > 0));
+    }
+}

@@ -1,0 +1,498 @@
+//! The DeathStarBench Social Network topology (36 microservices, Fig. 2ii).
+
+use cluster::Millicores;
+use microsim::{Behavior, ServiceSpec, Stage, World, WorldConfig};
+use sim_core::{Dist, SimRng};
+use telemetry::{RequestTypeId, ServiceId};
+
+/// Tunables of the Social Network build.
+#[derive(Debug, Clone, Copy)]
+pub struct SocialNetworkParams {
+    /// Post Storage pod CPU limit in cores.
+    pub post_storage_cores: u32,
+    /// Home-Timeline → Post Storage Thrift `ClientPool` size — the tunable
+    /// request-connection pool of Figs. 3(e–f), 9(c) and 12.
+    pub home_timeline_conns: usize,
+    /// Post Storage thread gate (Thrift worker threads; generous — the
+    /// binding constraint is the upstream client pool).
+    pub post_storage_threads: usize,
+    /// Post Storage context-switch penalty.
+    pub post_storage_csw: f64,
+}
+
+impl Default for SocialNetworkParams {
+    fn default() -> Self {
+        SocialNetworkParams {
+            post_storage_cores: 2,
+            home_timeline_conns: 10,
+            post_storage_threads: 64,
+            post_storage_csw: 0.04,
+        }
+    }
+}
+
+/// The built Social Network world.
+///
+/// Only the handles the experiments touch are exposed individually; the
+/// full 36-service roster (logic services plus their Memcached / MongoDB /
+/// Redis sidecars, as in Fig. 2ii) is reachable through
+/// [`World::service_name`].
+///
+/// # Example
+///
+/// ```
+/// use apps::SocialNetwork;
+/// use sim_core::{SimRng, SimTime};
+///
+/// let mut sn = SocialNetwork::build(Default::default(), SimRng::seed_from(1));
+/// sn.world.inject_at(SimTime::from_millis(1), sn.read_home_timeline_light);
+/// assert_eq!(sn.world.run_until(SimTime::from_secs(2)).len(), 1);
+/// ```
+pub struct SocialNetwork {
+    /// The simulated cluster.
+    pub world: World,
+    /// `nginx-web-server` (the edge).
+    pub nginx: ServiceId,
+    /// `home-timeline-service` (holds the tunable client pool).
+    pub home_timeline: ServiceId,
+    /// `post-storage-service` (the §5.3 critical service).
+    pub post_storage: ServiceId,
+    /// `compose-post-service`.
+    pub compose_post: ServiceId,
+    /// `user-timeline-service`.
+    pub user_timeline: ServiceId,
+    /// `social-graph-service`.
+    pub social_graph: ServiceId,
+    /// "GET /home-timeline" retrieving 2 posts (light computation).
+    pub read_home_timeline_light: RequestTypeId,
+    /// "GET /home-timeline" retrieving 10 posts (heavy computation — the
+    /// post-drift request weight of Fig. 3f).
+    pub read_home_timeline_heavy: RequestTypeId,
+    /// "POST /compose".
+    pub compose: RequestTypeId,
+    /// "GET /user-timeline".
+    pub read_user_timeline: RequestTypeId,
+}
+
+impl SocialNetwork {
+    /// Builds the topology with one ready replica per service.
+    pub fn build(params: SocialNetworkParams, rng: SimRng) -> SocialNetwork {
+        Self::build_with_config(params, WorldConfig::default(), rng)
+    }
+
+    /// Builds with a custom world configuration.
+    pub fn build_with_config(
+        params: SocialNetworkParams,
+        config: WorldConfig,
+        rng: SimRng,
+    ) -> SocialNetwork {
+        let mut world = World::new(config, rng);
+        // Fixed id layout (ids assigned in add_service order).
+        let nginx = ServiceId(0);
+        let home_timeline = ServiceId(1);
+        let post_storage = ServiceId(2);
+        let compose_post = ServiceId(3);
+        let user_timeline = ServiceId(4);
+        let social_graph = ServiceId(5);
+        let user_svc = ServiceId(6);
+        let url_shorten = ServiceId(7);
+        let text_svc = ServiceId(8);
+        let media_svc = ServiceId(9);
+        let unique_id = ServiceId(10);
+        let user_mention = ServiceId(11);
+        let write_home_timeline = ServiceId(12);
+        // Storage sidecars 13..
+        let ht_redis = ServiceId(13);
+        let ps_memcached = ServiceId(14);
+        let ps_mongodb = ServiceId(15);
+        let ut_redis = ServiceId(16);
+        let ut_mongodb = ServiceId(17);
+        let sg_redis = ServiceId(18);
+        let sg_mongodb = ServiceId(19);
+
+        let light = RequestTypeId(0);
+        let heavy = RequestTypeId(1);
+        let compose = RequestTypeId(2);
+        let read_ut = RequestTypeId(3);
+        let all_reads = [light, heavy, read_ut];
+
+        // --- edge ---
+        let s = world.add_service(
+            ServiceSpec::new("nginx-web-server")
+                .cpu(Millicores::from_cores(4))
+                .threads(1024)
+                .csw(0.005)
+                .on(light, Behavior::tier(Dist::lognormal_ms(0.3, 0.3), home_timeline, Dist::lognormal_ms(0.2, 0.3)))
+                .on(heavy, Behavior::tier(Dist::lognormal_ms(0.3, 0.3), home_timeline, Dist::lognormal_ms(0.2, 0.3)))
+                .on(compose, Behavior::tier(Dist::lognormal_ms(0.4, 0.3), compose_post, Dist::lognormal_ms(0.2, 0.3)))
+                .on(read_ut, Behavior::tier(Dist::lognormal_ms(0.3, 0.3), user_timeline, Dist::lognormal_ms(0.2, 0.3))),
+        );
+        debug_assert_eq!(s, nginx);
+
+        // --- home-timeline: checks its Redis, consults the social graph and
+        // fetches posts from Post Storage through the bounded ClientPool ---
+        let mut ht = ServiceSpec::new("home-timeline-service")
+            .cpu(Millicores::from_cores(2))
+            .threads(256)
+            .csw(0.01)
+            .conns(post_storage, params.home_timeline_conns);
+        for rt in [light, heavy] {
+            ht = ht.on(
+                rt,
+                Behavior::new(vec![
+                    Stage::compute(Dist::lognormal_ms(0.5, 0.4)),
+                    Stage::call(ht_redis),
+                    Stage::fanout(vec![social_graph, post_storage]),
+                    Stage::compute(Dist::lognormal_ms(0.4, 0.4)),
+                ]),
+            );
+        }
+        let s = world.add_service(ht);
+        debug_assert_eq!(s, home_timeline);
+
+        // --- post-storage: light vs heavy request weight; consults its
+        // cache and database. A "heavy" read retrieves 10 posts instead of
+        // 2: more local deserialisation CPU *and* more MongoDB round trips
+        // per request, so each upstream connection is held far longer while
+        // using proportionally less Post-Storage CPU — which is why the
+        // optimal connection allocation grows after the drift (§2.3, §5.3).
+        let ps_read = |work_ms: f64, mongo_trips: usize| {
+            let mut stages = vec![
+                Stage::compute(Dist::lognormal_ms(work_ms * 0.5, 0.4)),
+                Stage::call(ps_memcached),
+            ];
+            for _ in 0..mongo_trips {
+                stages.push(Stage::call(ps_mongodb));
+            }
+            stages.push(Stage::compute(Dist::lognormal_ms(work_ms * 0.5, 0.4)));
+            Behavior::new(stages)
+        };
+        let s = world.add_service(
+            ServiceSpec::new("post-storage-service")
+                .cpu(Millicores::from_cores(params.post_storage_cores))
+                .threads(params.post_storage_threads)
+                .csw(params.post_storage_csw)
+                .on(light, ps_read(1.0, 2)) // retrieve 2 posts
+                .on(heavy, ps_read(2.0, 5)) // retrieve 10 posts
+                .on(read_ut, ps_read(1.0, 2))
+                .on(
+                    compose,
+                    Behavior::new(vec![
+                        Stage::compute(Dist::lognormal_ms(0.8, 0.4)),
+                        Stage::call(ps_mongodb),
+                        Stage::compute(Dist::lognormal_ms(0.4, 0.4)),
+                    ]),
+                ),
+        );
+        debug_assert_eq!(s, post_storage);
+
+        // --- compose-post: the write path's orchestrator ---
+        let s = world.add_service(
+            ServiceSpec::new("compose-post-service")
+                .cpu(Millicores::from_cores(2))
+                .threads(128)
+                .csw(0.02)
+                .on(
+                    compose,
+                    Behavior::new(vec![
+                        Stage::compute(Dist::lognormal_ms(0.6, 0.4)),
+                        Stage::fanout(vec![unique_id, text_svc, media_svc, user_svc]),
+                        Stage::fanout(vec![post_storage, user_timeline, write_home_timeline]),
+                        Stage::compute(Dist::lognormal_ms(0.4, 0.4)),
+                    ]),
+                ),
+        );
+        debug_assert_eq!(s, compose_post);
+
+        // --- user-timeline ---
+        let s = world.add_service(
+            ServiceSpec::new("user-timeline-service")
+                .cpu(Millicores::from_cores(2))
+                .threads(128)
+                .csw(0.02)
+                .on(
+                    read_ut,
+                    Behavior::new(vec![
+                        Stage::compute(Dist::lognormal_ms(0.5, 0.4)),
+                        Stage::call(ut_redis),
+                        Stage::call(ut_mongodb),
+                        Stage::call(post_storage),
+                        Stage::compute(Dist::lognormal_ms(0.3, 0.4)),
+                    ]),
+                )
+                .on(
+                    compose,
+                    Behavior::new(vec![
+                        Stage::compute(Dist::lognormal_ms(0.4, 0.4)),
+                        Stage::call(ut_redis),
+                        Stage::call(ut_mongodb),
+                    ]),
+                ),
+        );
+        debug_assert_eq!(s, user_timeline);
+
+        // --- social-graph ---
+        let mut sg = ServiceSpec::new("social-graph-service")
+            .cpu(Millicores::from_cores(2))
+            .threads(128)
+            .csw(0.02);
+        for rt in [light, heavy, compose] {
+            sg = sg.on(
+                rt,
+                Behavior::new(vec![
+                    Stage::compute(Dist::lognormal_ms(0.4, 0.4)),
+                    Stage::call(sg_redis),
+                    Stage::call(sg_mongodb),
+                ]),
+            );
+        }
+        let s = world.add_service(sg);
+        debug_assert_eq!(s, social_graph);
+
+        // --- compose-path helpers ---
+        let mut helper = |name: &str, median_ms: f64, extra: Option<Vec<ServiceId>>| {
+            let behavior = match extra {
+                Some(targets) => Behavior::new(vec![
+                    Stage::compute(Dist::lognormal_ms(median_ms, 0.4)),
+                    Stage::fanout(targets),
+                ]),
+                None => Behavior::leaf(Dist::lognormal_ms(median_ms, 0.4)),
+            };
+            world.add_service(
+                ServiceSpec::new(name)
+                    .cpu(Millicores::from_cores(2))
+                    .threads(128)
+                    .csw(0.02)
+                    .on(compose, behavior),
+            )
+        };
+        let s = helper("user-service", 0.5, None);
+        debug_assert_eq!(s, user_svc);
+        let s = helper("url-shorten-service", 0.4, None);
+        debug_assert_eq!(s, url_shorten);
+        let s = helper("text-service", 0.8, Some(vec![url_shorten, user_mention]));
+        debug_assert_eq!(s, text_svc);
+        let s = helper("media-service", 0.6, None);
+        debug_assert_eq!(s, media_svc);
+        let s = helper("unique-id-service", 0.2, None);
+        debug_assert_eq!(s, unique_id);
+        let s = helper("user-mention-service", 0.4, None);
+        debug_assert_eq!(s, user_mention);
+        let s = helper("write-home-timeline-service", 0.6, Some(vec![social_graph, ht_redis]));
+        debug_assert_eq!(s, write_home_timeline);
+
+        // --- storage sidecars (Memcached / MongoDB / Redis boxes of
+        // Fig. 2ii). Each answers every request type that can reach it. ---
+        let make_store = |name: &str, median_ms: f64, cores: u32, rtypes: &[RequestTypeId]| {
+            let mut spec = ServiceSpec::new(name)
+                .cpu(Millicores::from_cores(cores))
+                .threads(256)
+                .csw(0.01);
+            for &rt in rtypes {
+                spec = spec.on(rt, Behavior::leaf(Dist::lognormal_ms(median_ms, 0.35)));
+            }
+            spec
+        };
+        let everything = [light, heavy, compose, read_ut];
+        // Post-storage's MongoDB gets 4 cores and answers the *per-post*
+        // queries of a heavy read in cheap batched form (0.3 ms each vs a
+        // 0.6 ms cold lookup): the drift experiments need Post Storage
+        // itself (not its database) to stay the critical service when heavy
+        // reads multiply the query count — in the paper, too, Post Storage
+        // "routes more requests to downstream services" without the
+        // database becoming the bottleneck.
+        let ps_mongo_spec = make_store("post-storage-mongodb", 0.6, 4, &[light, compose, read_ut])
+            .on(heavy, Behavior::leaf(Dist::lognormal_ms(0.3, 0.35)));
+        for (expected, spec) in [
+            (ht_redis, make_store("home-timeline-redis", 0.3, 2, &everything)),
+            (ps_memcached, make_store("post-storage-memcached", 0.25, 2, &all_reads)),
+            (ps_mongodb, ps_mongo_spec),
+            (ut_redis, make_store("user-timeline-redis", 0.3, 2, &[compose, read_ut])),
+            (ut_mongodb, make_store("user-timeline-mongodb", 0.8, 2, &[compose, read_ut])),
+            (sg_redis, make_store("social-graph-redis", 0.3, 2, &everything)),
+            (sg_mongodb, make_store("social-graph-mongodb", 0.8, 2, &everything)),
+        ] {
+            let s = world.add_service(spec);
+            debug_assert_eq!(s, expected);
+        }
+
+        // --- remaining roster of Fig. 2ii (caches/stores of the helper
+        // services, media pipeline, indexes) — present so the monitoring
+        // plane sees the full 36-service deployment, lightly exercised via
+        // the compose path. ---
+        let mut aux = |name: &str, median_ms: f64| {
+            world.add_service(
+                ServiceSpec::new(name)
+                    .cpu(Millicores::from_cores(1))
+                    .threads(128)
+                    .csw(0.01)
+                    .on(compose, Behavior::leaf(Dist::lognormal_ms(median_ms, 0.3))),
+            )
+        };
+        for (name, ms) in [
+            ("user-memcached", 0.2),
+            ("user-mongodb", 0.7),
+            ("url-shorten-memcached", 0.2),
+            ("url-shorten-mongodb", 0.7),
+            ("media-memcached", 0.2),
+            ("media-mongodb", 0.8),
+            ("media-frontend", 0.4),
+            ("compose-post-redis", 0.2),
+            ("write-home-timeline-rabbitmq", 0.3),
+            ("user-mention-memcached", 0.2),
+            ("search-index-0", 0.5),
+            ("search-index-1", 0.5),
+            ("search-index-n", 0.5),
+            ("search-service", 0.6),
+            ("recommender-service", 0.7),
+            ("ads-service", 0.5),
+        ] {
+            aux(name, ms);
+        }
+
+        let rt0 = world.add_request_type("GET /home-timeline (2 posts)", nginx);
+        let rt1 = world.add_request_type("GET /home-timeline (10 posts)", nginx);
+        let rt2 = world.add_request_type("POST /compose", nginx);
+        let rt3 = world.add_request_type("GET /user-timeline", nginx);
+        debug_assert_eq!((rt0, rt1, rt2, rt3), (light, heavy, compose, read_ut));
+
+        for idx in 0..world.service_count() {
+            let pod = world
+                .add_replica(ServiceId(idx as u32))
+                .expect("default node fits the base topology");
+            world.make_ready(pod);
+        }
+
+        SocialNetwork {
+            world,
+            nginx,
+            home_timeline,
+            post_storage,
+            compose_post,
+            user_timeline,
+            social_graph,
+            read_home_timeline_light: light,
+            read_home_timeline_heavy: heavy,
+            compose,
+            read_user_timeline: read_ut,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn sn() -> SocialNetwork {
+        let cfg = WorldConfig {
+            net_delay: Dist::constant_us(100),
+            replica_startup: Dist::constant_us(0),
+            ..WorldConfig::default()
+        };
+        SocialNetwork::build_with_config(Default::default(), cfg, SimRng::seed_from(3))
+    }
+
+    #[test]
+    fn roster_has_thirty_six_services() {
+        let s = sn();
+        assert_eq!(s.world.service_count(), 36);
+    }
+
+    #[test]
+    fn read_home_timeline_touches_post_storage() {
+        let mut s = sn();
+        s.world.inject_at(t(1), s.read_home_timeline_light);
+        let done = s.world.run_until(t(1_000));
+        assert_eq!(done.len(), 1);
+        let trace = s.world.warehouse().iter().next().unwrap();
+        let names: Vec<&str> =
+            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        for expected in [
+            "nginx-web-server",
+            "home-timeline-service",
+            "post-storage-service",
+            "social-graph-service",
+            "post-storage-memcached",
+            "post-storage-mongodb",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn heavy_requests_are_slower_than_light() {
+        let rt_of = |rt_pick: fn(&SocialNetwork) -> RequestTypeId| {
+            let mut s = sn();
+            let rt = rt_pick(&s);
+            let mut total = 0u64;
+            for i in 0..50 {
+                s.world.inject_at(t(1 + i * 40), rt);
+            }
+            for c in s.world.run_until(t(10_000)) {
+                total += c.response_time.as_millis();
+            }
+            total / 50
+        };
+        let light = rt_of(|s| s.read_home_timeline_light);
+        let heavy = rt_of(|s| s.read_home_timeline_heavy);
+        assert!(
+            heavy as f64 > light as f64 * 1.25,
+            "heavy ({heavy} ms) must dominate light ({light} ms)"
+        );
+    }
+
+    #[test]
+    fn compose_fans_out_across_the_write_path() {
+        let mut s = sn();
+        s.world.inject_at(t(1), s.compose);
+        let done = s.world.run_until(t(1_000));
+        assert_eq!(done.len(), 1);
+        let trace = s.world.warehouse().iter().next().unwrap();
+        let names: Vec<&str> =
+            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        for expected in [
+            "compose-post-service",
+            "unique-id-service",
+            "text-service",
+            "url-shorten-service",
+            "user-mention-service",
+            "media-service",
+            "user-service",
+            "post-storage-service",
+            "user-timeline-service",
+            "write-home-timeline-service",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn client_pool_limits_post_storage_concurrency() {
+        let mut s = sn();
+        // Flood read traffic: Post Storage in-flight never exceeds the
+        // Home-Timeline client pool (10) + user-timeline path traffic (0
+        // here, only light reads injected).
+        for _ in 0..400 {
+            s.world.inject_at(t(1), s.read_home_timeline_light);
+        }
+        let mut peak = 0usize;
+        for step in 0..500 {
+            s.world.run_until(t(2 + step * 2));
+            peak = peak.max(s.world.conns_in_use(s.home_timeline, s.post_storage));
+        }
+        assert!(peak <= 10, "client pool must cap outstanding calls: {peak}");
+        assert!(peak >= 9, "flood should saturate the pool: {peak}");
+    }
+
+    #[test]
+    fn user_timeline_read_works() {
+        let mut s = sn();
+        s.world.inject_at(t(1), s.read_user_timeline);
+        assert_eq!(s.world.run_until(t(1_000)).len(), 1);
+    }
+}

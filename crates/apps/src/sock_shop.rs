@@ -1,0 +1,422 @@
+//! The Sock Shop topology (11 microservices, Fig. 2i of the paper).
+
+use cluster::Millicores;
+use microsim::{Behavior, ServiceSpec, Stage, World, WorldConfig};
+use sim_core::{Dist, SimRng};
+use telemetry::{RequestTypeId, ServiceId};
+
+/// Tunables of the Sock Shop build — the knobs the paper's experiments
+/// vary.
+#[derive(Debug, Clone, Copy)]
+pub struct SockShopParams {
+    /// Cart pod CPU limit in cores (the paper scales 2 ↔ 4).
+    pub cart_cores: u32,
+    /// Cart thread-pool size (the SpringBoot embedded pool).
+    pub cart_threads: usize,
+    /// Cart context-switch penalty κ.
+    pub cart_csw: f64,
+    /// Catalogue → Catalogue-db connection-pool size (the Golang
+    /// `database/sql` pool).
+    pub catalogue_db_conns: usize,
+    /// Catalogue pod CPU limit in cores.
+    pub catalogue_cores: u32,
+    /// Catalogue-db pod CPU limit in cores. Defaults to 4 so that the
+    /// *connection pool* (not the database's CPU) is the experimental
+    /// variable, as in the paper's Fig. 1 / Fig. 9(b) setups.
+    pub catalogue_db_cores: u32,
+    /// Catalogue-db concurrency penalty κ. Databases degrade markedly
+    /// under many concurrent sessions (buffer-pool and latch contention in
+    /// InnoDB-style engines), which is what makes connection-pool
+    /// over-allocation harmful in the paper's Fig. 1.
+    pub catalogue_db_csw: f64,
+}
+
+impl Default for SockShopParams {
+    fn default() -> Self {
+        SockShopParams {
+            cart_cores: 2,
+            cart_threads: 5,
+            cart_csw: 0.04,
+            catalogue_db_conns: 10,
+            catalogue_cores: 2,
+            catalogue_db_cores: 4,
+            catalogue_db_csw: 0.02,
+        }
+    }
+}
+
+/// The built Sock Shop world: service and request-type handles.
+///
+/// # Example
+///
+/// ```
+/// use apps::SockShop;
+/// use sim_core::{SimRng, SimTime};
+///
+/// let mut shop = SockShop::build(Default::default(), SimRng::seed_from(1));
+/// shop.world.inject_at(SimTime::from_millis(1), shop.get_cart);
+/// let done = shop.world.run_until(SimTime::from_secs(2));
+/// assert_eq!(done.len(), 1);
+/// ```
+pub struct SockShop {
+    /// The simulated cluster.
+    pub world: World,
+    /// `front-end` (the edge router).
+    pub front_end: ServiceId,
+    /// `cart` (SpringBoot; tunable thread pool).
+    pub cart: ServiceId,
+    /// `cart-db`.
+    pub cart_db: ServiceId,
+    /// `catalogue` (Golang; tunable DB connection pool).
+    pub catalogue: ServiceId,
+    /// `catalogue-db`.
+    pub catalogue_db: ServiceId,
+    /// `user`.
+    pub user: ServiceId,
+    /// `user-db`.
+    pub user_db: ServiceId,
+    /// `order`.
+    pub order: ServiceId,
+    /// `order-db`.
+    pub order_db: ServiceId,
+    /// `payment`.
+    pub payment: ServiceId,
+    /// `shipping`.
+    pub shipping: ServiceId,
+    /// `queue-master`.
+    pub queue_master: ServiceId,
+    /// "GET /cart" — the Cart-path request (critical path 1 of Fig. 5).
+    pub get_cart: RequestTypeId,
+    /// "GET /catalogue" — the Catalogue-path request with the parallel
+    /// Cart/Catalogue fan-out of Fig. 5.
+    pub get_catalogue: RequestTypeId,
+    /// "POST /orders" — the order-placement chain.
+    pub place_order: RequestTypeId,
+}
+
+impl SockShop {
+    /// Builds the topology with one ready replica per service.
+    pub fn build(params: SockShopParams, rng: SimRng) -> SockShop {
+        Self::build_with_config(params, WorldConfig::default(), rng)
+    }
+
+    /// Builds with a custom world configuration (tests use zero network
+    /// delay for exact timing).
+    pub fn build_with_config(
+        params: SockShopParams,
+        config: WorldConfig,
+        rng: SimRng,
+    ) -> SockShop {
+        let mut world = World::new(config, rng);
+        // Service ids are assigned in declaration order; request behaviours
+        // reference downstream ids, so fix the layout first.
+        let front_end = ServiceId(0);
+        let cart = ServiceId(1);
+        let cart_db = ServiceId(2);
+        let catalogue = ServiceId(3);
+        let catalogue_db = ServiceId(4);
+        let user = ServiceId(5);
+        let user_db = ServiceId(6);
+        let order = ServiceId(7);
+        let order_db = ServiceId(8);
+        let payment = ServiceId(9);
+        let shipping = ServiceId(10);
+        let queue_master = ServiceId(11);
+        let get_cart = RequestTypeId(0);
+        let get_catalogue = RequestTypeId(1);
+        let place_order = RequestTypeId(2);
+
+        // front-end: NodeJS edge router, CPU-light, effectively unbounded
+        // concurrency (async I/O).
+        let fe = world.add_service(
+            ServiceSpec::new("front-end")
+                .cpu(Millicores::from_cores(4))
+                .threads(512)
+                .csw(0.005)
+                .on(
+                    get_cart,
+                    Behavior::tier(Dist::lognormal_ms(0.4, 0.3), cart, Dist::lognormal_ms(0.3, 0.3)),
+                )
+                .on(
+                    get_catalogue,
+                    Behavior::new(vec![
+                        Stage::compute(Dist::lognormal_ms(0.4, 0.3)),
+                        Stage::fanout(vec![cart, catalogue]),
+                        Stage::compute(Dist::lognormal_ms(0.3, 0.3)),
+                    ]),
+                )
+                .on(
+                    place_order,
+                    Behavior::tier(Dist::lognormal_ms(0.5, 0.3), order, Dist::lognormal_ms(0.3, 0.3)),
+                ),
+        );
+        debug_assert_eq!(fe, front_end);
+
+        // cart: SpringBoot, synchronous servlet threads — THE tunable
+        // thread pool of Figs. 3, 9(a), 10, 11.
+        let c = world.add_service(
+            ServiceSpec::new("cart")
+                .cpu(Millicores::from_cores(params.cart_cores))
+                .threads(params.cart_threads)
+                .csw(params.cart_csw)
+                .on(
+                    get_cart,
+                    Behavior::tier(
+                        Dist::lognormal_ms(1.5, 0.4),
+                        cart_db,
+                        Dist::lognormal_ms(1.0, 0.4),
+                    ),
+                )
+                .on(
+                    get_catalogue,
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.8, 0.4),
+                        cart_db,
+                        Dist::lognormal_ms(0.4, 0.4),
+                    ),
+                )
+                .on(
+                    place_order,
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.6, 0.4),
+                        cart_db,
+                        Dist::lognormal_ms(0.4, 0.4),
+                    ),
+                ),
+        );
+        debug_assert_eq!(c, cart);
+
+        let leaf = |name: &str, median_ms: f64, rtypes: &[RequestTypeId]| {
+            let mut spec = ServiceSpec::new(name)
+                .cpu(Millicores::from_cores(2))
+                .threads(64)
+                .csw(0.02);
+            for &rt in rtypes {
+                spec = spec.on(rt, Behavior::leaf(Dist::lognormal_ms(median_ms, 0.4)));
+            }
+            spec
+        };
+
+        let cdb = world.add_service(leaf(
+            "cart-db",
+            0.8,
+            &[get_cart, get_catalogue, place_order],
+        ));
+        debug_assert_eq!(cdb, cart_db);
+
+        // catalogue: Golang — async goroutines (huge thread gate), but a
+        // bounded SQL connection pool toward catalogue-db: THE tunable
+        // connection pool of Figs. 1 and 9(b).
+        let cat = world.add_service(
+            ServiceSpec::new("catalogue")
+                .cpu(Millicores::from_cores(params.catalogue_cores))
+                .threads(512)
+                .csw(0.01)
+                .conns(catalogue_db, params.catalogue_db_conns)
+                .on(
+                    get_catalogue,
+                    Behavior::tier(
+                        Dist::lognormal_ms(1.0, 0.4),
+                        catalogue_db,
+                        Dist::lognormal_ms(0.8, 0.4),
+                    ),
+                ),
+        );
+        debug_assert_eq!(cat, catalogue);
+
+        let catdb = world.add_service(
+            leaf("catalogue-db", 2.5, &[get_catalogue])
+                .cpu(Millicores::from_cores(params.catalogue_db_cores))
+                .csw(params.catalogue_db_csw),
+        );
+        debug_assert_eq!(catdb, catalogue_db);
+
+        let u = world.add_service(
+            ServiceSpec::new("user")
+                .cpu(Millicores::from_cores(2))
+                .threads(64)
+                .csw(0.02)
+                .on(
+                    place_order,
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.6, 0.4),
+                        user_db,
+                        Dist::lognormal_ms(0.3, 0.4),
+                    ),
+                ),
+        );
+        debug_assert_eq!(u, user);
+        let udb = world.add_service(leaf("user-db", 0.7, &[place_order]));
+        debug_assert_eq!(udb, user_db);
+
+        // order: orchestrates user+payment (parallel), then cart, then
+        // shipping.
+        let o = world.add_service(
+            ServiceSpec::new("order")
+                .cpu(Millicores::from_cores(2))
+                .threads(64)
+                .csw(0.02)
+                .on(
+                    place_order,
+                    Behavior::new(vec![
+                        Stage::compute(Dist::lognormal_ms(0.8, 0.4)),
+                        // The order service pulls the cart and checks the
+                        // user/payment in parallel before persisting.
+                        Stage::fanout(vec![user, payment, cart]),
+                        Stage::call(order_db),
+                        Stage::call(shipping),
+                        Stage::compute(Dist::lognormal_ms(0.5, 0.4)),
+                    ]),
+                ),
+        );
+        debug_assert_eq!(o, order);
+        let odb = world.add_service(leaf("order-db", 0.9, &[place_order]));
+        debug_assert_eq!(odb, order_db);
+        let pay = world.add_service(leaf("payment", 0.5, &[place_order]));
+        debug_assert_eq!(pay, payment);
+
+        let ship = world.add_service(
+            ServiceSpec::new("shipping")
+                .cpu(Millicores::from_cores(2))
+                .threads(64)
+                .csw(0.02)
+                .on(
+                    place_order,
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.5, 0.4),
+                        queue_master,
+                        Dist::lognormal_ms(0.2, 0.4),
+                    ),
+                ),
+        );
+        debug_assert_eq!(ship, shipping);
+        let qm = world.add_service(leaf("queue-master", 0.4, &[place_order]));
+        debug_assert_eq!(qm, queue_master);
+
+        let rt0 = world.add_request_type("GET /cart", front_end);
+        let rt1 = world.add_request_type("GET /catalogue", front_end);
+        let rt2 = world.add_request_type("POST /orders", front_end);
+        debug_assert_eq!((rt0, rt1, rt2), (get_cart, get_catalogue, place_order));
+
+        for idx in 0..world.service_count() {
+            let pod = world
+                .add_replica(ServiceId(idx as u32))
+                .expect("default node fits the base topology");
+            world.make_ready(pod);
+        }
+
+        SockShop {
+            world,
+            front_end,
+            cart,
+            cart_db,
+            catalogue,
+            catalogue_db,
+            user,
+            user_db,
+            order,
+            order_db,
+            payment,
+            shipping,
+            queue_master,
+            get_cart,
+            get_catalogue,
+            place_order,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn shop() -> SockShop {
+        let cfg = WorldConfig {
+            net_delay: Dist::constant_us(100),
+            replica_startup: Dist::constant_us(0),
+            ..WorldConfig::default()
+        };
+        SockShop::build_with_config(Default::default(), cfg, SimRng::seed_from(7))
+    }
+
+    #[test]
+    fn all_eleven_plus_edge_services_exist() {
+        let s = shop();
+        assert_eq!(s.world.service_count(), 12);
+        assert_eq!(s.world.service_name(s.cart), "cart");
+        assert_eq!(s.world.service_name(s.queue_master), "queue-master");
+    }
+
+    #[test]
+    fn cart_request_traverses_front_cart_db() {
+        let mut s = shop();
+        s.world.inject_at(t(1), s.get_cart);
+        let done = s.world.run_until(t(1_000));
+        assert_eq!(done.len(), 1);
+        let trace = s.world.warehouse().iter().next().unwrap();
+        let services: Vec<&str> =
+            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        assert_eq!(services, ["front-end", "cart", "cart-db"]);
+        // A light request completes in single-digit milliseconds.
+        assert!(done[0].response_time.as_millis() < 20);
+    }
+
+    #[test]
+    fn catalogue_request_fans_out_like_figure_5() {
+        let mut s = shop();
+        s.world.inject_at(t(1), s.get_catalogue);
+        s.world.run_until(t(1_000));
+        let trace = s.world.warehouse().iter().next().unwrap();
+        let names: Vec<&str> =
+            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        assert!(names.contains(&"cart"));
+        assert!(names.contains(&"catalogue"));
+        assert!(names.contains(&"catalogue-db"));
+        // The critical path follows the slower catalogue branch.
+        let path = telemetry::critical_path(trace);
+        let path_names: Vec<&str> =
+            path.iter().map(|h| s.world.service_name(h.service)).collect();
+        assert_eq!(path_names, ["front-end", "catalogue", "catalogue-db"]);
+    }
+
+    #[test]
+    fn order_request_reaches_the_whole_chain() {
+        let mut s = shop();
+        s.world.inject_at(t(1), s.place_order);
+        let done = s.world.run_until(t(1_000));
+        assert_eq!(done.len(), 1);
+        let trace = s.world.warehouse().iter().next().unwrap();
+        let mut names: Vec<&str> =
+            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        names.sort_unstable();
+        for expected in
+            ["front-end", "order", "user", "user-db", "payment", "order-db", "shipping", "queue-master", "cart", "cart-db"]
+        {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn cart_thread_pool_is_the_configured_knob() {
+        let s = shop();
+        assert_eq!(s.world.thread_limit(s.cart), 5);
+        assert_eq!(s.world.conn_limit(s.catalogue, s.catalogue_db), Some(10));
+        assert_eq!(s.world.cpu_limit(s.cart), Millicores::from_cores(2));
+    }
+
+    #[test]
+    fn sustained_cart_load_is_served() {
+        let mut s = shop();
+        for i in 0..2_000 {
+            s.world.inject_at(t(1 + i * 2), s.get_cart); // 500 rps for 4 s
+        }
+        let done = s.world.run_until(t(20_000));
+        assert_eq!(done.len(), 2_000);
+        assert_eq!(s.world.dropped(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Kubernetes Vertical Pod Autoscaling (rule-based CPU-limit resizing).
+
+use cluster::Millicores;
+use microsim::World;
+use sim_core::{SimDuration, SimTime};
+use sora_core::{Controller, UtilizationProbe};
+use telemetry::ServiceId;
+
+/// VPA tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct VpaConfig {
+    /// Grow the limit when utilisation exceeds this.
+    pub high_utilization: f64,
+    /// Shrink the limit when utilisation falls below this.
+    pub low_utilization: f64,
+    /// Smallest allowed per-pod limit.
+    pub min_limit: Millicores,
+    /// Largest allowed per-pod limit.
+    pub max_limit: Millicores,
+    /// Resize quantum (limits move in whole steps, like recommender
+    /// buckets).
+    pub step: Millicores,
+    /// Minimum time between resizes.
+    pub cooldown: SimDuration,
+}
+
+impl Default for VpaConfig {
+    fn default() -> Self {
+        VpaConfig {
+            high_utilization: 0.8,
+            low_utilization: 0.3,
+            min_limit: Millicores::from_cores(1),
+            max_limit: Millicores::from_cores(4),
+            step: Millicores::from_cores(1),
+            cooldown: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Rule-based vertical scaling of one service's CPU limit: step the limit
+/// up when the pods run hot, step it down when they idle. This is the
+/// threshold-based vertical scaler the paper pairs with both ConScale and
+/// Sora in §5.2's second comparison.
+#[derive(Debug, Clone)]
+pub struct VpaController {
+    service: ServiceId,
+    config: VpaConfig,
+    probe: UtilizationProbe,
+    last_resize: Option<SimTime>,
+}
+
+impl VpaController {
+    /// Creates a VPA managing `service`.
+    pub fn new(service: ServiceId, config: VpaConfig) -> Self {
+        VpaController {
+            service,
+            config,
+            probe: UtilizationProbe::new(),
+            last_resize: None,
+        }
+    }
+
+    /// The managed service.
+    pub fn service(&self) -> ServiceId {
+        self.service
+    }
+
+    fn cooled_down(&self, now: SimTime) -> bool {
+        self.last_resize
+            .is_none_or(|t| now.saturating_since(t) >= self.config.cooldown)
+    }
+}
+
+impl Controller for VpaController {
+    fn control(&mut self, world: &mut World, now: SimTime) {
+        let util = self.probe.read(world, self.service, now);
+        if !self.cooled_down(now) {
+            return;
+        }
+        let current = world.cpu_limit(self.service);
+        let desired = if util > self.config.high_utilization {
+            (current + self.config.step).min(self.config.max_limit)
+        } else if util < self.config.low_utilization {
+            current.saturating_sub(self.config.step).max(self.config.min_limit)
+        } else {
+            current
+        };
+        if desired != current && world.set_cpu_limit(self.service, desired).is_ok() {
+            self.last_resize = Some(now);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "kubernetes-vpa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsim::{Behavior, ServiceSpec, WorldConfig};
+    use sim_core::{Dist, SimRng};
+    use telemetry::RequestTypeId;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn world() -> (World, ServiceId, RequestTypeId) {
+        let cfg = WorldConfig {
+            net_delay: Dist::constant_us(0),
+            replica_startup: Dist::constant_us(0),
+            ..WorldConfig::default()
+        };
+        let mut w = World::new(cfg, SimRng::seed_from(1));
+        let rt = RequestTypeId(0);
+        let svc = w.add_service(
+            ServiceSpec::new("api")
+                .cpu(Millicores::from_cores(1))
+                .threads(32)
+                .on(rt, Behavior::leaf(Dist::constant_ms(4))),
+        );
+        let rt = w.add_request_type("r", svc);
+        let pod = w.add_replica(svc).unwrap();
+        w.make_ready(pod);
+        (w, svc, rt)
+    }
+
+    fn drive(w: &mut World, rt: RequestTypeId, vpa: &mut VpaController, secs: u64, gap_ms: u64) {
+        let mut at = 0u64;
+        for tick in 1..=secs {
+            let end = tick * 1000;
+            if gap_ms > 0 {
+                while at < end {
+                    at += gap_ms;
+                    w.inject_at(t(at), rt);
+                }
+            }
+            w.run_until(t(end));
+            if tick % 15 == 0 {
+                vpa.control(w, t(end));
+            }
+        }
+    }
+
+    #[test]
+    fn grows_limit_under_load_and_shrinks_when_idle() {
+        let (mut w, svc, rt) = world();
+        let mut vpa = VpaController::new(
+            svc,
+            VpaConfig { cooldown: SimDuration::from_secs(15), ..Default::default() },
+        );
+        drive(&mut w, rt, &mut vpa, 90, 3); // ρ ≈ 1.3 on 1 core
+        let hot = w.cpu_limit(svc);
+        assert!(hot >= Millicores::from_cores(2), "limit should grow: {hot}");
+        drive(&mut w, rt, &mut vpa, 120, 0); // idle
+        assert_eq!(w.cpu_limit(svc), Millicores::from_cores(1), "idle shrinks to min");
+    }
+
+    #[test]
+    fn honours_bounds_and_cooldown() {
+        let (mut w, svc, rt) = world();
+        let cfg = VpaConfig {
+            max_limit: Millicores::from_cores(2),
+            cooldown: SimDuration::from_secs(3_600), // effectively one resize
+            ..Default::default()
+        };
+        let mut vpa = VpaController::new(svc, cfg);
+        drive(&mut w, rt, &mut vpa, 120, 1);
+        // One step only (cooldown), and within the 2-core cap.
+        assert_eq!(w.cpu_limit(svc), Millicores::from_cores(2));
+    }
+}

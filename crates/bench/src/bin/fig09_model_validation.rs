@@ -1,0 +1,97 @@
+//! Figure 9 — SCG model estimation and validation for three soft-resource
+//! kinds: Cart server threads (a), Catalogue DB connections (b), and
+//! Post Storage request connections (c).
+//!
+//! Left column (estimation): a run with a generous allocation feeds the SCG
+//! model, which recommends an optimal concurrency under a tight threshold.
+//! Right column (validation): sweeps of adjacent allocations under the same
+//! workload confirm the recommendation achieves (close to) the highest
+//! goodput of the monitored service.
+
+use sim_core::{SimDuration, SimTime};
+use sora_bench::{print_table, save_json, MonitoredCase, Table};
+
+fn neighbourhood(est: usize) -> Vec<usize> {
+    let mut v = vec![
+        (est / 2).max(1),
+        (est * 3 / 4).max(1),
+        est,
+        est * 3 / 2,
+        est * 3,
+    ];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn main() {
+    let quick = sora_bench::quick_mode();
+    let est_secs = if quick { 120 } else { 240 };
+    let val_secs = if quick { 60 } else { 180 };
+    let mut json = serde_json::Map::new();
+    let model = scg::ScgModel::default();
+
+    for (label, case) in [
+        ("(a) cart threads", MonitoredCase::CartThreads),
+        ("(b) catalogue db conns", MonitoredCase::CatalogueConns),
+        ("(c) post storage conns", MonitoredCase::PostStorageConns),
+    ] {
+        // Estimation from a generous-allocation run.
+        let world = case.run(case.generous_allocation(), est_secs, 29);
+        let pts = case.scatter(
+            &world,
+            SimTime::from_secs(est_secs / 4),
+            SimTime::from_secs(est_secs),
+            SimDuration::from_millis(100),
+        );
+        let Some(est) = model.estimate(&pts) else {
+            println!("\nFig. 9{label}: no knee detected ({} scatter points)", pts.len());
+            continue;
+        };
+        println!(
+            "\nFig. 9{label}: SCG estimate = {} @ {} threshold (degree {}, {} bins)",
+            est.optimal,
+            case.threshold(),
+            est.degree,
+            est.bins
+        );
+
+        // Validation sweep around the estimate.
+        let candidates = neighbourhood(est.optimal);
+        let warmup = SimTime::from_secs(val_secs / 3);
+        let end = SimTime::from_secs(val_secs);
+        let sweep: Vec<(usize, f64)> = candidates
+            .iter()
+            .map(|&alloc| {
+                let w = case.run(alloc, val_secs, 31);
+                (alloc, case.monitored_goodput(&w, warmup, end))
+            })
+            .collect();
+        let mut table = Table::new(vec!["allocation", "monitored goodput [req/s]"]);
+        for &(alloc, gp) in &sweep {
+            let marker = if alloc == est.optimal { "  <= SCG estimate" } else { "" };
+            table.row(vec![format!("{alloc}{marker}"), format!("{gp:.0}")]);
+        }
+        print_table(format!("Fig. 9{label} — validation"), &table);
+        let best_gp = sweep.iter().map(|&(_, g)| g).fold(0.0f64, f64::max);
+        let est_gp = sweep
+            .iter()
+            .find(|&&(a, _)| a == est.optimal)
+            .map_or(0.0, |&(_, g)| g);
+        let ok = est_gp >= 0.95 * best_gp;
+        println!(
+            "  estimate achieves {:.1}% of the sweep's best goodput — {}",
+            100.0 * est_gp / best_gp.max(1e-9),
+            if ok { "validated ✓" } else { "NOT validated ✗" }
+        );
+        json.insert(
+            label.to_string(),
+            serde_json::json!({
+                "estimate": est.optimal,
+                "sweep": sweep,
+                "validated": ok,
+            }),
+        );
+    }
+    save_json("fig09_model_validation", &serde_json::Value::Object(json));
+}

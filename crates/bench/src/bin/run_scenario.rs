@@ -1,0 +1,80 @@
+//! Config-driven scenario runner: describe an experiment as JSON and run
+//! it without writing Rust.
+//!
+//! ```bash
+//! cargo run --release -p sora-bench --bin run_scenario -- scenario.json
+//! cargo run --release -p sora-bench --bin run_scenario -- --print-template
+//! ```
+//!
+//! The JSON schema is [`sora_bench::config::ScenarioSpec`]; results are
+//! printed as a summary and archived under `results/scenario_<name>.json`.
+
+use sora_bench::config::{App, Hardware, ScenarioSpec, SoftAdaptation};
+use sora_bench::save_json;
+use workload::TraceShape;
+
+fn template() -> ScenarioSpec {
+    ScenarioSpec {
+        app: App::SockShop,
+        trace: TraceShape::SteepTriPhase,
+        max_users: 3_500.0,
+        duration_secs: 720,
+        sla_ms: 400,
+        hardware: Hardware::Firm,
+        soft: SoftAdaptation::Sora,
+        seed: 42,
+        cart_threads: Some(5),
+        cart_cores: Some(2),
+        home_timeline_conns: None,
+        drift_at_secs: None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--print-template") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&template()).expect("template serialises")
+            );
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let spec: ScenarioSpec = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("invalid scenario config {path}: {e}"));
+            println!("running: {spec:#?}");
+            let outcome = spec.run();
+            println!(
+                "\ncompleted {}  dropped {}  mean {:.1} ms  p95 {:.0} ms  p99 {:.0} ms  \
+                 goodput({} ms) {:.0} req/s",
+                outcome.summary.completed,
+                outcome.summary.dropped,
+                outcome.summary.mean_rt_ms,
+                outcome.summary.p95_ms,
+                outcome.summary.p99_ms,
+                spec.sla_ms,
+                outcome.summary.goodput_rps,
+            );
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("scenario");
+            save_json(
+                &format!("scenario_{stem}"),
+                &serde_json::json!({
+                    "spec": spec,
+                    "summary": outcome.summary,
+                    "timeline": outcome.result.timeline,
+                    "rt": outcome.result.rt_timeline,
+                    "goodput": outcome.result.goodput_timeline,
+                }),
+            );
+        }
+        None => {
+            eprintln!("usage: run_scenario <config.json> | --print-template");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Declarative scenario configuration for the `run_scenario` CLI: describe
+//! an experiment as JSON (application, workload trace, controller stack,
+//! SLA) and run it without writing Rust.
+
+use apps::{RunResult, Scenario, ScenarioConfig, SockShop, SockShopParams, SocialNetwork,
+           SocialNetworkParams, Watch};
+use autoscalers::{FirmConfig, FirmController, HpaConfig, HpaController, VpaConfig, VpaController};
+use cluster::Millicores;
+use microsim::{World, WorldConfig};
+use scg::LocalizeConfig;
+use serde::{Deserialize, Serialize};
+use sim_core::{Dist, SimDuration, SimRng, SimTime};
+use sora_core::{
+    Controller, NullController, ResourceBounds, ResourceRegistry, SoftResource, SoraConfig,
+    SoraController,
+};
+use telemetry::ServiceId;
+use workload::{Mix, RateCurve, TraceShape, UserPool};
+
+/// Which benchmark application to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum App {
+    /// The 11-service Sock Shop, driven on its Cart path.
+    SockShop,
+    /// The 36-service Social Network, driven on read-home-timeline.
+    SocialNetwork,
+}
+
+/// The hardware autoscaler under (or without) Sora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum Hardware {
+    /// No hardware scaling.
+    #[default]
+    None,
+    /// Kubernetes Horizontal Pod Autoscaling on the focus service.
+    Hpa,
+    /// Kubernetes Vertical Pod Autoscaling on the focus service.
+    Vpa,
+    /// FIRM-style critical-instance vertical scaling.
+    Firm,
+}
+
+/// The soft-resource adaptation layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum SoftAdaptation {
+    /// Static pools (the paper's baseline).
+    #[default]
+    None,
+    /// The latency-aware SCG adapter (Sora).
+    Sora,
+    /// The throughput-based SCT adapter (ConScale).
+    Conscale,
+}
+
+/// A declarative experiment.
+///
+/// # Example
+///
+/// ```
+/// let json = r#"{
+///     "app": "sock_shop",
+///     "trace": "SteepTriPhase",
+///     "max_users": 1200.0,
+///     "duration_secs": 60,
+///     "sla_ms": 400,
+///     "hardware": "firm",
+///     "soft": "sora",
+///     "seed": 1
+/// }"#;
+/// let cfg: sora_bench::config::ScenarioSpec = serde_json::from_str(json).unwrap();
+/// let outcome = cfg.run();
+/// assert!(outcome.summary.completed > 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The application topology.
+    pub app: App,
+    /// The workload trace shape (e.g. `"SteepTriPhase"`, `"Steady"`).
+    pub trace: TraceShape,
+    /// Maximum concurrent users.
+    pub max_users: f64,
+    /// Run length in seconds.
+    pub duration_secs: u64,
+    /// End-to-end SLA (goodput threshold and Sora's deadline) in ms.
+    pub sla_ms: u64,
+    /// Hardware autoscaler.
+    #[serde(default)]
+    pub hardware: Hardware,
+    /// Soft-resource adaptation.
+    #[serde(default)]
+    pub soft: SoftAdaptation,
+    /// Run seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Sock Shop: Cart thread-pool size (default 5).
+    #[serde(default)]
+    pub cart_threads: Option<usize>,
+    /// Sock Shop: Cart CPU cores (default 2).
+    #[serde(default)]
+    pub cart_cores: Option<u32>,
+    /// Social Network: Home-Timeline → Post Storage pool size (default 10).
+    #[serde(default)]
+    pub home_timeline_conns: Option<usize>,
+    /// Social Network: flip to heavy reads at this second.
+    #[serde(default)]
+    pub drift_at_secs: Option<u64>,
+}
+
+/// What a scenario run produces.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Timelines and summary.
+    pub result: RunResult,
+    /// Convenience copy of the summary.
+    pub summary: apps::Summary,
+    /// The final world for post-hoc queries.
+    pub world: World,
+}
+
+impl ScenarioSpec {
+    /// The service the controllers focus on (Cart / Post Storage).
+    fn focus(&self) -> ServiceId {
+        match self.app {
+            App::SockShop => ServiceId(1),
+            App::SocialNetwork => ServiceId(2),
+        }
+    }
+
+    /// The tunable soft resource of the app.
+    fn soft_resource(&self) -> SoftResource {
+        match self.app {
+            App::SockShop => SoftResource::ThreadPool { service: ServiceId(1) },
+            App::SocialNetwork => {
+                SoftResource::ConnPool { caller: ServiceId(1), target: ServiceId(2) }
+            }
+        }
+    }
+
+    fn build_controller(&self) -> Box<dyn Controller> {
+        let focus = self.focus();
+        let hardware: Box<dyn Controller> = match self.hardware {
+            Hardware::None => Box::new(NullController),
+            Hardware::Hpa => Box::new(HpaController::new(focus, HpaConfig::default())),
+            Hardware::Vpa => Box::new(VpaController::new(focus, VpaConfig::default())),
+            Hardware::Firm => Box::new(FirmController::new(FirmConfig {
+                services: vec![focus],
+                localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+                min_limit: Millicores::from_cores(1),
+                max_limit: Millicores::from_cores(4),
+                ..Default::default()
+            })),
+        };
+        let registry = ResourceRegistry::new()
+            .with(self.soft_resource(), ResourceBounds { min: 2, max: 256 });
+        let sora_config = SoraConfig {
+            sla: SimDuration::from_millis(self.sla_ms),
+            localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+            ..Default::default()
+        };
+        match self.soft {
+            SoftAdaptation::None => hardware,
+            SoftAdaptation::Sora => {
+                Box::new(SoraController::sora(sora_config, registry, hardware))
+            }
+            SoftAdaptation::Conscale => {
+                Box::new(SoraController::conscale(sora_config, registry, hardware))
+            }
+        }
+    }
+
+    /// Builds and runs the scenario.
+    pub fn run(&self) -> ScenarioOutcome {
+        let world_config = WorldConfig { trace_sample_every: 10, ..Default::default() };
+        let curve = RateCurve::new(
+            self.trace,
+            self.max_users,
+            SimDuration::from_secs(self.duration_secs),
+        );
+        let pool = UserPool::new(
+            curve,
+            Dist::exponential_ms(crate::scenarios::THINK_MS),
+            SimRng::seed_from(self.seed ^ 0xABCD),
+        );
+        let scenario_config = ScenarioConfig {
+            report_rtt: SimDuration::from_millis(self.sla_ms),
+            ..Default::default()
+        };
+        let mut controller = self.build_controller();
+        let (result, world) = match self.app {
+            App::SockShop => {
+                let mut shop = SockShop::build_with_config(
+                    SockShopParams {
+                        cart_threads: self.cart_threads.unwrap_or(5),
+                        cart_cores: self.cart_cores.unwrap_or(2),
+                        ..Default::default()
+                    },
+                    world_config,
+                    SimRng::seed_from(self.seed),
+                );
+                let scenario = Scenario::new(
+                    scenario_config,
+                    pool,
+                    Mix::single(shop.get_cart),
+                    Watch { service: shop.cart, conns: None },
+                );
+                (scenario.run(&mut shop.world, controller.as_mut()), shop.world)
+            }
+            App::SocialNetwork => {
+                let mut sn = SocialNetwork::build_with_config(
+                    SocialNetworkParams {
+                        home_timeline_conns: self.home_timeline_conns.unwrap_or(10),
+                        ..Default::default()
+                    },
+                    world_config,
+                    SimRng::seed_from(self.seed),
+                );
+                let mut scenario = Scenario::new(
+                    scenario_config,
+                    pool,
+                    Mix::single(sn.read_home_timeline_light),
+                    Watch {
+                        service: sn.post_storage,
+                        conns: Some((sn.home_timeline, sn.post_storage)),
+                    },
+                );
+                if let Some(at) = self.drift_at_secs {
+                    scenario = scenario.with_mix_change(
+                        SimTime::from_secs(at),
+                        Mix::single(sn.read_home_timeline_heavy),
+                    );
+                }
+                (scenario.run(&mut sn.world, controller.as_mut()), sn.world)
+            }
+        };
+        let summary = result.summary;
+        ScenarioOutcome { result, summary, world }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ScenarioSpec {
+        ScenarioSpec {
+            app: App::SockShop,
+            trace: TraceShape::Steady,
+            max_users: 400.0,
+            duration_secs: 30,
+            sla_ms: 400,
+            hardware: Hardware::None,
+            soft: SoftAdaptation::None,
+            seed: 3,
+            cart_threads: None,
+            cart_cores: None,
+            home_timeline_conns: None,
+            drift_at_secs: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_with_defaults() {
+        let json = r#"{
+            "app": "social_network",
+            "trace": "LargeVariation",
+            "max_users": 500.0,
+            "duration_secs": 10,
+            "sla_ms": 250
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.app, App::SocialNetwork);
+        assert_eq!(spec.hardware, Hardware::None);
+        assert_eq!(spec.soft, SoftAdaptation::None);
+        let back = serde_json::to_string(&spec).unwrap();
+        assert!(back.contains("social_network"));
+    }
+
+    #[test]
+    fn sock_shop_scenario_runs() {
+        let outcome = base().run();
+        assert!(outcome.summary.completed > 1_000);
+        assert_eq!(outcome.summary.dropped, 0);
+    }
+
+    #[test]
+    fn controller_stacks_compose() {
+        for (hw, soft) in [
+            (Hardware::Firm, SoftAdaptation::Sora),
+            (Hardware::Vpa, SoftAdaptation::Conscale),
+            (Hardware::Hpa, SoftAdaptation::None),
+        ] {
+            let spec = ScenarioSpec { hardware: hw, soft, duration_secs: 20, ..base() };
+            let outcome = spec.run();
+            assert!(outcome.summary.completed > 500, "{hw:?}/{soft:?}");
+        }
+    }
+
+    #[test]
+    fn social_network_drift_spec_runs() {
+        let spec = ScenarioSpec {
+            app: App::SocialNetwork,
+            max_users: 600.0,
+            drift_at_secs: Some(15),
+            duration_secs: 30,
+            ..base()
+        };
+        let outcome = spec.run();
+        assert!(outcome.summary.completed > 1_000);
+    }
+}

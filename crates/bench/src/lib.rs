@@ -1,0 +1,34 @@
+//! Shared machinery of the experiment harness: scenario presets
+//! calibrated to the paper's setups, plus table/JSON reporting.
+//!
+//! Each `src/bin/figXX_*` / `src/bin/tabXX_*` binary regenerates one table
+//! or figure of the paper; see DESIGN.md's per-experiment index. Binaries
+//! accept `--quick` to run a shortened variant (useful in CI); the default
+//! reproduces the paper's full 12-minute runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod scenarios;
+
+pub use report::{print_table, save_json, Table};
+pub use scenarios::{
+    cart_run, cart_world, drift_run, post_storage_goodput, sweep_cart_goodput, CartSetup,
+    DriftSetup, MonitoredCase,
+};
+
+/// Returns `true` when `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Experiment duration: the paper's 12 minutes, or 3 in quick mode.
+pub fn trace_secs() -> u64 {
+    if quick_mode() {
+        180
+    } else {
+        720
+    }
+}

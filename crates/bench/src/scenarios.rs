@@ -1,0 +1,448 @@
+//! Scenario presets calibrated to the paper's experimental setups.
+
+use apps::{RunResult, Scenario, ScenarioConfig, SockShop, SockShopParams, SocialNetwork,
+           SocialNetworkParams, Watch};
+use microsim::{World, WorldConfig};
+use sim_core::{Dist, SimDuration, SimRng, SimTime};
+use sora_core::Controller;
+use workload::{Mix, RateCurve, TraceShape, UserPool};
+
+/// Mean user think time (the RUBBoS emulation): 3 500 users at ~2.5 s think
+/// time offer ≈ 1 400 req/s at peak — just inside a 4-core Cart's capacity
+/// and nearly double a 2-core Cart's, which is exactly the regime the
+/// paper's Figs. 10–11 operate in.
+pub const THINK_MS: f64 = 2_500.0;
+
+/// A Sock Shop Cart-path experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct CartSetup {
+    /// The workload trace shape.
+    pub shape: TraceShape,
+    /// Maximum concurrent users (3 500 in §5.2).
+    pub max_users: f64,
+    /// Run length in seconds (720 in the paper).
+    pub secs: u64,
+    /// Topology knobs.
+    pub params: SockShopParams,
+    /// Goodput threshold for reporting.
+    pub report_rtt: SimDuration,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Default for CartSetup {
+    fn default() -> Self {
+        CartSetup {
+            shape: TraceShape::SteepTriPhase,
+            max_users: 3_500.0,
+            secs: 720,
+            params: SockShopParams::default(),
+            report_rtt: SimDuration::from_millis(400),
+            seed: 42,
+        }
+    }
+}
+
+/// World config for full-length runs: sampled trace warehouse so a
+/// 12-minute, ~1 400 req/s run keeps bounded memory (the metrics samplers
+/// feeding the SCG model are unaffected by warehouse sampling).
+fn run_world_config() -> WorldConfig {
+    WorldConfig { trace_sample_every: 10, ..WorldConfig::default() }
+}
+
+/// Builds the Sock Shop world for a [`CartSetup`] (exposed for experiments
+/// that need direct world access, e.g. the Fig. 4 histogram study).
+pub fn cart_world(setup: &CartSetup) -> SockShop {
+    SockShop::build_with_config(setup.params, run_world_config(), SimRng::seed_from(setup.seed))
+}
+
+/// Runs a Cart-path scenario under `controller`, returning the run result
+/// and the final world (whose client log allows extra post-hoc queries,
+/// e.g. goodput under several thresholds for Table 3).
+pub fn cart_run(setup: &CartSetup, controller: &mut dyn Controller) -> (RunResult, World) {
+    let mut shop = cart_world(setup);
+    let curve = RateCurve::new(
+        setup.shape,
+        setup.max_users,
+        SimDuration::from_secs(setup.secs),
+    );
+    let pool = UserPool::new(
+        curve,
+        Dist::exponential_ms(THINK_MS),
+        SimRng::seed_from(setup.seed ^ 0x9e37),
+    );
+    let watch = Watch { service: shop.cart, conns: None };
+    let scenario = Scenario::new(
+        ScenarioConfig { report_rtt: setup.report_rtt, ..Default::default() },
+        pool,
+        Mix::single(shop.get_cart),
+        watch,
+    );
+    let result = scenario.run(&mut shop.world, controller);
+    (result, shop.world)
+}
+
+/// Sweeps the Cart thread pool under a steady workload (the Figs. 3(a–d) /
+/// 9(a) validation methodology): returns `(pool_size, goodput_rps)` pairs,
+/// goodput measured against `threshold` after a warm-up third.
+pub fn sweep_cart_goodput(
+    pool_sizes: &[usize],
+    cart_cores: u32,
+    users: f64,
+    secs: u64,
+    threshold: SimDuration,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    pool_sizes
+        .iter()
+        .map(|&pool| {
+            let setup = CartSetup {
+                shape: TraceShape::Steady,
+                max_users: users,
+                secs,
+                params: SockShopParams {
+                    cart_cores,
+                    cart_threads: pool,
+                    ..SockShopParams::default()
+                },
+                report_rtt: threshold,
+                seed,
+            };
+            let mut null = sora_core::NullController;
+            let (_, world) = cart_run(&setup, &mut null);
+            let warmup = SimTime::from_secs(secs / 3);
+            let end = SimTime::from_secs(secs);
+            (pool, world.client().goodput_rate(warmup, end, threshold))
+        })
+        .collect()
+}
+
+/// A Social Network read-home-timeline experiment (the §5.3 setup).
+#[derive(Debug, Clone, Copy)]
+pub struct DriftSetup {
+    /// The workload trace shape.
+    pub shape: TraceShape,
+    /// Maximum concurrent users (4 500 in §5.3).
+    pub max_users: f64,
+    /// Run length in seconds.
+    pub secs: u64,
+    /// When the request type flips from light to heavy (451 s in Fig. 12);
+    /// `None` disables the drift.
+    pub drift_at_secs: Option<u64>,
+    /// Topology knobs.
+    pub params: SocialNetworkParams,
+    /// Goodput threshold for reporting.
+    pub report_rtt: SimDuration,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Default for DriftSetup {
+    fn default() -> Self {
+        DriftSetup {
+            shape: TraceShape::LargeVariation,
+            max_users: 4_500.0,
+            secs: 720,
+            drift_at_secs: Some(451),
+            params: SocialNetworkParams::default(),
+            report_rtt: SimDuration::from_millis(400),
+            seed: 77,
+        }
+    }
+}
+
+/// Runs a Social Network scenario with the optional light→heavy drift.
+pub fn drift_run(setup: &DriftSetup, controller: &mut dyn Controller) -> (RunResult, World) {
+    let mut sn = SocialNetwork::build_with_config(
+        setup.params,
+        run_world_config(),
+        SimRng::seed_from(setup.seed),
+    );
+    let curve = RateCurve::new(
+        setup.shape,
+        setup.max_users,
+        SimDuration::from_secs(setup.secs),
+    );
+    let pool = UserPool::new(
+        curve,
+        Dist::exponential_ms(THINK_MS),
+        SimRng::seed_from(setup.seed ^ 0x51ca),
+    );
+    let watch = Watch {
+        service: sn.post_storage,
+        conns: Some((sn.home_timeline, sn.post_storage)),
+    };
+    let mut scenario = Scenario::new(
+        ScenarioConfig { report_rtt: setup.report_rtt, ..Default::default() },
+        pool,
+        Mix::single(sn.read_home_timeline_light),
+        watch,
+    );
+    if let Some(at) = setup.drift_at_secs {
+        scenario = scenario.with_mix_change(
+            SimTime::from_secs(at),
+            Mix::single(sn.read_home_timeline_heavy),
+        );
+    }
+    let result = scenario.run(&mut sn.world, controller);
+    (result, sn.world)
+}
+
+/// Goodput of the read-home-timeline path for one Home-Timeline →
+/// Post Storage pool size under a steady workload (the Figs. 3(e–f) / 9(c)
+/// sweep).
+pub fn post_storage_goodput(
+    conns: usize,
+    heavy: bool,
+    post_storage_cores: u32,
+    users: f64,
+    secs: u64,
+    threshold: SimDuration,
+    seed: u64,
+) -> f64 {
+    let mut sn = SocialNetwork::build_with_config(
+        SocialNetworkParams {
+            home_timeline_conns: conns,
+            post_storage_cores,
+            ..Default::default()
+        },
+        run_world_config(),
+        SimRng::seed_from(seed),
+    );
+    let curve =
+        RateCurve::new(TraceShape::Steady, users, SimDuration::from_secs(secs));
+    let pool = UserPool::new(
+        curve,
+        Dist::exponential_ms(THINK_MS),
+        SimRng::seed_from(seed ^ 0x51ca),
+    );
+    let rt = if heavy { sn.read_home_timeline_heavy } else { sn.read_home_timeline_light };
+    let watch = Watch { service: sn.post_storage, conns: None };
+    let scenario = Scenario::new(
+        ScenarioConfig { report_rtt: threshold, ..Default::default() },
+        pool,
+        Mix::single(rt),
+        watch,
+    );
+    let mut null = sora_core::NullController;
+    let result = scenario.run(&mut sn.world, &mut null);
+    let warmup = SimTime::from_secs(secs / 3);
+    let _ = result;
+    sn.world.client().goodput_rate(warmup, SimTime::from_secs(secs), threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sora_core::NullController;
+
+    #[test]
+    fn cart_run_produces_sane_short_run() {
+        let setup = CartSetup {
+            secs: 30,
+            max_users: 400.0,
+            shape: TraceShape::Steady,
+            ..Default::default()
+        };
+        let mut ctl = NullController;
+        let (res, world) = cart_run(&setup, &mut ctl);
+        assert!(res.summary.completed > 2_000, "{:?}", res.summary);
+        assert!(world.client().total() == res.summary.completed);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = sweep_cart_goodput(&[5, 30], 2, 400.0, 20, SimDuration::from_millis(250), 1);
+        let b = sweep_cart_goodput(&[5, 30], 2, 400.0, 20, SimDuration::from_millis(250), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drift_run_switches_request_type() {
+        let setup = DriftSetup {
+            secs: 30,
+            max_users: 300.0,
+            drift_at_secs: Some(15),
+            shape: TraceShape::Steady,
+            ..Default::default()
+        };
+        let mut ctl = NullController;
+        let (res, _world) = drift_run(&setup, &mut ctl);
+        assert!(res.summary.completed > 1_000);
+        // Heavy phase raises mean RT visibly.
+        let early: f64 = res.rt_timeline[3..12].iter().map(|p| p.1).sum::<f64>() / 9.0;
+        let late: f64 = res.rt_timeline[20..28].iter().map(|p| p.1).sum::<f64>() / 8.0;
+        assert!(late > early, "drift raises RT: {early:.1} → {late:.1}");
+    }
+}
+
+/// One of the three monitored-service case studies of Figs. 9 / Table 1:
+/// which soft resource is generous-then-estimated, which service the SCG
+/// model watches, and the calibrated workload that saturates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitoredCase {
+    /// Threads in the 4-core Cart (Fig. 9a), 10 ms threshold.
+    CartThreads,
+    /// DB connections in Catalogue toward a 2-core Catalogue-db
+    /// (Fig. 9b), 10 ms threshold.
+    CatalogueConns,
+    /// Request connections from Home-Timeline to a 4-core Post Storage
+    /// (Fig. 9c), 15 ms threshold.
+    PostStorageConns,
+}
+
+impl MonitoredCase {
+    /// The per-span response-time threshold the model estimates under.
+    pub fn threshold(self) -> SimDuration {
+        match self {
+            MonitoredCase::CartThreads | MonitoredCase::CatalogueConns => {
+                SimDuration::from_millis(10)
+            }
+            MonitoredCase::PostStorageConns => SimDuration::from_millis(15),
+        }
+    }
+
+    /// The generous allocation used for estimation runs (past the knee).
+    pub fn generous_allocation(self) -> usize {
+        match self {
+            MonitoredCase::CartThreads => 60,
+            MonitoredCase::CatalogueConns | MonitoredCase::PostStorageConns => 40,
+        }
+    }
+
+    /// The monitored service's id in the respective topology.
+    pub fn monitored_service(self) -> telemetry::ServiceId {
+        match self {
+            MonitoredCase::CartThreads => telemetry::ServiceId(1), // cart
+            MonitoredCase::CatalogueConns => telemetry::ServiceId(4), // catalogue-db
+            MonitoredCase::PostStorageConns => telemetry::ServiceId(2), // post-storage
+        }
+    }
+
+    /// Runs the case's calibrated steady workload with the soft resource at
+    /// `allocation`, returning the final world.
+    pub fn run(self, allocation: usize, secs: u64, seed: u64) -> World {
+        match self {
+            MonitoredCase::CartThreads => {
+                let setup = CartSetup {
+                    shape: TraceShape::Steady,
+                    // ρ ≈ 0.85 at the generous allocation: the estimation
+                    // run must fluctuate, not sit pinned in overload.
+                    max_users: 2_600.0,
+                    secs,
+                    params: SockShopParams {
+                        cart_cores: 4,
+                        cart_threads: allocation,
+                        ..Default::default()
+                    },
+                    report_rtt: self.threshold(),
+                    seed,
+                };
+                let mut null = sora_core::NullController;
+                cart_run(&setup, &mut null).1
+            }
+            MonitoredCase::CatalogueConns => {
+                let mut shop = apps::SockShop::build_with_config(
+                    SockShopParams {
+                        catalogue_db_conns: allocation,
+                        catalogue_db_cores: 2,
+                        ..Default::default()
+                    },
+                    run_world_config(),
+                    SimRng::seed_from(seed),
+                );
+                let curve = RateCurve::new(
+                    TraceShape::Steady,
+                    1_600.0,
+                    SimDuration::from_secs(secs),
+                );
+                let pool = UserPool::new(
+                    curve,
+                    Dist::exponential_ms(THINK_MS),
+                    SimRng::seed_from(seed ^ 0x77),
+                );
+                let scenario = apps::Scenario::new(
+                    ScenarioConfig::default(),
+                    pool,
+                    Mix::single(shop.get_catalogue),
+                    Watch { service: shop.catalogue, conns: None },
+                );
+                let mut null = sora_core::NullController;
+                let _ = scenario.run(&mut shop.world, &mut null);
+                shop.world
+            }
+            MonitoredCase::PostStorageConns => {
+                let mut sn = SocialNetwork::build_with_config(
+                    SocialNetworkParams {
+                        home_timeline_conns: allocation,
+                        post_storage_cores: 4,
+                        ..Default::default()
+                    },
+                    run_world_config(),
+                    SimRng::seed_from(seed),
+                );
+                let curve = RateCurve::new(
+                    TraceShape::Steady,
+                    4_200.0,
+                    SimDuration::from_secs(secs),
+                );
+                let pool = UserPool::new(
+                    curve,
+                    Dist::exponential_ms(THINK_MS),
+                    SimRng::seed_from(seed ^ 0x77),
+                );
+                let scenario = apps::Scenario::new(
+                    ScenarioConfig::default(),
+                    pool,
+                    Mix::single(sn.read_home_timeline_light),
+                    Watch { service: sn.post_storage, conns: None },
+                );
+                let mut null = sora_core::NullController;
+                let _ = scenario.run(&mut sn.world, &mut null);
+                sn.world
+            }
+        }
+    }
+
+    /// Monitored-service goodput (completions within the case threshold per
+    /// second, summed over replicas) over `[from, to)` — the objective the
+    /// SCG estimate optimises, used by the validation sweeps.
+    pub fn monitored_goodput(self, world: &World, from: SimTime, to: SimTime) -> f64 {
+        let svc = self.monitored_service();
+        let mut n = 0u64;
+        for pod in world.ready_replicas(svc) {
+            if let Some(log) = world.completions_of(pod) {
+                n += log.goodput_in(from, to, self.threshold());
+            }
+        }
+        n as f64 / (to - from).as_secs_f64()
+    }
+
+    /// The SCG scatter of the monitored service over `[from, to)` at the
+    /// given sampling interval.
+    pub fn scatter(
+        self,
+        world: &World,
+        from: SimTime,
+        to: SimTime,
+        interval: SimDuration,
+    ) -> Vec<telemetry::ScatterPoint> {
+        let svc = self.monitored_service();
+        let mut pts = Vec::new();
+        for pod in world.ready_replicas(svc) {
+            if let (Some(conc), Some(comp)) =
+                (world.concurrency_of(pod), world.completions_of(pod))
+            {
+                pts.extend(telemetry::build_scatter(
+                    conc,
+                    comp,
+                    from,
+                    to,
+                    interval,
+                    self.threshold(),
+                ));
+            }
+        }
+        pts
+    }
+}

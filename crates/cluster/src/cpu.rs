@@ -1,0 +1,460 @@
+//! A processor-sharing CPU with context-switch overhead.
+
+use crate::Millicores;
+use sim_core::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies one job (a runnable compute burst) on a [`PsCpu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuJobId(u64);
+
+/// Work left of one job, in nanoseconds of single-core CPU demand.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    remaining: f64,
+}
+
+/// A pod's CPU, modelled as egalitarian processor sharing over a
+/// Kubernetes-style millicore limit, with a per-excess-thread
+/// context-switch/cache penalty.
+///
+/// With `n` runnable jobs and a limit of `c` cores, each job progresses at
+///
+/// ```text
+/// rate = min(1, c / n) / (1 + κ · √max(0, n − ⌈c⌉))
+/// ```
+///
+/// cores of demand per unit wall time: a single thread can use at most one
+/// core; once jobs outnumber cores every job pays a slowdown that grows
+/// with the square root of the excess (context-switch cost per scheduling
+/// quantum is roughly constant, while cache/TLB pollution grows slowly
+/// with the working-set count — a sublinear aggregate matches the gentle
+/// degradation the paper measures at 80–200 threads, Fig. 3). This is the
+/// mechanism behind the paper's observation that over-allocated thread
+/// pools hurt goodput (Fig. 3, Fig. 4).
+///
+/// *Busy* time (what a cAdvisor-style monitor reports, and what HPA/VPA/FIRM
+/// scale on) is `min(n, c)` cores whenever jobs are present — an
+/// oversubscribed pod looks 100 % busy even though useful work is lower.
+///
+/// The type is event-driver friendly: callers [`advance`](PsCpu::advance) it
+/// to the current instant, then query [`next_completion`](PsCpu::next_completion)
+/// and schedule an event. Any mutation bumps an [`epoch`](PsCpu::epoch) so a
+/// stale completion event can be recognised and dropped.
+///
+/// # Example
+///
+/// ```
+/// use cluster::{Millicores, PsCpu};
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let mut cpu = PsCpu::new(Millicores::from_cores(2), 0.0);
+/// let t0 = SimTime::ZERO;
+/// let a = cpu.add(t0, SimDuration::from_millis(10));
+/// let _b = cpu.add(t0, SimDuration::from_millis(10));
+/// // Two jobs on two cores: both run at full speed.
+/// let (t, id) = cpu.next_completion().unwrap();
+/// assert_eq!(t.as_millis(), 10);
+/// assert_eq!(id, a); // deterministic tie-break: lowest id first
+/// ```
+pub struct PsCpu {
+    limit: Millicores,
+    csw_overhead: f64,
+    jobs: BTreeMap<CpuJobId, Job>,
+    next_id: u64,
+    last_update: SimTime,
+    epoch: u64,
+    busy_core_nanos: f64,
+    useful_core_nanos: f64,
+}
+
+impl PsCpu {
+    /// One nanosecond of work: jobs at or below this are considered finished.
+    const FINISH_EPS: f64 = 1.0;
+
+    /// Creates an idle CPU with the given limit and context-switch penalty
+    /// κ (fractional slowdown per √(runnable jobs beyond the core count);
+    /// 0.02–0.05 reproduces the paper's over-allocation degradation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `csw_overhead` is negative or not finite.
+    pub fn new(limit: Millicores, csw_overhead: f64) -> Self {
+        assert!(csw_overhead >= 0.0 && csw_overhead.is_finite(), "invalid overhead");
+        PsCpu {
+            limit,
+            csw_overhead,
+            jobs: BTreeMap::new(),
+            next_id: 0,
+            last_update: SimTime::ZERO,
+            epoch: 0,
+            busy_core_nanos: 0.0,
+            useful_core_nanos: 0.0,
+        }
+    }
+
+    /// The current CPU limit.
+    pub fn limit(&self) -> Millicores {
+        self.limit
+    }
+
+    /// Number of runnable jobs.
+    pub fn active(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Monotone counter bumped on every mutation; scheduled completion
+    /// events that carry an older epoch are stale and must be ignored.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative *busy* core-nanoseconds (what a utilisation monitor sees).
+    pub fn busy_core_nanos(&self) -> f64 {
+        self.busy_core_nanos
+    }
+
+    /// Cumulative *useful* core-nanoseconds (busy minus overhead loss).
+    pub fn useful_core_nanos(&self) -> f64 {
+        self.useful_core_nanos
+    }
+
+    /// Per-job progress rate (cores of demand per wall nanosecond) with `n`
+    /// runnable jobs under the current limit.
+    fn rate(&self, n: usize) -> f64 {
+        if n == 0 || self.limit.is_zero() {
+            return 0.0;
+        }
+        let cores = self.limit.as_cores_f64();
+        let base = (cores / n as f64).min(1.0);
+        let excess = n.saturating_sub(self.limit.ceil_cores() as usize);
+        base / (1.0 + self.csw_overhead * (excess as f64).sqrt())
+    }
+
+    /// Advances internal state to `now`, paying out progress to every job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the last update.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(now >= self.last_update, "PsCpu asked to move backwards in time");
+        let dt = (now - self.last_update).as_nanos() as f64;
+        self.last_update = now;
+        if dt == 0.0 || self.jobs.is_empty() {
+            return;
+        }
+        let n = self.jobs.len();
+        let rate = self.rate(n);
+        let cores = self.limit.as_cores_f64();
+        self.busy_core_nanos += dt * (n as f64).min(cores);
+        self.useful_core_nanos += dt * rate * n as f64;
+        for job in self.jobs.values_mut() {
+            job.remaining = (job.remaining - dt * rate).max(0.0);
+        }
+    }
+
+    /// Adds a job with `demand` single-core CPU work, as of `now`.
+    ///
+    /// Implicitly advances to `now` and bumps the epoch.
+    pub fn add(&mut self, now: SimTime, demand: SimDuration) -> CpuJobId {
+        self.advance(now);
+        let id = CpuJobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(id, Job { remaining: demand.as_nanos() as f64 });
+        self.epoch += 1;
+        id
+    }
+
+    /// Removes a job regardless of progress (e.g. request cancelled).
+    /// Returns `true` when the job existed. Advances and bumps the epoch.
+    pub fn cancel(&mut self, now: SimTime, id: CpuJobId) -> bool {
+        self.advance(now);
+        let existed = self.jobs.remove(&id).is_some();
+        if existed {
+            self.epoch += 1;
+        }
+        existed
+    }
+
+    /// Changes the CPU limit (vertical scaling), as of `now`.
+    pub fn set_limit(&mut self, now: SimTime, limit: Millicores) {
+        self.advance(now);
+        if self.limit != limit {
+            self.limit = limit;
+            self.epoch += 1;
+        }
+    }
+
+    /// Changes the context-switch penalty (for ablation experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `csw_overhead` is negative or not finite.
+    pub fn set_csw_overhead(&mut self, now: SimTime, csw_overhead: f64) {
+        assert!(csw_overhead >= 0.0 && csw_overhead.is_finite(), "invalid overhead");
+        self.advance(now);
+        if (self.csw_overhead - csw_overhead).abs() > f64::EPSILON {
+            self.csw_overhead = csw_overhead;
+            self.epoch += 1;
+        }
+    }
+
+    /// The instant and id of the next job to finish, given no further
+    /// mutations. Must be called with state already advanced to "now".
+    /// Ties break towards the lowest job id (deterministic).
+    pub fn next_completion(&self) -> Option<(SimTime, CpuJobId)> {
+        let rate = self.rate(self.jobs.len());
+        if rate <= 0.0 {
+            return None;
+        }
+        let (id, job) = self
+            .jobs
+            .iter()
+            .min_by(|a, b| {
+                a.1.remaining
+                    .partial_cmp(&b.1.remaining)
+                    .expect("remaining work is never NaN")
+                    .then(a.0.cmp(b.0))
+            })?;
+        let dt_nanos = (job.remaining / rate).ceil().max(0.0) as u64;
+        Some((self.last_update + SimDuration::from_nanos(dt_nanos), *id))
+    }
+
+    /// Removes and returns every finished job (remaining ≤ 1 ns of work).
+    /// Must be called with state already advanced; bumps the epoch when any
+    /// job is removed.
+    pub fn take_finished(&mut self) -> Vec<CpuJobId> {
+        let done: Vec<CpuJobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.remaining <= Self::FINISH_EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &done {
+            self.jobs.remove(id);
+        }
+        if !done.is_empty() {
+            self.epoch += 1;
+        }
+        done
+    }
+}
+
+impl fmt::Debug for PsCpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PsCpu")
+            .field("limit", &self.limit)
+            .field("active", &self.jobs.len())
+            .field("epoch", &self.epoch)
+            .field("last_update", &self.last_update)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    /// Drives the CPU to completion of all jobs, returning (finish_time, id)
+    /// pairs in completion order.
+    fn drain(cpu: &mut PsCpu) -> Vec<(SimTime, CpuJobId)> {
+        let mut out = Vec::new();
+        while let Some((t, _)) = cpu.next_completion() {
+            cpu.advance(t);
+            for id in cpu.take_finished() {
+                out.push((t, id));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_job_runs_at_one_core() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(4), 0.0);
+        cpu.add(SimTime::ZERO, ms(8));
+        let done = drain(&mut cpu);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0.as_millis(), 8); // cannot exceed 1 core
+    }
+
+    #[test]
+    fn two_jobs_on_one_core_share_equally() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(1), 0.0);
+        cpu.add(SimTime::ZERO, ms(5));
+        cpu.add(SimTime::ZERO, ms(5));
+        let done = drain(&mut cpu);
+        // Each runs at 0.5 cores → both finish at 10 ms.
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0.as_millis(), 10);
+        assert_eq!(done[1].0.as_millis(), 10);
+    }
+
+    #[test]
+    fn fractional_limit_slows_job() {
+        let mut cpu = PsCpu::new(Millicores::new(500), 0.0);
+        cpu.add(SimTime::ZERO, ms(5));
+        let done = drain(&mut cpu);
+        assert_eq!(done[0].0.as_millis(), 10); // half a core → twice as long
+    }
+
+    #[test]
+    fn oversubscription_pays_context_switch_penalty() {
+        // 4 jobs on 2 cores with κ=0.1: excess = 2, slowdown 1 + 0.1·√2.
+        let mut cpu = PsCpu::new(Millicores::from_cores(2), 0.1);
+        for _ in 0..4 {
+            cpu.add(SimTime::ZERO, ms(10));
+        }
+        let done = drain(&mut cpu);
+        // base rate 0.5 → 20 ms × 1.1414 ≈ 22.8 ms.
+        let got = done.last().unwrap().0.as_nanos() as f64 / 1e6;
+        assert!((got - 22.83).abs() < 0.1, "makespan {got} ms");
+    }
+
+    #[test]
+    fn undersubscription_has_no_penalty() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(4), 0.5);
+        cpu.add(SimTime::ZERO, ms(10));
+        cpu.add(SimTime::ZERO, ms(10));
+        let done = drain(&mut cpu);
+        assert_eq!(done.last().unwrap().0.as_millis(), 10);
+    }
+
+    #[test]
+    fn late_arrival_shares_remaining_capacity() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(1), 0.0);
+        cpu.add(SimTime::ZERO, ms(10));
+        // After 5 ms, 5 ms of work remains; a second job arrives.
+        cpu.add(SimTime::from_millis(5), ms(5));
+        let done = drain(&mut cpu);
+        // Both progress at 0.5 cores, finishing together at 5 + 10 = 15 ms.
+        assert_eq!(done[0].0.as_millis(), 15);
+        assert_eq!(done[1].0.as_millis(), 15);
+    }
+
+    #[test]
+    fn vertical_scale_up_speeds_jobs() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(1), 0.0);
+        cpu.add(SimTime::ZERO, ms(10));
+        cpu.add(SimTime::ZERO, ms(10));
+        // At 5 ms (7.5 ms work left each), scale 1→2 cores.
+        cpu.set_limit(SimTime::from_millis(5), Millicores::from_cores(2));
+        let done = drain(&mut cpu);
+        // Full speed from then on: finish at 5 + 7.5 = 12.5 ms.
+        assert_eq!(done[0].0.as_millis(), 12); // 12.5 truncated by as_millis
+        assert!(done[0].0.as_nanos() - 12_500_000 < 10);
+    }
+
+    #[test]
+    fn cancel_removes_job_and_bumps_epoch() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(1), 0.0);
+        let a = cpu.add(SimTime::ZERO, ms(10));
+        let e = cpu.epoch();
+        assert!(cpu.cancel(SimTime::from_millis(1), a));
+        assert!(cpu.epoch() > e);
+        assert!(!cpu.cancel(SimTime::from_millis(1), a));
+        assert_eq!(cpu.active(), 0);
+        assert!(cpu.next_completion().is_none());
+    }
+
+    #[test]
+    fn zero_limit_makes_no_progress() {
+        let mut cpu = PsCpu::new(Millicores::ZERO, 0.0);
+        cpu.add(SimTime::ZERO, ms(1));
+        assert!(cpu.next_completion().is_none());
+        cpu.advance(SimTime::from_secs(100));
+        assert!(cpu.take_finished().is_empty());
+    }
+
+    #[test]
+    fn busy_vs_useful_accounting() {
+        // 4 jobs, 2 cores, κ=0.25 → slowdown 1 + 0.25·√2 ≈ 1.3536;
+        // busy 2 cores, useful 2/1.3536.
+        let mut cpu = PsCpu::new(Millicores::from_cores(2), 0.25);
+        for _ in 0..4 {
+            cpu.add(SimTime::ZERO, ms(100));
+        }
+        cpu.advance(SimTime::from_millis(30));
+        let busy = cpu.busy_core_nanos();
+        let useful = cpu.useful_core_nanos();
+        let slowdown = 1.0 + 0.25 * 2.0f64.sqrt();
+        assert!((busy - 2.0 * 30e6).abs() < 1.0);
+        assert!((useful - 2.0 / slowdown * 30e6).abs() < 2.0);
+    }
+
+    #[test]
+    fn completion_order_is_deterministic_on_ties() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(2), 0.0);
+        let a = cpu.add(SimTime::ZERO, ms(5));
+        let b = cpu.add(SimTime::ZERO, ms(5));
+        let (_, first) = cpu.next_completion().unwrap();
+        assert_eq!(first, a);
+        assert!(b > a);
+    }
+
+    proptest! {
+        /// Work is conserved: total useful core-time equals total demand once
+        /// everything completes, regardless of arrival pattern or limit.
+        #[test]
+        fn prop_work_conservation(
+            demands in proptest::collection::vec(1u64..50, 1..20),
+            arrivals in proptest::collection::vec(0u64..100, 1..20),
+            cores in 1u32..8,
+            kappa in 0.0f64..0.2,
+        ) {
+            let n = demands.len().min(arrivals.len());
+            let mut pairs: Vec<(u64, u64)> =
+                arrivals.iter().zip(&demands).take(n).map(|(&a, &d)| (a, d)).collect();
+            pairs.sort_unstable();
+            let mut cpu = PsCpu::new(Millicores::from_cores(cores), kappa);
+            let mut pending = pairs.into_iter().peekable();
+            let mut finished = 0usize;
+            // Event loop: interleave arrivals and completions by time.
+            while finished < n {
+                let next_arrival = pending.peek().map(|&(a, _)| SimTime::from_millis(a));
+                let next_done = cpu.next_completion().map(|(t, _)| t);
+                match (next_arrival, next_done) {
+                    (Some(a), Some(d)) if a <= d => {
+                        let (_, demand) = pending.next().unwrap();
+                        cpu.add(a, ms(demand));
+                    }
+                    (Some(a), None) => {
+                        let (_, demand) = pending.next().unwrap();
+                        cpu.add(a, ms(demand));
+                    }
+                    (_, Some(d)) => {
+                        cpu.advance(d);
+                        finished += cpu.take_finished().len();
+                    }
+                    (None, None) => break,
+                }
+            }
+            prop_assert_eq!(finished, n);
+            let total_demand: f64 =
+                demands.iter().take(n).map(|&d| d as f64 * 1e6).sum();
+            let useful = cpu.useful_core_nanos();
+            // All work paid out (within per-job nanosecond epsilon).
+            prop_assert!((useful - total_demand).abs() < n as f64 * 10.0,
+                "useful {} vs demand {}", useful, total_demand);
+        }
+
+        /// The per-job rate never exceeds one core and never increases with
+        /// more jobs.
+        #[test]
+        fn prop_rate_monotone(cores in 1u32..16, kappa in 0.0f64..0.5) {
+            let cpu = PsCpu::new(Millicores::from_cores(cores), kappa);
+            let mut last = f64::INFINITY;
+            for n in 1..64 {
+                let r = cpu.rate(n);
+                prop_assert!(r <= 1.0 + 1e-12);
+                prop_assert!(r <= last + 1e-12);
+                last = r;
+            }
+        }
+    }
+}

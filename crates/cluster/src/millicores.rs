@@ -1,0 +1,134 @@
+//! CPU quantity in Kubernetes-style millicores.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A CPU quantity in millicores (1000 = one core), the unit Kubernetes uses
+/// for CPU requests/limits.
+///
+/// # Example
+///
+/// ```
+/// use cluster::Millicores;
+/// let limit = Millicores::from_cores(4);
+/// assert_eq!(limit.get(), 4000);
+/// assert_eq!(limit.as_cores_f64(), 4.0);
+/// assert_eq!(format!("{limit}"), "4000m");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Millicores(u32);
+
+impl Millicores {
+    /// Zero CPU.
+    pub const ZERO: Millicores = Millicores(0);
+
+    /// Constructs from raw millicores.
+    pub const fn new(millicores: u32) -> Self {
+        Millicores(millicores)
+    }
+
+    /// Constructs from whole cores.
+    pub const fn from_cores(cores: u32) -> Self {
+        Millicores(cores * 1000)
+    }
+
+    /// The raw millicore count.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The quantity as fractional cores.
+    pub fn as_cores_f64(self) -> f64 {
+        f64::from(self.0) / 1000.0
+    }
+
+    /// Whole cores this limit spans, rounded up (a 2500 m pod can have three
+    /// runnable threads before oversubscription kicks in on the third's core).
+    pub const fn ceil_cores(self) -> u32 {
+        self.0.div_ceil(1000)
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Millicores) -> Millicores {
+        Millicores(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub const fn checked_add(self, rhs: Millicores) -> Option<Millicores> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Millicores(v)),
+            None => None,
+        }
+    }
+
+    /// True when zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Millicores {
+    type Output = Millicores;
+    fn add(self, rhs: Millicores) -> Millicores {
+        Millicores(self.0.checked_add(rhs.0).expect("millicore overflow"))
+    }
+}
+
+impl AddAssign for Millicores {
+    fn add_assign(&mut self, rhs: Millicores) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Millicores {
+    type Output = Millicores;
+    fn sub(self, rhs: Millicores) -> Millicores {
+        Millicores(self.0.checked_sub(rhs.0).expect("millicore underflow"))
+    }
+}
+
+impl SubAssign for Millicores {
+    fn sub_assign(&mut self, rhs: Millicores) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for Millicores {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}m", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Millicores::from_cores(2).get(), 2000);
+        assert_eq!(Millicores::new(500).as_cores_f64(), 0.5);
+        assert_eq!(Millicores::new(2500).ceil_cores(), 3);
+        assert_eq!(Millicores::new(2000).ceil_cores(), 2);
+        assert_eq!(Millicores::new(0).ceil_cores(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Millicores::new(1500);
+        let b = Millicores::new(500);
+        assert_eq!(a + b, Millicores::from_cores(2));
+        assert_eq!(a - b, Millicores::new(1000));
+        assert_eq!(b.saturating_sub(a), Millicores::ZERO);
+        assert_eq!(a.checked_add(b), Some(Millicores::new(2000)));
+        assert_eq!(Millicores::new(u32::MAX).checked_add(b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "millicore underflow")]
+    fn underflow_panics() {
+        let _ = Millicores::new(1) - Millicores::new(2);
+    }
+}

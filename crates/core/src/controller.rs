@@ -1,0 +1,62 @@
+//! The controller abstraction every autoscaler implements.
+
+use microsim::World;
+use sim_core::SimTime;
+
+/// A runtime controller invoked once per control period by the scenario
+/// runner. Hardware autoscalers (HPA, VPA, FIRM), concurrency adapters
+/// (ConScale) and Sora itself all implement this, which is what lets the
+/// evaluation swap them freely (§5).
+pub trait Controller {
+    /// Observes the world and applies any scaling/adaptation actions.
+    /// Called with the world advanced to `now`.
+    fn control(&mut self, world: &mut World, now: SimTime);
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A controller that does nothing — the static-configuration baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullController;
+
+impl Controller for NullController {
+    fn control(&mut self, _world: &mut World, _now: SimTime) {}
+
+    fn name(&self) -> &str {
+        "static"
+    }
+}
+
+impl<C: Controller + ?Sized> Controller for Box<C> {
+    fn control(&mut self, world: &mut World, now: SimTime) {
+        (**self).control(world, now);
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsim::WorldConfig;
+    use sim_core::SimRng;
+
+    #[test]
+    fn null_controller_is_inert() {
+        let mut world = World::new(WorldConfig::default(), SimRng::seed_from(0));
+        let mut c = NullController;
+        c.control(&mut world, SimTime::ZERO);
+        assert_eq!(c.name(), "static");
+    }
+
+    #[test]
+    fn boxed_controllers_delegate() {
+        let mut world = World::new(WorldConfig::default(), SimRng::seed_from(0));
+        let mut c: Box<dyn Controller> = Box::new(NullController);
+        c.control(&mut world, SimTime::ZERO);
+        assert_eq!(c.name(), "static");
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-consumer CPU-utilisation probes.
+
+use microsim::World;
+use sim_core::SimTime;
+use std::collections::BTreeMap;
+use telemetry::ServiceId;
+
+/// Reads per-service CPU utilisation as the delta of the world's cumulative
+/// busy counters over elapsed capacity.
+///
+/// Every monitoring consumer (HPA, VPA, FIRM's monitor, the experiment
+/// timeline sampler) owns its *own* probe: the underlying counters are
+/// cumulative, so concurrent consumers sampling at different periods never
+/// corrupt each other's readings — the same reason production monitors
+/// export monotone counters rather than pre-computed rates.
+///
+/// # Example
+///
+/// ```
+/// use sora_core::UtilizationProbe;
+/// let mut probe = UtilizationProbe::new();
+/// # use microsim::{World, WorldConfig, ServiceSpec, Behavior};
+/// # use sim_core::{Dist, SimRng, SimTime};
+/// # let mut world = World::new(WorldConfig::default(), SimRng::seed_from(0));
+/// # let svc = world.add_service(ServiceSpec::new("s"));
+/// let u = probe.read(&mut world, svc, SimTime::from_secs(1));
+/// assert_eq!(u, 0.0); // idle service (no replicas, no busy time)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationProbe {
+    marks: BTreeMap<ServiceId, (f64, SimTime)>,
+}
+
+impl UtilizationProbe {
+    /// Creates a probe with no history (first reads return 0).
+    pub fn new() -> Self {
+        UtilizationProbe::default()
+    }
+
+    /// Mean busy fraction (0..=1 of capacity) of `service` since this
+    /// probe's previous read, as of `now`. The first read averages from
+    /// time zero.
+    pub fn read(&mut self, world: &mut World, service: ServiceId, now: SimTime) -> f64 {
+        let busy = world.cpu_busy_core_secs(service);
+        let (prev_busy, prev_t) =
+            self.marks.insert(service, (busy, now)).unwrap_or((0.0, SimTime::ZERO));
+        let dt = now.saturating_since(prev_t).as_secs_f64();
+        let capacity = world.cpu_capacity_cores(service);
+        if dt <= 0.0 || capacity <= 0.0 {
+            return 0.0;
+        }
+        ((busy - prev_busy) / (capacity * dt)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsim::{Behavior, ServiceSpec, WorldConfig};
+    use sim_core::{Dist, SimRng};
+    use telemetry::RequestTypeId;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn busy_world() -> (World, ServiceId, RequestTypeId) {
+        let cfg = WorldConfig {
+            net_delay: Dist::constant_us(0),
+            replica_startup: Dist::constant_us(0),
+            ..WorldConfig::default()
+        };
+        let mut w = World::new(cfg, SimRng::seed_from(1));
+        let rt = RequestTypeId(0);
+        let svc = w.add_service(
+            ServiceSpec::new("api")
+                .cpu(cluster::Millicores::from_cores(1))
+                .threads(8)
+                .on(rt, Behavior::leaf(Dist::constant_ms(1_000))),
+        );
+        let rt = w.add_request_type("r", svc);
+        let pod = w.add_replica(svc).unwrap();
+        w.make_ready(pod);
+        (w, svc, rt)
+    }
+
+    #[test]
+    fn probe_measures_busy_fraction() {
+        let (mut w, svc, rt) = busy_world();
+        let mut probe = UtilizationProbe::new();
+        assert_eq!(probe.read(&mut w, svc, SimTime::ZERO), 0.0);
+        w.inject_at(t(0), rt); // 1 s of work on 1 core
+        w.run_until(t(500));
+        let u = probe.read(&mut w, svc, t(500));
+        assert!((u - 1.0).abs() < 0.01, "busy half-second: {u}");
+        w.run_until(t(2_000));
+        let u = probe.read(&mut w, svc, t(2_000));
+        // 500 ms busy of 1500 ms elapsed.
+        assert!((u - 1.0 / 3.0).abs() < 0.02, "u = {u}");
+    }
+
+    #[test]
+    fn independent_probes_do_not_interfere() {
+        let (mut w, svc, rt) = busy_world();
+        let mut fast = UtilizationProbe::new();
+        let mut slow = UtilizationProbe::new();
+        fast.read(&mut w, svc, SimTime::ZERO);
+        slow.read(&mut w, svc, SimTime::ZERO);
+        w.inject_at(t(0), rt);
+        // The fast probe samples every 100 ms.
+        for i in 1..=10u64 {
+            w.run_until(t(i * 100));
+            fast.read(&mut w, svc, t(i * 100));
+        }
+        // The slow probe's single 1 s reading is unaffected by them.
+        let u = slow.read(&mut w, svc, t(1_000));
+        assert!((u - 1.0).abs() < 0.01, "slow probe must see the full delta: {u}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Tunable soft resources and their registry.
+
+use serde::{Deserialize, Serialize};
+use telemetry::ServiceId;
+
+/// A runtime-reconfigurable soft resource, the two generic kinds the paper
+/// targets (§4.2, §6): server thread pools and client connection pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SoftResource {
+    /// The per-replica server thread pool of `service`.
+    ThreadPool {
+        /// The service whose thread pool is tuned.
+        service: ServiceId,
+    },
+    /// The per-replica connection pool from `caller` toward `target`
+    /// (e.g. Catalogue's DB connections, Home-Timeline's Thrift client
+    /// pool to Post Storage).
+    ConnPool {
+        /// The service holding the pool.
+        caller: ServiceId,
+        /// The downstream service the pool connects to.
+        target: ServiceId,
+    },
+}
+
+impl SoftResource {
+    /// The service whose *in-service concurrency* this resource controls —
+    /// the service the SCG model monitors. A thread pool gates its own
+    /// service; a connection pool gates the downstream target.
+    pub fn monitored_service(&self) -> ServiceId {
+        match *self {
+            SoftResource::ThreadPool { service } => service,
+            SoftResource::ConnPool { target, .. } => target,
+        }
+    }
+}
+
+impl std::fmt::Display for SoftResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoftResource::ThreadPool { service } => write!(f, "threads({service})"),
+            SoftResource::ConnPool { caller, target } => {
+                write!(f, "conns({caller}→{target})")
+            }
+        }
+    }
+}
+
+/// Allocation bounds for one soft resource (per replica).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceBounds {
+    /// Smallest allowed allocation.
+    pub min: usize,
+    /// Largest allowed allocation (the exploration ceiling).
+    pub max: usize,
+}
+
+impl Default for ResourceBounds {
+    fn default() -> Self {
+        ResourceBounds { min: 1, max: 512 }
+    }
+}
+
+impl ResourceBounds {
+    /// Clamps `value` into the bounds.
+    pub fn clamp(&self, value: usize) -> usize {
+        value.clamp(self.min, self.max)
+    }
+}
+
+/// The set of soft resources a deployment exposes for runtime tuning,
+/// indexed by the service they gate. This encodes the paper's
+/// applicability observation (§6): only resources whose owners expose a
+/// reconfiguration knob can be adapted, so registration is explicit.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceRegistry {
+    entries: Vec<(SoftResource, ResourceBounds)>,
+}
+
+impl ResourceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ResourceRegistry::default()
+    }
+
+    /// Registers a resource with bounds. Returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource is already registered or bounds are empty.
+    pub fn with(mut self, resource: SoftResource, bounds: ResourceBounds) -> Self {
+        assert!(bounds.min >= 1 && bounds.min <= bounds.max, "invalid bounds {bounds:?}");
+        assert!(
+            !self.entries.iter().any(|(r, _)| *r == resource),
+            "{resource} registered twice"
+        );
+        self.entries.push((resource, bounds));
+        self
+    }
+
+    /// The resource gating `service`'s concurrency, if registered.
+    pub fn for_monitored_service(&self, service: ServiceId) -> Option<(SoftResource, ResourceBounds)> {
+        self.entries
+            .iter()
+            .find(|(r, _)| r.monitored_service() == service)
+            .copied()
+    }
+
+    /// All registered resources.
+    pub fn iter(&self) -> impl Iterator<Item = &(SoftResource, ResourceBounds)> + '_ {
+        self.entries.iter()
+    }
+
+    /// Number of registered resources.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitored_service_of_each_kind() {
+        let tp = SoftResource::ThreadPool { service: ServiceId(1) };
+        let cp = SoftResource::ConnPool { caller: ServiceId(1), target: ServiceId(2) };
+        assert_eq!(tp.monitored_service(), ServiceId(1));
+        assert_eq!(cp.monitored_service(), ServiceId(2));
+        assert_eq!(tp.to_string(), "threads(svc-1)");
+        assert_eq!(cp.to_string(), "conns(svc-1→svc-2)");
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let reg = ResourceRegistry::new()
+            .with(
+                SoftResource::ThreadPool { service: ServiceId(1) },
+                ResourceBounds { min: 2, max: 64 },
+            )
+            .with(
+                SoftResource::ConnPool { caller: ServiceId(0), target: ServiceId(3) },
+                ResourceBounds::default(),
+            );
+        assert_eq!(reg.len(), 2);
+        let (r, b) = reg.for_monitored_service(ServiceId(3)).unwrap();
+        assert!(matches!(r, SoftResource::ConnPool { .. }));
+        assert_eq!(b, ResourceBounds::default());
+        assert!(reg.for_monitored_service(ServiceId(9)).is_none());
+    }
+
+    #[test]
+    fn bounds_clamp() {
+        let b = ResourceBounds { min: 4, max: 10 };
+        assert_eq!(b.clamp(1), 4);
+        assert_eq!(b.clamp(7), 7);
+        assert_eq!(b.clamp(99), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let r = SoftResource::ThreadPool { service: ServiceId(0) };
+        let _ = ResourceRegistry::new()
+            .with(r, ResourceBounds::default())
+            .with(r, ResourceBounds::default());
+    }
+}

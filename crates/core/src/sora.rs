@@ -1,0 +1,361 @@
+//! The Sora controller: the full adaptation loop of Fig. 8.
+
+use crate::{
+    ConcurrencyAdapter, ConcurrencyEstimator, Controller, EstimatorConfig, Monitor,
+    ResourceRegistry,
+};
+use microsim::World;
+use scg::{propagate_deadline, LocalizeConfig, ScgModel};
+use sim_core::{SimDuration, SimTime};
+
+/// Configuration of the Sora control loop.
+#[derive(Debug, Clone)]
+pub struct SoraConfig {
+    /// The end-to-end SLA whose violation Sora mitigates (e.g. 400 ms in
+    /// the paper's Figs. 10–12).
+    pub sla: SimDuration,
+    /// Critical-service localisation policy.
+    pub localize: LocalizeConfig,
+    /// Estimation pipeline tuning (sampling interval, window,
+    /// latency-aware vs throughput-based).
+    pub estimator: EstimatorConfig,
+    /// Whether to explore upward when no knee is detected and the gated
+    /// pool shows queued demand.
+    pub explore_when_no_knee: bool,
+    /// Exploration stops once the monitored service's CPU utilisation
+    /// reaches this level: growing a pool cannot help a CPU-bound service,
+    /// it only adds oversubscription overhead.
+    pub explore_util_ceiling: f64,
+    /// Whether to propagate the SLA along the critical path (eq. 3). When
+    /// off, the critical service's goodput threshold is the raw SLA — an
+    /// ablation quantifying what deadline propagation contributes.
+    pub deadline_propagation: bool,
+}
+
+impl Default for SoraConfig {
+    fn default() -> Self {
+        SoraConfig {
+            sla: SimDuration::from_millis(400),
+            localize: LocalizeConfig::default(),
+            estimator: EstimatorConfig::default(),
+            explore_when_no_knee: true,
+            explore_util_ceiling: 0.9,
+            deadline_propagation: true,
+        }
+    }
+}
+
+/// Sora: latency-sensitive soft-resource adaptation layered over a
+/// hardware-only autoscaler `H` (FIRM, HPA, VPA, or [`crate::NullController`]
+/// for soft-only operation).
+///
+/// Each control period it (1) delegates to the hardware autoscaler,
+/// (2) localises the critical service, (3) propagates the SLA into that
+/// service's response-time threshold, (4) estimates the optimal
+/// concurrency with the SCG model, and (5) actuates the owning soft
+/// resource.
+///
+/// Constructing it with [`SoraController::conscale`] flips the estimator to
+/// the throughput-based SCT model with no deadline propagation — the
+/// ConScale baseline of §5.2.
+pub struct SoraController<H> {
+    name: &'static str,
+    config: SoraConfig,
+    monitor: Monitor,
+    estimator: ConcurrencyEstimator,
+    adapter: ConcurrencyAdapter,
+    registry: ResourceRegistry,
+    hardware: H,
+    /// Log of `(time, resource-description, new setting)` actuations.
+    actions: Vec<(SimTime, String, usize)>,
+}
+
+impl<H: Controller> SoraController<H> {
+    /// Creates the latency-aware Sora controller.
+    pub fn sora(config: SoraConfig, registry: ResourceRegistry, hardware: H) -> Self {
+        let mut config = config;
+        config.estimator.latency_aware = true;
+        Self::build("sora", config, registry, hardware)
+    }
+
+    /// Creates the ConScale baseline: identical pipeline but the
+    /// throughput-based SCT model and no latency awareness.
+    pub fn conscale(config: SoraConfig, registry: ResourceRegistry, hardware: H) -> Self {
+        let mut config = config;
+        config.estimator.latency_aware = false;
+        Self::build("conscale", config, registry, hardware)
+    }
+
+    fn build(
+        name: &'static str,
+        config: SoraConfig,
+        registry: ResourceRegistry,
+        hardware: H,
+    ) -> Self {
+        let monitor = Monitor::new(config.estimator.window);
+        let estimator = ConcurrencyEstimator::new(config.estimator, ScgModel::default());
+        SoraController {
+            name,
+            config,
+            monitor,
+            estimator,
+            adapter: ConcurrencyAdapter::default(),
+            registry,
+            hardware,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The actuation log: `(time, resource, new setting)` triples.
+    pub fn actions(&self) -> &[(SimTime, String, usize)] {
+        &self.actions
+    }
+
+    /// The wrapped hardware autoscaler.
+    pub fn hardware(&self) -> &H {
+        &self.hardware
+    }
+
+    /// Mutable access to the wrapped hardware autoscaler.
+    pub fn hardware_mut(&mut self) -> &mut H {
+        &mut self.hardware
+    }
+}
+
+impl<H: Controller> Controller for SoraController<H> {
+    fn control(&mut self, world: &mut World, now: SimTime) {
+        // 1. Hardware scaling first (Reallocation Module ordering: the
+        //    autoscaler signals, then the concurrency adapter follows).
+        self.hardware.control(world, now);
+
+        // 2. Observe and localise.
+        let obs = self.monitor.observe(world, now);
+        let Some(localized) = obs.critical_service(&self.config.localize) else {
+            return;
+        };
+        // The localised service is ideally gated by a registered knob; if it
+        // is not (e.g. the CPU-bound Catalogue is critical while the tunable
+        // resource is its DB connection pool), fall back to the registered
+        // resource whose monitored service correlates most with end-to-end
+        // latency — it shares the critical path with the localised service.
+        let picked = self.registry.for_monitored_service(localized).map(|r| (localized, r)).or_else(|| {
+            self.registry
+                .iter()
+                .filter(|(r, _)| {
+                    obs.path_stats.on_path_count(r.monitored_service())
+                        >= self.config.localize.min_on_path
+                })
+                .filter_map(|&(r, b)| {
+                    obs.path_stats.pcc(r.monitored_service()).map(|p| (p, r, b))
+                })
+                .max_by(|a, b| a.0.total_cmp(&b.0))
+                .map(|(_, r, b)| (r.monitored_service(), (r, b)))
+        });
+        let Some((critical, (resource, bounds))) = picked else {
+            return; // no tunable knob relates to the critical path
+        };
+
+        // 3. Propagate the deadline along the critical path.
+        let upstream = obs
+            .path_stats
+            .mean_upstream_pt(critical)
+            .unwrap_or(SimDuration::ZERO);
+        let threshold = if self.estimator.config().latency_aware {
+            if self.config.deadline_propagation {
+                propagate_deadline(self.config.sla, upstream)
+            } else {
+                self.config.sla
+            }
+        } else {
+            // SCT: threshold is irrelevant (throughput counts everything).
+            SimDuration::MAX
+        };
+
+        // 4–5. Estimate and actuate. A shrink recommendation is ignored
+        // while the pool has queued demand *and* the monitored service's
+        // CPU still has headroom: there the scatter window spans the
+        // pre-surge regime and the live queue is current evidence that the
+        // limit binds — treat it like a missing knee and explore instead.
+        // When the CPU is saturated, shrinking is exactly the cure for
+        // oversubscription, so the estimate goes through.
+        let saturated = ConcurrencyAdapter::is_saturated(world, resource);
+        let util = obs.utilization.get(&critical).copied().unwrap_or(0.0);
+        let cpu_headroom = util < self.config.explore_util_ceiling;
+        let current = ConcurrencyAdapter::current_setting(world, resource);
+        let estimate = self.estimator.estimate(world, critical, now, threshold);
+        match estimate {
+            Some(est)
+                if !(saturated
+                    && cpu_headroom
+                    && ConcurrencyAdapter::desired_setting(world, resource, est.optimal)
+                        <= current) =>
+            {
+                if let Some(applied) =
+                    self.adapter.apply_estimate(world, resource, bounds, est.optimal, now)
+                {
+                    self.actions.push((now, resource.to_string(), applied));
+                }
+            }
+            _ => {
+                if self.config.explore_when_no_knee && saturated && cpu_headroom {
+                    if let Some(applied) = self.adapter.explore(world, resource, bounds, now) {
+                        self.actions.push((now, resource.to_string(), applied));
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NullController, ResourceBounds, SoftResource};
+    use cluster::Millicores;
+    use microsim::{Behavior, ServiceSpec, WorldConfig};
+    use sim_core::{Dist, SimRng};
+    use telemetry::{RequestTypeId, ServiceId};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// A saturated 2-core service with a grossly over-allocated thread
+    /// pool: Sora should pull the pool down toward the knee.
+    fn overallocated_world() -> (World, ServiceId, RequestTypeId) {
+        let cfg = WorldConfig {
+            net_delay: Dist::constant_us(50),
+            replica_startup: Dist::constant_us(0),
+            ..WorldConfig::default()
+        };
+        let mut w = World::new(cfg, SimRng::seed_from(21));
+        let rt = RequestTypeId(0);
+        let svc = w.add_service(
+            ServiceSpec::new("api")
+                .cpu(Millicores::from_cores(2))
+                .threads(200)
+                .csw(0.04)
+                .on(rt, Behavior::leaf(Dist::lognormal_ms(4.0, 0.4))),
+        );
+        let rt = w.add_request_type("r", svc);
+        let pod = w.add_replica(svc).unwrap();
+        w.make_ready(pod);
+        (w, svc, rt)
+    }
+
+    fn drive(w: &mut World, rt: RequestTypeId, c: &mut impl Controller, secs: u64) {
+        let mut rng = SimRng::seed_from(3);
+        let mut at = 0u64;
+        // ~330 req/s (ρ ≈ 0.7 on 2 cores): bursty but not overloaded.
+        let mut next_control = 15_000u64;
+        while at < secs * 1000 {
+            at += (rng.f64() * 5.0) as u64 + 1;
+            w.inject_at(t(at), rt);
+            if at >= next_control {
+                w.run_until(t(next_control));
+                c.control(w, t(next_control));
+                next_control += 15_000;
+            }
+        }
+        w.run_until(t(secs * 1000));
+    }
+
+    #[test]
+    fn sora_pulls_overallocated_pool_toward_the_knee() {
+        let (mut w, svc, rt) = overallocated_world();
+        let registry = ResourceRegistry::new().with(
+            SoftResource::ThreadPool { service: svc },
+            ResourceBounds { min: 2, max: 200 },
+        );
+        let mut sora = SoraController::sora(
+            SoraConfig {
+                sla: SimDuration::from_millis(60),
+                localize: LocalizeConfig { min_on_path: 10, ..Default::default() },
+                ..Default::default()
+            },
+            registry,
+            NullController,
+        );
+        drive(&mut w, rt, &mut sora, 180);
+        let final_limit = w.thread_limit(svc);
+        // Shrinking is damped (≤ 30 % per period), so convergence takes a
+        // few control ticks; after 3 minutes the pool must be far below 200.
+        assert!(
+            final_limit < 60,
+            "thread pool should shrink from 200 toward the knee, got {final_limit}"
+        );
+        assert!(!sora.actions().is_empty(), "at least one actuation");
+        assert_eq!(sora.name(), "sora");
+    }
+
+    #[test]
+    fn sora_explores_underallocated_pool_upward() {
+        let (mut w, svc, rt) = overallocated_world();
+        w.set_thread_limit(svc, 1); // severe under-allocation: long queue
+        let registry = ResourceRegistry::new().with(
+            SoftResource::ThreadPool { service: svc },
+            ResourceBounds { min: 1, max: 64 },
+        );
+        let mut sora = SoraController::sora(
+            SoraConfig {
+                sla: SimDuration::from_millis(60),
+                localize: LocalizeConfig { min_on_path: 10, ..Default::default() },
+                ..Default::default()
+            },
+            registry,
+            NullController,
+        );
+        drive(&mut w, rt, &mut sora, 60);
+        assert!(
+            w.thread_limit(svc) > 1,
+            "exploration must lift the starved pool: {}",
+            w.thread_limit(svc)
+        );
+    }
+
+    #[test]
+    fn conscale_uses_throughput_and_overallocates_relative_to_sora() {
+        // Tight SLA: goodput knee sits lower than the throughput knee.
+        let run = |latency_aware: bool| {
+            let (mut w, svc, rt) = overallocated_world();
+            let registry = ResourceRegistry::new().with(
+                SoftResource::ThreadPool { service: svc },
+                ResourceBounds { min: 2, max: 200 },
+            );
+            let config = SoraConfig {
+                sla: SimDuration::from_millis(25),
+                localize: LocalizeConfig { min_on_path: 10, ..Default::default() },
+                ..Default::default()
+            };
+            let mut c = if latency_aware {
+                SoraController::sora(config, registry, NullController)
+            } else {
+                SoraController::conscale(config, registry, NullController)
+            };
+            drive(&mut w, rt, &mut c, 90);
+            w.thread_limit(svc)
+        };
+        let sora_limit = run(true);
+        let conscale_limit = run(false);
+        assert!(
+            sora_limit <= conscale_limit,
+            "sora ({sora_limit}) must not allocate above conscale ({conscale_limit})"
+        );
+    }
+
+    #[test]
+    fn no_registered_resource_means_no_action() {
+        let (mut w, _svc, rt) = overallocated_world();
+        let mut sora = SoraController::sora(
+            SoraConfig::default(),
+            ResourceRegistry::new(),
+            NullController,
+        );
+        drive(&mut w, rt, &mut sora, 40);
+        assert!(sora.actions().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! In-flight request state: the frame tree a request builds as it fans out.
+
+use sim_core::SimTime;
+use telemetry::{ChildCall, ReplicaId, RequestId, RequestTypeId, ServiceId, Span, SpanId, Trace};
+
+/// Index of a frame within its request's frame arena.
+pub(crate) type FrameIdx = usize;
+
+/// One service invocation of a request: the mutable, under-construction
+/// counterpart of a [`Span`].
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    pub service: ServiceId,
+    pub replica: ReplicaId,
+    pub span_id: SpanId,
+    /// Parent frame plus the index of the parent's `ChildCall` this frame
+    /// answers (to stamp the call's end time on return).
+    pub parent: Option<(FrameIdx, usize)>,
+    /// Next stage of the behaviour to execute.
+    pub stage: usize,
+    /// Outstanding parallel child calls.
+    pub pending_children: usize,
+    /// When the request arrived at the service (span start; includes any
+    /// accept-queue wait).
+    pub arrival: SimTime,
+    /// When a thread was acquired (service start), if yet.
+    pub started: Option<SimTime>,
+    /// When the span completed, if yet.
+    pub departure: Option<SimTime>,
+    /// Downstream calls issued so far (end == start means outstanding).
+    pub calls: Vec<ChildCall>,
+}
+
+impl Frame {
+    pub fn new(
+        service: ServiceId,
+        replica: ReplicaId,
+        span_id: SpanId,
+        parent: Option<(FrameIdx, usize)>,
+        arrival: SimTime,
+    ) -> Self {
+        Frame {
+            service,
+            replica,
+            span_id,
+            parent,
+            stage: 0,
+            pending_children: 0,
+            arrival,
+            started: None,
+            departure: None,
+            calls: Vec::new(),
+        }
+    }
+}
+
+/// Everything the world tracks about one in-flight request.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestState {
+    pub id: RequestId,
+    pub rtype: RequestTypeId,
+    /// When the user issued the request (before network delay).
+    pub issued: SimTime,
+    /// Frame arena; frame 0 is the root (entry-service) frame. Frames are
+    /// never removed, so indices stay stable for event references.
+    pub frames: Vec<Frame>,
+}
+
+impl RequestState {
+    pub fn new(id: RequestId, rtype: RequestTypeId, issued: SimTime) -> Self {
+        RequestState { id, rtype, issued, frames: Vec::new() }
+    }
+
+    /// Assembles the finished trace. All frames must be departed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame is still open (indicates a lifecycle bug).
+    pub fn into_trace(self) -> Trace {
+        let request = self.id;
+        let rtype = self.rtype;
+        let frames = self.frames;
+        // Map frame index → span id for parent linking.
+        let span_ids: Vec<SpanId> = frames.iter().map(|f| f.span_id).collect();
+        let spans: Vec<Span> = frames
+            .into_iter()
+            .map(|f| Span {
+                id: f.span_id,
+                request,
+                service: f.service,
+                replica: f.replica,
+                parent: f.parent.map(|(p, _)| span_ids[p]),
+                arrival: f.arrival,
+                service_start: f.started.unwrap_or(f.arrival),
+                departure: f
+                    .departure
+                    .unwrap_or_else(|| panic!("open frame in finished request {request}")),
+                children: f.calls,
+            })
+            .collect();
+        Trace { request, request_type: rtype, spans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn trace_assembly_links_parents() {
+        let mut req = RequestState::new(RequestId(7), RequestTypeId(1), t(0));
+        let mut root = Frame::new(ServiceId(0), ReplicaId(0), SpanId(100), None, t(1));
+        root.departure = Some(t(50));
+        root.calls.push(ChildCall { service: ServiceId(1), start: t(5), end: t(40) });
+        req.frames.push(root);
+        let mut child =
+            Frame::new(ServiceId(1), ReplicaId(3), SpanId(101), Some((0, 0)), t(6));
+        child.departure = Some(t(39));
+        req.frames.push(child);
+
+        let trace = req.into_trace();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].parent, None);
+        assert_eq!(trace.spans[1].parent, Some(SpanId(100)));
+        assert_eq!(trace.response_time(), SimDuration::from_millis(49));
+    }
+
+    #[test]
+    #[should_panic(expected = "open frame")]
+    fn open_frame_panics_on_assembly() {
+        let mut req = RequestState::new(RequestId(1), RequestTypeId(0), t(0));
+        req.frames.push(Frame::new(ServiceId(0), ReplicaId(0), SpanId(0), None, t(0)));
+        let _ = req.into_trace();
+    }
+}

@@ -1,0 +1,630 @@
+//! Behavioural tests of the simulator: request lifecycle, soft-resource
+//! gating, scaling, failure injection, determinism and conservation laws.
+
+use crate::{Behavior, LbPolicy, ServiceSpec, Stage, World, WorldConfig};
+use cluster::Millicores;
+use proptest::prelude::*;
+use sim_core::{Dist, SimDuration, SimRng, SimTime};
+use telemetry::{RequestTypeId, ServiceId};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+/// A config with zero network delay and instant start-up: makes timing
+/// arithmetic in tests exact.
+fn exact_config() -> WorldConfig {
+    WorldConfig {
+        net_delay: Dist::constant_us(0),
+        replica_startup: Dist::constant_us(0),
+        ..WorldConfig::default()
+    }
+}
+
+/// One service, one ready replica, constant `demand_ms` per request.
+fn single_service_world(
+    demand_ms: u64,
+    threads: usize,
+    cores: u32,
+    kappa: f64,
+) -> (World, RequestTypeId, ServiceId) {
+    let mut w = World::new(exact_config(), SimRng::seed_from(7));
+    let rt = RequestTypeId(0);
+    let svc = w.add_service(
+        ServiceSpec::new("api")
+            .cpu(Millicores::from_cores(cores))
+            .threads(threads)
+            .csw(kappa)
+            .on(rt, Behavior::leaf(Dist::constant_ms(demand_ms))),
+    );
+    let rt = w.add_request_type("GET /", svc);
+    let pod = w.add_replica(svc).unwrap();
+    w.make_ready(pod);
+    (w, rt, svc)
+}
+
+#[test]
+fn single_request_takes_its_demand() {
+    let (mut w, rt, _) = single_service_world(5, 4, 4, 0.0);
+    w.inject_at(t(10), rt);
+    let done = w.run_until(t(1000));
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].response_time.as_millis(), 5);
+    assert_eq!(done[0].completed, t(15));
+}
+
+#[test]
+fn thread_pool_of_one_serialises() {
+    let (mut w, rt, _) = single_service_world(10, 1, 4, 0.0);
+    w.inject_at(t(0), rt);
+    w.inject_at(t(0), rt);
+    let done = w.run_until(t(1000));
+    assert_eq!(done.len(), 2);
+    let mut rts: Vec<u64> = done.iter().map(|c| c.response_time.as_millis()).collect();
+    rts.sort_unstable();
+    assert_eq!(rts, [10, 20], "second request queues behind the first");
+}
+
+#[test]
+fn enough_threads_and_cores_run_in_parallel() {
+    let (mut w, rt, _) = single_service_world(10, 2, 2, 0.0);
+    w.inject_at(t(0), rt);
+    w.inject_at(t(0), rt);
+    let done = w.run_until(t(1000));
+    assert!(done.iter().all(|c| c.response_time.as_millis() == 10));
+}
+
+#[test]
+fn processor_sharing_when_threads_exceed_cores() {
+    let (mut w, rt, _) = single_service_world(10, 2, 1, 0.0);
+    w.inject_at(t(0), rt);
+    w.inject_at(t(0), rt);
+    let done = w.run_until(t(1000));
+    // Both share one core → both finish at 20 ms.
+    assert!(done.iter().all(|c| c.response_time.as_millis() == 20));
+}
+
+#[test]
+fn oversubscription_with_overhead_extends_makespan() {
+    let makespan = |threads: usize, kappa: f64| {
+        let (mut w, rt, _) = single_service_world(10, threads, 1, kappa);
+        for _ in 0..20 {
+            w.inject_at(t(0), rt);
+        }
+        let done = w.run_until(t(60_000));
+        assert_eq!(done.len(), 20);
+        done.iter().map(|c| c.completed).max().unwrap()
+    };
+    let serial = makespan(1, 0.1);
+    let oversub = makespan(20, 0.1);
+    assert_eq!(serial, t(200), "sequential: 20 × 10 ms");
+    // 20 concurrent jobs on 1 core with κ = 0.1 → up to 1 + 0.1·√19 ≈ 1.44×
+    // slower while fully oversubscribed.
+    assert!(oversub > t(250), "oversubscribed makespan {oversub} should exceed serial");
+}
+
+/// front(1 ms) → backend(8 ms) → front(1 ms): checks span decomposition.
+fn tiered_world() -> (World, RequestTypeId, ServiceId, ServiceId) {
+    let mut w = World::new(exact_config(), SimRng::seed_from(3));
+    let rt = RequestTypeId(0);
+    let backend_id = ServiceId(1); // will be the second add_service call
+    let front = w.add_service(ServiceSpec::new("front").cpu(Millicores::from_cores(2)).on(
+        rt,
+        Behavior::tier(Dist::constant_ms(1), backend_id, Dist::constant_ms(1)),
+    ));
+    let backend = w.add_service(
+        ServiceSpec::new("backend")
+            .cpu(Millicores::from_cores(2))
+            .on(rt, Behavior::leaf(Dist::constant_ms(8))),
+    );
+    assert_eq!(backend, backend_id);
+    let rt = w.add_request_type("GET /tier", front);
+    for svc in [front, backend] {
+        let pod = w.add_replica(svc).unwrap();
+        w.make_ready(pod);
+    }
+    (w, rt, front, backend)
+}
+
+#[test]
+fn tiered_request_produces_linked_spans() {
+    let (mut w, rt, front, backend) = tiered_world();
+    w.inject_at(t(0), rt);
+    let done = w.run_until(t(1000));
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].response_time.as_millis(), 10); // 1 + 8 + 1
+    let trace = w.warehouse().iter().next().expect("trace stored");
+    assert_eq!(trace.spans.len(), 2);
+    let root = &trace.spans[0];
+    let child = &trace.spans[1];
+    assert_eq!(root.service, front);
+    assert_eq!(child.service, backend);
+    assert_eq!(child.parent, Some(root.id));
+    assert_eq!(root.children.len(), 1);
+    assert_eq!(root.children[0].duration().as_millis(), 8);
+    assert_eq!(root.self_time().as_millis(), 2);
+    assert_eq!(child.self_time().as_millis(), 8);
+}
+
+#[test]
+fn parallel_fanout_overlaps_children() {
+    let mut w = World::new(exact_config(), SimRng::seed_from(5));
+    let rt = RequestTypeId(0);
+    let (a_id, b_id) = (ServiceId(1), ServiceId(2));
+    let front = w.add_service(ServiceSpec::new("front").on(
+        rt,
+        Behavior::new(vec![Stage::fanout(vec![a_id, b_id])]),
+    ));
+    for (name, ms) in [("a", 10), ("b", 30)] {
+        w.add_service(
+            ServiceSpec::new(name)
+                .cpu(Millicores::from_cores(1))
+                .on(rt, Behavior::leaf(Dist::constant_ms(ms))),
+        );
+    }
+    let rt = w.add_request_type("fanout", front);
+    for svc in [front, a_id, b_id] {
+        let pod = w.add_replica(svc).unwrap();
+        w.make_ready(pod);
+    }
+    w.inject_at(t(0), rt);
+    let done = w.run_until(t(1000));
+    // Parallel: bounded by the slower child, not the sum.
+    assert_eq!(done[0].response_time.as_millis(), 30);
+    let trace = w.warehouse().iter().next().unwrap();
+    let path = telemetry::critical_path(trace);
+    assert_eq!(path.last().unwrap().service, b_id, "critical path follows slow branch");
+}
+
+#[test]
+fn connection_pool_of_one_serialises_downstream_calls() {
+    let mut w = World::new(exact_config(), SimRng::seed_from(5));
+    let rt = RequestTypeId(0);
+    let db_id = ServiceId(1);
+    let front = w.add_service(
+        ServiceSpec::new("front")
+            .threads(8)
+            .conns(db_id, 1)
+            .on(rt, Behavior::new(vec![Stage::call(db_id)])),
+    );
+    w.add_service(
+        ServiceSpec::new("db")
+            .cpu(Millicores::from_cores(4))
+            .threads(8)
+            .on(rt, Behavior::leaf(Dist::constant_ms(10))),
+    );
+    let rt = w.add_request_type("q", front);
+    for svc in [front, db_id] {
+        let pod = w.add_replica(svc).unwrap();
+        w.make_ready(pod);
+    }
+    for _ in 0..3 {
+        w.inject_at(t(0), rt);
+    }
+    let done = w.run_until(t(1000));
+    let mut rts: Vec<u64> = done.iter().map(|c| c.response_time.as_millis()).collect();
+    rts.sort_unstable();
+    // One connection → db calls run one at a time despite 8 front threads
+    // and 4 db cores.
+    assert_eq!(rts, [10, 20, 30]);
+    // Raising the pool to 3 restores parallelism.
+    w.set_conn_limit(front, db_id, 3);
+    for _ in 0..3 {
+        w.inject_at(t(1000), rt);
+    }
+    let done = w.run_until(t(2000));
+    assert!(done.iter().all(|c| c.response_time.as_millis() == 10));
+}
+
+#[test]
+fn raising_conn_limit_mid_flight_grants_waiters() {
+    let mut w = World::new(exact_config(), SimRng::seed_from(5));
+    let rt = RequestTypeId(0);
+    let db_id = ServiceId(1);
+    let front = w.add_service(
+        ServiceSpec::new("front")
+            .threads(8)
+            .conns(db_id, 1)
+            .on(rt, Behavior::new(vec![Stage::call(db_id)])),
+    );
+    w.add_service(
+        ServiceSpec::new("db")
+            .cpu(Millicores::from_cores(4))
+            .threads(8)
+            .on(rt, Behavior::leaf(Dist::constant_ms(100))),
+    );
+    let rt = w.add_request_type("q", front);
+    for svc in [front, db_id] {
+        let pod = w.add_replica(svc).unwrap();
+        w.make_ready(pod);
+    }
+    for _ in 0..3 {
+        w.inject_at(t(0), rt);
+    }
+    // Let the first call start, then widen the pool while two waiters queue.
+    w.run_until(t(50));
+    assert_eq!(w.conns_in_use(front, db_id), 1);
+    w.set_conn_limit(front, db_id, 3);
+    let done = w.run_until(t(1000));
+    assert_eq!(done.len(), 3);
+    let max_rt = done.iter().map(|c| c.response_time.as_millis()).max().unwrap();
+    // Waiters released at 50 ms finish at 150 ms instead of 300 ms serial.
+    assert!(max_rt <= 150, "max rt {max_rt}");
+}
+
+#[test]
+fn raising_thread_limit_admits_queued_requests() {
+    let (mut w, rt, svc) = single_service_world(100, 1, 4, 0.0);
+    for _ in 0..3 {
+        w.inject_at(t(0), rt);
+    }
+    w.run_until(t(10));
+    assert_eq!(w.running_threads(svc), 1);
+    assert_eq!(w.queued_requests(svc), 2);
+    w.set_thread_limit(svc, 3);
+    w.run_until(t(11));
+    assert_eq!(w.running_threads(svc), 3);
+    let done = w.run_until(t(1000));
+    let max_rt = done.iter().map(|c| c.response_time.as_millis()).max().unwrap();
+    assert!(max_rt <= 210, "queued requests released at 10 ms: {max_rt}");
+}
+
+#[test]
+fn vertical_scaling_speeds_in_flight_work() {
+    let (mut w, rt, svc) = single_service_world(100, 4, 1, 0.0);
+    w.inject_at(t(0), rt);
+    w.inject_at(t(0), rt);
+    w.run_until(t(50)); // both at 0.5 cores: 25 ms of work done each
+    w.set_cpu_limit(svc, Millicores::from_cores(2)).unwrap();
+    let done = w.run_until(t(1000));
+    // Remaining 75 ms at full speed → finish at 125 ms.
+    assert!(done.iter().all(|c| c.response_time.as_millis() == 125));
+    assert_eq!(w.cpu_limit(svc), Millicores::from_cores(2));
+}
+
+#[test]
+fn replicas_round_robin_and_drain() {
+    let (mut w, rt, svc) = single_service_world(10, 4, 4, 0.0);
+    let pod2 = w.add_replica(svc).unwrap();
+    w.make_ready(pod2);
+    assert_eq!(w.ready_replicas(svc).len(), 2);
+    for i in 0..10 {
+        w.inject_at(t(i * 20), rt);
+    }
+    let done = w.run_until(t(1000));
+    assert_eq!(done.len(), 10);
+    // Round robin: both replicas saw ~half the load.
+    let ids = w.ready_replicas(svc);
+    for id in &ids {
+        assert_eq!(w.completions_of(*id).unwrap().len(), 5);
+    }
+    // Drain one: it disappears once idle, remaining traffic still served.
+    let drained = w.drain_replica(svc, 1).unwrap();
+    w.run_until(t(1001));
+    assert_eq!(w.ready_replicas(svc).len(), 1);
+    assert!(w.completions_of(drained).is_none(), "drained replica removed");
+    w.inject_at(t(1100), rt);
+    assert_eq!(w.run_until(t(2000)).len(), 1);
+    // min_keep respected.
+    assert!(w.drain_replica(svc, 1).is_none());
+}
+
+#[test]
+fn draining_replica_finishes_in_flight_work() {
+    let (mut w, rt, svc) = single_service_world(100, 4, 4, 0.0);
+    let pod2 = w.add_replica(svc).unwrap();
+    w.make_ready(pod2);
+    w.inject_at(t(0), rt); // goes to replica 0
+    w.inject_at(t(0), rt); // goes to replica 1
+    w.run_until(t(10));
+    w.drain_replica(svc, 1).unwrap();
+    let done = w.run_until(t(1000));
+    assert_eq!(done.len(), 2, "in-flight request on draining replica completes");
+    assert_eq!(w.ready_replicas(svc).len(), 1);
+}
+
+#[test]
+fn starting_replicas_take_no_traffic_until_ready() {
+    let config = WorldConfig {
+        net_delay: Dist::constant_us(0),
+        replica_startup: Dist::constant_ms(500),
+        ..WorldConfig::default()
+    };
+    let mut w = World::new(config, SimRng::seed_from(2));
+    let rt = RequestTypeId(0);
+    let svc = w.add_service(ServiceSpec::new("api").on(rt, Behavior::leaf(Dist::constant_ms(1))));
+    let rt = w.add_request_type("r", svc);
+    w.add_replica(svc).unwrap(); // ready at 500 ms
+    w.inject_at(t(100), rt);
+    let done = w.run_until(t(400));
+    assert!(done.is_empty());
+    assert_eq!(w.dropped(), 1, "request refused while no replica ready");
+    w.inject_at(t(600), rt);
+    let done = w.run_until(t(1000));
+    assert_eq!(done.len(), 1);
+}
+
+#[test]
+fn failed_replica_aborts_requests_and_recovers() {
+    let (mut w, rt, svc) = single_service_world(1_000, 4, 4, 0.0);
+    w.inject_at(t(0), rt);
+    w.inject_at(t(0), rt);
+    w.run_until(t(100));
+    let victim = w.ready_replicas(svc)[0];
+    w.fail_replica(victim);
+    assert_eq!(w.ready_replicas(svc).len(), 0);
+    assert_eq!(w.dropped(), 2, "both in-flight requests aborted");
+    // Recovery: a fresh replica serves new traffic.
+    let pod = w.add_replica(svc).unwrap();
+    w.make_ready(pod);
+    w.inject_at(t(200), rt);
+    let done = w.run_until(t(5000));
+    assert_eq!(done.len(), 1);
+    assert!(w.is_quiescent());
+}
+
+#[test]
+fn failure_upstream_of_held_connections_releases_them() {
+    // front --conns(1)--> db; kill the db replica mid-call and verify the
+    // front's connection slot is reclaimed for later traffic.
+    let mut w = World::new(exact_config(), SimRng::seed_from(5));
+    let rt = RequestTypeId(0);
+    let db_id = ServiceId(1);
+    let front = w.add_service(
+        ServiceSpec::new("front")
+            .threads(4)
+            .conns(db_id, 1)
+            .on(rt, Behavior::new(vec![Stage::call(db_id)])),
+    );
+    w.add_service(ServiceSpec::new("db").on(rt, Behavior::leaf(Dist::constant_ms(1_000))));
+    let rt = w.add_request_type("q", front);
+    let mut pods = Vec::new();
+    for svc in [front, db_id] {
+        let pod = w.add_replica(svc).unwrap();
+        w.make_ready(pod);
+        pods.push(pod);
+    }
+    w.inject_at(t(0), rt);
+    w.run_until(t(100));
+    assert_eq!(w.conns_in_use(front, db_id), 1);
+    w.fail_replica(pods[1]);
+    assert_eq!(w.conns_in_use(front, db_id), 0, "connection reclaimed");
+    // New db replica; the pool must be usable again.
+    let db2 = w.add_replica(db_id).unwrap();
+    w.make_ready(db2);
+    w.inject_at(t(200), rt);
+    let done = w.run_until(t(5000));
+    assert_eq!(done.len(), 1);
+}
+
+#[test]
+fn busy_counters_reflect_busy_fraction() {
+    let (mut w, rt, svc) = single_service_world(100, 4, 1, 0.0);
+    w.inject_at(t(0), rt);
+    w.run_until(t(50));
+    let busy = w.cpu_busy_core_secs(svc);
+    assert!((busy - 0.05).abs() < 0.001, "1 job on 1 core for 50 ms: {busy}");
+    assert_eq!(w.cpu_capacity_cores(svc), 1.0);
+    let done = w.run_until(t(300));
+    assert_eq!(done.len(), 1);
+    let busy = w.cpu_busy_core_secs(svc);
+    assert!((busy - 0.1).abs() < 0.001, "total work was 100 ms: {busy}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut w = World::new(WorldConfig::default(), SimRng::seed_from(99));
+        let rt = RequestTypeId(0);
+        let svc = w.add_service(
+            ServiceSpec::new("api")
+                .threads(4)
+                .lb(LbPolicy::Random)
+                .on(rt, Behavior::leaf(Dist::exponential_ms(3.0))),
+        );
+        let rt = w.add_request_type("r", svc);
+        for _ in 0..2 {
+            let pod = w.add_replica(svc).unwrap();
+            w.make_ready(pod);
+        }
+        for i in 0..200 {
+            w.inject_at(t(2_100 + i * 7), rt);
+        }
+        w.run_until(t(60_000))
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.len(), 200);
+    assert_eq!(a, b, "identical seeds give identical completion streams");
+}
+
+#[test]
+fn concurrency_sampler_sees_thread_occupancy() {
+    let (mut w, rt, svc) = single_service_world(100, 2, 2, 0.0);
+    for _ in 0..2 {
+        w.inject_at(t(0), rt);
+    }
+    w.run_until(t(200));
+    let pod = w.ready_replicas(svc)[0];
+    let conc = w.concurrency_of(pod).unwrap();
+    let avg = conc.average_in(t(0), t(100));
+    assert!((avg - 2.0).abs() < 0.05, "two threads busy for 100 ms: {avg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Requests are conserved: injected = completed + dropped, and the world
+    /// quiesces once the workload stops.
+    #[test]
+    fn prop_request_conservation(
+        n in 1usize..60,
+        threads in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut w = World::new(WorldConfig::default(), SimRng::seed_from(seed));
+        let rt = RequestTypeId(0);
+        let db_id = ServiceId(1);
+        let front = w.add_service(
+            ServiceSpec::new("front")
+                .threads(threads)
+                .conns(db_id, 2)
+                .on(rt, Behavior::tier(
+                    Dist::exponential_ms(1.0), db_id, Dist::constant_ms(1))),
+        );
+        w.add_service(
+            ServiceSpec::new("db").threads(4).on(rt, Behavior::leaf(Dist::exponential_ms(2.0))),
+        );
+        let rt = w.add_request_type("q", front);
+        for svc in [front, db_id] {
+            let pod = w.add_replica(svc).unwrap();
+            w.make_ready(pod);
+        }
+        let mut completed = 0;
+        for i in 0..n {
+            w.inject_at(t(i as u64 * 3), rt);
+        }
+        completed += w.run_until(t(3_600_000)).len();
+        prop_assert!(w.is_quiescent(), "events must drain");
+        prop_assert_eq!(completed as u64 + w.dropped(), n as u64);
+        prop_assert_eq!(w.running_threads(front), 0);
+        prop_assert_eq!(w.conns_in_use(front, db_id), 0);
+    }
+}
+
+#[test]
+fn client_timeout_abandons_slow_requests_and_reclaims_resources() {
+    let mut w = World::new(exact_config(), SimRng::seed_from(1));
+    let (rt, patient) = (RequestTypeId(0), RequestTypeId(1));
+    let svc = w.add_service(
+        ServiceSpec::new("slow")
+            .cpu(Millicores::from_cores(1))
+            .threads(1)
+            .on(rt, Behavior::leaf(Dist::constant_ms(100)))
+            .on(patient, Behavior::leaf(Dist::constant_ms(100))),
+    );
+    let rt = w.add_request_type_with_timeout(
+        "GET / (50ms budget)",
+        svc,
+        Some(SimDuration::from_millis(50)),
+    );
+    let pod = w.add_replica(svc).unwrap();
+    w.make_ready(pod);
+    // First request times out (needs 100 ms); the second, issued after the
+    // first was abandoned, completes because the thread was reclaimed.
+    w.inject_at(t(0), rt);
+    w.inject_at(t(60), rt);
+    let done = w.run_until(t(1_000));
+    assert_eq!(done.len(), 0, "both need 100 ms against a 50 ms budget");
+    assert_eq!(w.dropped(), 2, "both requests abandoned at their deadline");
+    // A generous-timeout type on the same service succeeds.
+    let rt2 = w.add_request_type_with_timeout("patient", svc, Some(SimDuration::from_millis(500)));
+    assert_eq!(rt2, patient);
+    w.inject_at(t(2_000), rt2);
+    let done = w.run_until(t(3_000));
+    assert_eq!(done.len(), 1);
+    assert!(w.is_quiescent());
+    assert_eq!(w.running_threads(svc), 0);
+}
+
+#[test]
+fn timeouts_release_queued_requests_before_admission() {
+    let mut w = World::new(exact_config(), SimRng::seed_from(1));
+    let rt = RequestTypeId(0);
+    let svc = w.add_service(
+        ServiceSpec::new("gate")
+            .cpu(Millicores::from_cores(1))
+            .threads(1)
+            .on(rt, Behavior::leaf(Dist::constant_ms(40))),
+    );
+    let rt =
+        w.add_request_type_with_timeout("r", svc, Some(SimDuration::from_millis(60)));
+    let pod = w.add_replica(svc).unwrap();
+    w.make_ready(pod);
+    for _ in 0..5 {
+        w.inject_at(t(0), rt); // only the first can finish within 60 ms
+    }
+    let done = w.run_until(t(1_000));
+    assert_eq!(done.len(), 1);
+    assert_eq!(w.dropped(), 4, "queued requests timed out while waiting");
+    assert_eq!(w.queued_requests(svc), 0, "queue entries reclaimed");
+    assert!(w.is_quiescent());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Conservation also holds when client timeouts race completions: every
+    /// injected request either completes or is dropped, never both, and all
+    /// gates drain.
+    #[test]
+    fn prop_timeouts_preserve_conservation(
+        n in 20usize..150,
+        timeout_ms in 5u64..60,
+        threads in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        let mut w = World::new(WorldConfig::default(), SimRng::seed_from(seed));
+        let rt = RequestTypeId(0);
+        let db_id = ServiceId(1);
+        let front = w.add_service(
+            ServiceSpec::new("front")
+                .threads(threads)
+                .conns(db_id, 2)
+                .on(rt, Behavior::tier(Dist::exponential_ms(2.0), db_id, Dist::constant_ms(1))),
+        );
+        w.add_service(
+            ServiceSpec::new("db").threads(4).on(rt, Behavior::leaf(Dist::exponential_ms(3.0))),
+        );
+        let rt = w.add_request_type_with_timeout(
+            "r",
+            front,
+            Some(SimDuration::from_millis(timeout_ms)),
+        );
+        for svc in [front, db_id] {
+            let pod = w.add_replica(svc).unwrap();
+            w.make_ready(pod);
+        }
+        for i in 0..n {
+            w.inject_at(t(i as u64 * 2), rt);
+        }
+        let done = w.run_until(t(3_600_000));
+        prop_assert!(w.is_quiescent());
+        prop_assert_eq!(done.len() as u64 + w.dropped(), n as u64);
+        // Completed requests honoured their budget (modulo the final net hop
+        // racing the timeout event at the same instant).
+        for c in &done {
+            prop_assert!(
+                c.response_time <= SimDuration::from_millis(timeout_ms + 1),
+                "completion {:?} beyond its {}ms budget", c.response_time, timeout_ms
+            );
+        }
+        prop_assert_eq!(w.running_threads(front), 0);
+        prop_assert_eq!(w.conns_in_use(front, db_id), 0);
+    }
+}
+
+#[test]
+fn per_type_client_logs_split_the_traffic() {
+    let mut w = World::new(exact_config(), SimRng::seed_from(1));
+    let (fast, slow) = (RequestTypeId(0), RequestTypeId(1));
+    let svc = w.add_service(
+        ServiceSpec::new("api")
+            .cpu(Millicores::from_cores(4))
+            .threads(16)
+            .on(fast, Behavior::leaf(Dist::constant_ms(2)))
+            .on(slow, Behavior::leaf(Dist::constant_ms(20))),
+    );
+    let fast = w.add_request_type("fast", svc);
+    let slow = w.add_request_type("slow", svc);
+    let pod = w.add_replica(svc).unwrap();
+    w.make_ready(pod);
+    for i in 0..20 {
+        w.inject_at(t(i * 50), fast);
+        w.inject_at(t(i * 50), slow);
+    }
+    w.run_until(t(5_000));
+    assert_eq!(w.client().total(), 40);
+    assert_eq!(w.client_of(fast).total(), 20);
+    assert_eq!(w.client_of(slow).total(), 20);
+    let p50_fast = w.client_of(fast).percentile(50.0).unwrap();
+    let p50_slow = w.client_of(slow).percentile(50.0).unwrap();
+    assert!(p50_slow > p50_fast * 5, "{p50_fast} vs {p50_slow}");
+}

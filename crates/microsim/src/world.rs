@@ -1,0 +1,1019 @@
+//! The simulation world: services, replicas, requests and the event loop.
+
+use crate::config::{LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
+use crate::replica::{ConnWaiter, Replica, ReplicaState};
+use crate::request::{Frame, FrameIdx, RequestState};
+use cluster::{ClusterState, Millicores, PlacementError};
+use sim_core::{EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, HashMap};
+use telemetry::{
+    ClientLog, CompletionLog, ConcurrencyTracker, ReplicaId, RequestId, RequestTypeId, ServiceId,
+    SpanId, TraceWarehouse,
+};
+
+/// A finished end-to-end request, as reported to the workload driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's identity.
+    pub request: RequestId,
+    /// Its request type.
+    pub rtype: RequestTypeId,
+    /// When the user issued it.
+    pub issued: SimTime,
+    /// When the response reached the user.
+    pub completed: SimTime,
+    /// End-to-end response time (`completed − issued`).
+    pub response_time: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// A user request reaches its entry service.
+    ExternalArrival { request: RequestId },
+    /// An inter-service call reaches the target service.
+    ChildArrival { request: RequestId, parent: FrameIdx, call_idx: usize, target: ServiceId },
+    /// A child's response reaches the calling frame.
+    ChildReturn { request: RequestId, parent: FrameIdx, call_idx: usize },
+    /// A CPU on `replica` may have finished a job (valid only at `epoch`).
+    CpuDone { replica: ReplicaId, epoch: u64 },
+    /// A starting replica becomes ready.
+    ReplicaReady { replica: ReplicaId },
+    /// A request's client-side timeout fires (no-op if already finished).
+    Timeout { request: RequestId },
+}
+
+struct ServiceRuntime {
+    spec: ServiceSpec,
+    /// All replica ids ever assigned to this service that still exist.
+    replicas: Vec<ReplicaId>,
+    /// Round-robin cursor.
+    rr: usize,
+    /// Current (mutable) settings; new replicas inherit these.
+    cpu_limit: Millicores,
+    thread_limit: usize,
+    conn_limits: BTreeMap<ServiceId, usize>,
+    /// Busy core-nanoseconds carried over from removed replicas, so the
+    /// service-level counter stays monotone across scale-downs.
+    retired_busy_nanos: f64,
+}
+
+/// The discrete-event microservice cluster simulator.
+///
+/// Construction order: add services ([`World::add_service`]), request types
+/// ([`World::add_request_type`]), replicas ([`World::add_replica`]); then
+/// alternate [`World::inject_at`] (workload) and [`World::run_until`]
+/// (simulation), adjusting soft/hardware resources from a controller in
+/// between. Everything is deterministic given the seed.
+///
+/// # Example
+///
+/// ```
+/// use microsim::{Behavior, ServiceSpec, World, WorldConfig};
+/// use sim_core::{Dist, SimRng, SimTime, SimDuration};
+/// use telemetry::RequestTypeId;
+///
+/// let mut w = World::new(WorldConfig::default(), SimRng::seed_from(1));
+/// let rt = RequestTypeId(0);
+/// let svc = w.add_service(
+///     ServiceSpec::new("api").on(rt, Behavior::leaf(Dist::constant_ms(5))),
+/// );
+/// w.add_request_type("GET /", svc);
+/// let pod = w.add_replica(svc).unwrap();
+/// w.make_ready(pod); // skip container start-up in examples/tests
+/// w.inject_at(SimTime::from_millis(1), rt);
+/// let done = w.run_until(SimTime::from_secs(1));
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].response_time.as_millis() >= 5);
+/// ```
+pub struct World {
+    config: WorldConfig,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    /// Dedicated stream for load-balancer draws, so the choice of LB policy
+    /// cannot perturb service-demand sampling (keeps A/B comparisons of
+    /// policies unconfounded).
+    lb_rng: SimRng,
+    clock: SimTime,
+    services: Vec<ServiceRuntime>,
+    request_types: Vec<RequestTypeSpec>,
+    replicas: BTreeMap<ReplicaId, Replica>,
+    cluster: ClusterState,
+    requests: HashMap<RequestId, RequestState>,
+    warehouse: TraceWarehouse,
+    client: ClientLog,
+    /// Per-request-type client logs, indexed by `RequestTypeId`.
+    client_by_type: Vec<ClientLog>,
+    completed: Vec<Completion>,
+    dropped_log: Vec<RequestId>,
+    next_request: u64,
+    next_replica: u64,
+    next_span: u64,
+    dropped: u64,
+}
+
+impl World {
+    /// Creates an empty world with one effectively-unbounded node (capacity
+    /// checks can be made meaningful with [`World::add_node`]).
+    pub fn new(config: WorldConfig, rng: SimRng) -> Self {
+        let warehouse = TraceWarehouse::new(config.trace_horizon, config.trace_sample_every);
+        let client = ClientLog::new(config.client_bucket);
+        let lb_rng = rng.split("load-balancer");
+        World {
+            config,
+            queue: EventQueue::new(),
+            rng,
+            lb_rng,
+            clock: SimTime::ZERO,
+            services: Vec::new(),
+            request_types: Vec::new(),
+            replicas: BTreeMap::new(),
+            cluster: ClusterState::new(),
+            requests: HashMap::new(),
+            warehouse,
+            client,
+            client_by_type: Vec::new(),
+            completed: Vec::new(),
+            dropped_log: Vec::new(),
+            next_request: 0,
+            next_replica: 0,
+            next_span: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Adds a node with the given CPU capacity. If no node is ever added, a
+    /// first placement lazily creates a huge default node.
+    pub fn add_node(&mut self, capacity: Millicores) {
+        self.cluster.add_node(capacity);
+    }
+
+    /// Registers a service, returning its id.
+    pub fn add_service(&mut self, spec: ServiceSpec) -> ServiceId {
+        let id = ServiceId(self.services.len() as u32);
+        self.services.push(ServiceRuntime {
+            cpu_limit: spec.cpu_limit,
+            thread_limit: spec.thread_limit,
+            conn_limits: spec.conn_limits.clone(),
+            spec,
+            replicas: Vec::new(),
+            rr: 0,
+            retired_busy_nanos: 0.0,
+        });
+        id
+    }
+
+    /// Registers a request type entering at `entry`, returning its id.
+    pub fn add_request_type(&mut self, name: impl Into<String>, entry: ServiceId) -> RequestTypeId {
+        self.add_request_type_with_timeout(name, entry, None)
+    }
+
+    /// Registers a request type with a client-side timeout: requests still
+    /// in flight `timeout` after being issued are abandoned (dropped) and
+    /// every resource they hold is reclaimed.
+    pub fn add_request_type_with_timeout(
+        &mut self,
+        name: impl Into<String>,
+        entry: ServiceId,
+        timeout: Option<SimDuration>,
+    ) -> RequestTypeId {
+        let id = RequestTypeId(self.request_types.len() as u32);
+        self.request_types.push(RequestTypeSpec { name: name.into(), entry, timeout });
+        self.client_by_type.push(ClientLog::new(self.config.client_bucket));
+        id
+    }
+
+    /// The current simulated instant (the `run_until` high-water mark).
+    pub fn now(&self) -> SimTime {
+        self.clock.max(self.queue.now())
+    }
+
+    // ------------------------------------------------------------------
+    // Scaling & soft-resource actuation
+    // ------------------------------------------------------------------
+
+    /// Starts a new replica of `service`. The replica consumes node capacity
+    /// immediately but serves traffic only after container start-up
+    /// (see [`WorldConfig::replica_startup`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlacementError`] when no node can host the pod.
+    pub fn add_replica(&mut self, service: ServiceId) -> Result<ReplicaId, PlacementError> {
+        if self.cluster.nodes().is_empty() {
+            // Lazy default: effectively unbounded machine.
+            self.cluster.add_node(Millicores::from_cores(1_000_000));
+        }
+        let id = ReplicaId(self.next_replica);
+        let rt = &self.services[service.get() as usize];
+        self.cluster.place(id.get(), rt.cpu_limit)?;
+        self.next_replica += 1;
+        let replica = Replica::new(
+            service,
+            rt.cpu_limit,
+            rt.spec.csw_overhead,
+            rt.thread_limit,
+            &rt.conn_limits,
+            self.config.metrics_horizon,
+        );
+        self.replicas.insert(id, replica);
+        self.services[service.get() as usize].replicas.push(id);
+        let delay = self.config.replica_startup.sample(&mut self.rng);
+        self.queue
+            .schedule(self.now().max(self.queue.now()) + delay, Event::ReplicaReady { replica: id });
+        Ok(id)
+    }
+
+    /// Marks a starting replica ready immediately (used by tests and by
+    /// initial topology construction, where pods pre-exist the run).
+    pub fn make_ready(&mut self, replica: ReplicaId) {
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            if r.state == ReplicaState::Starting {
+                r.state = ReplicaState::Ready;
+            }
+        }
+    }
+
+    /// Gracefully removes one replica of `service` (the most recently
+    /// added), draining in-flight work first. Returns the drained replica's
+    /// id, or `None` if the service has at most `min_keep` replicas.
+    pub fn drain_replica(&mut self, service: ServiceId, min_keep: usize) -> Option<ReplicaId> {
+        let now = self.now();
+        let rt = &self.services[service.get() as usize];
+        let live: Vec<ReplicaId> = rt
+            .replicas
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.replicas.get(id).is_some_and(|r| r.state != ReplicaState::Draining)
+            })
+            .collect();
+        if live.len() <= min_keep {
+            return None;
+        }
+        let victim = *live.last()?;
+        let r = self.replicas.get_mut(&victim)?;
+        r.state = ReplicaState::Draining;
+        if r.is_idle() {
+            self.remove_replica_final(now, victim);
+        }
+        Some(victim)
+    }
+
+    /// Abruptly kills a replica: every request with an open frame on it is
+    /// aborted (the user never gets a response; held threads, connections
+    /// and CPU jobs elsewhere are reclaimed). Used for failure-injection
+    /// tests.
+    pub fn fail_replica(&mut self, replica: ReplicaId) {
+        let now = self.now();
+        let touching: Vec<RequestId> = self
+            .requests
+            .iter()
+            .filter(|(_, rs)| {
+                rs.frames.iter().any(|f| f.replica == replica && f.departure.is_none())
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for req in touching {
+            self.abort_request(now, req);
+        }
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.state = ReplicaState::Draining;
+        }
+        self.remove_replica_final(now, replica);
+    }
+
+    fn remove_replica_final(&mut self, now: SimTime, replica: ReplicaId) {
+        if let Some(mut r) = self.replicas.remove(&replica) {
+            debug_assert!(r.is_idle(), "removing a busy replica");
+            r.cpu.advance(now);
+            let _ = self.cluster.remove(replica.get());
+            let svc = &mut self.services[r.service.get() as usize];
+            svc.replicas.retain(|&id| id != replica);
+            svc.retired_busy_nanos += r.cpu.busy_core_nanos();
+        }
+    }
+
+    /// Sets the CPU limit of every replica of `service` (vertical scaling).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PlacementError::InsufficientCapacity`] if any hosting
+    /// node cannot absorb the increase; replicas resized before the failure
+    /// keep the new limit (mirroring partial VPA roll-outs).
+    pub fn set_cpu_limit(
+        &mut self,
+        service: ServiceId,
+        limit: Millicores,
+    ) -> Result<(), PlacementError> {
+        let now = self.now();
+        self.services[service.get() as usize].cpu_limit = limit;
+        let ids = self.services[service.get() as usize].replicas.clone();
+        for id in ids {
+            self.cluster.resize(id.get(), limit)?;
+            if let Some(r) = self.replicas.get_mut(&id) {
+                r.cpu.set_limit(now, limit);
+            }
+            self.schedule_cpu(now, id);
+        }
+        Ok(())
+    }
+
+    /// Sets the per-replica thread-pool size of `service`, admitting queued
+    /// requests immediately if the limit grew.
+    pub fn set_thread_limit(&mut self, service: ServiceId, limit: usize) {
+        let now = self.now();
+        self.services[service.get() as usize].thread_limit = limit;
+        let ids = self.services[service.get() as usize].replicas.clone();
+        for id in ids {
+            if let Some(r) = self.replicas.get_mut(&id) {
+                r.threads.limit = limit;
+            }
+            self.drain_thread_queue(now, id);
+        }
+    }
+
+    /// Sets the per-replica connection-pool size from `service` toward
+    /// `target`, granting queued calls immediately if the limit grew.
+    pub fn set_conn_limit(&mut self, service: ServiceId, target: ServiceId, limit: usize) {
+        let now = self.now();
+        self.services[service.get() as usize].conn_limits.insert(target, limit);
+        let ids = self.services[service.get() as usize].replicas.clone();
+        for id in ids {
+            if let Some(r) = self.replicas.get_mut(&id) {
+                let pool = r
+                    .conns
+                    .entry(target)
+                    .or_insert_with(|| crate::replica::ConnPool { limit, in_use: 0, waiters: Default::default() });
+                pool.limit = limit;
+            }
+            self.drain_conn_waiters(now, id, target);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Workload injection & the event loop
+    // ------------------------------------------------------------------
+
+    /// Schedules a user request of type `rtype` to be issued at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past or `rtype` is unknown.
+    pub fn inject_at(&mut self, at: SimTime, rtype: RequestTypeId) -> RequestId {
+        assert!(
+            (rtype.get() as usize) < self.request_types.len(),
+            "unknown request type {rtype}"
+        );
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.requests.insert(id, RequestState::new(id, rtype, at));
+        let net = self.config.net_delay.sample(&mut self.rng);
+        self.queue.schedule(at + net, Event::ExternalArrival { request: id });
+        if let Some(timeout) = self.request_types[rtype.get() as usize].timeout {
+            self.queue.schedule(at + timeout, Event::Timeout { request: id });
+        }
+        id
+    }
+
+    /// Processes every event up to and including `t`, returning the
+    /// requests that completed. The world's clock ends at `t`.
+    pub fn run_until(&mut self, t: SimTime) -> Vec<Completion> {
+        while self.queue.peek_time().is_some_and(|pt| pt <= t) {
+            let (now, event) = self.queue.pop().expect("peeked");
+            self.dispatch(now, event);
+        }
+        self.clock = self.clock.max(t);
+        std::mem::take(&mut self.completed)
+    }
+
+    /// True when no events are pending (all requests finished or dropped).
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::ExternalArrival { request } => self.on_external_arrival(now, request),
+            Event::ChildArrival { request, parent, call_idx, target } => {
+                self.on_child_arrival(now, request, parent, call_idx, target)
+            }
+            Event::ChildReturn { request, parent, call_idx } => {
+                self.on_child_return(now, request, parent, call_idx)
+            }
+            Event::CpuDone { replica, epoch } => self.on_cpu_done(now, replica, epoch),
+            Event::ReplicaReady { replica } => self.make_ready(replica),
+            Event::Timeout { request } => {
+                if self.requests.contains_key(&request) {
+                    self.abort_request(now, request);
+                }
+            }
+        }
+    }
+
+    fn on_external_arrival(&mut self, now: SimTime, request: RequestId) {
+        let Some(rs) = self.requests.get(&request) else { return };
+        let entry = self.request_types[rs.rtype.get() as usize].entry;
+        let Some(replica) = self.pick_replica(entry) else {
+            // No ready replica: the request is refused at the edge.
+            self.requests.remove(&request);
+            self.dropped += 1;
+            self.dropped_log.push(request);
+            return;
+        };
+        let span = SpanId(self.next_span);
+        self.next_span += 1;
+        let rs = self.requests.get_mut(&request).expect("checked above");
+        rs.frames.push(Frame::new(entry, replica, span, None, now));
+        let frame = rs.frames.len() - 1;
+        self.admit_or_queue(now, request, frame);
+    }
+
+    fn on_child_arrival(
+        &mut self,
+        now: SimTime,
+        request: RequestId,
+        parent: FrameIdx,
+        call_idx: usize,
+        target: ServiceId,
+    ) {
+        if !self.requests.contains_key(&request) {
+            return; // request aborted while the call was in flight
+        }
+        let Some(replica) = self.pick_replica(target) else {
+            // No ready replica right now: retry shortly (connection-level
+            // retry, as a client library would).
+            self.queue.schedule(
+                now + SimDuration::from_millis(10),
+                Event::ChildArrival { request, parent, call_idx, target },
+            );
+            return;
+        };
+        let span = SpanId(self.next_span);
+        self.next_span += 1;
+        let rs = self.requests.get_mut(&request).expect("checked above");
+        rs.frames.push(Frame::new(target, replica, span, Some((parent, call_idx)), now));
+        let frame = rs.frames.len() - 1;
+        self.admit_or_queue(now, request, frame);
+    }
+
+    fn on_child_return(&mut self, now: SimTime, request: RequestId, parent: FrameIdx, call_idx: usize) {
+        let Some(rs) = self.requests.get_mut(&request) else { return };
+        let frame = &mut rs.frames[parent];
+        frame.calls[call_idx].end = now;
+        let target = frame.calls[call_idx].service;
+        let replica = frame.replica;
+        debug_assert!(frame.pending_children > 0);
+        frame.pending_children -= 1;
+        let ready = frame.pending_children == 0;
+        // Release the connection this call held and hand it to a waiter.
+        self.release_conn(now, replica, target);
+        if ready {
+            let rs = self.requests.get_mut(&request).expect("still present");
+            rs.frames[parent].stage += 1;
+            self.run_frame(now, request, parent);
+        }
+    }
+
+    fn on_cpu_done(&mut self, now: SimTime, replica: ReplicaId, epoch: u64) {
+        let Some(r) = self.replicas.get_mut(&replica) else { return };
+        if r.cpu.epoch() != epoch {
+            return; // stale completion event
+        }
+        r.cpu.advance(now);
+        let finished = r.cpu.take_finished();
+        let mut work: Vec<(RequestId, FrameIdx)> = Vec::with_capacity(finished.len());
+        for job in finished {
+            if let Some(pair) = r.jobs.remove(&job) {
+                work.push(pair);
+            }
+        }
+        for (request, frame) in work {
+            if let Some(rs) = self.requests.get_mut(&request) {
+                rs.frames[frame].stage += 1;
+                self.run_frame(now, request, frame);
+            }
+        }
+        self.schedule_cpu(now, replica);
+    }
+
+    // ------------------------------------------------------------------
+    // Request lifecycle helpers
+    // ------------------------------------------------------------------
+
+    fn pick_replica(&mut self, service: ServiceId) -> Option<ReplicaId> {
+        let rt = &self.services[service.get() as usize];
+        let ready: Vec<ReplicaId> = rt
+            .replicas
+            .iter()
+            .copied()
+            .filter(|id| self.replicas.get(id).is_some_and(|r| r.state == ReplicaState::Ready))
+            .collect();
+        if ready.is_empty() {
+            return None;
+        }
+        let choice = match rt.spec.lb {
+            LbPolicy::RoundRobin => {
+                let rt = &mut self.services[service.get() as usize];
+                let c = ready[rt.rr % ready.len()];
+                rt.rr = rt.rr.wrapping_add(1);
+                c
+            }
+            LbPolicy::Random => ready[self.lb_rng.index(ready.len())],
+            LbPolicy::LeastOutstanding => {
+                // Power of two choices.
+                let a = ready[self.lb_rng.index(ready.len())];
+                let b = ready[self.lb_rng.index(ready.len())];
+                if self.replicas[&a].outstanding() <= self.replicas[&b].outstanding() {
+                    a
+                } else {
+                    b
+                }
+            }
+        };
+        Some(choice)
+    }
+
+    fn admit_or_queue(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
+        let replica = self.requests[&request].frames[frame].replica;
+        let Some(r) = self.replicas.get_mut(&replica) else {
+            // Replica vanished between selection and admission (failure).
+            self.abort_request(now, request);
+            return;
+        };
+        if r.threads.try_acquire() {
+            self.start_service(now, request, frame);
+        } else {
+            r.threads.queue.push_back((request, frame));
+        }
+    }
+
+    fn start_service(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
+        let rs = self.requests.get_mut(&request).expect("admitting a live request");
+        let f = &mut rs.frames[frame];
+        f.started = Some(now);
+        let replica = f.replica;
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.concurrency.enter(now);
+        }
+        self.run_frame(now, request, frame);
+    }
+
+    /// Executes stages of `frame` starting at its current stage until the
+    /// frame blocks (CPU, downstream calls) or completes.
+    fn run_frame(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
+        loop {
+            let Some(rs) = self.requests.get(&request) else { return };
+            let f = &rs.frames[frame];
+            let (service, replica) = (f.service, f.replica);
+            let stage_idx = f.stage;
+            let rtype = rs.rtype;
+            let behavior = self.services[service.get() as usize]
+                .spec
+                .behaviors
+                .get(&rtype)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "service {} has no behaviour for request type {rtype}",
+                        self.services[service.get() as usize].spec.name
+                    )
+                });
+            match behavior.stages.get(stage_idx).cloned() {
+                None => {
+                    self.complete_span(now, request, frame);
+                    return;
+                }
+                Some(Stage::Compute { demand }) => {
+                    let d = demand.sample(&mut self.rng);
+                    let Some(r) = self.replicas.get_mut(&replica) else { return };
+                    let job = r.cpu.add(now, d);
+                    r.jobs.insert(job, (request, frame));
+                    self.schedule_cpu(now, replica);
+                    return;
+                }
+                Some(Stage::Call { targets }) => {
+                    if targets.is_empty() {
+                        let rs = self.requests.get_mut(&request).expect("present");
+                        rs.frames[frame].stage += 1;
+                        continue;
+                    }
+                    self.issue_calls(now, request, frame, &targets);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn issue_calls(&mut self, now: SimTime, request: RequestId, frame: FrameIdx, targets: &[ServiceId]) {
+        let replica = self.requests[&request].frames[frame].replica;
+        for &target in targets {
+            let call_idx = {
+                let rs = self.requests.get_mut(&request).expect("present");
+                let f = &mut rs.frames[frame];
+                f.calls.push(telemetry::ChildCall { service: target, start: now, end: now });
+                f.pending_children += 1;
+                f.calls.len() - 1
+            };
+            let acquired = match self.replicas.get_mut(&replica).and_then(|r| r.conns.get_mut(&target)) {
+                Some(pool) => {
+                    if pool.try_acquire() {
+                        true
+                    } else {
+                        pool.waiters.push_back(ConnWaiter { request, frame, call_idx });
+                        false
+                    }
+                }
+                None => true, // unlimited: no pool configured
+            };
+            if acquired {
+                let net = self.config.net_delay.sample(&mut self.rng);
+                self.queue.schedule(
+                    now + net,
+                    Event::ChildArrival { request, parent: frame, call_idx, target },
+                );
+            }
+        }
+    }
+
+    fn complete_span(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
+        let (replica, parent, arrival) = {
+            let rs = self.requests.get_mut(&request).expect("completing a live request");
+            let f = &mut rs.frames[frame];
+            f.departure = Some(now);
+            (f.replica, f.parent, f.arrival)
+        };
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.concurrency.leave(now);
+            r.completions.record(now, now - arrival);
+            r.span_p99.observe((now - arrival).as_millis_f64());
+            r.threads.release();
+        }
+        self.drain_thread_queue(now, replica);
+        self.maybe_reap_drained(now, replica);
+        match parent {
+            Some((p, call_idx)) => {
+                let net = self.config.net_delay.sample(&mut self.rng);
+                self.queue
+                    .schedule(now + net, Event::ChildReturn { request, parent: p, call_idx });
+            }
+            None => self.finalize_request(now, request),
+        }
+    }
+
+    fn finalize_request(&mut self, now: SimTime, request: RequestId) {
+        let rs = self.requests.remove(&request).expect("finalizing a live request");
+        let issued = rs.issued;
+        let rtype = rs.rtype;
+        let net = self.config.net_delay.sample(&mut self.rng);
+        let completed = now + net;
+        let response_time = completed - issued;
+        let trace = rs.into_trace();
+        self.warehouse.push(trace);
+        self.client.record(completed, response_time);
+        self.client_by_type[rtype.get() as usize].record(completed, response_time);
+        self.completed.push(Completion { request, rtype, issued, completed, response_time });
+    }
+
+    /// Aborts a request outright, reclaiming every resource its frames hold.
+    fn abort_request(&mut self, now: SimTime, request: RequestId) {
+        let Some(rs) = self.requests.remove(&request) else { return };
+        for frame in &rs.frames {
+            if frame.departure.is_some() {
+                continue; // span finished; resources already released
+            }
+            let replica = frame.replica;
+            // Reclaim the thread (if the frame had been admitted).
+            if frame.started.is_some() {
+                if let Some(r) = self.replicas.get_mut(&replica) {
+                    r.concurrency.leave(now);
+                    r.threads.release();
+                    // Cancel any CPU job of this frame.
+                    let jobs: Vec<_> = r
+                        .jobs
+                        .iter()
+                        .filter(|(_, &(rq, fi))| rq == request && fi == frame_index(&rs, frame))
+                        .map(|(&j, _)| j)
+                        .collect();
+                    for j in jobs {
+                        r.jobs.remove(&j);
+                        r.cpu.cancel(now, j);
+                    }
+                }
+                self.schedule_cpu(now, replica);
+                self.drain_thread_queue(now, replica);
+            } else if let Some(r) = self.replicas.get_mut(&replica) {
+                // Still in the accept queue: drop the entry lazily.
+                r.threads.queue.retain(|&(rq, _)| rq != request);
+            }
+            // Release connections held by outstanding calls of this frame.
+            for call in &frame.calls {
+                if call.end == call.start {
+                    // Outstanding (or waiting). If waiting, remove the waiter
+                    // instead of releasing.
+                    if let Some(r) = self.replicas.get_mut(&replica) {
+                        if let Some(pool) = r.conns.get_mut(&call.service) {
+                            let before = pool.waiters.len();
+                            pool.waiters.retain(|w| w.request != request);
+                            if pool.waiters.len() == before {
+                                pool.release();
+                            }
+                        }
+                    }
+                    self.drain_conn_waiters(now, replica, call.service);
+                }
+            }
+            self.maybe_reap_drained(now, replica);
+        }
+        self.dropped += 1;
+        self.dropped_log.push(request);
+    }
+
+    // ------------------------------------------------------------------
+    // Resource-release plumbing
+    // ------------------------------------------------------------------
+
+    fn release_conn(&mut self, now: SimTime, replica: ReplicaId, target: ServiceId) {
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            if r.conns.contains_key(&target) {
+                r.conns.get_mut(&target).expect("checked").release();
+                self.drain_conn_waiters(now, replica, target);
+            }
+        }
+    }
+
+    /// Grants free connections to waiters, skipping waiters whose request
+    /// has been aborted.
+    fn drain_conn_waiters(&mut self, now: SimTime, replica: ReplicaId, target: ServiceId) {
+        loop {
+            let waiter = {
+                let Some(r) = self.replicas.get_mut(&replica) else { return };
+                let Some(pool) = r.conns.get_mut(&target) else { return };
+                match pool.grant_next() {
+                    Some(w) => {
+                        if self.requests.contains_key(&w.request) {
+                            Some(w)
+                        } else {
+                            pool.release(); // dead waiter: free the slot, try next
+                            continue;
+                        }
+                    }
+                    None => None,
+                }
+            };
+            match waiter {
+                Some(w) => {
+                    let net = self.config.net_delay.sample(&mut self.rng);
+                    self.queue.schedule(
+                        now + net,
+                        Event::ChildArrival {
+                            request: w.request,
+                            parent: w.frame,
+                            call_idx: w.call_idx,
+                            target,
+                        },
+                    );
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Admits queued requests while threads are free, skipping dead entries.
+    fn drain_thread_queue(&mut self, now: SimTime, replica: ReplicaId) {
+        loop {
+            let next = {
+                let Some(r) = self.replicas.get_mut(&replica) else { return };
+                match r.threads.admit_next() {
+                    Some((req, frame)) => {
+                        if self.requests.contains_key(&req) {
+                            Some((req, frame))
+                        } else {
+                            r.threads.release(); // dead entry: free thread, try next
+                            continue;
+                        }
+                    }
+                    None => None,
+                }
+            };
+            match next {
+                Some((req, frame)) => self.start_service(now, req, frame),
+                None => return,
+            }
+        }
+    }
+
+    fn maybe_reap_drained(&mut self, now: SimTime, replica: ReplicaId) {
+        let should_remove = self
+            .replicas
+            .get(&replica)
+            .is_some_and(|r| r.state == ReplicaState::Draining && r.is_idle());
+        if should_remove {
+            self.remove_replica_final(now, replica);
+        }
+    }
+
+    fn schedule_cpu(&mut self, now: SimTime, replica: ReplicaId) {
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.cpu.advance(now);
+            if let Some((t, _)) = r.cpu.next_completion() {
+                self.queue.schedule(t, Event::CpuDone { replica, epoch: r.cpu.epoch() });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// The trace warehouse (Sora's Monitoring Module storage).
+    pub fn warehouse(&self) -> &TraceWarehouse {
+        &self.warehouse
+    }
+
+    /// The end-to-end client log (experiment reporting).
+    pub fn client(&self) -> &ClientLog {
+        &self.client
+    }
+
+    /// The end-to-end client log restricted to one request type — e.g. to
+    /// compare light vs heavy reads across a state-drift run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtype` was never registered.
+    pub fn client_of(&self, rtype: RequestTypeId) -> &ClientLog {
+        &self.client_by_type[rtype.get() as usize]
+    }
+
+    /// Requests refused or aborted without a response.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the ids of requests dropped since the last call — closed-loop
+    /// drivers use this to recycle the affected users (a real client would
+    /// see a connection error and retry).
+    pub fn drain_dropped(&mut self) -> Vec<RequestId> {
+        std::mem::take(&mut self.dropped_log)
+    }
+
+    /// Ready replica ids of `service`, in creation order.
+    pub fn ready_replicas(&self, service: ServiceId) -> Vec<ReplicaId> {
+        self.services[service.get() as usize]
+            .replicas
+            .iter()
+            .copied()
+            .filter(|id| self.replicas.get(id).is_some_and(|r| r.state == ReplicaState::Ready))
+            .collect()
+    }
+
+    /// All live replica ids of `service` (starting + ready + draining).
+    pub fn all_replicas(&self, service: ServiceId) -> Vec<ReplicaId> {
+        self.services[service.get() as usize].replicas.clone()
+    }
+
+    /// The concurrency sampler of one replica.
+    pub fn concurrency_of(&self, replica: ReplicaId) -> Option<&ConcurrencyTracker> {
+        self.replicas.get(&replica).map(|r| &r.concurrency)
+    }
+
+    /// The completion log of one replica.
+    pub fn completions_of(&self, replica: ReplicaId) -> Option<&CompletionLog> {
+        self.replicas.get(&replica).map(|r| &r.completions)
+    }
+
+    /// Live p99 of span response times across ready replicas of `service`
+    /// (worst replica), in milliseconds — the SLO-violation gauge FIRM-style
+    /// managers scale on. `None` until any replica has completions.
+    pub fn span_p99_ms(&self, service: ServiceId) -> Option<f64> {
+        self.ready_replicas(service)
+            .iter()
+            .filter_map(|id| self.replicas[id].span_p99.value())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Threads currently held across ready replicas of `service` (the
+    /// paper's "Running Threads" panel).
+    pub fn running_threads(&self, service: ServiceId) -> usize {
+        self.ready_replicas(service)
+            .iter()
+            .map(|id| self.replicas[id].threads.active)
+            .sum()
+    }
+
+    /// Requests queued for a thread across ready replicas.
+    pub fn queued_requests(&self, service: ServiceId) -> usize {
+        self.ready_replicas(service)
+            .iter()
+            .map(|id| self.replicas[id].threads.queue.len())
+            .sum()
+    }
+
+    /// Connections in use from `service` toward `target`, across ready
+    /// replicas.
+    pub fn conns_in_use(&self, service: ServiceId, target: ServiceId) -> usize {
+        self.ready_replicas(service)
+            .iter()
+            .filter_map(|id| self.replicas[id].conns.get(&target))
+            .map(|p| p.in_use)
+            .sum()
+    }
+
+    /// Calls from `service` queued waiting for a connection toward
+    /// `target`, across ready replicas (a saturation signal for the
+    /// exploration logic).
+    pub fn conn_waiting(&self, service: ServiceId, target: ServiceId) -> usize {
+        self.ready_replicas(service)
+            .iter()
+            .filter_map(|id| self.replicas[id].conns.get(&target))
+            .map(|p| p.waiters.len())
+            .sum()
+    }
+
+    /// Total configured (established) connections from `service` toward
+    /// `target` across ready replicas — pool size × replica count, the
+    /// paper's "Established DB Conn" panel.
+    pub fn conns_established(&self, service: ServiceId, target: ServiceId) -> usize {
+        self.ready_replicas(service)
+            .iter()
+            .filter_map(|id| self.replicas[id].conns.get(&target))
+            .map(|p| p.limit)
+            .sum()
+    }
+
+    /// The current per-replica thread limit of `service`.
+    pub fn thread_limit(&self, service: ServiceId) -> usize {
+        self.services[service.get() as usize].thread_limit
+    }
+
+    /// The current per-replica connection limit from `service` to `target`.
+    pub fn conn_limit(&self, service: ServiceId, target: ServiceId) -> Option<usize> {
+        self.services[service.get() as usize].conn_limits.get(&target).copied()
+    }
+
+    /// The current per-replica CPU limit of `service`.
+    pub fn cpu_limit(&self, service: ServiceId) -> Millicores {
+        self.services[service.get() as usize].cpu_limit
+    }
+
+    /// Cumulative CPU busy core-seconds of `service` across all its
+    /// replicas (past and present), advanced to the current instant.
+    /// Utilisation consumers (HPA, FIRM, the timeline sampler) each keep
+    /// their own previous reading and divide the delta by elapsed capacity
+    /// — see `sora_core::UtilizationProbe` — so concurrent monitors never
+    /// corrupt each other's view.
+    pub fn cpu_busy_core_secs(&mut self, service: ServiceId) -> f64 {
+        let now = self.now();
+        let rt = &self.services[service.get() as usize];
+        let mut total = rt.retired_busy_nanos;
+        for id in rt.replicas.clone() {
+            if let Some(r) = self.replicas.get_mut(&id) {
+                r.cpu.advance(now);
+                total += r.cpu.busy_core_nanos();
+            }
+        }
+        total / 1e9
+    }
+
+    /// Aggregate CPU capacity of `service` in cores (ready replicas ×
+    /// per-replica limit).
+    pub fn cpu_capacity_cores(&self, service: ServiceId) -> f64 {
+        self.ready_replicas(service).len() as f64
+            * self.cpu_limit(service).as_cores_f64()
+    }
+
+    /// The name of `service` (for reports).
+    pub fn service_name(&self, service: ServiceId) -> &str {
+        &self.services[service.get() as usize].spec.name
+    }
+
+    /// The number of registered services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// The entry service of a request type.
+    pub fn entry_of(&self, rtype: RequestTypeId) -> ServiceId {
+        self.request_types[rtype.get() as usize].entry
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now())
+            .field("services", &self.services.len())
+            .field("replicas", &self.replicas.len())
+            .field("in_flight", &self.requests.len())
+            .field("completed", &self.client.total())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+/// Index of `frame` within `rs.frames` (frames are never removed).
+fn frame_index(rs: &RequestState, frame: &Frame) -> FrameIdx {
+    rs.frames
+        .iter()
+        .position(|f| std::ptr::eq(f, frame))
+        .expect("frame belongs to request")
+}

@@ -1,0 +1,73 @@
+//! RT-threshold (deadline) propagation along the critical path (§3.2).
+
+use sim_core::SimDuration;
+
+/// Computes the response-time threshold of the critical service from the
+/// end-to-end SLA and the summed processing time of its upstream services —
+/// the paper's eq. 3: `RTT_sᵢ ≤ SLA − Σ_{k<i} PT_sk`.
+///
+/// The threshold is floored at 5 % of the SLA: when upstream services eat
+/// (nearly) the whole budget, a zero/negative threshold would make every
+/// request badput and blind the model; the floor keeps the goodput signal
+/// alive while still reflecting an extremely tight budget.
+///
+/// # Example
+///
+/// ```
+/// use scg::propagate_deadline;
+/// use sim_core::SimDuration;
+///
+/// // Fig. 5 walk-through from the paper: a 150 ms SLA on the Cart path
+/// // with 10 ms of front-end processing gives Cart a 140 ms threshold.
+/// let rtt = propagate_deadline(SimDuration::from_millis(150),
+///                              SimDuration::from_millis(10));
+/// assert_eq!(rtt.as_millis(), 140);
+/// ```
+pub fn propagate_deadline(sla: SimDuration, upstream_pt: SimDuration) -> SimDuration {
+    let floor = SimDuration::from_nanos(sla.as_nanos() / 20);
+    if upstream_pt >= sla {
+        return floor.max(SimDuration::from_nanos(1));
+    }
+    (sla - upstream_pt).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(propagate_deadline(ms(150), ms(10)).as_millis(), 140);
+    }
+
+    #[test]
+    fn zero_upstream_keeps_full_sla() {
+        assert_eq!(propagate_deadline(ms(400), SimDuration::ZERO), ms(400));
+    }
+
+    #[test]
+    fn exhausted_budget_floors_at_5_percent() {
+        assert_eq!(propagate_deadline(ms(100), ms(100)).as_millis(), 5);
+        assert_eq!(propagate_deadline(ms(100), ms(99)).as_millis(), 5);
+        assert_eq!(propagate_deadline(ms(100), ms(500)).as_millis(), 5);
+    }
+
+    proptest! {
+        /// The threshold is monotone non-increasing in upstream time and
+        /// never exceeds the SLA.
+        #[test]
+        fn prop_monotone(sla in 10u64..1_000, up_a in 0u64..1_000, up_b in 0u64..1_000) {
+            let (lo, hi) = (up_a.min(up_b), up_a.max(up_b));
+            let t_lo = propagate_deadline(ms(sla), ms(lo));
+            let t_hi = propagate_deadline(ms(sla), ms(hi));
+            prop_assert!(t_hi <= t_lo);
+            prop_assert!(t_lo <= ms(sla));
+            prop_assert!(t_hi > SimDuration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Least-squares polynomial fitting (the model's smoothing spline stand-in).
+
+/// A fitted polynomial `y = Σ cᵢ·x̂ⁱ` over an internally normalised domain
+/// (inputs are mapped to `[0, 1]` before fitting, which keeps the normal
+/// equations well-conditioned up to the degree 5–8 range the paper uses).
+///
+/// # Example
+///
+/// ```
+/// use scg::PolyFit;
+/// let xs: Vec<f64> = (0..20).map(f64::from).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x - 0.1 * x * x).collect();
+/// let fit = PolyFit::fit(&xs, &ys, 2).unwrap();
+/// assert!((fit.eval(10.0) - 13.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Coefficients in the normalised domain, constant term first.
+    coeffs: Vec<f64>,
+    x_min: f64,
+    x_scale: f64,
+}
+
+impl PolyFit {
+    /// Fits a polynomial of the given degree to `(xs, ys)` by least squares.
+    ///
+    /// Returns `None` when the system is degenerate: fewer than `degree + 1`
+    /// points, mismatched lengths, zero x-spread, or a singular normal
+    /// matrix.
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Option<PolyFit> {
+        Self::fit_weighted(xs, ys, None, degree)
+    }
+
+    /// Weighted least-squares fit: point `i` contributes with weight
+    /// `ws[i]`. The SCG model weights each concurrency bin by its sample
+    /// count so that densely observed operating points dominate the shape
+    /// and sparse outlier bins cannot drag the curve.
+    ///
+    /// Returns `None` under the same degeneracy conditions as
+    /// [`PolyFit::fit`], or when any weight is non-positive/non-finite.
+    pub fn fit_weighted(
+        xs: &[f64],
+        ys: &[f64],
+        ws: Option<&[f64]>,
+        degree: usize,
+    ) -> Option<PolyFit> {
+        let n = xs.len();
+        if n != ys.len() || n < degree + 1 {
+            return None;
+        }
+        if let Some(ws) = ws {
+            if ws.len() != n || ws.iter().any(|&w| w <= 0.0 || !w.is_finite()) {
+                return None;
+            }
+        }
+        let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let spread = x_max - x_min;
+        if !(spread.is_finite() && spread > 0.0) {
+            return None;
+        }
+        let m = degree + 1;
+        // Normal equations: (VᵀWV) c = VᵀWy with Vandermonde V on x̂ ∈ [0,1].
+        let mut ata = vec![vec![0.0f64; m]; m];
+        let mut aty = vec![0.0f64; m];
+        for (k, (&x, &y)) in xs.iter().zip(ys).enumerate() {
+            let w = ws.map_or(1.0, |ws| ws[k]);
+            let xh = (x - x_min) / spread;
+            let mut pow = vec![1.0; m];
+            for i in 1..m {
+                pow[i] = pow[i - 1] * xh;
+            }
+            for i in 0..m {
+                aty[i] += w * pow[i] * y;
+                for j in 0..m {
+                    ata[i][j] += w * pow[i] * pow[j];
+                }
+            }
+        }
+        let coeffs = solve(ata, aty)?;
+        Some(PolyFit { coeffs, x_min, x_scale: spread })
+    }
+
+    /// Evaluates the polynomial at `x` (original domain).
+    pub fn eval(&self, x: f64) -> f64 {
+        let xh = (x - self.x_min) / self.x_scale;
+        // Horner's rule.
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * xh + c)
+    }
+
+    /// The polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Root-mean-squared residual of the fit on `(xs, ys)`.
+    pub fn rmse(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len().min(ys.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| (self.eval(x) - y).powi(2))
+            .sum();
+        (sum / n as f64).sqrt()
+    }
+}
+
+/// Gaussian elimination with partial pivoting. Returns `None` on a singular
+/// matrix.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("no NaN in normal matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col].clone();
+            for (entry, pivot) in a[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *entry -= f * pivot;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_on_polynomial_data() {
+        let xs: Vec<f64> = (0..30).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 0.5 * x + 0.02 * x.powi(3)).collect();
+        let fit = PolyFit::fit(&xs, &ys, 3).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!((fit.eval(x) - y).abs() < 1e-6);
+        }
+        assert!(fit.rmse(&xs, &ys) < 1e-6);
+        assert_eq!(fit.degree(), 3);
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        assert!(PolyFit::fit(&[1.0, 2.0], &[1.0, 2.0], 5).is_none());
+        assert!(PolyFit::fit(&[1.0, 2.0], &[1.0], 1).is_none());
+    }
+
+    #[test]
+    fn zero_spread_returns_none() {
+        let xs = [3.0; 10];
+        let ys = [1.0; 10];
+        assert!(PolyFit::fit(&xs, &ys, 2).is_none());
+    }
+
+    #[test]
+    fn high_degree_stays_stable_on_noisy_knee_curve() {
+        // goodput-like shape: ramp then flat, with noise.
+        let xs: Vec<f64> = (1..=60).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let clean = if x < 20.0 { 50.0 * x } else { 1000.0 };
+                clean + ((i * 37) % 100) as f64 - 50.0
+            })
+            .collect();
+        let fit = PolyFit::fit(&xs, &ys, 8).unwrap();
+        // Fit should stay within the data envelope (no wild oscillation).
+        for &x in &xs {
+            let v = fit.eval(x);
+            assert!((-500.0..2_000.0).contains(&v), "eval({x}) = {v}");
+        }
+    }
+
+    #[test]
+    fn weights_prioritise_heavy_points() {
+        // Two clusters: heavy points on y = x, one light outlier far off.
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let ys = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let ws = [100.0, 100.0, 100.0, 100.0, 0.01];
+        let fit = PolyFit::fit_weighted(&xs, &ys, Some(&ws), 1).unwrap();
+        assert!((fit.eval(2.0) - 2.0).abs() < 0.2, "heavy cluster wins: {}", fit.eval(2.0));
+        // Invalid weights are rejected.
+        assert!(PolyFit::fit_weighted(&xs, &ys, Some(&[1.0; 3]), 1).is_none());
+        assert!(PolyFit::fit_weighted(&xs, &ys, Some(&[0.0; 5]), 1).is_none());
+    }
+
+    proptest! {
+        /// A degree-1 fit of affine data recovers slope and intercept.
+        #[test]
+        fn prop_affine_recovery(a in -10.0f64..10.0, b in -100.0f64..100.0) {
+            let xs: Vec<f64> = (0..20).map(f64::from).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            if let Some(fit) = PolyFit::fit(&xs, &ys, 1) {
+                for &x in &xs {
+                    prop_assert!((fit.eval(x) - (a * x + b)).abs() < 1e-6);
+                }
+            } else {
+                prop_assert!(false, "fit failed on clean data");
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The Kneedle knee/elbow detector (Satopaa, Albrecht, Irwin, Raghavan:
+//! "Finding a 'Kneedle' in a Haystack", ICDCS-W 2011) — the statistical
+//! approach the paper applies to the concurrency–goodput curve (§3.3).
+
+/// Which kind of inflection to look for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KneeDirection {
+    /// A concave-increasing curve flattening out (the main-sequence curve's
+    /// shape): detect where gains stop being worth the added concurrency.
+    #[default]
+    Knee,
+    /// A convex-decreasing curve levelling off (an "elbow").
+    Elbow,
+}
+
+/// Kneedle knee-point detection over a smoothed, sampled curve.
+///
+/// The algorithm: normalise the curve to the unit square, compute the
+/// difference curve (`y − x` for knees, `x − y` for elbows), find its local
+/// maxima, and confirm a maximum as the knee if the difference drops below
+/// a sensitivity-dependent threshold before the next local maximum.
+///
+/// # Example
+///
+/// ```
+/// use scg::Kneedle;
+/// // y = min(x, 10): a sharp knee at x = 10.
+/// let xs: Vec<f64> = (0..=30).map(f64::from).collect();
+/// let ys: Vec<f64> = xs.iter().map(|&x| x.min(10.0)).collect();
+/// let knee = Kneedle::default().detect(&xs, &ys).unwrap();
+/// assert!((knee - 10.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Kneedle {
+    /// Sensitivity `S`: how far the difference curve must fall below a
+    /// local maximum before the knee is confirmed. Smaller is more eager.
+    pub sensitivity: f64,
+    /// Knee vs elbow.
+    pub direction: KneeDirection,
+}
+
+impl Default for Kneedle {
+    fn default() -> Self {
+        Kneedle { sensitivity: 1.0, direction: KneeDirection::Knee }
+    }
+}
+
+impl Kneedle {
+    /// Detects the knee x-coordinate of the curve `(xs, ys)`.
+    ///
+    /// `xs` must be strictly increasing (callers sort and deduplicate).
+    /// Returns `None` when the curve has fewer than three points, is flat,
+    /// or exhibits no confirmed knee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` have different lengths or `xs` is not
+    /// strictly increasing.
+    pub fn detect(&self, xs: &[f64], ys: &[f64]) -> Option<f64> {
+        assert_eq!(xs.len(), ys.len(), "mismatched curve arrays");
+        assert!(
+            xs.windows(2).all(|w| w[0] < w[1]),
+            "xs must be strictly increasing"
+        );
+        let n = xs.len();
+        if n < 3 {
+            return None;
+        }
+        let (x_min, x_max) = (xs[0], xs[n - 1]);
+        let y_min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let y_max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if y_max - y_min <= 0.0 {
+            return None; // flat curve: no knee
+        }
+        // Normalised difference curve.
+        let diff: Vec<f64> = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let xn = (x - x_min) / (x_max - x_min);
+                let yn = (y - y_min) / (y_max - y_min);
+                match self.direction {
+                    KneeDirection::Knee => yn - xn,
+                    // Decreasing curves are handled by flipping y (the
+                    // original paper's transform), turning the elbow into a
+                    // knee of an increasing curve.
+                    KneeDirection::Elbow => 1.0 - yn - xn,
+                }
+            })
+            .collect();
+        // Mean x-gap in normalised units (Kneedle's T term).
+        let mean_gap = 1.0 / (n - 1) as f64;
+        // Walk local maxima of the difference curve.
+        let mut candidate: Option<(usize, f64)> = None; // (index, threshold)
+        for i in 1..n - 1 {
+            let is_lmx = diff[i] > diff[i - 1] && diff[i] >= diff[i + 1];
+            if is_lmx && candidate.is_none_or(|(ci, _)| diff[i] > diff[ci]) {
+                let threshold = diff[i] - self.sensitivity * mean_gap;
+                candidate = Some((i, threshold));
+            }
+            if let Some((ci, threshold)) = candidate {
+                if i > ci && diff[i] < threshold {
+                    return Some(xs[ci]); // confirmed before reaching the end
+                }
+            }
+        }
+        // Confirm at the boundary: the difference curve ends below threshold.
+        if let Some((ci, threshold)) = candidate {
+            if diff[n - 1] < threshold || ci == n - 2 {
+                return Some(xs[ci]);
+            }
+            // The global maximum is still a knee when it clearly dominates
+            // the curve tail (e.g. goodput declines after the peak).
+            if diff[ci] >= diff[n - 1] + self.sensitivity * mean_gap {
+                return Some(xs[ci]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid(n: usize, f: impl Fn(f64) -> f64) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn sharp_knee_detected_exactly() {
+        let (xs, ys) = grid(41, |x| x.min(15.0));
+        let knee = Kneedle::default().detect(&xs, &ys).unwrap();
+        assert!((knee - 15.0).abs() <= 1.0, "knee {knee}");
+    }
+
+    #[test]
+    fn smooth_saturating_curve() {
+        // y = 1 - exp(-x/5): Kneedle's canonical example has its knee
+        // around x ≈ 5 (one time-constant).
+        // Kneedle's knee is where the *normalised* slope crosses 1, which
+        // for this domain (x up to 49) sits near x = 5·ln(49/5) ≈ 11.4.
+        let (xs, ys) = grid(50, |x| 1.0 - (-x / 5.0).exp());
+        let knee = Kneedle::default().detect(&xs, &ys).unwrap();
+        assert!((8.0..15.0).contains(&knee), "knee {knee}");
+    }
+
+    #[test]
+    fn rise_then_fall_peaks_near_maximum() {
+        // Goodput-like: rises to x=20 then declines (over-allocation).
+        let (xs, ys) = grid(50, |x| if x <= 20.0 { x * 50.0 } else { 1000.0 - (x - 20.0) * 10.0 });
+        let knee = Kneedle::default().detect(&xs, &ys).unwrap();
+        assert!((15.0..=25.0).contains(&knee), "knee {knee}");
+    }
+
+    #[test]
+    fn flat_and_linear_curves_have_no_knee() {
+        let (xs, flat) = grid(20, |_| 5.0);
+        assert_eq!(Kneedle::default().detect(&xs, &flat), None);
+        let (xs, linear) = grid(20, |x| 2.0 * x);
+        assert_eq!(Kneedle::default().detect(&xs, &linear), None);
+    }
+
+    #[test]
+    fn elbow_direction_detects_decreasing_curves() {
+        // Convex decreasing: fast drop then flat (e.g. error vs parameter).
+        let (xs, ys) = grid(40, |x| (-x / 4.0).exp());
+        let det = Kneedle { direction: KneeDirection::Elbow, ..Kneedle::default() };
+        let elbow = det.detect(&xs, &ys).unwrap();
+        // Mirror of the knee case: normalised slope magnitude crosses 1
+        // near x = 4·ln(39/4) ≈ 9.1.
+        assert!((6.0..12.0).contains(&elbow), "elbow {elbow}");
+    }
+
+    #[test]
+    fn too_few_points_yield_none() {
+        assert_eq!(Kneedle::default().detect(&[1.0, 2.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_xs_panic() {
+        let _ = Kneedle::default().detect(&[1.0, 1.0, 2.0], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn higher_sensitivity_is_more_conservative() {
+        // Gentle curve with a mild knee: S=1 finds it, S=25 does not.
+        let (xs, ys) = grid(30, |x| (x / 30.0).powf(0.6));
+        let eager = Kneedle { sensitivity: 1.0, ..Kneedle::default() };
+        let strict = Kneedle { sensitivity: 25.0, ..Kneedle::default() };
+        assert!(eager.detect(&xs, &ys).is_some());
+        assert_eq!(strict.detect(&xs, &ys), None);
+    }
+
+    proptest! {
+        /// Any detected knee lies inside the sampled domain.
+        #[test]
+        fn prop_knee_in_domain(
+            seed_ys in proptest::collection::vec(0.0f64..100.0, 5..60)
+        ) {
+            let xs: Vec<f64> = (0..seed_ys.len()).map(|i| i as f64).collect();
+            if let Some(k) = Kneedle::default().detect(&xs, &seed_ys) {
+                prop_assert!(k >= xs[0] && k <= *xs.last().unwrap());
+            }
+        }
+    }
+}

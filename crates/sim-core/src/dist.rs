@@ -1,0 +1,246 @@
+//! Sampling distributions for service demands and inter-arrival times.
+
+use crate::{SimDuration, SimRng};
+use rand::Rng;
+use rand_distr::{Distribution as _, Exp, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A duration-valued sampling distribution.
+///
+/// These are the workhorse distributions for microservice models: CPU
+/// demands are typically log-normal (right-skewed service times), arrivals
+/// exponential (Poisson process), and bounded-Pareto captures heavy-tailed
+/// outliers.
+///
+/// All variants sample via [`Dist::sample`] from a [`SimRng`], keeping runs
+/// deterministic. Values are clamped to be non-negative.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{Dist, SimRng, SimDuration};
+///
+/// let d = Dist::lognormal_ms(4.0, 0.4); // median ≈ 4 ms CPU demand
+/// let mut rng = SimRng::seed_from(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x > SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always the same duration.
+    Constant {
+        /// The fixed value, in nanoseconds.
+        nanos: u64,
+    },
+    /// Uniform in `[low, high]` nanoseconds.
+    Uniform {
+        /// Lower bound in nanoseconds.
+        low: u64,
+        /// Upper bound in nanoseconds.
+        high: u64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean in nanoseconds.
+        mean_nanos: u64,
+    },
+    /// Log-normal parameterised by the *median* (`exp(mu)`) and shape sigma.
+    LogNormal {
+        /// Median in nanoseconds (`exp(mu)` of the underlying normal).
+        median_nanos: u64,
+        /// Shape parameter sigma of the underlying normal.
+        sigma: f64,
+    },
+    /// Bounded Pareto on `[low, high]` with tail index `alpha`.
+    BoundedPareto {
+        /// Lower bound in nanoseconds.
+        low: u64,
+        /// Upper bound in nanoseconds.
+        high: u64,
+        /// Tail index; smaller is heavier-tailed.
+        alpha: f64,
+    },
+    /// Erlang-k: the sum of `k` exponentials with total mean `mean_nanos`.
+    Erlang {
+        /// Number of exponential stages.
+        k: u32,
+        /// Mean of the *sum*, in nanoseconds.
+        mean_nanos: u64,
+    },
+}
+
+impl Dist {
+    /// A constant duration of `ms` milliseconds.
+    pub const fn constant_ms(ms: u64) -> Dist {
+        Dist::Constant { nanos: ms * 1_000_000 }
+    }
+
+    /// A constant duration of `us` microseconds.
+    pub const fn constant_us(us: u64) -> Dist {
+        Dist::Constant { nanos: us * 1_000 }
+    }
+
+    /// An exponential distribution with mean `ms` milliseconds.
+    pub fn exponential_ms(ms: f64) -> Dist {
+        assert!(ms > 0.0 && ms.is_finite(), "mean must be positive");
+        Dist::Exponential { mean_nanos: (ms * 1e6) as u64 }
+    }
+
+    /// A log-normal distribution with the given median (milliseconds) and sigma.
+    pub fn lognormal_ms(median_ms: f64, sigma: f64) -> Dist {
+        assert!(median_ms > 0.0 && median_ms.is_finite(), "median must be positive");
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        Dist::LogNormal { median_nanos: (median_ms * 1e6) as u64, sigma }
+    }
+
+    /// A uniform distribution on `[low_ms, high_ms]` milliseconds.
+    pub fn uniform_ms(low_ms: u64, high_ms: u64) -> Dist {
+        assert!(low_ms <= high_ms, "low > high");
+        Dist::Uniform { low: low_ms * 1_000_000, high: high_ms * 1_000_000 }
+    }
+
+    /// The distribution mean, as a duration.
+    pub fn mean(&self) -> SimDuration {
+        let nanos = match *self {
+            Dist::Constant { nanos } => nanos as f64,
+            Dist::Uniform { low, high } => (low + high) as f64 / 2.0,
+            Dist::Exponential { mean_nanos } => mean_nanos as f64,
+            Dist::LogNormal { median_nanos, sigma } => {
+                median_nanos as f64 * (sigma * sigma / 2.0).exp()
+            }
+            Dist::BoundedPareto { low, high, alpha } => {
+                let (l, h) = (low as f64, high as f64);
+                if (alpha - 1.0).abs() < 1e-9 {
+                    let ratio: f64 = h / l;
+                    l * ratio.ln() / (1.0 - l / h)
+                } else {
+                    (l.powf(alpha) / (1.0 - (l / h).powf(alpha)))
+                        * (alpha / (alpha - 1.0))
+                        * (1.0 / l.powf(alpha - 1.0) - 1.0 / h.powf(alpha - 1.0))
+                }
+            }
+            Dist::Erlang { mean_nanos, .. } => mean_nanos as f64,
+        };
+        SimDuration::from_nanos(nanos.round() as u64)
+    }
+
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let nanos = match *self {
+            Dist::Constant { nanos } => nanos as f64,
+            Dist::Uniform { low, high } => {
+                if low == high {
+                    low as f64
+                } else {
+                    rng.gen_range(low..=high) as f64
+                }
+            }
+            Dist::Exponential { mean_nanos } => {
+                let exp = Exp::new(1.0 / mean_nanos as f64).expect("positive rate");
+                exp.sample(rng)
+            }
+            Dist::LogNormal { median_nanos, sigma } => {
+                if sigma == 0.0 {
+                    median_nanos as f64
+                } else {
+                    let ln = LogNormal::new((median_nanos as f64).ln(), sigma)
+                        .expect("valid lognormal");
+                    ln.sample(rng)
+                }
+            }
+            Dist::BoundedPareto { low, high, alpha } => {
+                let (l, h) = (low as f64, high as f64);
+                let u: f64 = rng.f64();
+                // Inverse CDF of the bounded Pareto.
+                let num = u * h.powf(alpha) - u * l.powf(alpha) - h.powf(alpha);
+                (-(num / (h.powf(alpha) * l.powf(alpha)))).powf(-1.0 / alpha)
+            }
+            Dist::Erlang { k, mean_nanos } => {
+                let stage_mean = mean_nanos as f64 / f64::from(k.max(1));
+                let exp = Exp::new(1.0 / stage_mean).expect("positive rate");
+                (0..k.max(1)).map(|_| exp.sample(rng)).sum()
+            }
+        };
+        SimDuration::from_nanos(nanos.max(0.0).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| d.sample(&mut rng).as_nanos() as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::constant_ms(5);
+        let mut rng = SimRng::seed_from(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng).as_millis(), 5);
+        }
+        assert_eq!(d.mean().as_millis(), 5);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Dist::exponential_ms(4.0);
+        let m = empirical_mean(d, 200_000, 1);
+        let expected = d.mean().as_nanos() as f64;
+        assert!((m - expected).abs() / expected < 0.02, "mean {m} vs {expected}");
+    }
+
+    #[test]
+    fn lognormal_mean_converges() {
+        let d = Dist::lognormal_ms(4.0, 0.5);
+        let m = empirical_mean(d, 300_000, 2);
+        let expected = d.mean().as_nanos() as f64;
+        assert!((m - expected).abs() / expected < 0.03, "mean {m} vs {expected}");
+    }
+
+    #[test]
+    fn erlang_mean_converges_and_has_lower_variance() {
+        let e1 = Dist::Exponential { mean_nanos: 1_000_000 };
+        let e4 = Dist::Erlang { k: 4, mean_nanos: 1_000_000 };
+        let m = empirical_mean(e4, 100_000, 3);
+        assert!((m - 1e6).abs() / 1e6 < 0.02);
+        // variance of Erlang-k is mean^2/k < mean^2 for exponential
+        let mut rng = SimRng::seed_from(4);
+        let var = |d: &Dist, rng: &mut SimRng| {
+            let xs: Vec<f64> = (0..50_000).map(|_| d.sample(rng).as_nanos() as f64).collect();
+            let mu = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(var(&e4, &mut rng) < var(&e1, &mut rng));
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = Dist::BoundedPareto { low: 1_000, high: 1_000_000, alpha: 1.5 };
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng).as_nanos();
+            assert!((1_000..=1_000_001).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::uniform_ms(2, 6);
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..1_000 {
+            let ms = d.sample(&mut rng).as_millis();
+            assert!((2..=6).contains(&ms));
+        }
+        assert_eq!(d.mean().as_millis(), 4);
+    }
+
+    #[test]
+    fn zero_sigma_lognormal_is_constant() {
+        let d = Dist::lognormal_ms(3.0, 0.0);
+        let mut rng = SimRng::seed_from(7);
+        assert_eq!(d.sample(&mut rng).as_millis(), 3);
+    }
+}

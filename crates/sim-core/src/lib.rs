@@ -1,0 +1,40 @@
+//! Deterministic discrete-event simulation (DES) core.
+//!
+//! This crate is the bottom layer of the Sora reproduction workspace. It
+//! provides the machinery every other crate builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time;
+//! * [`EventQueue`] — a stable-ordered future event list;
+//! * [`SimRng`] — a seeded, splittable random-number generator so whole
+//!   cluster simulations are reproducible bit-for-bit;
+//! * [`Dist`] — the service-time / inter-arrival distributions used by the
+//!   microservice models;
+//! * [`stats`] — streaming statistics (mean/variance, histograms, exact
+//!   percentiles, Pearson correlation, MAPE) used both by the simulated
+//!   telemetry pipeline and by the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(1), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t.as_millis(), ev), (1, "a"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod queue;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use dist::Dist;
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,100 @@
+//! Pearson correlation, used by the critical-service localisation phase.
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `None` when the series are shorter than two points, have
+/// different lengths, or either has zero variance (the coefficient is
+/// undefined in those cases). This is the statistic Sora's critical-service
+/// localisation computes between each microservice's processing time and
+/// the end-to-end response time of the critical path (`PCC(PT_si, RT_CP)`,
+/// §3.2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use sim_core::stats::pearson;
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[10.0, 20.0, 30.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[30.0, 20.0, 10.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        // x alternates, y ramps: correlation is ~0 by symmetry.
+        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.05, "r = {r}");
+    }
+
+    proptest! {
+        /// |r| ≤ 1 always, and r is symmetric in its arguments.
+        #[test]
+        fn prop_bounded_and_symmetric(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..200)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+                let r2 = pearson(&y, &x).unwrap();
+                prop_assert!((r - r2).abs() < 1e-12);
+            }
+        }
+
+        /// Correlation is invariant under positive affine transforms.
+        #[test]
+        fn prop_affine_invariance(
+            xs in proptest::collection::vec(-1e3f64..1e3, 3..50),
+            a in 0.1f64..10.0,
+            b in -100.0f64..100.0,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
+            let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            if let (Some(r1), Some(r2)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
+                prop_assert!((r1 - r2).abs() < 1e-6);
+            }
+        }
+    }
+}

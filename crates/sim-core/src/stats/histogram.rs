@@ -1,0 +1,303 @@
+//! Latency histograms with percentile queries.
+
+use crate::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A log-bucketed latency histogram with exact-ish percentile queries.
+///
+/// Buckets grow geometrically (default 2 % per bucket), giving ≤ 2 %
+/// relative error on any percentile while using a few hundred buckets to
+/// cover nanoseconds-to-minutes. This mirrors what HDR-style histograms do
+/// in production telemetry systems and is what the reproduction uses for
+/// the paper's p95/p99 tables (Table 2) and response-time distribution
+/// figures (Figure 4).
+///
+/// # Example
+///
+/// ```
+/// use sim_core::stats::LatencyHistogram;
+/// use sim_core::SimDuration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in 1..=1000u64 {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// let p50 = h.percentile(50.0).unwrap();
+/// assert!((490..=515).contains(&p50.as_millis()));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// `counts[i]` counts samples in bucket `i`; bucket upper bounds grow
+    /// geometrically from `first_bound` by `growth`.
+    counts: Vec<u64>,
+    total: u64,
+    first_bound: f64,
+    growth: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// A histogram covering 1 µs … ~20 min with 2 % buckets.
+    pub fn new() -> Self {
+        Self::with_resolution(1_000.0, 1.02)
+    }
+
+    /// A histogram with a custom first bucket bound (nanoseconds) and
+    /// per-bucket growth factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_bound_nanos <= 0` or `growth <= 1`.
+    pub fn with_resolution(first_bound_nanos: f64, growth: f64) -> Self {
+        assert!(first_bound_nanos > 0.0, "first bound must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        LatencyHistogram {
+            counts: Vec::new(),
+            total: 0,
+            first_bound: first_bound_nanos,
+            growth,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(&self, nanos: u64) -> usize {
+        if (nanos as f64) <= self.first_bound {
+            return 0;
+        }
+        ((nanos as f64 / self.first_bound).ln() / self.growth.ln()).ceil() as usize
+    }
+
+    /// Upper bound (nanoseconds) of bucket `i`.
+    fn bound_of(&self, i: usize) -> f64 {
+        self.first_bound * self.growth.powi(i as i32)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let nanos = d.as_nanos();
+        let b = self.bucket_of(nanos);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of samples at or below `threshold`.
+    pub fn count_at_or_below(&self, threshold: SimDuration) -> u64 {
+        let t = threshold.as_nanos();
+        let tb = self.bucket_of(t);
+        let mut n = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if i < tb {
+                n += c;
+            } else if i == tb {
+                // The threshold bucket straddles the threshold; all samples in
+                // it are ≤ its upper bound which is ≥ t, so count it only when
+                // the bound is within resolution of t (conservative: include).
+                n += c;
+            } else {
+                break;
+            }
+        }
+        n.min(self.total)
+    }
+
+    /// The `p`-th percentile (0–100), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let hi = self.bound_of(i).min(self.max as f64);
+                let lo = if i == 0 { self.min as f64 } else { self.bound_of(i - 1) };
+                let mid = (lo.max(self.min as f64) + hi).max(0.0) / 2.0;
+                return Some(SimDuration::from_nanos(mid.round() as u64));
+            }
+        }
+        Some(SimDuration::from_nanos(self.max))
+    }
+
+    /// Mean of the recorded samples (bucket-midpoint approximation).
+    pub fn approx_mean(&self) -> Option<SimDuration> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut sum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let hi = self.bound_of(i);
+            let lo = if i == 0 { 0.0 } else { self.bound_of(i - 1) };
+            sum += c as f64 * (lo + hi) / 2.0;
+        }
+        Some(SimDuration::from_nanos((sum / self.total as f64).round() as u64))
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        (self.total > 0).then(|| SimDuration::from_nanos(self.min))
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        (self.total > 0).then(|| SimDuration::from_nanos(self.max))
+    }
+
+    /// Merges another histogram with identical bucketing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms use different resolutions.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert!(
+            (self.first_bound - other.first_bound).abs() < f64::EPSILON
+                && (self.growth - other.growth).abs() < f64::EPSILON,
+            "histogram resolutions differ"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates `(bucket_upper_bound, count)` over non-empty buckets — the
+    /// raw material for Figure 4's semi-log frequency plots.
+    pub fn iter(&self) -> impl Iterator<Item = (SimDuration, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (SimDuration::from_nanos(self.bound_of(i).round() as u64), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.approx_mean(), None);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=10_000u64 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        for (p, expect_ms) in [(50.0, 5_000.0), (95.0, 9_500.0), (99.0, 9_900.0)] {
+            let got = h.percentile(p).unwrap().as_millis() as f64;
+            let rel = (got - expect_ms).abs() / expect_ms;
+            assert!(rel < 0.03, "p{p}: got {got}, want ~{expect_ms}");
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(3));
+        h.record(SimDuration::from_millis(250));
+        assert_eq!(h.min().unwrap().as_micros(), 3);
+        assert_eq!(h.max().unwrap().as_millis(), 250);
+        assert!(h.percentile(0.0).unwrap().as_nanos() >= 3_000);
+    }
+
+    #[test]
+    fn count_at_or_below_splits_goodput() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(SimDuration::from_millis(100));
+        }
+        for _ in 0..10 {
+            h.record(SimDuration::from_millis(900));
+        }
+        let good = h.count_at_or_below(SimDuration::from_millis(400));
+        assert_eq!(good, 90);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_millis(10));
+        b.record(SimDuration::from_millis(20));
+        b.record(SimDuration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max().unwrap().as_millis(), 30);
+    }
+
+    proptest! {
+        /// Percentile error stays within the configured bucket resolution.
+        #[test]
+        fn prop_percentile_relative_error(
+            mut xs in proptest::collection::vec(1_000u64..10_000_000_000, 10..400),
+            p in 1.0f64..100.0,
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &x in &xs {
+                h.record(SimDuration::from_nanos(x));
+            }
+            xs.sort_unstable();
+            let rank = ((p / 100.0) * xs.len() as f64).ceil().max(1.0) as usize - 1;
+            let exact = xs[rank] as f64;
+            let got = h.percentile(p).unwrap().as_nanos() as f64;
+            // 2% buckets + midpoint interpolation: allow 4% + tie slack.
+            prop_assert!((got - exact).abs() / exact < 0.05,
+                "p{}: got {} exact {}", p, got, exact);
+        }
+
+        /// Total counts are conserved and goodput ≤ total.
+        #[test]
+        fn prop_counts_conserved(xs in proptest::collection::vec(1u64..1_000_000, 0..200)) {
+            let mut h = LatencyHistogram::new();
+            for &x in &xs {
+                h.record(SimDuration::from_nanos(x));
+            }
+            prop_assert_eq!(h.count(), xs.len() as u64);
+            prop_assert!(h.count_at_or_below(SimDuration::from_millis(1)) <= h.count());
+        }
+    }
+}

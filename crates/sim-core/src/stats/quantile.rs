@@ -1,0 +1,253 @@
+//! The P² (Piecewise-Parabolic) streaming quantile estimator
+//! (Jain & Chlamtac, CACM 1985).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimation of a single quantile in O(1) memory.
+///
+/// Where [`LatencyHistogram`](crate::stats::LatencyHistogram) answers any
+/// percentile with bucketed memory, `P2Quantile` tracks *one* quantile with
+/// five markers — the right tool for long-lived per-service monitors that
+/// expose, say, a live p99 gauge. The estimator keeps five marker heights
+/// and positions; on each observation the markers shift, and interior
+/// markers are adjusted toward their ideal positions with a piecewise
+/// parabolic (P²) interpolation.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::stats::P2Quantile;
+///
+/// let mut p95 = P2Quantile::new(0.95);
+/// for i in 1..=10_000 {
+///     p95.observe(f64::from(i));
+/// }
+/// let est = p95.value().unwrap();
+/// assert!((est - 9_500.0).abs() / 9_500.0 < 0.02, "{est}");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of min, q/2, q, (1+q)/2, max quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far (first five are buffered in `heights`).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile out of range: {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations absorbed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Absorbs one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn observe(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            }
+            return;
+        }
+        self.count += 1;
+        // Find the cell k containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                let new_height = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (h, p) = (&self.heights, &self.positions);
+        h[i] + s / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + s) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - s) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate, or `None` before any observation. With fewer
+    /// than five observations, returns the exact sample quantile.
+    pub fn value(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut xs = self.heights[..n].to_vec();
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+                Some(xs[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+    use proptest::prelude::*;
+
+    fn exact_quantile(xs: &mut [f64], q: f64) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+        xs[rank - 1]
+    }
+
+    #[test]
+    fn empty_and_small_counts() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.value(), None);
+        p.observe(10.0);
+        assert_eq!(p.value(), Some(10.0));
+        p.observe(20.0);
+        p.observe(0.0);
+        // Exact median of {0, 10, 20} with ceil-rank convention: 10.
+        assert_eq!(p.value(), Some(10.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn uniform_stream_converges() {
+        let mut rng = SimRng::seed_from(1);
+        for q in [0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(q);
+            for _ in 0..100_000 {
+                est.observe(rng.f64() * 1_000.0);
+            }
+            let got = est.value().unwrap();
+            let want = q * 1_000.0;
+            assert!(
+                (got - want).abs() / want < 0.03,
+                "q={q}: got {got}, want ~{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tailed_stream() {
+        // Exponential data: p99 = -ln(0.01) ≈ 4.605 × mean.
+        let mut rng = SimRng::seed_from(2);
+        let mut est = P2Quantile::new(0.99);
+        for _ in 0..200_000 {
+            let u: f64 = rng.f64();
+            est.observe(-(1.0 - u).ln() * 100.0);
+        }
+        let got = est.value().unwrap();
+        assert!((got - 460.5).abs() / 460.5 < 0.05, "p99 of exp(100): {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn invalid_quantile_panics() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN observation")]
+    fn nan_panics() {
+        P2Quantile::new(0.5).observe(f64::NAN);
+    }
+
+    proptest! {
+        /// The estimate stays within the observed range and lands within a
+        /// loose band of the exact quantile for moderate streams.
+        #[test]
+        fn prop_estimate_sane(
+            mut xs in proptest::collection::vec(0.0f64..1e4, 50..2_000),
+            q in 0.05f64..0.95,
+        ) {
+            let mut est = P2Quantile::new(q);
+            for &x in &xs {
+                est.observe(x);
+            }
+            let got = est.value().unwrap();
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(got >= lo && got <= hi, "estimate within range");
+            let exact = exact_quantile(&mut xs, q);
+            // P² is approximate: allow a generous band on small samples.
+            let spread = (hi - lo).max(1.0);
+            prop_assert!(
+                (got - exact).abs() <= 0.25 * spread,
+                "got {got}, exact {exact}, spread {spread}"
+            );
+        }
+    }
+}

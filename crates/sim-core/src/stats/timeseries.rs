@@ -1,0 +1,229 @@
+//! Time-bucketed series accumulation — the substrate of the 100 ms samplers.
+
+use crate::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate of one time bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BucketStat {
+    /// Number of samples that fell in the bucket.
+    pub count: u64,
+    /// Sum of the samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl BucketStat {
+    /// Mean of the bucket's samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Accumulates `(time, value)` samples into fixed-width buckets.
+///
+/// The telemetry pipeline uses this for the paper's fine-grained metrics:
+/// per-100 ms concurrency, throughput and goodput series (§3.2, "Metrics
+/// Collection Phase"). Buckets are indexed from [`SimTime::ZERO`]; pushing a
+/// sample allocates intervening empty buckets so the series stays dense and
+/// alignment is exact.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::stats::BucketSeries;
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let mut s = BucketSeries::new(SimDuration::from_millis(100));
+/// s.push(SimTime::from_millis(20), 1.0);
+/// s.push(SimTime::from_millis(250), 5.0);
+/// assert_eq!(s.len(), 3); // buckets [0,100), [100,200), [200,300)
+/// assert_eq!(s.bucket(0).unwrap().count, 1);
+/// assert_eq!(s.bucket(1).unwrap().count, 0);
+/// assert_eq!(s.bucket(2).unwrap().mean(), 5.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BucketSeries {
+    width: SimDuration,
+    buckets: Vec<BucketStat>,
+}
+
+impl BucketSeries {
+    /// Creates an empty series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "bucket width must be non-zero");
+        BucketSeries { width, buckets: Vec::new() }
+    }
+
+    /// The configured bucket width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// Index of the bucket containing instant `t`.
+    pub fn index_of(&self, t: SimTime) -> usize {
+        (t.as_nanos() / self.width.as_nanos()) as usize
+    }
+
+    /// Start time of bucket `i`.
+    pub fn start_of(&self, i: usize) -> SimTime {
+        SimTime::from_nanos(i as u64 * self.width.as_nanos())
+    }
+
+    /// Absorbs a sample at instant `t`.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        let i = self.index_of(t);
+        if i >= self.buckets.len() {
+            self.buckets.resize(i + 1, BucketStat::default());
+        }
+        let b = &mut self.buckets[i];
+        if b.count == 0 {
+            b.min = value;
+            b.max = value;
+        } else {
+            b.min = b.min.min(value);
+            b.max = b.max.max(value);
+        }
+        b.count += 1;
+        b.sum += value;
+    }
+
+    /// Increments the count of the bucket containing `t` without a value —
+    /// for pure event counting (e.g. completions per bucket).
+    pub fn tick(&mut self, t: SimTime) {
+        self.push(t, 0.0);
+    }
+
+    /// The aggregate of bucket `i`, if allocated.
+    pub fn bucket(&self, i: usize) -> Option<&BucketStat> {
+        self.buckets.get(i)
+    }
+
+    /// Number of allocated buckets (dense from time zero).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when no bucket has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Iterates `(bucket_start, aggregate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &BucketStat)> + '_ {
+        self.buckets.iter().enumerate().map(|(i, b)| (self.start_of(i), b))
+    }
+
+    /// Restricts iteration to buckets fully inside `[from, to)`.
+    pub fn iter_range(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = (SimTime, &BucketStat)> + '_ {
+        self.iter().filter(move |(t, _)| *t >= from && *t + self.width <= to)
+    }
+
+    /// Per-bucket counts converted to a rate (events per second).
+    pub fn rates(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let secs = self.width.as_secs_f64();
+        self.iter().map(move |(t, b)| (t, b.count as f64 / secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn samples_land_in_right_buckets() {
+        let mut s = BucketSeries::new(SimDuration::from_millis(100));
+        s.push(ms(0), 1.0);
+        s.push(ms(99), 2.0);
+        s.push(ms(100), 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.bucket(0).unwrap().count, 2);
+        assert_eq!(s.bucket(0).unwrap().sum, 3.0);
+        assert_eq!(s.bucket(1).unwrap().mean(), 3.0);
+    }
+
+    #[test]
+    fn gaps_are_dense_empty_buckets() {
+        let mut s = BucketSeries::new(SimDuration::from_millis(10));
+        s.push(ms(95), 1.0);
+        assert_eq!(s.len(), 10);
+        for i in 0..9 {
+            assert_eq!(s.bucket(i).unwrap().count, 0);
+        }
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut s = BucketSeries::new(SimDuration::from_millis(100));
+        s.push(ms(5), 7.0);
+        s.push(ms(6), -3.0);
+        s.push(ms(7), 2.0);
+        let b = s.bucket(0).unwrap();
+        assert_eq!(b.min, -3.0);
+        assert_eq!(b.max, 7.0);
+    }
+
+    #[test]
+    fn rates_scale_by_width() {
+        let mut s = BucketSeries::new(SimDuration::from_millis(100));
+        for i in 0..5 {
+            s.tick(ms(i * 10)); // all within the first bucket
+        }
+        let (_, r) = s.rates().next().unwrap();
+        assert!((r - 50.0).abs() < 1e-9); // 5 events / 0.1 s
+    }
+
+    #[test]
+    fn iter_range_excludes_partial_buckets() {
+        let mut s = BucketSeries::new(SimDuration::from_millis(100));
+        s.push(ms(50), 1.0);
+        s.push(ms(150), 1.0);
+        s.push(ms(250), 1.0);
+        let inside: Vec<_> = s.iter_range(ms(100), ms(250)).collect();
+        assert_eq!(inside.len(), 1);
+        assert_eq!(inside[0].0, ms(100));
+    }
+
+    proptest! {
+        /// Sum of bucket counts equals the number of pushes.
+        #[test]
+        fn prop_count_conservation(
+            ts in proptest::collection::vec(0u64..10_000, 0..300)
+        ) {
+            let mut s = BucketSeries::new(SimDuration::from_millis(7));
+            for &t in &ts {
+                s.push(SimTime::from_millis(t), 1.0);
+            }
+            let total: u64 = s.iter().map(|(_, b)| b.count).sum();
+            prop_assert_eq!(total, ts.len() as u64);
+        }
+
+        /// index_of and start_of are inverse on bucket boundaries.
+        #[test]
+        fn prop_index_roundtrip(i in 0usize..10_000, w in 1u64..1_000) {
+            let s = BucketSeries::new(SimDuration::from_millis(w));
+            let t = s.start_of(i);
+            prop_assert_eq!(s.index_of(t), i);
+        }
+    }
+}

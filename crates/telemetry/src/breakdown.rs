@@ -1,0 +1,197 @@
+//! Per-service latency breakdown: where end-to-end time actually goes.
+//!
+//! Decomposes each span into the three intervals that matter for
+//! soft-resource diagnosis — time queued for a worker thread (soft-resource
+//! wait), own processing time, and time blocked on downstream calls — and
+//! aggregates them per service over a trace window. This is the analysis a
+//! tool like tProf [22] automates, and the quickest way to see *which* kind
+//! of resource (thread pool vs CPU vs downstream pool) is throttling a
+//! service.
+
+use crate::{ServiceId, Trace};
+use sim_core::stats::OnlineStats;
+use std::collections::BTreeMap;
+
+/// Aggregated latency decomposition of one service over a trace window.
+/// All statistics are in milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceBreakdown {
+    /// Time spans spent waiting for a worker thread (accept-queue wait —
+    /// grows when the thread pool under-allocates).
+    pub queue_wait_ms: OnlineStats,
+    /// Own processing time (wall time minus downstream waits — grows when
+    /// the CPU saturates or oversubscribes).
+    pub self_time_ms: OnlineStats,
+    /// Time blocked on downstream calls (grows when a downstream service or
+    /// the connection pool toward it throttles).
+    pub downstream_wait_ms: OnlineStats,
+    /// Total span response time.
+    pub response_time_ms: OnlineStats,
+}
+
+impl ServiceBreakdown {
+    /// Number of spans aggregated.
+    pub fn spans(&self) -> u64 {
+        self.response_time_ms.count()
+    }
+
+    /// The dominant component of this service's mean latency.
+    pub fn dominant(&self) -> BreakdownComponent {
+        let q = self.queue_wait_ms.mean();
+        let s = self.self_time_ms.mean();
+        let d = self.downstream_wait_ms.mean();
+        if q >= s && q >= d {
+            BreakdownComponent::QueueWait
+        } else if d >= s {
+            BreakdownComponent::DownstreamWait
+        } else {
+            BreakdownComponent::SelfTime
+        }
+    }
+}
+
+/// The three places a span's time can go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownComponent {
+    /// Waiting for a worker thread.
+    QueueWait,
+    /// Local processing (CPU + sharing overhead).
+    SelfTime,
+    /// Blocked on downstream calls.
+    DownstreamWait,
+}
+
+impl std::fmt::Display for BreakdownComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakdownComponent::QueueWait => "thread-pool queueing",
+            BreakdownComponent::SelfTime => "local processing",
+            BreakdownComponent::DownstreamWait => "downstream waiting",
+        })
+    }
+}
+
+/// Aggregates the latency breakdown of every service across `traces`.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::{latency_breakdown, Trace, Span, SpanId, RequestId,
+///                 RequestTypeId, ServiceId, ReplicaId};
+/// use sim_core::SimTime;
+///
+/// let span = Span {
+///     id: SpanId(0), request: RequestId(0), service: ServiceId(0),
+///     replica: ReplicaId(0), parent: None,
+///     arrival: SimTime::ZERO,
+///     service_start: SimTime::from_millis(4),   // 4 ms queued
+///     departure: SimTime::from_millis(10),      // 6 ms processing
+///     children: vec![],
+/// };
+/// let trace = Trace { request: RequestId(0), request_type: RequestTypeId(0),
+///                     spans: vec![span] };
+/// let b = latency_breakdown([&trace]);
+/// let svc = &b[&ServiceId(0)];
+/// assert!((svc.queue_wait_ms.mean() - 4.0).abs() < 1e-9);
+/// assert!((svc.self_time_ms.mean() - 6.0).abs() < 1e-9);
+/// ```
+pub fn latency_breakdown<'a>(
+    traces: impl IntoIterator<Item = &'a Trace>,
+) -> BTreeMap<ServiceId, ServiceBreakdown> {
+    let mut out: BTreeMap<ServiceId, ServiceBreakdown> = BTreeMap::new();
+    for trace in traces {
+        for span in &trace.spans {
+            let entry = out.entry(span.service).or_default();
+            let queue = span.queue_wait();
+            // `self_time` counts everything outside downstream waits, which
+            // includes the accept-queue wait; subtract it so the three
+            // components partition the span exactly.
+            let processing = span.self_time().saturating_sub_or_zero(queue);
+            entry.queue_wait_ms.push(queue.as_millis_f64());
+            entry.self_time_ms.push(processing.as_millis_f64());
+            entry
+                .downstream_wait_ms
+                .push(span.child_wait_time().as_millis_f64());
+            entry.response_time_ms.push(span.response_time().as_millis_f64());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChildCall, ReplicaId, RequestId, RequestTypeId, Span, SpanId};
+    use sim_core::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn make_trace(req: u64, queue_ms: u64, child_ms: u64) -> Trace {
+        let root = Span {
+            id: SpanId(req * 2),
+            request: RequestId(req),
+            service: ServiceId(0),
+            replica: ReplicaId(0),
+            parent: None,
+            arrival: t(0),
+            service_start: t(queue_ms),
+            departure: t(queue_ms + 10 + child_ms),
+            children: vec![ChildCall {
+                service: ServiceId(1),
+                start: t(queue_ms + 5),
+                end: t(queue_ms + 5 + child_ms),
+            }],
+        };
+        let child = Span {
+            id: SpanId(req * 2 + 1),
+            parent: Some(root.id),
+            service: ServiceId(1),
+            arrival: t(queue_ms + 5),
+            service_start: t(queue_ms + 5),
+            departure: t(queue_ms + 5 + child_ms),
+            children: vec![],
+            ..root.clone()
+        };
+        Trace { request: RequestId(req), request_type: RequestTypeId(0), spans: vec![root, child] }
+    }
+
+    #[test]
+    fn components_sum_to_response_time() {
+        let traces: Vec<Trace> = (0..10).map(|i| make_trace(i, 4, 20)).collect();
+        let b = latency_breakdown(&traces);
+        let root = &b[&ServiceId(0)];
+        assert_eq!(root.spans(), 10);
+        let sum = root.queue_wait_ms.mean()
+            + root.self_time_ms.mean()
+            + root.downstream_wait_ms.mean();
+        assert!(
+            (sum - root.response_time_ms.mean()).abs() < 1e-9,
+            "{sum} vs {}",
+            root.response_time_ms.mean()
+        );
+    }
+
+    #[test]
+    fn dominant_component_identification() {
+        // Heavy queueing at the root.
+        let queued = latency_breakdown(&[make_trace(0, 100, 5)]);
+        assert_eq!(queued[&ServiceId(0)].dominant(), BreakdownComponent::QueueWait);
+        // Downstream-bound root.
+        let downstream = latency_breakdown(&[make_trace(0, 0, 100)]);
+        assert_eq!(
+            downstream[&ServiceId(0)].dominant(),
+            BreakdownComponent::DownstreamWait
+        );
+        // The leaf child is always self-time-bound.
+        assert_eq!(downstream[&ServiceId(1)].dominant(), BreakdownComponent::SelfTime);
+        assert_eq!(BreakdownComponent::QueueWait.to_string(), "thread-pool queueing");
+    }
+
+    #[test]
+    fn empty_window_is_empty() {
+        let b = latency_breakdown(std::iter::empty::<&Trace>());
+        assert!(b.is_empty());
+    }
+}

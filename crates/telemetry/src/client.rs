@@ -1,0 +1,192 @@
+//! End-to-end (client-side) outcome log for experiment reporting.
+
+use sim_core::stats::{BucketSeries, LatencyHistogram};
+use sim_core::{SimDuration, SimTime};
+
+/// Records every finished end-to-end request as seen by the workload
+/// generator: completion time and response time.
+///
+/// Unlike the per-service samplers (which are bounded and evicting, because
+/// they feed the *online* controllers), the client log retains the whole
+/// run — it produces the paper's reported numbers: goodput timelines
+/// (Figs. 10–12, top panels), p95/p99 percentiles (Table 2), and
+/// response-time distribution histograms (Fig. 4).
+///
+/// # Example
+///
+/// ```
+/// use telemetry::ClientLog;
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let mut log = ClientLog::new(SimDuration::from_secs(1));
+/// log.record(SimTime::from_millis(200), SimDuration::from_millis(120));
+/// log.record(SimTime::from_millis(700), SimDuration::from_millis(450));
+/// assert_eq!(log.total(), 2);
+/// assert_eq!(log.goodput_count(SimDuration::from_millis(400)), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientLog {
+    bucket: SimDuration,
+    /// All (completion, response-time) pairs in completion order.
+    outcomes: Vec<(SimTime, SimDuration)>,
+    histogram: LatencyHistogram,
+}
+
+impl ClientLog {
+    /// Creates a log whose timeline queries use `bucket`-sized bins
+    /// (the paper plots 1 s bins over 12-minute runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "bucket must be non-zero");
+        ClientLog { bucket, outcomes: Vec::new(), histogram: LatencyHistogram::new() }
+    }
+
+    /// Records one finished request.
+    pub fn record(&mut self, completed: SimTime, response_time: SimDuration) {
+        self.outcomes.push((completed, response_time));
+        self.histogram.record(response_time);
+    }
+
+    /// Total completed requests.
+    pub fn total(&self) -> u64 {
+        self.outcomes.len() as u64
+    }
+
+    /// Completed requests within `threshold` (goodput count).
+    pub fn goodput_count(&self, threshold: SimDuration) -> u64 {
+        self.outcomes.iter().filter(|&&(_, rt)| rt <= threshold).count() as u64
+    }
+
+    /// Average goodput in requests/second over `[from, to)`.
+    pub fn goodput_rate(&self, from: SimTime, to: SimTime, threshold: SimDuration) -> f64 {
+        assert!(from < to, "empty window");
+        let n = self
+            .outcomes
+            .iter()
+            .filter(|&&(t, rt)| t >= from && t < to && rt <= threshold)
+            .count();
+        n as f64 / (to - from).as_secs_f64()
+    }
+
+    /// The `p`-th percentile of response time over the whole run.
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
+        self.histogram.percentile(p)
+    }
+
+    /// The full response-time histogram (for Fig. 4-style plots).
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.histogram
+    }
+
+    /// Goodput timeline: `(bucket_start, requests/second within threshold)`.
+    pub fn goodput_timeline(&self, threshold: SimDuration) -> Vec<(SimTime, f64)> {
+        let mut series = BucketSeries::new(self.bucket);
+        for &(t, rt) in &self.outcomes {
+            if rt <= threshold {
+                series.tick(t);
+            }
+        }
+        let secs = self.bucket.as_secs_f64();
+        series.iter().map(|(t, b)| (t, b.count as f64 / secs)).collect()
+    }
+
+    /// Mean response-time timeline: `(bucket_start, mean_rt_ms)` with empty
+    /// buckets reported as 0.
+    pub fn response_time_timeline(&self) -> Vec<(SimTime, f64)> {
+        let mut series = BucketSeries::new(self.bucket);
+        for &(t, rt) in &self.outcomes {
+            series.push(t, rt.as_millis_f64());
+        }
+        series.iter().map(|(t, b)| (t, b.mean())).collect()
+    }
+
+    /// Mean response time over the whole run.
+    pub fn mean_response_time(&self) -> Option<SimDuration> {
+        self.histogram.approx_mean()
+    }
+
+    /// Exact percentile over a sub-window (sorts the window's samples).
+    pub fn percentile_in(&self, from: SimTime, to: SimTime, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let mut rts: Vec<SimDuration> = self
+            .outcomes
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, rt)| rt)
+            .collect();
+        if rts.is_empty() {
+            return None;
+        }
+        rts.sort_unstable();
+        let rank = ((p / 100.0) * rts.len() as f64).ceil().max(1.0) as usize - 1;
+        Some(rts[rank.min(rts.len() - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    fn ramp_log() -> ClientLog {
+        let mut log = ClientLog::new(d(1000));
+        for i in 1..=100u64 {
+            log.record(t(i * 50), d(i * 10)); // rts 10..=1000 ms
+        }
+        log
+    }
+
+    #[test]
+    fn counts_and_goodput() {
+        let log = ramp_log();
+        assert_eq!(log.total(), 100);
+        assert_eq!(log.goodput_count(d(400)), 40);
+        assert_eq!(log.goodput_count(d(5)), 0);
+    }
+
+    #[test]
+    fn rate_over_window() {
+        let log = ramp_log();
+        // [0, 5 s): completions at 50..4950 ms → 99 of them; thresholds all pass.
+        let r = log.goodput_rate(t(0), t(5000), d(10_000));
+        assert!((r - 99.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_window_percentile() {
+        let log = ramp_log();
+        let p50 = log.percentile_in(t(0), t(10_000), 50.0).unwrap();
+        assert_eq!(p50.as_millis(), 500);
+        let p99 = log.percentile_in(t(0), t(10_000), 99.0).unwrap();
+        assert_eq!(p99.as_millis(), 990);
+        assert_eq!(log.percentile_in(t(50_000), t(60_000), 50.0), None);
+    }
+
+    #[test]
+    fn histogram_percentile_tracks_exact() {
+        let log = ramp_log();
+        let approx = log.percentile(95.0).unwrap().as_millis() as f64;
+        assert!((approx - 950.0).abs() / 950.0 < 0.05, "approx {approx}");
+    }
+
+    #[test]
+    fn timelines_are_bucketed() {
+        let log = ramp_log();
+        let gp = log.goodput_timeline(d(400));
+        // Good completions are the first 40 (t = 50..2000 ms) → buckets 0 and 1.
+        let total: f64 = gp.iter().map(|(_, r)| r).sum();
+        assert!((total - 40.0).abs() < 1e-9); // 1 s buckets: rate == count
+        let rt = log.response_time_timeline();
+        assert!(rt[0].1 > 0.0);
+        assert!(rt.last().unwrap().1 > rt[0].1, "rts ramp up");
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-service completion log: response times with time-horizon eviction.
+
+use sim_core::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A bounded log of `(completion_time, response_time)` pairs for one
+/// service.
+///
+/// This is the `GP_n` half of the SCG model's `<Q_n, GP_n>` pairs: because
+/// the response-time *threshold* is chosen later (by deadline propagation),
+/// the log stores raw response times and computes goodput for any threshold
+/// on demand, rather than committing to a threshold at ingest.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::CompletionLog;
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let mut log = CompletionLog::new(SimDuration::from_secs(60));
+/// log.record(SimTime::from_millis(10), SimDuration::from_millis(4));
+/// log.record(SimTime::from_millis(20), SimDuration::from_millis(40));
+/// let good = log.goodput_in(SimTime::ZERO, SimTime::from_millis(100),
+///                           SimDuration::from_millis(10));
+/// assert_eq!(good, 1); // only the 4 ms completion beat the 10 ms threshold
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompletionLog {
+    horizon: SimDuration,
+    entries: VecDeque<(SimTime, SimDuration)>,
+}
+
+impl CompletionLog {
+    /// Creates a log retaining `horizon` of history.
+    pub fn new(horizon: SimDuration) -> Self {
+        CompletionLog { horizon, entries: VecDeque::new() }
+    }
+
+    /// Records a completion at `t` with response time `rt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded completion (the simulator
+    /// emits completions in time order).
+    pub fn record(&mut self, t: SimTime, rt: SimDuration) {
+        if let Some(&(last, _)) = self.entries.back() {
+            assert!(t >= last, "completions must be recorded in time order");
+        }
+        self.entries.push_back((t, rt));
+        self.evict(t);
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(SimTime::ZERO);
+        if elapsed <= self.horizon {
+            return;
+        }
+        let cutoff = SimTime::ZERO + (elapsed - self.horizon);
+        while let Some(&(t, _)) = self.entries.front() {
+            if t < cutoff {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Completions in `[from, to)`.
+    pub fn count_in(&self, from: SimTime, to: SimTime) -> u64 {
+        self.iter_window(from, to).count() as u64
+    }
+
+    /// Completions in `[from, to)` with response time ≤ `threshold`.
+    pub fn goodput_in(&self, from: SimTime, to: SimTime, threshold: SimDuration) -> u64 {
+        self.iter_window(from, to).filter(|&&(_, rt)| rt <= threshold).count() as u64
+    }
+
+    /// Iterates `(time, response_time)` entries in `[from, to)`.
+    pub fn iter_window(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &(SimTime, SimDuration)> + '_ {
+        // Entries are time-ordered; binary search both ends.
+        let start = self.entries.partition_point(|&(t, _)| t < from);
+        let end = self.entries.partition_point(|&(t, _)| t < to);
+        self.entries.range(start..end)
+    }
+
+    /// Per-bucket `(completions, good_completions)` counts over `[from, to)`.
+    pub fn bucket_counts(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        width: SimDuration,
+        threshold: SimDuration,
+    ) -> Vec<(u64, u64)> {
+        assert!(!width.is_zero(), "bucket width must be non-zero");
+        let n = (to.saturating_since(from).as_nanos() / width.as_nanos()) as usize;
+        let mut out = vec![(0u64, 0u64); n];
+        for &(t, rt) in self.iter_window(from, from + width * n as u64) {
+            let idx = ((t - from).as_nanos() / width.as_nanos()) as usize;
+            out[idx].0 += 1;
+            if rt <= threshold {
+                out[idx].1 += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn goodput_respects_threshold() {
+        let mut log = CompletionLog::new(SimDuration::from_secs(60));
+        log.record(t(1), d(5));
+        log.record(t(2), d(15));
+        log.record(t(3), d(10));
+        assert_eq!(log.count_in(t(0), t(10)), 3);
+        assert_eq!(log.goodput_in(t(0), t(10), d(10)), 2); // 5 and 10 (inclusive)
+        assert_eq!(log.goodput_in(t(0), t(10), d(4)), 0);
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let mut log = CompletionLog::new(SimDuration::from_secs(60));
+        log.record(t(10), d(1));
+        log.record(t(20), d(1));
+        assert_eq!(log.count_in(t(10), t(20)), 1);
+        assert_eq!(log.count_in(t(0), t(10)), 0);
+    }
+
+    #[test]
+    fn horizon_evicts() {
+        let mut log = CompletionLog::new(d(100));
+        log.record(t(10), d(1));
+        log.record(t(200), d(1)); // cutoff at 100 ms → first entry dropped
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn bucket_counts_partition() {
+        let mut log = CompletionLog::new(SimDuration::from_secs(60));
+        log.record(t(50), d(5));
+        log.record(t(150), d(50));
+        log.record(t(160), d(5));
+        let buckets = log.bucket_counts(t(0), t(200), d(100), d(10));
+        assert_eq!(buckets, vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_record_panics() {
+        let mut log = CompletionLog::new(SimDuration::from_secs(60));
+        log.record(t(10), d(1));
+        log.record(t(5), d(1));
+    }
+
+    proptest! {
+        /// Goodput never exceeds throughput for any threshold, and both are
+        /// monotone in the threshold.
+        #[test]
+        fn prop_goodput_bounds(
+            rts in proptest::collection::vec(1u64..500, 1..100),
+            thr_a in 1u64..500,
+            thr_b in 1u64..500,
+        ) {
+            let mut log = CompletionLog::new(SimDuration::from_secs(600));
+            for (i, &rt) in rts.iter().enumerate() {
+                log.record(t(i as u64), d(rt));
+            }
+            let (from, to) = (t(0), t(rts.len() as u64));
+            let total = log.count_in(from, to);
+            let (lo, hi) = (thr_a.min(thr_b), thr_a.max(thr_b));
+            let g_lo = log.goodput_in(from, to, d(lo));
+            let g_hi = log.goodput_in(from, to, d(hi));
+            prop_assert!(g_lo <= g_hi);
+            prop_assert!(g_hi <= total);
+        }
+    }
+}

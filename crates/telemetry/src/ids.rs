@@ -1,0 +1,96 @@
+//! Identity newtypes shared across the tracing and simulation layers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw numeric value.
+            pub const fn get(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a microservice (e.g. `Cart`, `Catalogue`) within an
+    /// application topology.
+    ServiceId,
+    "svc-",
+    u32
+);
+
+id_type!(
+    /// Identifies one replica (pod) of a service. Replica ids are globally
+    /// unique across services and never reused after a scale-down.
+    ReplicaId,
+    "pod-",
+    u64
+);
+
+id_type!(
+    /// Identifies one end-to-end user request.
+    RequestId,
+    "req-",
+    u64
+);
+
+id_type!(
+    /// Identifies a request *type* (an entry in the application's request
+    /// mix, e.g. `GET /catalogue` vs `POST /cart`).
+    RequestTypeId,
+    "rt-",
+    u32
+);
+
+id_type!(
+    /// Identifies one span (one service's segment of a request).
+    SpanId,
+    "span-",
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(ServiceId(3).to_string(), "svc-3");
+        assert_eq!(ReplicaId(42).to_string(), "pod-42");
+        assert_eq!(RequestId(1).to_string(), "req-1");
+        assert_eq!(RequestTypeId(0).to_string(), "rt-0");
+        assert_eq!(SpanId(9).to_string(), "span-9");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(ServiceId(1));
+        set.insert(ServiceId(1));
+        assert_eq!(set.len(), 1);
+        assert!(ServiceId(1) < ServiceId(2));
+        assert_eq!(ServiceId::from(7).get(), 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Scatter-graph construction: pairing concurrency with goodput per bucket.
+
+use crate::{CompletionLog, ConcurrencyTracker};
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimTime};
+
+/// One sampled point of the concurrency–goodput (or –throughput) scatter
+/// graph: the time-weighted average concurrency `q` during one sampling
+/// bucket and the completion rate `rate` (requests/second) observed in the
+/// same bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScatterPoint {
+    /// Average in-service concurrency during the bucket.
+    pub q: f64,
+    /// Completion rate in requests per second (goodput or throughput,
+    /// depending on the builder used).
+    pub rate: f64,
+}
+
+/// Builds the SCG model's input: `<Q_n, GP_n>` pairs sampled at `interval`
+/// granularity over `[from, to)`, counting only completions whose response
+/// time is within `threshold` (goodput).
+///
+/// Empty buckets (no concurrency and no completions) are skipped — they
+/// carry no information about the concurrency–goodput relationship and
+/// would drag curve fitting toward the origin.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::{build_scatter, CompletionLog, ConcurrencyTracker};
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let mut conc = ConcurrencyTracker::new(SimDuration::from_secs(60));
+/// let mut log = CompletionLog::new(SimDuration::from_secs(60));
+/// conc.enter(SimTime::ZERO);
+/// log.record(SimTime::from_millis(50), SimDuration::from_millis(5));
+/// conc.leave(SimTime::from_millis(50));
+/// let pts = build_scatter(&conc, &log,
+///     SimTime::ZERO, SimTime::from_millis(100),
+///     SimDuration::from_millis(100), SimDuration::from_millis(10));
+/// assert_eq!(pts.len(), 1);
+/// assert!((pts[0].q - 0.5).abs() < 1e-9);
+/// assert!((pts[0].rate - 10.0).abs() < 1e-9); // 1 completion / 0.1 s
+/// ```
+pub fn build_scatter(
+    concurrency: &ConcurrencyTracker,
+    completions: &CompletionLog,
+    from: SimTime,
+    to: SimTime,
+    interval: SimDuration,
+    threshold: SimDuration,
+) -> Vec<ScatterPoint> {
+    build_points(concurrency, completions, from, to, interval, Some(threshold))
+}
+
+/// Like [`build_scatter`] but counts *all* completions — the
+/// Scatter-Concurrency-Throughput (SCT) variant used by ConScale.
+pub fn build_scatter_throughput(
+    concurrency: &ConcurrencyTracker,
+    completions: &CompletionLog,
+    from: SimTime,
+    to: SimTime,
+    interval: SimDuration,
+) -> Vec<ScatterPoint> {
+    build_points(concurrency, completions, from, to, interval, None)
+}
+
+fn build_points(
+    concurrency: &ConcurrencyTracker,
+    completions: &CompletionLog,
+    from: SimTime,
+    to: SimTime,
+    interval: SimDuration,
+    threshold: Option<SimDuration>,
+) -> Vec<ScatterPoint> {
+    assert!(!interval.is_zero(), "sampling interval must be non-zero");
+    let qs = concurrency.bucket_averages(from, to, interval);
+    let counts = completions.bucket_counts(
+        from,
+        to,
+        interval,
+        threshold.unwrap_or(SimDuration::MAX),
+    );
+    let secs = interval.as_secs_f64();
+    qs.iter()
+        .zip(&counts)
+        .filter(|(&q, &(total, _))| q > 0.0 || total > 0)
+        .map(|(&q, &(total, good))| {
+            let n = if threshold.is_some() { good } else { total };
+            ScatterPoint { q, rate: n as f64 / secs }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    fn setup() -> (ConcurrencyTracker, CompletionLog) {
+        let mut conc = ConcurrencyTracker::new(SimDuration::from_secs(600));
+        let mut log = CompletionLog::new(SimDuration::from_secs(600));
+        // Bucket 0: two concurrent fast requests.
+        conc.enter(t(0));
+        conc.enter(t(0));
+        log.record(t(80), d(80));
+        conc.leave(t(80));
+        log.record(t(90), d(90));
+        conc.leave(t(90));
+        // Bucket 1: idle.
+        // Bucket 2: one slow request (400 ms rt).
+        conc.enter(t(200));
+        log.record(t(280), d(400));
+        conc.leave(t(280));
+        (conc, log)
+    }
+
+    #[test]
+    fn goodput_scatter_filters_slow_requests() {
+        let (conc, log) = setup();
+        let pts = build_scatter(&conc, &log, t(0), t(300), d(100), d(100));
+        assert_eq!(pts.len(), 2, "idle bucket skipped");
+        // Bucket 0: q = (2*80 + 1*10)/100 = 1.7, rate = 2/0.1 = 20.
+        assert!((pts[0].q - 1.7).abs() < 1e-9);
+        assert!((pts[0].rate - 20.0).abs() < 1e-9);
+        // Bucket 2: completion had rt 400 ms > 100 ms threshold → goodput 0.
+        assert!((pts[1].rate - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_scatter_counts_everything() {
+        let (conc, log) = setup();
+        let pts = build_scatter_throughput(&conc, &log, t(0), t(300), d(100));
+        assert_eq!(pts.len(), 2);
+        assert!((pts[1].rate - 10.0).abs() < 1e-9); // slow request counts
+    }
+
+    #[test]
+    fn goodput_never_exceeds_throughput() {
+        let (conc, log) = setup();
+        let gp = build_scatter(&conc, &log, t(0), t(300), d(100), d(50));
+        let tp = build_scatter_throughput(&conc, &log, t(0), t(300), d(100));
+        for (g, t_) in gp.iter().zip(&tp) {
+            assert!(g.rate <= t_.rate + 1e-12);
+            assert_eq!(g.q, t_.q);
+        }
+    }
+}

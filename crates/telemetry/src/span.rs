@@ -1,0 +1,248 @@
+//! Spans and traces: the request-level records the Monitoring Module emits.
+
+use crate::{ReplicaId, RequestId, RequestTypeId, ServiceId, SpanId};
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimTime};
+
+/// One downstream RPC issued while serving a span: which service was called
+/// and when the call was outstanding. Used to split a span's wall time into
+/// *own processing* vs *waiting on children* — the paper's `PT` vs `RT`
+/// decomposition (§3.2, eq. 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChildCall {
+    /// The downstream service invoked.
+    pub service: ServiceId,
+    /// When the call was issued.
+    pub start: SimTime,
+    /// When the response arrived.
+    pub end: SimTime,
+}
+
+impl ChildCall {
+    /// Wall time the call was outstanding.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// One service's segment of a request: arrival and departure timestamps plus
+/// the downstream calls made in between. This is the unit the trace
+/// warehouse stores, equivalent to an OpenTracing span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// The span's identity.
+    pub id: SpanId,
+    /// The request this span belongs to.
+    pub request: RequestId,
+    /// The service that executed it.
+    pub service: ServiceId,
+    /// The replica (pod) that executed it.
+    pub replica: ReplicaId,
+    /// The parent span, if any (`None` for the root / front-end span).
+    pub parent: Option<SpanId>,
+    /// When the request arrived at this service.
+    pub arrival: SimTime,
+    /// When a worker thread picked the request up (arrival plus any accept
+    /// -queue wait).
+    pub service_start: SimTime,
+    /// When the response left this service.
+    pub departure: SimTime,
+    /// Downstream calls made while serving, in issue order.
+    pub children: Vec<ChildCall>,
+}
+
+impl Span {
+    /// Total wall time spent in this service (including downstream waits).
+    pub fn response_time(&self) -> SimDuration {
+        self.departure - self.arrival
+    }
+
+    /// Time spent waiting for a worker thread (soft-resource queueing).
+    pub fn queue_wait(&self) -> SimDuration {
+        self.service_start.saturating_since(self.arrival)
+    }
+
+    /// Own processing time: wall time minus the union of child-call
+    /// intervals. Overlapping (parallel) child calls are not double-counted.
+    ///
+    /// This is the paper's `PT_s = PT_req,s + PT_res,s` — the part of the
+    /// span that the *local* service spent queueing/computing, which is what
+    /// deadline propagation subtracts from the SLA (eq. 3).
+    pub fn self_time(&self) -> SimDuration {
+        let total = self.response_time();
+        let waiting = self.child_wait_time();
+        if waiting >= total {
+            SimDuration::ZERO
+        } else {
+            total - waiting
+        }
+    }
+
+    /// Wall time covered by at least one outstanding child call (interval
+    /// union, robust to parallel fan-out).
+    pub fn child_wait_time(&self) -> SimDuration {
+        if self.children.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut intervals: Vec<(SimTime, SimTime)> = self
+            .children
+            .iter()
+            .map(|c| (c.start.max(self.arrival), c.end.min(self.departure)))
+            .filter(|(s, e)| e > s)
+            .collect();
+        intervals.sort();
+        let mut covered = SimDuration::ZERO;
+        let mut cursor: Option<(SimTime, SimTime)> = None;
+        for (s, e) in intervals {
+            match cursor {
+                None => cursor = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        cursor = Some((cs, ce.max(e)));
+                    } else {
+                        covered += ce - cs;
+                        cursor = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = cursor {
+            covered += ce - cs;
+        }
+        covered
+    }
+}
+
+/// A finished request: its metadata plus every span it produced, root first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The request's identity.
+    pub request: RequestId,
+    /// The request type (workload-mix entry).
+    pub request_type: RequestTypeId,
+    /// All spans of the request. `spans[0]` is the root (front-end) span.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// The root span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has no spans (never produced by the simulator).
+    pub fn root(&self) -> &Span {
+        &self.spans[0]
+    }
+
+    /// End-to-end response time (root span duration).
+    pub fn response_time(&self) -> SimDuration {
+        self.root().response_time()
+    }
+
+    /// When the request completed.
+    pub fn completed_at(&self) -> SimTime {
+        self.root().departure
+    }
+
+    /// Looks up a span by id.
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// The spans executed by `service`, in arrival order of appearance.
+    pub fn spans_of(&self, service: ServiceId) -> impl Iterator<Item = &Span> + '_ {
+        self.spans.iter().filter(move |s| s.service == service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn span(id: u64, arrival: u64, departure: u64, children: Vec<ChildCall>) -> Span {
+        Span {
+            id: SpanId(id),
+            request: RequestId(1),
+            service: ServiceId(0),
+            replica: ReplicaId(0),
+            parent: None,
+            arrival: t(arrival),
+            service_start: t(arrival),
+            departure: t(departure),
+            children,
+        }
+    }
+
+    #[test]
+    fn self_time_without_children_is_wall_time() {
+        let s = span(0, 10, 25, vec![]);
+        assert_eq!(s.response_time().as_millis(), 15);
+        assert_eq!(s.self_time().as_millis(), 15);
+        assert_eq!(s.child_wait_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sequential_children_subtract() {
+        let s = span(
+            0,
+            0,
+            100,
+            vec![
+                ChildCall { service: ServiceId(1), start: t(10), end: t(30) },
+                ChildCall { service: ServiceId(2), start: t(50), end: t(70) },
+            ],
+        );
+        assert_eq!(s.child_wait_time().as_millis(), 40);
+        assert_eq!(s.self_time().as_millis(), 60);
+    }
+
+    #[test]
+    fn parallel_children_are_not_double_counted() {
+        let s = span(
+            0,
+            0,
+            100,
+            vec![
+                ChildCall { service: ServiceId(1), start: t(10), end: t(60) },
+                ChildCall { service: ServiceId(2), start: t(20), end: t(40) },
+                ChildCall { service: ServiceId(3), start: t(50), end: t(80) },
+            ],
+        );
+        // Union of [10,60] ∪ [20,40] ∪ [50,80] = [10,80] → 70 ms.
+        assert_eq!(s.child_wait_time().as_millis(), 70);
+        assert_eq!(s.self_time().as_millis(), 30);
+    }
+
+    #[test]
+    fn child_intervals_are_clamped_to_span() {
+        let s = span(
+            0,
+            10,
+            50,
+            vec![ChildCall { service: ServiceId(1), start: t(0), end: t(100) }],
+        );
+        assert_eq!(s.child_wait_time().as_millis(), 40);
+        assert_eq!(s.self_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let tr = Trace {
+            request: RequestId(9),
+            request_type: RequestTypeId(2),
+            spans: vec![
+                span(0, 0, 50, vec![]),
+                Span { service: ServiceId(5), ..span(1, 5, 45, vec![]) },
+            ],
+        };
+        assert_eq!(tr.response_time().as_millis(), 50);
+        assert_eq!(tr.completed_at(), t(50));
+        assert!(tr.span(SpanId(1)).is_some());
+        assert!(tr.span(SpanId(7)).is_none());
+        assert_eq!(tr.spans_of(ServiceId(5)).count(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! The trace warehouse: a time-horizon-bounded store of finished traces.
+
+use crate::{ServiceId, Trace};
+use sim_core::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// In-memory stand-in for the paper's Neo4j/MongoDB trace warehouse.
+///
+/// Finished traces are appended in completion order; traces older than a
+/// configurable horizon are evicted so memory stays bounded over long runs.
+/// A sampling ratio (1 in `k`) can be applied at ingest, mirroring
+/// production tracing samplers; the concurrency/goodput metrics pipeline
+/// does *not* go through the warehouse (it uses the dedicated per-service
+/// samplers), so sampling here only affects critical-path analysis, exactly
+/// like in the paper's architecture (Fig. 8).
+///
+/// # Example
+///
+/// ```
+/// use telemetry::{Trace, TraceWarehouse, Span, SpanId, RequestId, RequestTypeId,
+///                 ServiceId, ReplicaId};
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let mut w = TraceWarehouse::new(SimDuration::from_secs(60), 1);
+/// let span = Span {
+///     id: SpanId(0), request: RequestId(0), service: ServiceId(0),
+///     replica: ReplicaId(0), parent: None,
+///     arrival: SimTime::ZERO, service_start: SimTime::ZERO, departure: SimTime::from_millis(10),
+///     children: vec![],
+/// };
+/// w.push(Trace { request: RequestId(0), request_type: RequestTypeId(0), spans: vec![span] });
+/// assert_eq!(w.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWarehouse {
+    horizon: SimDuration,
+    sample_every: u64,
+    counter: u64,
+    traces: VecDeque<Trace>,
+}
+
+impl TraceWarehouse {
+    /// Creates a warehouse keeping `horizon` of history, ingesting one in
+    /// `sample_every` traces (`1` keeps everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    pub fn new(horizon: SimDuration, sample_every: u64) -> Self {
+        assert!(sample_every > 0, "sample_every must be at least 1");
+        TraceWarehouse { horizon, sample_every, counter: 0, traces: VecDeque::new() }
+    }
+
+    /// Ingests a finished trace (subject to sampling), evicting expired ones.
+    pub fn push(&mut self, trace: Trace) {
+        self.counter += 1;
+        let now = trace.completed_at();
+        if (self.counter - 1).is_multiple_of(self.sample_every) {
+            self.traces.push_back(trace);
+        }
+        self.evict_before(now);
+    }
+
+    /// Drops traces that completed before `now − horizon`.
+    pub fn evict_before(&mut self, now: SimTime) {
+        let cutoff = now.saturating_since(SimTime::ZERO);
+        let min_keep = if cutoff > self.horizon {
+            SimTime::ZERO + (cutoff - self.horizon)
+        } else {
+            SimTime::ZERO
+        };
+        while let Some(front) = self.traces.front() {
+            if front.completed_at() < min_keep {
+                self.traces.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of stored traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when no traces are stored.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total traces offered for ingest (before sampling/eviction).
+    pub fn ingested(&self) -> u64 {
+        self.counter
+    }
+
+    /// Iterates stored traces oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Trace> + '_ {
+        self.traces.iter()
+    }
+
+    /// Iterates traces that completed within `[from, to)`.
+    pub fn iter_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &Trace> + '_ {
+        self.traces
+            .iter()
+            .filter(move |t| t.completed_at() >= from && t.completed_at() < to)
+    }
+
+    /// Iterates traces whose critical chain touches `service` in `[from, to)`.
+    pub fn iter_touching(
+        &self,
+        service: ServiceId,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &Trace> + '_ {
+        self.iter_window(from, to)
+            .filter(move |t| t.spans.iter().any(|s| s.service == service))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReplicaId, RequestId, RequestTypeId, Span, SpanId};
+
+    fn trace(req: u64, done_ms: u64) -> Trace {
+        Trace {
+            request: RequestId(req),
+            request_type: RequestTypeId(0),
+            spans: vec![Span {
+                id: SpanId(req),
+                request: RequestId(req),
+                service: ServiceId((req % 3) as u32),
+                replica: ReplicaId(0),
+                parent: None,
+                arrival: SimTime::ZERO,
+                service_start: SimTime::ZERO,
+                departure: SimTime::from_millis(done_ms),
+                children: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn horizon_evicts_old_traces() {
+        let mut w = TraceWarehouse::new(SimDuration::from_millis(100), 1);
+        w.push(trace(1, 10));
+        w.push(trace(2, 50));
+        w.push(trace(3, 160)); // cutoff 60 ms evicts both earlier traces
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.iter().next().unwrap().request, RequestId(3));
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_k() {
+        let mut w = TraceWarehouse::new(SimDuration::from_secs(10), 3);
+        for i in 0..9 {
+            w.push(trace(i, i + 1));
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.ingested(), 9);
+    }
+
+    #[test]
+    fn window_queries() {
+        let mut w = TraceWarehouse::new(SimDuration::from_secs(10), 1);
+        for i in 1..=5 {
+            w.push(trace(i, i * 10));
+        }
+        let hits: Vec<_> = w
+            .iter_window(SimTime::from_millis(20), SimTime::from_millis(41))
+            .map(|t| t.request.get())
+            .collect();
+        assert_eq!(hits, [2, 3, 4]);
+        let touching = w
+            .iter_touching(ServiceId(1), SimTime::ZERO, SimTime::from_secs(1))
+            .count();
+        assert_eq!(touching, 2); // requests 1 and 4
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_sampling_panics() {
+        let _ = TraceWarehouse::new(SimDuration::from_secs(1), 0);
+    }
+}

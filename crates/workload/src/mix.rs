@@ -1,0 +1,109 @@
+//! Weighted request-type mixes (and mid-run mix switching).
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimRng;
+use telemetry::RequestTypeId;
+
+/// A weighted mix of request types, sampled per arrival.
+///
+/// Supports the paper's §5.3 *system state drifting* experiment, where the
+/// workload switches from light to heavy requests mid-run: build two mixes
+/// and swap them at the drift instant.
+///
+/// # Example
+///
+/// ```
+/// use workload::Mix;
+/// use telemetry::RequestTypeId;
+/// use sim_core::SimRng;
+///
+/// let mix = Mix::new(vec![(RequestTypeId(0), 3.0), (RequestTypeId(1), 1.0)]);
+/// let mut rng = SimRng::seed_from(1);
+/// let _rt = mix.sample(&mut rng); // 75 % type 0, 25 % type 1
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mix {
+    entries: Vec<(RequestTypeId, f64)>,
+    total: f64,
+}
+
+impl Mix {
+    /// Builds a mix from `(type, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, or any weight is non-positive or
+    /// non-finite.
+    pub fn new(entries: Vec<(RequestTypeId, f64)>) -> Self {
+        assert!(!entries.is_empty(), "mix must have at least one entry");
+        for &(rt, w) in &entries {
+            assert!(w > 0.0 && w.is_finite(), "invalid weight {w} for {rt}");
+        }
+        let total = entries.iter().map(|e| e.1).sum();
+        Mix { entries, total }
+    }
+
+    /// A single-type mix.
+    pub fn single(rtype: RequestTypeId) -> Self {
+        Mix::new(vec![(rtype, 1.0)])
+    }
+
+    /// Draws one request type.
+    pub fn sample(&self, rng: &mut SimRng) -> RequestTypeId {
+        let mut x = rng.f64() * self.total;
+        for &(rt, w) in &self.entries {
+            if x < w {
+                return rt;
+            }
+            x -= w;
+        }
+        self.entries.last().expect("non-empty").0
+    }
+
+    /// The probability assigned to `rtype` (0 when absent).
+    pub fn probability(&self, rtype: RequestTypeId) -> f64 {
+        self.entries
+            .iter()
+            .filter(|(rt, _)| *rt == rtype)
+            .map(|(_, w)| w / self.total)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_mix_always_samples_itself() {
+        let mix = Mix::single(RequestTypeId(4));
+        let mut rng = SimRng::seed_from(0);
+        for _ in 0..100 {
+            assert_eq!(mix.sample(&mut rng), RequestTypeId(4));
+        }
+        assert_eq!(mix.probability(RequestTypeId(4)), 1.0);
+        assert_eq!(mix.probability(RequestTypeId(5)), 0.0);
+    }
+
+    #[test]
+    fn weights_shape_frequencies() {
+        let mix = Mix::new(vec![(RequestTypeId(0), 3.0), (RequestTypeId(1), 1.0)]);
+        let mut rng = SimRng::seed_from(1);
+        let hits = (0..40_000).filter(|_| mix.sample(&mut rng) == RequestTypeId(0)).count();
+        let frac = hits as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
+        assert!((mix.probability(RequestTypeId(0)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_mix_panics() {
+        let _ = Mix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn zero_weight_panics() {
+        let _ = Mix::new(vec![(RequestTypeId(0), 0.0)]);
+    }
+}

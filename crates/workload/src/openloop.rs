@@ -1,0 +1,135 @@
+//! Open-loop non-homogeneous Poisson arrivals via thinning.
+
+use crate::RateCurve;
+use sim_core::{SimDuration, SimRng, SimTime};
+
+/// An open-loop arrival process whose instantaneous rate follows a
+/// [`RateCurve`] (requests per second), generated with Lewis–Shedler
+/// thinning: candidate arrivals are drawn from a homogeneous Poisson
+/// process at the curve's peak rate and accepted with probability
+/// `rate(t) / peak`.
+///
+/// Implements [`Iterator`], yielding arrival instants in increasing order
+/// until the curve's duration is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use workload::{NhppArrivals, RateCurve, TraceShape};
+/// use sim_core::{SimDuration, SimRng};
+///
+/// let curve = RateCurve::new(TraceShape::SlowlyVarying, 100.0,
+///                            SimDuration::from_secs(60));
+/// let arrivals: Vec<_> = NhppArrivals::new(curve, SimRng::seed_from(1)).collect();
+/// // ~60 s × avg(40..100 rps) → thousands of arrivals.
+/// assert!(arrivals.len() > 2_000);
+/// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NhppArrivals {
+    curve: RateCurve,
+    rng: SimRng,
+    cursor: SimTime,
+}
+
+impl NhppArrivals {
+    /// Creates the process starting at time zero.
+    pub fn new(curve: RateCurve, rng: SimRng) -> Self {
+        NhppArrivals { curve, rng, cursor: SimTime::ZERO }
+    }
+
+    /// Creates the process starting at `start` (e.g. to resume mid-run).
+    pub fn starting_at(curve: RateCurve, rng: SimRng, start: SimTime) -> Self {
+        NhppArrivals { curve, rng, cursor: start }
+    }
+}
+
+impl Iterator for NhppArrivals {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        let peak = self.curve.max_value();
+        let end = SimTime::ZERO + self.curve.duration();
+        loop {
+            // Exponential gap at the majorant rate.
+            let u: f64 = self.rng.f64();
+            let gap_secs = -(1.0 - u).ln() / peak;
+            let candidate = self.cursor + SimDuration::from_secs_f64(gap_secs);
+            if candidate >= end {
+                self.cursor = end;
+                return None;
+            }
+            self.cursor = candidate;
+            let accept_p = self.curve.value_at(candidate) / peak;
+            if self.rng.chance(accept_p.clamp(0.0, 1.0)) {
+                return Some(candidate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceShape;
+
+    fn arrivals(shape: TraceShape, peak: f64, secs: u64, seed: u64) -> Vec<SimTime> {
+        let curve = RateCurve::new(shape, peak, SimDuration::from_secs(secs));
+        NhppArrivals::new(curve, SimRng::seed_from(seed)).collect()
+    }
+
+    #[test]
+    fn rate_tracks_the_curve() {
+        let xs = arrivals(TraceShape::BigSpike, 1000.0, 100, 42);
+        // Count arrivals in the flat region vs the spike.
+        let in_range = |from: u64, to: u64| {
+            xs.iter()
+                .filter(|t| **t >= SimTime::from_secs(from) && **t < SimTime::from_secs(to))
+                .count() as f64
+                / (to - from) as f64
+        };
+        let flat = in_range(5, 35);
+        let spike = in_range(47, 53);
+        assert!(
+            spike / flat > 1.8,
+            "spike rate ({spike}/s) should dwarf flat rate ({flat}/s)"
+        );
+        // Flat region sits near 0.4 × peak.
+        assert!((flat - 420.0).abs() < 60.0, "flat ≈ 400–450 rps, got {flat}");
+    }
+
+    #[test]
+    fn total_count_matches_integral() {
+        let xs = arrivals(TraceShape::SlowlyVarying, 500.0, 200, 7);
+        // Integral of the slow wave ≈ 0.675 average level.
+        let expected = 0.675 * 500.0 * 200.0;
+        let got = xs.len() as f64;
+        assert!((got - expected).abs() / expected < 0.05, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_bounded() {
+        let xs = arrivals(TraceShape::QuickVarying, 200.0, 60, 3);
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(xs.iter().all(|t| *t < SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = arrivals(TraceShape::LargeVariation, 300.0, 30, 9);
+        let b = arrivals(TraceShape::LargeVariation, 300.0, 30, 9);
+        let c = arrivals(TraceShape::LargeVariation, 300.0, 30, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn starting_at_skips_prefix() {
+        let curve = RateCurve::new(TraceShape::DualPhase, 100.0, SimDuration::from_secs(60));
+        let xs: Vec<_> =
+            NhppArrivals::starting_at(curve, SimRng::seed_from(1), SimTime::from_secs(50))
+                .collect();
+        assert!(xs.iter().all(|t| *t >= SimTime::from_secs(50)));
+        assert!(!xs.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Recording and replaying workloads.
+//!
+//! A closed-loop run is only reproducible together with the system it drove
+//! (completions feed back into send times). Recording the *sends* that a
+//! run actually made turns it into an open-loop trace that can be replayed
+//! against any configuration — how production traces (and the paper's
+//! Gandhi et al. traces) are used.
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimTime;
+use telemetry::RequestTypeId;
+
+/// One recorded arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalRecord {
+    /// When the request was issued (nanoseconds since run start).
+    pub at_nanos: u64,
+    /// The request type issued.
+    pub rtype: RequestTypeId,
+}
+
+impl ArrivalRecord {
+    /// The arrival instant.
+    pub fn at(&self) -> SimTime {
+        SimTime::from_nanos(self.at_nanos)
+    }
+}
+
+/// A recorded workload: a time-ordered list of arrivals.
+///
+/// # Example
+///
+/// ```
+/// use workload::{ArrivalRecord, WorkloadTrace};
+/// use sim_core::SimTime;
+/// use telemetry::RequestTypeId;
+///
+/// let mut trace = WorkloadTrace::new();
+/// trace.push(SimTime::from_millis(5), RequestTypeId(0));
+/// trace.push(SimTime::from_millis(9), RequestTypeId(1));
+/// let json = trace.to_json().unwrap();
+/// let back = WorkloadTrace::from_json(&json).unwrap();
+/// assert_eq!(back.len(), 2);
+/// assert_eq!(back.arrivals()[1].rtype, RequestTypeId(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    arrivals: Vec<ArrivalRecord>,
+}
+
+impl WorkloadTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        WorkloadTrace::default()
+    }
+
+    /// Appends an arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous arrival (traces are
+    /// time-ordered by construction).
+    pub fn push(&mut self, at: SimTime, rtype: RequestTypeId) {
+        if let Some(last) = self.arrivals.last() {
+            assert!(
+                at.as_nanos() >= last.at_nanos,
+                "arrivals must be recorded in time order"
+            );
+        }
+        self.arrivals.push(ArrivalRecord { at_nanos: at.as_nanos(), rtype });
+    }
+
+    /// The recorded arrivals, time-ordered.
+    pub fn arrivals(&self) -> &[ArrivalRecord] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The trace's duration (instant of the last arrival).
+    pub fn duration(&self) -> SimTime {
+        self.arrivals.last().map_or(SimTime::ZERO, |a| a.at())
+    }
+
+    /// Mean arrival rate in requests/second over the trace's duration.
+    pub fn mean_rate(&self) -> f64 {
+        let secs = self.duration().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.arrivals.len() as f64 / secs
+        }
+    }
+
+    /// Arrivals within `[from, to)` per second, bucketed by `bucket_secs` —
+    /// the trace's rate curve, e.g. for plotting or re-scaling.
+    pub fn rate_curve(&self, bucket_secs: u64) -> Vec<(u64, f64)> {
+        assert!(bucket_secs > 0, "bucket must be non-zero");
+        let mut buckets: Vec<u64> = Vec::new();
+        for a in &self.arrivals {
+            let idx = (a.at().as_secs_f64() / bucket_secs as f64) as usize;
+            if idx >= buckets.len() {
+                buckets.resize(idx + 1, 0);
+            }
+            buckets[idx] += 1;
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (i as u64 * bucket_secs, n as f64 / bucket_secs as f64))
+            .collect()
+    }
+
+    /// Serialises to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures (practically unreachable for this
+    /// type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Extend<ArrivalRecord> for WorkloadTrace {
+    fn extend<T: IntoIterator<Item = ArrivalRecord>>(&mut self, iter: T) {
+        for a in iter {
+            self.push(a.at(), a.rtype);
+        }
+    }
+}
+
+impl FromIterator<ArrivalRecord> for WorkloadTrace {
+    fn from_iter<T: IntoIterator<Item = ArrivalRecord>>(iter: T) -> Self {
+        let mut trace = WorkloadTrace::new();
+        trace.extend(iter);
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NhppArrivals, RateCurve, TraceShape};
+    use sim_core::{SimDuration, SimRng};
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let curve = RateCurve::new(TraceShape::BigSpike, 200.0, SimDuration::from_secs(30));
+        let trace: WorkloadTrace = NhppArrivals::new(curve, SimRng::seed_from(4))
+            .map(|at| ArrivalRecord { at_nanos: at.as_nanos(), rtype: RequestTypeId(0) })
+            .collect();
+        assert!(trace.len() > 1_000);
+        let json = trace.to_json().unwrap();
+        let back = WorkloadTrace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rate_curve_reflects_the_spike() {
+        let curve = RateCurve::new(TraceShape::BigSpike, 500.0, SimDuration::from_secs(100));
+        let trace: WorkloadTrace = NhppArrivals::new(curve, SimRng::seed_from(5))
+            .map(|at| ArrivalRecord { at_nanos: at.as_nanos(), rtype: RequestTypeId(0) })
+            .collect();
+        let rates = trace.rate_curve(10);
+        let mid = rates[5].1; // t = 50 s: the spike
+        let edge = rates[1].1; // t = 10 s: the plateau
+        assert!(mid > 1.8 * edge, "spike {mid} vs plateau {edge}");
+        assert!(trace.mean_rate() > 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_panics() {
+        let mut trace = WorkloadTrace::new();
+        trace.push(SimTime::from_millis(10), RequestTypeId(0));
+        trace.push(SimTime::from_millis(5), RequestTypeId(0));
+    }
+
+    #[test]
+    fn empty_trace_basics() {
+        let t = WorkloadTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), SimTime::ZERO);
+        assert_eq!(t.mean_rate(), 0.0);
+        assert!(t.rate_curve(10).is_empty());
+    }
+}

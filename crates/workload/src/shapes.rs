@@ -1,0 +1,241 @@
+//! The six bursty trace shapes of the paper's Table 2.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A normalised bursty-workload shape: load fraction (0..=1) as a function
+/// of run progress (0..=1).
+///
+/// These encode the six real-world traces of Gandhi et al. that the paper
+/// evaluates under (Table 2). Shapes are piecewise-linear renditions of the
+/// published curves; what matters for reproducing the paper is where the
+/// surges sit and how steep they are, not the exact sample values.
+///
+/// # Example
+///
+/// ```
+/// use workload::TraceShape;
+/// let s = TraceShape::SteepTriPhase;
+/// // Quiet at the start, surging in the first steep phase.
+/// assert!(s.level_at(0.05) < 0.5);
+/// assert!(s.level_at(0.45) > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceShape {
+    /// Repeated large swings between low and peak load.
+    LargeVariation,
+    /// Fast small-period oscillation.
+    QuickVarying,
+    /// One slow rise and fall.
+    SlowlyVarying,
+    /// Mostly flat with one tall spike.
+    BigSpike,
+    /// A low plateau followed by a high plateau.
+    DualPhase,
+    /// Three phases with steep transitions (two surges), as in Fig. 10.
+    SteepTriPhase,
+    /// Constant full load — not one of the paper's traces; used by the
+    /// parameter-sweep experiments (Figs. 3, 9) that hold the workload
+    /// fixed while a pool size is varied. Excluded from [`TraceShape::ALL`].
+    Steady,
+}
+
+impl TraceShape {
+    /// All six shapes, in the paper's Table 2 order.
+    pub const ALL: [TraceShape; 6] = [
+        TraceShape::LargeVariation,
+        TraceShape::QuickVarying,
+        TraceShape::SlowlyVarying,
+        TraceShape::BigSpike,
+        TraceShape::DualPhase,
+        TraceShape::SteepTriPhase,
+    ];
+
+    /// The load fraction at run progress `frac` (clamped to 0..=1).
+    /// Always within `(0, 1]`.
+    pub fn level_at(self, frac: f64) -> f64 {
+        let x = frac.clamp(0.0, 1.0);
+        match self {
+            TraceShape::Steady => 1.0,
+            TraceShape::QuickVarying => {
+                // Triangle wave, 8 periods, between 0.35 and 1.0.
+                let period = 1.0 / 8.0;
+                let phase = (x % period) / period;
+                let tri = if phase < 0.5 { phase * 2.0 } else { 2.0 - phase * 2.0 };
+                0.35 + 0.65 * tri
+            }
+            _ => piecewise(self.control_points(), x),
+        }
+    }
+
+    fn control_points(self) -> &'static [(f64, f64)] {
+        match self {
+            TraceShape::LargeVariation => &[
+                (0.00, 0.50),
+                (0.10, 0.90),
+                (0.20, 0.35),
+                (0.25, 0.40),
+                (0.32, 1.00),
+                (0.45, 0.40),
+                (0.55, 0.95),
+                (0.65, 0.30),
+                (0.72, 0.95),
+                (0.80, 1.00),
+                (0.90, 0.45),
+                (1.00, 0.70),
+            ],
+            TraceShape::QuickVarying | TraceShape::Steady => &[],
+            TraceShape::SlowlyVarying => &[
+                (0.00, 0.40),
+                (0.25, 0.70),
+                (0.50, 1.00),
+                (0.75, 0.60),
+                (1.00, 0.40),
+            ],
+            TraceShape::BigSpike => &[
+                (0.00, 0.40),
+                (0.40, 0.45),
+                (0.46, 1.00),
+                (0.54, 1.00),
+                (0.60, 0.45),
+                (1.00, 0.40),
+            ],
+            TraceShape::DualPhase => &[
+                (0.00, 0.35),
+                (0.44, 0.40),
+                (0.50, 0.90),
+                (0.95, 1.00),
+                (1.00, 0.90),
+            ],
+            TraceShape::SteepTriPhase => &[
+                (0.00, 0.35),
+                (0.30, 0.40),
+                (0.37, 1.00),
+                (0.50, 1.00),
+                (0.57, 0.45),
+                (0.64, 0.45),
+                (0.67, 0.95),
+                (0.83, 0.95),
+                (0.86, 0.40),
+                (1.00, 0.35),
+            ],
+        }
+    }
+
+    /// The paper's short name for the trace.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceShape::LargeVariation => "Large Variation",
+            TraceShape::QuickVarying => "Quick Varying",
+            TraceShape::SlowlyVarying => "Slowly Varying",
+            TraceShape::BigSpike => "Big Spike",
+            TraceShape::DualPhase => "Dual Phase",
+            TraceShape::SteepTriPhase => "Steep Tri Phase",
+            TraceShape::Steady => "Steady",
+        }
+    }
+}
+
+impl fmt::Display for TraceShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn piecewise(points: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(points.len() >= 2);
+    let mut prev = points[0];
+    for &p in &points[1..] {
+        if x <= p.0 {
+            let span = p.0 - prev.0;
+            if span <= 0.0 {
+                return p.1;
+            }
+            let w = (x - prev.0) / span;
+            return prev.1 + w * (p.1 - prev.1);
+        }
+        prev = p;
+    }
+    points.last().expect("non-empty").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_shapes_stay_in_unit_range() {
+        for shape in TraceShape::ALL {
+            for i in 0..=1000 {
+                let v = shape.level_at(i as f64 / 1000.0);
+                assert!((0.0..=1.0).contains(&v), "{shape} at {i}: {v}");
+                assert!(v >= 0.25, "{shape} never goes fully idle: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_shape_reaches_near_peak() {
+        for shape in TraceShape::ALL {
+            let peak = (0..=1000)
+                .map(|i| shape.level_at(i as f64 / 1000.0))
+                .fold(0.0f64, f64::max);
+            assert!(peak > 0.95, "{shape} peak {peak}");
+        }
+    }
+
+    #[test]
+    fn steep_tri_phase_has_two_surges() {
+        let s = TraceShape::SteepTriPhase;
+        assert!(s.level_at(0.45) > 0.9, "first surge");
+        assert!(s.level_at(0.61) < 0.55, "valley between surges");
+        assert!(s.level_at(0.75) > 0.9, "second surge");
+    }
+
+    #[test]
+    fn quick_varying_oscillates() {
+        let s = TraceShape::QuickVarying;
+        let flips = (1..200)
+            .filter(|&i| {
+                let a = s.level_at((i - 1) as f64 / 200.0);
+                let b = s.level_at(i as f64 / 200.0);
+                (a < 0.5) != (b < 0.5)
+            })
+            .count();
+        assert!(flips >= 8, "expected many oscillations, saw {flips}");
+    }
+
+    #[test]
+    fn big_spike_is_flat_except_spike() {
+        let s = TraceShape::BigSpike;
+        assert!(s.level_at(0.2) < 0.5);
+        assert!(s.level_at(0.5) > 0.95);
+        assert!(s.level_at(0.8) < 0.5);
+    }
+
+    #[test]
+    fn steady_is_flat_and_not_in_all() {
+        for i in 0..=10 {
+            assert_eq!(TraceShape::Steady.level_at(i as f64 / 10.0), 1.0);
+        }
+        assert!(!TraceShape::ALL.contains(&TraceShape::Steady));
+    }
+
+    #[test]
+    fn display_matches_table2_names() {
+        assert_eq!(TraceShape::DualPhase.to_string(), "Dual Phase");
+        assert_eq!(TraceShape::ALL.len(), 6);
+    }
+
+    proptest! {
+        /// Input outside [0,1] clamps instead of extrapolating.
+        #[test]
+        fn prop_clamped(frac in -10.0f64..10.0) {
+            for shape in TraceShape::ALL {
+                let v = shape.level_at(frac);
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

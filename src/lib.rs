@@ -1,0 +1,16 @@
+//! Workspace façade for the Sora (Middleware '23) reproduction.
+//!
+//! This crate re-exports every member crate under one roof so the runnable
+//! examples in `examples/` and the integration tests in `tests/` can address
+//! the whole stack with a single dependency. Library users should depend on
+//! the individual crates (`sora-core`, `scg`, `microsim`, …) directly.
+
+pub use apps;
+pub use autoscalers;
+pub use cluster;
+pub use microsim;
+pub use scg;
+pub use sim_core;
+pub use sora_core;
+pub use telemetry;
+pub use workload;
