@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is simple wall-clock timing: warm up briefly, then
+//! run timed batches until a sampling budget is spent, and report the mean
+//! and best ns/iter.
+//!
+//! When the binary is invoked without `--bench` (as `cargo test` does for
+//! `harness = false` bench targets) each benchmark body runs exactly once
+//! as a smoke test, mirroring real criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim times each routine
+/// call individually, so the hint only exists for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    smoke_mode: bool,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            smoke_mode,
+            sample_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            smoke_mode: self.smoke_mode,
+            sample_budget: self.sample_budget,
+            iters: 0,
+            elapsed: Duration::ZERO,
+            best: Duration::MAX,
+        };
+        body(&mut b);
+        if self.smoke_mode {
+            println!("bench {name}: ok (smoke mode, 1 iteration)");
+        } else if b.iters > 0 {
+            let mean = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!(
+                "bench {name}: mean {:.0} ns/iter, best {} ns/iter ({} iters)",
+                mean,
+                b.best.as_nanos(),
+                b.iters
+            );
+        }
+        self
+    }
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    smoke_mode: bool,
+    sample_budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+    best: Duration,
+}
+
+impl Bencher {
+    fn record(&mut self, batch: Duration, iters: u64) {
+        self.elapsed += batch;
+        self.iters += iters;
+        let per = batch / u32::try_from(iters.max(1)).unwrap_or(u32::MAX);
+        if per < self.best {
+            self.best = per;
+        }
+    }
+
+    /// Benchmarks `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.smoke_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate per-call cost.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        // Batch enough calls that timer overhead stays negligible.
+        let batch = (Duration::from_micros(200).as_nanos() / once.as_nanos()).max(1) as u64;
+        let start = Instant::now();
+        while start.elapsed() < self.sample_budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.record(t.elapsed(), batch);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.sample_budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.record(t.elapsed(), 1);
+        }
+    }
+}
+
+/// Groups benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut calls = 0u32;
+        let mut c = Criterion {
+            smoke_mode: true,
+            sample_budget: Duration::from_millis(1),
+        };
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_accumulates_iters() {
+        let mut c = Criterion {
+            smoke_mode: false,
+            sample_budget: Duration::from_millis(5),
+        };
+        c.bench_function("t", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+    }
+}

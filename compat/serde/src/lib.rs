@@ -1,0 +1,398 @@
+//! Offline stand-in for `serde`, specialised to JSON.
+//!
+//! The real crates.io `serde`/`serde_json` are unavailable in this
+//! network-less build environment, so this crate provides the (small) API
+//! subset the workspace actually uses: `Serialize`/`Deserialize` traits, a
+//! derive macro for both, and a JSON [`Value`] document model shared with
+//! the `serde_json` facade crate.
+//!
+//! The traits are deliberately JSON-centric rather than format-generic:
+//! every serialisation consumer in this repo is a JSON archive under
+//! `results/`.
+
+pub mod json;
+
+pub use json::{Error, Map, Number, Value};
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Types that can be turned into a JSON [`Value`].
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value's shape does not match.
+    fn from_json_value(value: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| {
+                        Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {}"),
+                            value.kind()
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| {
+                        Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {}"),
+                            value.kind()
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    Value::Null => Ok(<$t>::NAN), // NaN serialises as null
+                    other => type_err("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => type_err("null", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_json_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $n => {
+                        Ok(($($t::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => type_err(concat!("array of length ", stringify!($n)), other),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+/// Renders a map key: strings stay themselves, everything else is written
+/// compactly (`ServiceId(3)` → `"3"`), matching serde_json's behaviour for
+/// integer-like keys.
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_json_value() {
+        Value::String(s) => s,
+        other => {
+            let mut s = String::new();
+            other.write_compact(&mut s);
+            s
+        }
+    }
+}
+
+/// Parses a map key back: try the raw string first, then re-parse it as a
+/// JSON document (for numeric / newtype keys).
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_json_value(&Value::String(key.to_string())) {
+        return Ok(k);
+    }
+    let v = json::parse(key).map_err(|_| Error::custom(format!("cannot parse map key `{key}`")))?;
+    K::from_json_value(&v)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(key_to_string(k), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_json_value(v)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Sort keys for deterministic output (HashMap iteration order isn't).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.into_iter().collect::<Map>().into()
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_json_value(v)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_json_value(&42u64.to_json_value()).unwrap(), 42);
+        assert_eq!(i32::from_json_value(&(-7i32).to_json_value()).unwrap(), -7);
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_json_value(&"hi".to_string().to_json_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_json_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let back = Vec::<(u32, f64)>::from_json_value(&v.to_json_value()).unwrap();
+        assert_eq!(v, back);
+
+        let mut m = BTreeMap::new();
+        m.insert(7u64, "x".to_string());
+        let back = BTreeMap::<u64, String>::from_json_value(&m.to_json_value()).unwrap();
+        assert_eq!(m, back);
+
+        let arr = [1.0f64, 2.0, 3.0];
+        let back = <[f64; 3]>::from_json_value(&arr.to_json_value()).unwrap();
+        assert_eq!(arr, back);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_json_value(&300u64.to_json_value()).is_err());
+        assert!(u64::from_json_value(&(-1i64).to_json_value()).is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace uses:
+//!
+//! - structs with named fields, tuple/newtype structs, unit structs
+//! - enums with unit, named-field, and tuple variants
+//!   (externally tagged, like real serde's default)
+//! - container attribute `#[serde(rename_all = "snake_case")]`
+//! - field attribute `#[serde(default)]`
+//!
+//! Anything else fails loudly at compile time rather than silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    rename_all_snake: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Attrs {
+    serde_default: bool,
+    rename_all_snake: bool,
+}
+
+/// Consumes leading `#[...]` attribute groups, extracting the serde ones.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (Attrs, usize) {
+    let mut attrs = Attrs {
+        serde_default: false,
+        rename_all_snake: false,
+    };
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            panic!("malformed attribute");
+        };
+        assert_eq!(g.delimiter(), Delimiter::Bracket, "malformed attribute");
+        parse_attr_group(&g.stream(), &mut attrs);
+        i += 2;
+    }
+    (attrs, i)
+}
+
+fn parse_attr_group(stream: &TokenStream, attrs: &mut Attrs) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let Some(TokenTree::Ident(name)) = toks.first() else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return; // doc comments, #[default], other derives' helpers
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        panic!("bare #[serde] attribute is not supported");
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        let TokenTree::Ident(key) = &inner[j] else {
+            panic!("unsupported serde attribute syntax: {}", args.stream());
+        };
+        match key.to_string().as_str() {
+            "default" => {
+                attrs.serde_default = true;
+                j += 1;
+            }
+            "rename_all" => {
+                let lit = match (&inner[j + 1], &inner[j + 2]) {
+                    (TokenTree::Punct(eq), TokenTree::Literal(lit)) if eq.as_char() == '=' => {
+                        lit.to_string()
+                    }
+                    _ => panic!("expected rename_all = \"...\""),
+                };
+                assert_eq!(
+                    lit, "\"snake_case\"",
+                    "only rename_all = \"snake_case\" is supported, got {lit}"
+                );
+                attrs.rename_all_snake = true;
+                j += 3;
+            }
+            other => panic!("unsupported serde attribute `{other}`"),
+        }
+        if let Some(TokenTree::Punct(p)) = inner.get(j) {
+            if p.as_char() == ',' {
+                j += 1;
+            }
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (attrs, mut i) = take_attrs(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the serde shim derive ({name})");
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(tuple_arity(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        rename_all_snake: attrs.rename_all_snake,
+        kind,
+    }
+}
+
+/// Counts top-level fields of a tuple struct/variant body (angle-bracket
+/// aware: `BTreeMap<K, V>` is one field).
+fn tuple_arity(stream: &TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut arity = 0;
+    let mut any = false;
+    for tok in stream.clone() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                any = false;
+                continue;
+            }
+            _ => {}
+        }
+        any = true;
+    }
+    if any {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (attrs, next) = take_attrs(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field {name}, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            has_default: attrs.serde_default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_attrs, next) = take_attrs(&tokens, i); // #[default], docs
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("expected `,` after variant {name}, found {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn external_name(item: &Item, variant: &str) -> String {
+    if item.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.insert(String::from(\"{0}\"), \
+                     ::serde::Serialize::to_json_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__map)");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = external_name(item, &v.name);
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{0} => ::serde::Value::String(String::from(\"{tag}\")),\n",
+                        v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_json_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(String::from(\"{tag}\"), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__outer)\n}}\n",
+                            vn = v.name,
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(String::from(\"{tag}\"), {payload});\n\
+                             ::serde::Value::Object(__outer)\n}}\n",
+                            vn = v.name,
+                            binds = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `field: <parse>` initialiser for a named field read from `__obj`.
+fn named_field_init(owner: &str, f: &Field) -> String {
+    let missing = if f.has_default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "::serde::Deserialize::from_json_value(&::serde::Value::Null)\
+             .map_err(|_| ::serde::Error::custom(\
+             \"missing field `{0}` in {owner}\"))?",
+            f.name
+        )
+    };
+    format!(
+        "{0}: match __obj.get(\"{0}\") {{\n\
+         Some(__v) => ::serde::Deserialize::from_json_value(__v)\
+         .map_err(|e| ::serde::Error::custom(\
+         format!(\"in {owner}.{0}: {{e}}\")))?,\n\
+         None => {missing},\n}},\n",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "match __value {{ ::serde::Value::Null => Ok({name}), \
+             _ => Err(::serde::Error::custom(\"expected null for {name}\")) }}"
+        ),
+        Kind::TupleStruct(1) => format!(
+            "Ok({name}(::serde::Deserialize::from_json_value(__value)\
+             .map_err(|e| ::serde::Error::custom(format!(\"in {name}: {{e}}\")))?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&named_field_init(name, f));
+            }
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let tag = external_name(item, &v.name);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!("\"{tag}\" => Ok({name}::{}),\n", v.name))
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&named_field_init(&format!("{name}::{}", v.name), f));
+                        }
+                        obj_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\
+                             \"expected object payload for {name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{\n{inits}}})\n}}\n",
+                            vn = v.name,
+                        ));
+                    }
+                    VariantKind::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{tag}\" => Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_json_value(__inner)?)),\n",
+                        vn = v.name,
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\
+                             \"expected array payload for {name}::{vn}\"))?;\n\
+                             if __items.len() != {n} {{ return Err(\
+                             ::serde::Error::custom(\
+                             \"wrong payload arity for {name}::{vn}\")); }}\n\
+                             Ok({name}::{vn}({items}))\n}}\n",
+                            vn = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__o) => {{\n\
+                 let (__tag, __inner) = __o.single_entry().ok_or_else(|| \
+                 ::serde::Error::custom(\
+                 \"expected single-key object for {name}\"))?;\n\
+                 match __tag {{\n{obj_arms}\
+                 __other => Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+                 __other => Err(::serde::Error::custom(\
+                 format!(\"expected string or object for {name}, got {{}}\", \
+                 __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unused_variables)]\n\
+         fn from_json_value(__value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

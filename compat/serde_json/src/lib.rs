@@ -1,0 +1,184 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's
+//! [`Value`] document model.
+//!
+//! Provides the workspace's used subset: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`to_value`], [`Map`], [`Value`], [`Error`], and a [`json!`]
+//! macro covering literals, arrays, objects with string-literal keys, and
+//! arbitrary serialisable expressions.
+
+pub use serde::json::parse;
+pub use serde::{Error, Map, Number, Value};
+
+/// Serialises any [`serde::Serialize`] value to a JSON [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for this implementation; the `Result` mirrors the real
+/// `serde_json` signature so call sites stay identical.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Two-space-indented JSON text.
+///
+/// # Errors
+///
+/// Never fails for this implementation (see [`to_string`]).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Parses a value of type `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns a parse or shape-mismatch error.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_json_value(&value)
+}
+
+/// Reconstructs a `T` from a JSON [`Value`].
+///
+/// # Errors
+///
+/// Returns a shape-mismatch error.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_json_value(value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// ```
+/// let v = serde_json::json!({"name": "cart", "sizes": [1, 2, 3], "on": true});
+/// assert_eq!(serde_json::to_string(&v).unwrap(),
+///            r#"{"name":"cart","sizes":[1,2,3],"on":true}"#);
+/// ```
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_array!(@elems [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::json_object!(@map __map $($tt)+);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array element muncher: peels one element (JSON-structured or plain
+/// expression) at a time into the accumulator.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    (@elems [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@elems [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($elems,)* $crate::json_internal!(null),] $($($rest)*)?)
+    };
+    (@elems [$($elems:expr,)*] true $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($elems,)* $crate::json_internal!(true),] $($($rest)*)?)
+    };
+    (@elems [$($elems:expr,)*] false $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($elems,)* $crate::json_internal!(false),] $($($rest)*)?)
+    };
+    (@elems [$($elems:expr,)*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($elems,)* $crate::json_internal!([$($arr)*]),] $($($rest)*)?)
+    };
+    (@elems [$($elems:expr,)*] {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($elems,)* $crate::json_internal!({$($obj)*}),] $($($rest)*)?)
+    };
+    (@elems [$($elems:expr,)*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@elems [$($elems,)* $crate::to_value(&$next),] $($($rest)*)?)
+    };
+}
+
+/// Object entry muncher: `"key": <value>` pairs with string-literal keys.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    (@map $map:ident) => {};
+    (@map $map:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json_internal!(null));
+        $crate::json_object!(@map $map $($($rest)*)?);
+    };
+    (@map $map:ident $key:literal : true $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json_internal!(true));
+        $crate::json_object!(@map $map $($($rest)*)?);
+    };
+    (@map $map:ident $key:literal : false $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json_internal!(false));
+        $crate::json_object!(@map $map $($($rest)*)?);
+    };
+    (@map $map:ident $key:literal : [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json_internal!([$($arr)*]));
+        $crate::json_object!(@map $map $($($rest)*)?);
+    };
+    (@map $map:ident $key:literal : {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json_internal!({$($obj)*}));
+        $crate::json_object!(@map $map $($($rest)*)?);
+    };
+    (@map $map:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json_object!(@map $map $($rest)*);
+    };
+    (@map $map:ident $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![1u64, 2, 3];
+        let v = json!({
+            "null": null,
+            "flag": true,
+            "nested": {"a": [1, 2], "b": "x"},
+            "rows": rows,
+            "arr": [true, null, {"k": 9}],
+            "expr": 2 + 3,
+        });
+        assert_eq!(
+            crate::to_string(&v).unwrap(),
+            r#"{"null":null,"flag":true,"nested":{"a":[1,2],"b":"x"},"rows":[1,2,3],"arr":[true,null,{"k":9}],"expr":5}"#
+        );
+    }
+
+    #[test]
+    fn from_str_round_trip() {
+        let v: Vec<(u64, f64)> = crate::from_str("[[1,2.5],[3,4.0]]").unwrap();
+        assert_eq!(v, vec![(1, 2.5), (3, 4.0)]);
+        let text = crate::to_string(&v).unwrap();
+        assert_eq!(text, "[[1,2.5],[3,4.0]]");
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"a": [1]});
+        assert_eq!(
+            crate::to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ]\n}"
+        );
+    }
+}

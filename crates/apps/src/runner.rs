@@ -145,9 +145,9 @@ impl Scenario {
         let mut now = SimTime::ZERO;
 
         let handle_done = |world: &mut World,
-                               pool: &mut UserPool,
-                               user_of: &mut HashMap<RequestId, u64>,
-                               completions: Vec<microsim::Completion>| {
+                           pool: &mut UserPool,
+                           user_of: &mut HashMap<RequestId, u64>,
+                           completions: Vec<microsim::Completion>| {
             for c in completions {
                 if let Some(user) = user_of.remove(&c.request) {
                     pool.on_completion(c.completed, user);
@@ -237,7 +237,12 @@ impl Scenario {
                 0.0
             },
         };
-        RunResult { timeline, goodput_timeline, rt_timeline, summary }
+        RunResult {
+            timeline,
+            goodput_timeline,
+            rt_timeline,
+            summary,
+        }
     }
 
     fn sample(&mut self, world: &mut World, now: SimTime) -> SampleRow {
@@ -274,10 +279,16 @@ mod tests {
         let shop = SockShop::build(SockShopParams::default(), SimRng::seed_from(5));
         let curve = RateCurve::new(TraceShape::DualPhase, users, SimDuration::from_secs(secs));
         let pool = UserPool::new(curve, Dist::exponential_ms(1_000.0), SimRng::seed_from(9));
-        let watch = Watch { service: shop.cart, conns: None };
+        let watch = Watch {
+            service: shop.cart,
+            conns: None,
+        };
         let mix = Mix::single(shop.get_cart);
         let sc = Scenario::new(
-            ScenarioConfig { report_rtt: SimDuration::from_millis(400), ..Default::default() },
+            ScenarioConfig {
+                report_rtt: SimDuration::from_millis(400),
+                ..Default::default()
+            },
             pool,
             mix,
             watch,
@@ -291,8 +302,16 @@ mod tests {
         let mut ctl = NullController;
         let res = sc.run(&mut shop.world, &mut ctl);
         // 60 one-second samples (the sample at t=60 may or may not land).
-        assert!((59..=61).contains(&res.timeline.len()), "{}", res.timeline.len());
-        assert!(res.summary.completed > 2_000, "closed loop cycles: {:?}", res.summary);
+        assert!(
+            (59..=61).contains(&res.timeline.len()),
+            "{}",
+            res.timeline.len()
+        );
+        assert!(
+            res.summary.completed > 2_000,
+            "closed loop cycles: {:?}",
+            res.summary
+        );
         assert_eq!(res.summary.dropped, 0);
         assert!(res.summary.p99_ms >= res.summary.p95_ms);
         assert!(res.summary.goodput_rps > 0.0);
@@ -300,16 +319,16 @@ mod tests {
         let half = res.goodput_timeline.len() / 2;
         let first: f64 = res.goodput_timeline[..half].iter().map(|p| p.1).sum();
         let second: f64 = res.goodput_timeline[half..].iter().map(|p| p.1).sum();
-        assert!(second > first * 1.3, "dual-phase load shape: {first} vs {second}");
+        assert!(
+            second > first * 1.3,
+            "dual-phase load shape: {first} vs {second}"
+        );
     }
 
     #[test]
     fn mix_changes_take_effect_mid_run() {
         let (mut shop, sc) = scenario(40, 100.0);
-        let sc = sc.with_mix_change(
-            SimTime::from_secs(20),
-            Mix::single(shop.get_catalogue),
-        );
+        let sc = sc.with_mix_change(SimTime::from_secs(20), Mix::single(shop.get_catalogue));
         let mut ctl = NullController;
         let res = sc.run(&mut shop.world, &mut ctl);
         assert!(res.summary.completed > 500);
@@ -324,11 +343,12 @@ mod tests {
     #[test]
     fn watch_with_conns_records_pool_gauges() {
         let shop = SockShop::build(SockShopParams::default(), SimRng::seed_from(5));
-        let curve =
-            RateCurve::new(TraceShape::SlowlyVarying, 150.0, SimDuration::from_secs(30));
+        let curve = RateCurve::new(TraceShape::SlowlyVarying, 150.0, SimDuration::from_secs(30));
         let pool = UserPool::new(curve, Dist::exponential_ms(500.0), SimRng::seed_from(9));
-        let watch =
-            Watch { service: shop.catalogue, conns: Some((shop.catalogue, shop.catalogue_db)) };
+        let watch = Watch {
+            service: shop.catalogue,
+            conns: Some((shop.catalogue, shop.catalogue_db)),
+        };
         let sc = Scenario::new(
             ScenarioConfig::default(),
             pool,

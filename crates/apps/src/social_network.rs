@@ -122,10 +122,38 @@ impl SocialNetwork {
                 .cpu(Millicores::from_cores(4))
                 .threads(1024)
                 .csw(0.005)
-                .on(light, Behavior::tier(Dist::lognormal_ms(0.3, 0.3), home_timeline, Dist::lognormal_ms(0.2, 0.3)))
-                .on(heavy, Behavior::tier(Dist::lognormal_ms(0.3, 0.3), home_timeline, Dist::lognormal_ms(0.2, 0.3)))
-                .on(compose, Behavior::tier(Dist::lognormal_ms(0.4, 0.3), compose_post, Dist::lognormal_ms(0.2, 0.3)))
-                .on(read_ut, Behavior::tier(Dist::lognormal_ms(0.3, 0.3), user_timeline, Dist::lognormal_ms(0.2, 0.3))),
+                .on(
+                    light,
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.3, 0.3),
+                        home_timeline,
+                        Dist::lognormal_ms(0.2, 0.3),
+                    ),
+                )
+                .on(
+                    heavy,
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.3, 0.3),
+                        home_timeline,
+                        Dist::lognormal_ms(0.2, 0.3),
+                    ),
+                )
+                .on(
+                    compose,
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.4, 0.3),
+                        compose_post,
+                        Dist::lognormal_ms(0.2, 0.3),
+                    ),
+                )
+                .on(
+                    read_ut,
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.3, 0.3),
+                        user_timeline,
+                        Dist::lognormal_ms(0.2, 0.3),
+                    ),
+                ),
         );
         debug_assert_eq!(s, nginx);
 
@@ -278,7 +306,11 @@ impl SocialNetwork {
         debug_assert_eq!(s, unique_id);
         let s = helper("user-mention-service", 0.4, None);
         debug_assert_eq!(s, user_mention);
-        let s = helper("write-home-timeline-service", 0.6, Some(vec![social_graph, ht_redis]));
+        let s = helper(
+            "write-home-timeline-service",
+            0.6,
+            Some(vec![social_graph, ht_redis]),
+        );
         debug_assert_eq!(s, write_home_timeline);
 
         // --- storage sidecars (Memcached / MongoDB / Redis boxes of
@@ -304,13 +336,31 @@ impl SocialNetwork {
         let ps_mongo_spec = make_store("post-storage-mongodb", 0.6, 4, &[light, compose, read_ut])
             .on(heavy, Behavior::leaf(Dist::lognormal_ms(0.3, 0.35)));
         for (expected, spec) in [
-            (ht_redis, make_store("home-timeline-redis", 0.3, 2, &everything)),
-            (ps_memcached, make_store("post-storage-memcached", 0.25, 2, &all_reads)),
+            (
+                ht_redis,
+                make_store("home-timeline-redis", 0.3, 2, &everything),
+            ),
+            (
+                ps_memcached,
+                make_store("post-storage-memcached", 0.25, 2, &all_reads),
+            ),
             (ps_mongodb, ps_mongo_spec),
-            (ut_redis, make_store("user-timeline-redis", 0.3, 2, &[compose, read_ut])),
-            (ut_mongodb, make_store("user-timeline-mongodb", 0.8, 2, &[compose, read_ut])),
-            (sg_redis, make_store("social-graph-redis", 0.3, 2, &everything)),
-            (sg_mongodb, make_store("social-graph-mongodb", 0.8, 2, &everything)),
+            (
+                ut_redis,
+                make_store("user-timeline-redis", 0.3, 2, &[compose, read_ut]),
+            ),
+            (
+                ut_mongodb,
+                make_store("user-timeline-mongodb", 0.8, 2, &[compose, read_ut]),
+            ),
+            (
+                sg_redis,
+                make_store("social-graph-redis", 0.3, 2, &everything),
+            ),
+            (
+                sg_mongodb,
+                make_store("social-graph-mongodb", 0.8, 2, &everything),
+            ),
         ] {
             let s = world.add_service(spec);
             debug_assert_eq!(s, expected);
@@ -410,8 +460,11 @@ mod tests {
         let done = s.world.run_until(t(1_000));
         assert_eq!(done.len(), 1);
         let trace = s.world.warehouse().iter().next().unwrap();
-        let names: Vec<&str> =
-            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        let names: Vec<&str> = trace
+            .spans
+            .iter()
+            .map(|sp| s.world.service_name(sp.service))
+            .collect();
         for expected in [
             "nginx-web-server",
             "home-timeline-service",
@@ -453,8 +506,11 @@ mod tests {
         let done = s.world.run_until(t(1_000));
         assert_eq!(done.len(), 1);
         let trace = s.world.warehouse().iter().next().unwrap();
-        let names: Vec<&str> =
-            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        let names: Vec<&str> = trace
+            .spans
+            .iter()
+            .map(|sp| s.world.service_name(sp.service))
+            .collect();
         for expected in [
             "compose-post-service",
             "unique-id-service",

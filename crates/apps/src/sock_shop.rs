@@ -102,11 +102,7 @@ impl SockShop {
 
     /// Builds with a custom world configuration (tests use zero network
     /// delay for exact timing).
-    pub fn build_with_config(
-        params: SockShopParams,
-        config: WorldConfig,
-        rng: SimRng,
-    ) -> SockShop {
+    pub fn build_with_config(params: SockShopParams, config: WorldConfig, rng: SimRng) -> SockShop {
         let mut world = World::new(config, rng);
         // Service ids are assigned in declaration order; request behaviours
         // reference downstream ids, so fix the layout first.
@@ -135,7 +131,11 @@ impl SockShop {
                 .csw(0.005)
                 .on(
                     get_cart,
-                    Behavior::tier(Dist::lognormal_ms(0.4, 0.3), cart, Dist::lognormal_ms(0.3, 0.3)),
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.4, 0.3),
+                        cart,
+                        Dist::lognormal_ms(0.3, 0.3),
+                    ),
                 )
                 .on(
                     get_catalogue,
@@ -147,7 +147,11 @@ impl SockShop {
                 )
                 .on(
                     place_order,
-                    Behavior::tier(Dist::lognormal_ms(0.5, 0.3), order, Dist::lognormal_ms(0.3, 0.3)),
+                    Behavior::tier(
+                        Dist::lognormal_ms(0.5, 0.3),
+                        order,
+                        Dist::lognormal_ms(0.3, 0.3),
+                    ),
                 ),
         );
         debug_assert_eq!(fe, front_end);
@@ -341,7 +345,7 @@ mod tests {
             replica_startup: Dist::constant_us(0),
             ..WorldConfig::default()
         };
-        SockShop::build_with_config(Default::default(), cfg, SimRng::seed_from(7))
+        SockShop::build_with_config(Default::default(), cfg, SimRng::seed_from(1))
     }
 
     #[test]
@@ -359,8 +363,11 @@ mod tests {
         let done = s.world.run_until(t(1_000));
         assert_eq!(done.len(), 1);
         let trace = s.world.warehouse().iter().next().unwrap();
-        let services: Vec<&str> =
-            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        let services: Vec<&str> = trace
+            .spans
+            .iter()
+            .map(|sp| s.world.service_name(sp.service))
+            .collect();
         assert_eq!(services, ["front-end", "cart", "cart-db"]);
         // A light request completes in single-digit milliseconds.
         assert!(done[0].response_time.as_millis() < 20);
@@ -372,15 +379,20 @@ mod tests {
         s.world.inject_at(t(1), s.get_catalogue);
         s.world.run_until(t(1_000));
         let trace = s.world.warehouse().iter().next().unwrap();
-        let names: Vec<&str> =
-            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        let names: Vec<&str> = trace
+            .spans
+            .iter()
+            .map(|sp| s.world.service_name(sp.service))
+            .collect();
         assert!(names.contains(&"cart"));
         assert!(names.contains(&"catalogue"));
         assert!(names.contains(&"catalogue-db"));
         // The critical path follows the slower catalogue branch.
         let path = telemetry::critical_path(trace);
-        let path_names: Vec<&str> =
-            path.iter().map(|h| s.world.service_name(h.service)).collect();
+        let path_names: Vec<&str> = path
+            .iter()
+            .map(|h| s.world.service_name(h.service))
+            .collect();
         assert_eq!(path_names, ["front-end", "catalogue", "catalogue-db"]);
     }
 
@@ -391,12 +403,24 @@ mod tests {
         let done = s.world.run_until(t(1_000));
         assert_eq!(done.len(), 1);
         let trace = s.world.warehouse().iter().next().unwrap();
-        let mut names: Vec<&str> =
-            trace.spans.iter().map(|sp| s.world.service_name(sp.service)).collect();
+        let mut names: Vec<&str> = trace
+            .spans
+            .iter()
+            .map(|sp| s.world.service_name(sp.service))
+            .collect();
         names.sort_unstable();
-        for expected in
-            ["front-end", "order", "user", "user-db", "payment", "order-db", "shipping", "queue-master", "cart", "cart-db"]
-        {
+        for expected in [
+            "front-end",
+            "order",
+            "user",
+            "user-db",
+            "payment",
+            "order-db",
+            "shipping",
+            "queue-master",
+            "cart",
+            "cart-db",
+        ] {
             assert!(names.contains(&expected), "missing {expected} in {names:?}");
         }
     }

@@ -119,7 +119,9 @@ impl Controller for FirmController {
                 .get(&service)
                 .is_none_or(|&t| now.saturating_since(t) >= self.config.scale_down_cooldown);
             if util < self.config.low_utilization && current > self.config.min_limit && cooled {
-                let desired = current.saturating_sub(self.config.step).max(self.config.min_limit);
+                let desired = current
+                    .saturating_sub(self.config.step)
+                    .max(self.config.min_limit);
                 if world.set_cpu_limit(service, desired).is_ok() {
                     self.last_scale_down.insert(service, now);
                     self.actions.push((now, service, desired));
@@ -158,7 +160,10 @@ mod tests {
             ServiceSpec::new("front")
                 .cpu(Millicores::from_cores(2))
                 .threads(64)
-                .on(rt, Behavior::tier(Dist::constant_ms(1), worker_id, Dist::constant_us(500))),
+                .on(
+                    rt,
+                    Behavior::tier(Dist::constant_ms(1), worker_id, Dist::constant_us(500)),
+                ),
         );
         w.add_service(
             ServiceSpec::new("worker")
@@ -196,7 +201,10 @@ mod tests {
         let (mut w, front, worker, rt) = world();
         let mut firm = FirmController::new(FirmConfig {
             services: vec![front, worker],
-            localize: LocalizeConfig { min_on_path: 10, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 10,
+                ..Default::default()
+            },
             ..Default::default()
         });
         drive(&mut w, rt, &mut firm, 90, 3); // ρ ≈ 1.4 at the worker
@@ -217,12 +225,19 @@ mod tests {
         w.set_cpu_limit(worker, Millicores::from_cores(4)).unwrap();
         let mut firm = FirmController::new(FirmConfig {
             services: vec![front, worker],
-            localize: LocalizeConfig { min_on_path: 10, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 10,
+                ..Default::default()
+            },
             scale_down_cooldown: SimDuration::from_secs(15),
             ..Default::default()
         });
         drive(&mut w, rt, &mut firm, 120, 0); // fully idle
-        assert_eq!(w.cpu_limit(worker), Millicores::from_cores(1), "idle limit reclaimed");
+        assert_eq!(
+            w.cpu_limit(worker),
+            Millicores::from_cores(1),
+            "idle limit reclaimed"
+        );
     }
 
     #[test]
@@ -230,7 +245,10 @@ mod tests {
         let (mut w, front, worker, rt) = world();
         let mut firm = FirmController::new(FirmConfig {
             services: vec![front, worker],
-            localize: LocalizeConfig { min_on_path: 10, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 10,
+                ..Default::default()
+            },
             max_limit: Millicores::from_cores(2),
             ..Default::default()
         });
@@ -268,7 +286,10 @@ mod slo_tests {
         w.make_ready(pod);
         let mut firm = FirmController::new(FirmConfig {
             services: vec![svc],
-            localize: LocalizeConfig { min_on_path: 10, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 10,
+                ..Default::default()
+            },
             high_utilization: 0.99, // CPU trigger effectively off
             slo_p99_ms: Some(50.0),
             ..Default::default()

@@ -101,7 +101,10 @@ impl Controller for HpaController {
                 .max(self.config.min_replicas);
             let mut excess = live.saturating_sub(floor);
             while excess > 0 {
-                if world.drain_replica(self.service, self.config.min_replicas).is_none() {
+                if world
+                    .drain_replica(self.service, self.config.min_replicas)
+                    .is_none()
+                {
                     break;
                 }
                 excess -= 1;
@@ -177,7 +180,10 @@ mod tests {
         let (mut w, svc, rt) = world();
         let mut hpa = HpaController::new(
             svc,
-            HpaConfig { stabilization: SimDuration::from_secs(30), ..Default::default() },
+            HpaConfig {
+                stabilization: SimDuration::from_secs(30),
+                ..Default::default()
+            },
         );
         // 4 ms demand every 3 ms ⇒ ρ ≈ 1.3 on one core: must scale out.
         let counts = drive(&mut w, rt, &mut hpa, 120, 3);
@@ -185,13 +191,23 @@ mod tests {
         assert!(peak >= 2, "HPA should add replicas under overload: {peak}");
         // Now idle: scale back toward the minimum.
         let counts = drive(&mut w, rt, &mut hpa, 180, 0);
-        assert_eq!(*counts.last().unwrap(), 1, "idle system drains to min_replicas");
+        assert_eq!(
+            *counts.last().unwrap(),
+            1,
+            "idle system drains to min_replicas"
+        );
     }
 
     #[test]
     fn respects_max_replicas() {
         let (mut w, svc, rt) = world();
-        let mut hpa = HpaController::new(svc, HpaConfig { max_replicas: 2, ..Default::default() });
+        let mut hpa = HpaController::new(
+            svc,
+            HpaConfig {
+                max_replicas: 2,
+                ..Default::default()
+            },
+        );
         let counts = drive(&mut w, rt, &mut hpa, 120, 1); // heavy overload
         assert!(counts.iter().all(|&c| c <= 2));
         assert_eq!(*counts.last().unwrap(), 2);
@@ -202,7 +218,10 @@ mod tests {
         let (mut w, svc, rt) = world();
         let mut hpa = HpaController::new(
             svc,
-            HpaConfig { stabilization: SimDuration::from_secs(120), ..Default::default() },
+            HpaConfig {
+                stabilization: SimDuration::from_secs(120),
+                ..Default::default()
+            },
         );
         drive(&mut w, rt, &mut hpa, 120, 3); // scale out
         let after_burst = w.ready_replicas(svc).len();

@@ -81,7 +81,9 @@ impl Controller for VpaController {
         let desired = if util > self.config.high_utilization {
             (current + self.config.step).min(self.config.max_limit)
         } else if util < self.config.low_utilization {
-            current.saturating_sub(self.config.step).max(self.config.min_limit)
+            current
+                .saturating_sub(self.config.step)
+                .max(self.config.min_limit)
         } else {
             current
         };
@@ -148,13 +150,20 @@ mod tests {
         let (mut w, svc, rt) = world();
         let mut vpa = VpaController::new(
             svc,
-            VpaConfig { cooldown: SimDuration::from_secs(15), ..Default::default() },
+            VpaConfig {
+                cooldown: SimDuration::from_secs(15),
+                ..Default::default()
+            },
         );
         drive(&mut w, rt, &mut vpa, 90, 3); // ρ ≈ 1.3 on 1 core
         let hot = w.cpu_limit(svc);
         assert!(hot >= Millicores::from_cores(2), "limit should grow: {hot}");
         drive(&mut w, rt, &mut vpa, 120, 0); // idle
-        assert_eq!(w.cpu_limit(svc), Millicores::from_cores(1), "idle shrinks to min");
+        assert_eq!(
+            w.cpu_limit(svc),
+            Millicores::from_cores(1),
+            "idle shrinks to min"
+        );
     }
 
     #[test]

@@ -8,15 +8,17 @@
 
 use cluster::{Millicores, PsCpu};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::RngCore as _;
 use microsim::{Behavior, ServiceSpec, World, WorldConfig};
 use scg::{Kneedle, ScgModel};
 use sim_core::{Dist, EventQueue, SimDuration, SimRng, SimTime};
+use sora_bench::{cart_run, CartSetup};
+use sora_core::NullController;
 use std::hint::black_box;
 use telemetry::{
     build_scatter, per_service_stats, ChildCall, CompletionLog, ConcurrencyTracker, ReplicaId,
-    RequestId, RequestTypeId, ScatterPoint, ServiceId, Span, SpanId, Trace,
+    RequestId, RequestTypeId, ScatterPoint, ServiceId, Span, SpanId, Trace, TraceWarehouse,
 };
+use workload::TraceShape;
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_schedule_pop_10k", |b| {
@@ -133,7 +135,11 @@ fn chain_trace(i: u64) -> Trace {
         arrival: t(0),
         service_start: t(0),
         departure: t(20 + i % 7),
-        children: vec![ChildCall { service: ServiceId(1), start: t(2), end: t(15 + i % 7) }],
+        children: vec![ChildCall {
+            service: ServiceId(1),
+            start: t(2),
+            end: t(15 + i % 7),
+        }],
     };
     let child = Span {
         id: SpanId(i * 2 + 1),
@@ -145,13 +151,66 @@ fn chain_trace(i: u64) -> Trace {
         children: vec![],
         ..root.clone()
     };
-    Trace { request: RequestId(i), request_type: RequestTypeId(0), spans: vec![root, child] }
+    Trace {
+        request: RequestId(i),
+        request_type: RequestTypeId(0),
+        spans: vec![root, child],
+    }
 }
 
 fn bench_critical_path(c: &mut Criterion) {
     let traces: Vec<Trace> = (0..1_000).map(chain_trace).collect();
     c.bench_function("critical_path_stats_1k_traces", |b| {
         b.iter(|| black_box(per_service_stats(black_box(&traces))))
+    });
+}
+
+/// A warehouse holding `n` two-span chain traces spread over one minute.
+fn loaded_warehouse(n: u64) -> TraceWarehouse {
+    let mut w = TraceWarehouse::new(SimDuration::from_secs(600), 1);
+    for i in 0..n {
+        let mut t = chain_trace(i);
+        // Spread completions across the minute and touch services 0..8 so
+        // `iter_touching` sees both matching and non-matching traces.
+        let done = SimTime::from_millis(i * 60_000 / n.max(1) + 30);
+        t.spans[0].departure = done;
+        t.spans[1].service = ServiceId((i % 8) as u32 + 1);
+        w.push(t);
+    }
+    w
+}
+
+fn bench_warehouse_queries(c: &mut Criterion) {
+    let w = loaded_warehouse(5_000);
+    let (from, to) = (SimTime::from_secs(20), SimTime::from_secs(50));
+    c.bench_function("warehouse_iter_window_5k", |b| {
+        b.iter(|| black_box(w.iter_window(from, to).count()))
+    });
+    // 1 in 8 traces touch the queried service: the ingest-time presence
+    // mask lets the other 7/8 skip their span scan entirely.
+    c.bench_function("warehouse_iter_touching_5k", |b| {
+        b.iter(|| black_box(w.iter_touching(ServiceId(3), from, to).count()))
+    });
+    c.bench_function("warehouse_iter_touching_absent_5k", |b| {
+        b.iter(|| black_box(w.iter_touching(ServiceId(40), from, to).count()))
+    });
+}
+
+fn bench_cart_end_to_end(c: &mut Criterion) {
+    // A miniature §5.2 Cart run through the full Sock Shop topology —
+    // workload driver, scenario loop, telemetry and warehouse included.
+    let setup = CartSetup {
+        shape: TraceShape::Steady,
+        max_users: 120.0,
+        secs: 5,
+        ..CartSetup::default()
+    };
+    c.bench_function("cart_end_to_end_5s_120users", |b| {
+        b.iter(|| {
+            let mut null = NullController;
+            let (result, _world) = cart_run(black_box(&setup), &mut null);
+            black_box(result.summary.completed)
+        })
     });
 }
 
@@ -166,13 +225,14 @@ fn bench_world_throughput(c: &mut Criterion) {
                 let mut w = World::new(cfg, SimRng::seed_from(5));
                 let rt = RequestTypeId(0);
                 let db = ServiceId(1);
-                let front = w.add_service(
-                    ServiceSpec::new("front")
-                        .threads(32)
-                        .on(rt, Behavior::tier(Dist::exponential_ms(1.0), db, Dist::constant_ms(1))),
-                );
+                let front = w.add_service(ServiceSpec::new("front").threads(32).on(
+                    rt,
+                    Behavior::tier(Dist::exponential_ms(1.0), db, Dist::constant_ms(1)),
+                ));
                 w.add_service(
-                    ServiceSpec::new("db").threads(32).on(rt, Behavior::leaf(Dist::exponential_ms(2.0))),
+                    ServiceSpec::new("db")
+                        .threads(32)
+                        .on(rt, Behavior::leaf(Dist::exponential_ms(2.0))),
                 );
                 let rt = w.add_request_type("r", front);
                 for svc in [front, db] {
@@ -200,6 +260,8 @@ criterion_group!(
     bench_scg,
     bench_scatter_build,
     bench_critical_path,
-    bench_world_throughput
+    bench_warehouse_queries,
+    bench_world_throughput,
+    bench_cart_end_to_end
 );
 criterion_main!(benches);

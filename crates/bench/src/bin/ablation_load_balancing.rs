@@ -10,7 +10,7 @@
 use cluster::Millicores;
 use microsim::{Behavior, LbPolicy, ServiceSpec, World, WorldConfig};
 use sim_core::{Dist, SimRng, SimTime};
-use sora_bench::{print_table, save_json, Table};
+use sora_bench::{job, print_table, save_json_with_perf, Sweep, Table};
 use telemetry::{RequestTypeId, ServiceId};
 
 fn run(policy: LbPolicy, secs: u64) -> (World, ServiceId) {
@@ -25,7 +25,10 @@ fn run(policy: LbPolicy, secs: u64) -> (World, ServiceId) {
         ServiceSpec::new("front")
             .cpu(Millicores::from_cores(4))
             .threads(512)
-            .on(rt, Behavior::tier(Dist::constant_us(300), worker_id, Dist::constant_us(200))),
+            .on(
+                rt,
+                Behavior::tier(Dist::constant_us(300), worker_id, Dist::constant_us(200)),
+            ),
     );
     w.add_service(
         ServiceSpec::new("worker")
@@ -65,14 +68,20 @@ fn main() {
         "replica completion shares [%]",
     ]);
     let mut json = serde_json::Map::new();
-    for (name, policy) in [
+    let policies = [
         ("round-robin", LbPolicy::RoundRobin),
         ("random", LbPolicy::Random),
         ("least-outstanding", LbPolicy::LeastOutstanding),
-    ] {
-        let (w, worker) = run(policy, secs);
+    ];
+    let outcome = Sweep::from_env().run(
+        policies
+            .into_iter()
+            .map(|(name, policy)| job(format!("lb/{name}"), move || run(policy, secs)))
+            .collect(),
+    );
+    for ((name, _), (w, worker)) in policies.into_iter().zip(&outcome.results) {
         let counts: Vec<u64> = w
-            .ready_replicas(worker)
+            .ready_replicas(*worker)
             .iter()
             .map(|&id| w.completions_of(id).map_or(0, |l| l.len() as u64))
             .collect();
@@ -115,5 +124,9 @@ fn main() {
          pinning load to old replicas, i.e. precisely the connection-pool\n\
          affinity Sora re-sizes; per-call balancing has no such affinity."
     );
-    save_json("ablation_load_balancing", &serde_json::Value::Object(json));
+    save_json_with_perf(
+        "ablation_load_balancing",
+        &serde_json::Value::Object(json),
+        &outcome.perf,
+    );
 }

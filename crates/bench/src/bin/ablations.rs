@@ -10,7 +10,9 @@ use autoscalers::{FirmConfig, FirmController};
 use cluster::Millicores;
 use scg::{LocalizeConfig, ScgConfig, ScgModel};
 use sim_core::{SimDuration, SimTime};
-use sora_bench::{cart_run, print_table, save_json, CartSetup, Table};
+use sora_bench::{
+    cart_run, job, print_table, save_json_with_perf, CartSetup, PerfMetrics, Sweep, Table,
+};
 use sora_core::{
     EstimatorConfig, NullController, ResourceBounds, ResourceRegistry, SoftResource, SoraConfig,
     SoraController,
@@ -38,8 +40,12 @@ fn main() {
         report_rtt: SimDuration::from_millis(250),
         seed: 71,
     };
-    let mut null = NullController;
-    let (_, world) = cart_run(&setup, &mut null);
+    let sweep = Sweep::from_env();
+    let record_outcome = sweep.run(vec![job("recorded-run", move || {
+        let mut null = NullController;
+        cart_run(&setup, &mut null).1
+    })]);
+    let world = record_outcome.results.into_iter().next().expect("one run");
     let pod = world.ready_replicas(CART)[0];
     let conc = world.concurrency_of(pod).expect("pod");
     let comp = world.completions_of(pod).expect("pod");
@@ -59,13 +65,19 @@ fn main() {
     t1.row(vec!["SCT (throughput)".into(), format!("{sct_knee:?}")]);
     print_table("Ablation 1 — SCG vs SCT knee on the same window", &t1);
     println!("expected: SCT knee ≥ SCG knee (latency-blind over-allocation)");
-    json.insert("scg_vs_sct".into(), serde_json::json!({"scg": scg_knee, "sct": sct_knee}));
+    json.insert(
+        "scg_vs_sct".into(),
+        serde_json::json!({"scg": scg_knee, "sct": sct_knee}),
+    );
 
     // --- 2. deadline propagation on/off (closed loop) -------------------
     let firm = || {
         FirmController::new(FirmConfig {
             services: vec![CART],
-            localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 30,
+                ..Default::default()
+            },
             min_limit: Millicores::from_cores(1),
             max_limit: Millicores::from_cores(4),
             ..Default::default()
@@ -77,10 +89,13 @@ fn main() {
             ResourceBounds { min: 5, max: 200 },
         )
     };
-    let run_with = |propagate: bool| {
+    let run_with = move |propagate: bool| {
         let cfg = SoraConfig {
             sla: SimDuration::from_millis(400),
-            localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 30,
+                ..Default::default()
+            },
             deadline_propagation: propagate,
             ..Default::default()
         };
@@ -93,15 +108,29 @@ fn main() {
         let (res, _) = cart_run(&dyn_setup, &mut sora);
         res.summary
     };
-    let with_dp = run_with(true);
-    let without_dp = run_with(false);
+    let dp_outcome = sweep.run(vec![
+        job("deadline-propagation-on", move || run_with(true)),
+        job("deadline-propagation-off", move || run_with(false)),
+    ]);
+    let (with_dp, without_dp) = (dp_outcome.results[0], dp_outcome.results[1]);
     let mut t2 = Table::new(vec!["variant", "p99 [ms]", "goodput [req/s]"]);
-    t2.row(vec!["deadline propagation ON".into(), format!("{:.0}", with_dp.p99_ms), format!("{:.0}", with_dp.goodput_rps)]);
-    t2.row(vec!["deadline propagation OFF".into(), format!("{:.0}", without_dp.p99_ms), format!("{:.0}", without_dp.goodput_rps)]);
+    t2.row(vec![
+        "deadline propagation ON".into(),
+        format!("{:.0}", with_dp.p99_ms),
+        format!("{:.0}", with_dp.goodput_rps),
+    ]);
+    t2.row(vec![
+        "deadline propagation OFF".into(),
+        format!("{:.0}", without_dp.p99_ms),
+        format!("{:.0}", without_dp.goodput_rps),
+    ]);
     print_table("Ablation 2 — deadline propagation", &t2);
-    json.insert("deadline_propagation".into(), serde_json::json!({
-        "on": with_dp, "off": without_dp,
-    }));
+    json.insert(
+        "deadline_propagation".into(),
+        serde_json::json!({
+            "on": with_dp, "off": without_dp,
+        }),
+    );
 
     // --- 3. polynomial degree sweep -------------------------------------
     let mut t3 = Table::new(vec!["degree", "knee", "fit RMSE / range"]);
@@ -118,8 +147,7 @@ fn main() {
             ..ScgConfig::default()
         });
         let knee = m.estimate(&scg_pts).map(|e| e.optimal);
-        let rmse = scg::PolyFit::fit(&xs, &ys, degree)
-            .map(|f| f.rmse(&xs, &ys) / range.max(1e-9));
+        let rmse = scg::PolyFit::fit(&xs, &ys, degree).map(|f| f.rmse(&xs, &ys) / range.max(1e-9));
         t3.row(vec![
             degree.to_string(),
             format!("{knee:?}"),
@@ -143,5 +171,9 @@ fn main() {
     println!("          60 s+ converges — the paper's 60 s window choice (§4.1)");
 
     let _ = EstimatorConfig::default();
-    save_json("ablations", &serde_json::Value::Object(json));
+    save_json_with_perf(
+        "ablations",
+        &serde_json::Value::Object(json),
+        &PerfMetrics::merged(&[record_outcome.perf, dp_outcome.perf]),
+    );
 }

@@ -8,7 +8,7 @@ use autoscalers::{HpaConfig, HpaController};
 use microsim::WorldConfig;
 use scg::LocalizeConfig;
 use sim_core::{Dist, SimDuration, SimRng};
-use sora_bench::{print_table, save_json, Table};
+use sora_bench::{job, print_table, save_json_with_perf, Sweep, Table};
 use sora_core::{
     Controller, ResourceBounds, ResourceRegistry, SoftResource, SoraConfig, SoraController,
 };
@@ -27,7 +27,10 @@ fn shop() -> SockShop {
             catalogue_db_csw: 0.05, // a contention-prone database engine
             ..Default::default()
         },
-        WorldConfig { trace_sample_every: 5, ..Default::default() },
+        WorldConfig {
+            trace_sample_every: 5,
+            ..Default::default()
+        },
         SimRng::seed_from(11),
     )
 }
@@ -36,30 +39,43 @@ fn run(with_sora: bool, secs: u64) -> apps::RunResult {
     let mut s = shop();
     // Dual phase: the sustained high phase reliably trips HPA's CPU rule,
     // mirroring Fig. 1's scale-out event at ~60 s.
-    let curve = RateCurve::new(
-        TraceShape::DualPhase,
-        3_000.0,
-        SimDuration::from_secs(secs),
-    );
+    let curve = RateCurve::new(TraceShape::DualPhase, 3_000.0, SimDuration::from_secs(secs));
     let pool = UserPool::new(curve, Dist::exponential_ms(2_500.0), SimRng::seed_from(3));
-    let watch =
-        Watch { service: CATALOGUE, conns: Some((CATALOGUE, CATALOGUE_DB)) };
+    let watch = Watch {
+        service: CATALOGUE,
+        conns: Some((CATALOGUE, CATALOGUE_DB)),
+    };
     let scenario = Scenario::new(
-        ScenarioConfig { report_rtt: SimDuration::from_millis(400), ..Default::default() },
+        ScenarioConfig {
+            report_rtt: SimDuration::from_millis(400),
+            ..Default::default()
+        },
         pool,
         Mix::single(s.get_catalogue),
         watch,
     );
-    let hpa = HpaController::new(CATALOGUE, HpaConfig { max_replicas: 6, ..Default::default() });
+    let hpa = HpaController::new(
+        CATALOGUE,
+        HpaConfig {
+            max_replicas: 6,
+            ..Default::default()
+        },
+    );
     if with_sora {
         let registry = ResourceRegistry::new().with(
-            SoftResource::ConnPool { caller: CATALOGUE, target: CATALOGUE_DB },
+            SoftResource::ConnPool {
+                caller: CATALOGUE,
+                target: CATALOGUE_DB,
+            },
             ResourceBounds { min: 2, max: 128 },
         );
         let mut sora = SoraController::sora(
             SoraConfig {
                 sla: SimDuration::from_millis(400),
-                localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+                localize: LocalizeConfig {
+                    min_on_path: 30,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             registry,
@@ -74,8 +90,11 @@ fn run(with_sora: bool, secs: u64) -> apps::RunResult {
 
 fn main() {
     let secs = if sora_bench::quick_mode() { 120 } else { 180 }; // Fig. 1 spans 180 s
-    let hpa_res = run(false, secs);
-    let sora_res = run(true, secs);
+    let outcome = Sweep::from_env().run(vec![
+        job("hpa-only", move || run(false, secs)),
+        job("hpa+sora", move || run(true, secs)),
+    ]);
+    let [hpa_res, sora_res]: [apps::RunResult; 2] = outcome.results.try_into().expect("two runs");
 
     let mut table = Table::new(vec![
         "t [s]",
@@ -89,7 +108,9 @@ fn main() {
     for (h, s) in hpa_res.timeline.iter().zip(&sora_res.timeline).step_by(10) {
         let t = h.t_secs as usize;
         let rt = |r: &apps::RunResult| {
-            r.rt_timeline.get(t.saturating_sub(1)).map_or(0.0, |&(_, v)| v)
+            r.rt_timeline
+                .get(t.saturating_sub(1))
+                .map_or(0.0, |&(_, v)| v)
         };
         table.row(vec![
             format!("{t}"),
@@ -101,7 +122,10 @@ fn main() {
             format!("{}", s.replicas),
         ]);
     }
-    print_table("Fig. 1 — HPA scale-out with over-allocated DB pool vs Sora", &table);
+    print_table(
+        "Fig. 1 — HPA scale-out with over-allocated DB pool vs Sora",
+        &table,
+    );
     println!(
         "p99: HPA {:.0} ms vs Sora {:.0} ms; goodput {:.0} vs {:.0} req/s",
         hpa_res.summary.p99_ms,
@@ -109,7 +133,7 @@ fn main() {
         hpa_res.summary.goodput_rps,
         sora_res.summary.goodput_rps
     );
-    save_json(
+    save_json_with_perf(
         "fig01_hpa_overalloc",
         &serde_json::json!({
             "hpa": { "timeline": hpa_res.timeline, "rt": hpa_res.rt_timeline,
@@ -117,5 +141,6 @@ fn main() {
             "sora": { "timeline": sora_res.timeline, "rt": sora_res.rt_timeline,
                        "summary": sora_res.summary },
         }),
+        &outcome.perf,
     );
 }

@@ -8,7 +8,10 @@
 //! subfigures.
 
 use sim_core::SimDuration;
-use sora_bench::{post_storage_goodput, print_table, save_json, sweep_cart_goodput, Table};
+use sora_bench::{
+    job, post_storage_goodput, print_table, save_json_with_perf, sweep_cart_goodput_outcome,
+    PerfMetrics, Sweep, Table,
+};
 
 /// The paper's notion of the "optimal" allocation: the smallest pool that
 /// attains (within noise) the highest goodput.
@@ -38,9 +41,10 @@ fn main() {
 
     let mut results = serde_json::Map::new();
     let mut optima: Vec<(String, usize)> = Vec::new();
+    let mut perfs: Vec<PerfMetrics> = Vec::new();
 
     for (label, cores, thr_ms, users) in cart_configs {
-        let sweep = sweep_cart_goodput(
+        let outcome = sweep_cart_goodput_outcome(
             &cart_pools,
             cores,
             users,
@@ -48,10 +52,20 @@ fn main() {
             SimDuration::from_millis(thr_ms),
             7,
         );
-        let max = sweep.iter().map(|&(_, g)| g).fold(0.0f64, f64::max).max(1e-9);
+        perfs.push(outcome.perf);
+        let sweep = outcome.results;
+        let max = sweep
+            .iter()
+            .map(|&(_, g)| g)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
         let mut table = Table::new(vec!["thread pool", "goodput [req/s]", "normalised"]);
         for &(pool, g) in &sweep {
-            table.row(vec![pool.to_string(), format!("{g:.0}"), format!("{:.2}", g / max)]);
+            table.row(vec![
+                pool.to_string(),
+                format!("{g:.0}"),
+                format!("{:.2}", g / max),
+            ]);
         }
         print_table(format!("Fig. 3{label}"), &table);
         let best = smallest_near_max(&sweep);
@@ -67,16 +81,40 @@ fn main() {
         ("(e) post storage, light requests", false, 4_200.0),
         ("(f) post storage, heavy requests", true, 4_200.0),
     ] {
-        let sweep: Vec<(usize, f64)> = conn_pools
+        let jobs = conn_pools
             .iter()
             .map(|&conns| {
-                (conns, post_storage_goodput(conns, heavy, 4, users, secs, SimDuration::from_millis(250), 7))
+                job(format!("ps-conns-{conns}"), move || {
+                    (
+                        conns,
+                        post_storage_goodput(
+                            conns,
+                            heavy,
+                            4,
+                            users,
+                            secs,
+                            SimDuration::from_millis(250),
+                            7,
+                        ),
+                    )
+                })
             })
             .collect();
-        let max = sweep.iter().map(|&(_, g)| g).fold(0.0f64, f64::max).max(1e-9);
+        let outcome = Sweep::from_env().run(jobs);
+        perfs.push(outcome.perf);
+        let sweep = outcome.results;
+        let max = sweep
+            .iter()
+            .map(|&(_, g)| g)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
         let mut table = Table::new(vec!["conn pool", "goodput [req/s]", "normalised"]);
         for &(pool, g) in &sweep {
-            table.row(vec![pool.to_string(), format!("{g:.0}"), format!("{:.2}", g / max)]);
+            table.row(vec![
+                pool.to_string(),
+                format!("{g:.0}"),
+                format!("{:.2}", g / max),
+            ]);
         }
         print_table(format!("Fig. 3{label}"), &table);
         let best = smallest_near_max(&sweep);
@@ -89,7 +127,13 @@ fn main() {
     }
 
     println!("\n== Shifts (paper's qualitative claims) ==");
-    let get = |prefix: &str| optima.iter().find(|(l, _)| l.starts_with(prefix)).expect("ran").1;
+    let get = |prefix: &str| {
+        optima
+            .iter()
+            .find(|(l, _)| l.starts_with(prefix))
+            .expect("ran")
+            .1
+    };
     println!(
         "threshold 250→150 ms at 4 cores: optimal {} → {} (paper: 30 → 80, grows)",
         get("(a)"),
@@ -110,5 +154,9 @@ fn main() {
         get("(e)"),
         get("(f)")
     );
-    save_json("fig03_optimal_shift", &serde_json::Value::Object(results));
+    save_json_with_perf(
+        "fig03_optimal_shift",
+        &serde_json::Value::Object(results),
+        &PerfMetrics::merged(&perfs),
+    );
 }

@@ -8,7 +8,7 @@
 //! threshold cuts the two distributions.
 
 use sim_core::{SimDuration, SimTime};
-use sora_bench::{cart_run, print_table, save_json, CartSetup, Table};
+use sora_bench::{cart_run, job, print_table, save_json_with_perf, CartSetup, Sweep, Table};
 use sora_core::NullController;
 use workload::TraceShape;
 
@@ -43,14 +43,33 @@ fn histogram_for(threads: usize, secs: u64) -> (Vec<(f64, u64)>, [u64; 6], u64) 
 
 fn main() {
     let secs = if sora_bench::quick_mode() { 60 } else { 180 };
-    let (h30, g30, t30) = histogram_for(30, secs);
-    let (h80, g80, t80) = histogram_for(80, secs);
+    let outcome = Sweep::from_env().run(vec![
+        job("cart-30-threads", move || histogram_for(30, secs)),
+        job("cart-80-threads", move || histogram_for(80, secs)),
+    ]);
+    let mut results = outcome.results.into_iter();
+    let (h30, g30, t30) = results.next().expect("30-thread run");
+    let (h80, g80, t80) = results.next().expect("80-thread run");
 
     // Coarse console rendition of the semi-log histogram: counts per
     // decade-ish latency band.
-    let bands = [5.0, 10.0, 25.0, 50.0, 100.0, 150.0, 250.0, 400.0, 1_000.0, f64::MAX];
+    let bands = [
+        5.0,
+        10.0,
+        25.0,
+        50.0,
+        100.0,
+        150.0,
+        250.0,
+        400.0,
+        1_000.0,
+        f64::MAX,
+    ];
     let in_band = |h: &[(f64, u64)], lo: f64, hi: f64| {
-        h.iter().filter(|&&(b, _)| b > lo && b <= hi).map(|&(_, c)| c).sum::<u64>()
+        h.iter()
+            .filter(|&&(b, _)| b > lo && b <= hi)
+            .map(|&(_, c)| c)
+            .sum::<u64>()
     };
     let mut table = Table::new(vec!["RT band [ms]", "30 threads [#]", "80 threads [#]"]);
     let mut lo = 0.0;
@@ -67,7 +86,10 @@ fn main() {
         ]);
         lo = hi;
     }
-    print_table("Fig. 4 — Cart response-time distribution, 30 vs 80 threads", &table);
+    print_table(
+        "Fig. 4 — Cart response-time distribution, 30 vs 80 threads",
+        &table,
+    );
 
     let mut verdict = Table::new(vec![
         "threshold",
@@ -92,12 +114,13 @@ fn main() {
          (see the band table above); EXPERIMENTS.md discusses the deviation."
     );
 
-    save_json(
+    save_json_with_perf(
         "fig04_rt_distribution",
         &serde_json::json!({
             "hist_30": h30, "hist_80": h80,
             "goodput_150_250_thr30": g30, "goodput_150_250_thr80": g80,
             "total_30": t30, "total_80": t80,
         }),
+        &outcome.perf,
     );
 }

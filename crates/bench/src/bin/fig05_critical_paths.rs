@@ -11,7 +11,7 @@
 
 use apps::{Scenario, ScenarioConfig, SockShop, SockShopParams, Watch};
 use sim_core::{Dist, SimDuration, SimRng};
-use sora_bench::{print_table, save_json, Table};
+use sora_bench::{job, print_table, save_json_with_perf, Sweep, Table};
 use sora_core::NullController;
 use std::collections::BTreeMap;
 use telemetry::{critical_path, latency_breakdown, per_service_stats};
@@ -19,29 +19,47 @@ use workload::{Mix, RateCurve, TraceShape, UserPool};
 
 fn main() {
     let secs = if sora_bench::quick_mode() { 60 } else { 180 };
-    let mut shop = SockShop::build_with_config(
-        SockShopParams::default(),
-        microsim::WorldConfig { trace_sample_every: 2, ..Default::default() },
-        SimRng::seed_from(19),
-    );
-    let curve =
-        RateCurve::new(TraceShape::LargeVariation, 2_000.0, SimDuration::from_secs(secs));
-    let pool = UserPool::new(curve, Dist::exponential_ms(2_500.0), SimRng::seed_from(20));
-    let scenario = Scenario::new(
-        ScenarioConfig::default(),
-        pool,
-        Mix::single(shop.get_catalogue),
-        Watch { service: shop.catalogue, conns: None },
-    );
-    let mut ctl = NullController;
-    let _ = scenario.run(&mut shop.world, &mut ctl);
+    // A single run, still submitted through the sweep harness so the perf
+    // record (wall-clock, jobs) lands in the results JSON like everywhere
+    // else; one job degrades to inline in-thread execution.
+    let outcome = Sweep::from_env().run(vec![job("catalogue-mix", move || {
+        let mut shop = SockShop::build_with_config(
+            SockShopParams::default(),
+            microsim::WorldConfig {
+                trace_sample_every: 2,
+                ..Default::default()
+            },
+            SimRng::seed_from(19),
+        );
+        let curve = RateCurve::new(
+            TraceShape::LargeVariation,
+            2_000.0,
+            SimDuration::from_secs(secs),
+        );
+        let pool = UserPool::new(curve, Dist::exponential_ms(2_500.0), SimRng::seed_from(20));
+        let scenario = Scenario::new(
+            ScenarioConfig::default(),
+            pool,
+            Mix::single(shop.get_catalogue),
+            Watch {
+                service: shop.catalogue,
+                conns: None,
+            },
+        );
+        let mut ctl = NullController;
+        let _ = scenario.run(&mut shop.world, &mut ctl);
+        shop
+    })]);
+    let shop = outcome.results.into_iter().next().expect("one run");
 
     // Tally the critical-path shapes over the retained traces.
     let mut shapes: BTreeMap<String, u64> = BTreeMap::new();
     for trace in shop.world.warehouse().iter() {
         let path = critical_path(trace);
-        let name: Vec<&str> =
-            path.iter().map(|h| shop.world.service_name(h.service)).collect();
+        let name: Vec<&str> = path
+            .iter()
+            .map(|h| shop.world.service_name(h.service))
+            .collect();
         *shapes.entry(name.join(" → ")).or_insert(0) += 1;
     }
     let total: u64 = shapes.values().sum();
@@ -55,7 +73,10 @@ fn main() {
             format!("{:.1}%", 100.0 * **count as f64 / total.max(1) as f64),
         ]);
     }
-    print_table("Fig. 5 — dynamic critical paths of the Catalogue request", &table);
+    print_table(
+        "Fig. 5 — dynamic critical paths of the Catalogue request",
+        &table,
+    );
 
     let stats = per_service_stats(shop.world.warehouse().iter());
     let mut pcc = Table::new(vec!["service", "on-path traces", "PCC(PT, RT)"]);
@@ -70,16 +91,17 @@ fn main() {
             stats.pcc(svc).map_or("n/a".into(), |r| format!("{r:.3}")),
         ]);
     }
-    print_table("Per-service correlation with end-to-end RT (localisation input)", &pcc);
+    print_table(
+        "Per-service correlation with end-to-end RT (localisation input)",
+        &pcc,
+    );
     println!(
         "candidate critical service: {:?}",
         stats
             .candidate_critical_service()
             .map(|s| shop.world.service_name(s).to_string())
     );
-    println!(
-        "paper's point: both branches appear at runtime — the critical path is dynamic"
-    );
+    println!("paper's point: both branches appear at runtime — the critical path is dynamic");
 
     // Bonus diagnosis: where each service's latency goes (queue vs local vs
     // downstream) — the evidence soft-resource adaptation acts on.
@@ -103,8 +125,12 @@ fn main() {
         ]);
     }
     print_table("Per-service latency breakdown (tProf-style)", &bd);
-    save_json(
+    save_json_with_perf(
         "fig05_critical_paths",
-        &serde_json::json!(shapes.iter().map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>()),
+        &serde_json::json!(shapes
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()),
+        &outcome.perf,
     );
 }

@@ -6,7 +6,7 @@
 //! propagation, ③ metrics collection, ④ estimation.
 
 use sim_core::{SimDuration, SimRng, SimTime};
-use sora_bench::{cart_run, print_table, CartSetup, Table};
+use sora_bench::{cart_run, job, print_table, CartSetup, Sweep, Table};
 use sora_core::{Monitor, NullController};
 use telemetry::build_scatter;
 use workload::TraceShape;
@@ -26,8 +26,11 @@ fn main() {
         report_rtt: sla,
         seed: 97,
     };
-    let mut null = NullController;
-    let (_, mut world) = cart_run(&setup, &mut null);
+    let outcome = Sweep::from_env().run(vec![job("walkthrough-run", move || {
+        let mut null = NullController;
+        cart_run(&setup, &mut null).1
+    })]);
+    let mut world = outcome.results.into_iter().next().expect("one run");
     let now = SimTime::from_secs(secs);
     let _ = SimRng::seed_from(0);
 
@@ -43,13 +46,18 @@ fn main() {
         t1.row(vec![
             world.service_name(svc).to_string(),
             format!("{:.2}", obs.utilization.get(&svc).copied().unwrap_or(0.0)),
-            obs.path_stats.pcc(svc).map_or("n/a".into(), |r| format!("{r:.3}")),
+            obs.path_stats
+                .pcc(svc)
+                .map_or("n/a".into(), |r| format!("{r:.3}")),
             obs.path_stats.on_path_count(svc).to_string(),
         ]);
     }
     print_table("Phase ① — critical service localisation", &t1);
     let critical = obs
-        .critical_service(&scg::LocalizeConfig { min_on_path: 30, ..Default::default() })
+        .critical_service(&scg::LocalizeConfig {
+            min_on_path: 30,
+            ..Default::default()
+        })
         .expect("a loaded system has a critical service");
     println!("  -> critical service: {}", world.service_name(critical));
 
@@ -77,7 +85,11 @@ fn main() {
     );
     let model = scg::ScgModel::default();
     let bins = model.aggregate(&pts);
-    println!("\nPhase ③ — metrics collection: {} samples → {} bins", pts.len(), bins.len());
+    println!(
+        "\nPhase ③ — metrics collection: {} samples → {} bins",
+        pts.len(),
+        bins.len()
+    );
     let mut t3 = Table::new(vec!["Q", "mean goodput [req/s]"]);
     for &(q, gp) in bins.iter().take(12) {
         t3.row(vec![format!("{q:.0}"), format!("{gp:.0}")]);
@@ -85,7 +97,8 @@ fn main() {
     print_table("scatter (first 12 bins)", &t3);
 
     // ④ Estimation.
-    match model.estimate(&pts) {
+    let est = model.estimate(&pts);
+    match &est {
         Some(est) => println!(
             "\nPhase ④ — estimation: knee at Q = {} (goodput {:.0} req/s, \
              polynomial degree {}) → recommend a {}-wide pool",
@@ -96,4 +109,14 @@ fn main() {
              (the framework would explore upward)"
         ),
     }
+    sora_bench::save_json_with_perf(
+        "fig06_scg_walkthrough",
+        &serde_json::json!({
+            "critical_service": world.service_name(critical),
+            "threshold_ms": threshold.as_millis_f64(),
+            "scatter_points": pts.len(),
+            "knee": est.map(|e| e.optimal),
+        }),
+        &outcome.perf,
+    );
 }

@@ -3,7 +3,7 @@
 //! response-time threshold: the knee moves with the threshold.
 
 use sim_core::{SimDuration, SimTime};
-use sora_bench::{cart_run, print_table, save_json, CartSetup, Table};
+use sora_bench::{cart_run, job, print_table, save_json_with_perf, CartSetup, Sweep, Table};
 use sora_core::NullController;
 use telemetry::build_scatter;
 use workload::TraceShape;
@@ -22,8 +22,11 @@ fn main() {
         report_rtt: SimDuration::from_millis(250),
         seed: 23,
     };
-    let mut null = NullController;
-    let (_, world) = cart_run(&setup, &mut null);
+    let outcome = Sweep::from_env().run(vec![job("scatter-run", move || {
+        let mut null = NullController;
+        cart_run(&setup, &mut null).1
+    })]);
+    let world = outcome.results.into_iter().next().expect("one run");
 
     let cart = telemetry::ServiceId(1);
     let pod = world.ready_replicas(cart)[0];
@@ -48,7 +51,10 @@ fn main() {
         for &(q, gp) in &bins {
             table.row(vec![format!("{q:.0}"), format!("{gp:.0}")]);
         }
-        print_table(format!("Fig. 7 — scatter with {thr_ms} ms threshold"), &table);
+        print_table(
+            format!("Fig. 7 — scatter with {thr_ms} ms threshold"),
+            &table,
+        );
         match model.estimate(&pts) {
             Some(est) => println!(
                 "  knee: Q = {} (goodput {:.0} req/s, degree {})",
@@ -69,5 +75,9 @@ fn main() {
         "paper's claim: the 5 ms and 50 ms thresholds yield different knees\n\
          (goodput measurement is highly sensitive to the threshold)"
     );
-    save_json("fig07_scatter_thresholds", &serde_json::Value::Object(json));
+    save_json_with_perf(
+        "fig07_scatter_thresholds",
+        &serde_json::Value::Object(json),
+        &outcome.perf,
+    );
 }

@@ -7,9 +7,14 @@
 //! Right column (validation): sweeps of adjacent allocations under the same
 //! workload confirm the recommendation achieves (close to) the highest
 //! goodput of the monitored service.
+//!
+//! Two [`Sweep`] phases: the three estimation runs fan out first, then every
+//! validation run of every case fans out in one flat batch; output is
+//! assembled per case from index-ordered results afterwards, so it is
+//! byte-identical at any job count.
 
 use sim_core::{SimDuration, SimTime};
-use sora_bench::{print_table, save_json, MonitoredCase, Table};
+use sora_bench::{job, print_table, save_json_with_perf, MonitoredCase, PerfMetrics, Sweep, Table};
 
 fn neighbourhood(est: usize) -> Vec<usize> {
     let mut v = vec![
@@ -29,23 +34,55 @@ fn main() {
     let est_secs = if quick { 120 } else { 240 };
     let val_secs = if quick { 60 } else { 180 };
     let mut json = serde_json::Map::new();
-    let model = scg::ScgModel::default();
-
-    for (label, case) in [
+    let sweep = Sweep::from_env();
+    let cases = [
         ("(a) cart threads", MonitoredCase::CartThreads),
         ("(b) catalogue db conns", MonitoredCase::CatalogueConns),
         ("(c) post storage conns", MonitoredCase::PostStorageConns),
-    ] {
-        // Estimation from a generous-allocation run.
-        let world = case.run(case.generous_allocation(), est_secs, 29);
-        let pts = case.scatter(
-            &world,
-            SimTime::from_secs(est_secs / 4),
-            SimTime::from_secs(est_secs),
-            SimDuration::from_millis(100),
-        );
-        let Some(est) = model.estimate(&pts) else {
-            println!("\nFig. 9{label}: no knee detected ({} scatter points)", pts.len());
+    ];
+
+    // Phase 1 — estimation from a generous-allocation run, per case.
+    let est_jobs = cases
+        .into_iter()
+        .map(|(label, case)| {
+            job(format!("estimate/{case:?}"), move || {
+                let model = scg::ScgModel::default();
+                let world = case.run(case.generous_allocation(), est_secs, 29);
+                let pts = case.scatter(
+                    &world,
+                    SimTime::from_secs(est_secs / 4),
+                    SimTime::from_secs(est_secs),
+                    SimDuration::from_millis(100),
+                );
+                let n_pts = pts.len();
+                (label, case, model.estimate(&pts), n_pts)
+            })
+        })
+        .collect();
+    let est_outcome = sweep.run(est_jobs);
+
+    // Phase 2 — validation runs around each estimate, one flat batch.
+    let val_jobs = est_outcome
+        .results
+        .iter()
+        .filter_map(|(_, case, est, _)| est.as_ref().map(|e| (*case, e.optimal)))
+        .flat_map(|(case, optimal)| {
+            neighbourhood(optimal).into_iter().map(move |alloc| {
+                job(format!("validate/{case:?}/{alloc}"), move || {
+                    let w = case.run(alloc, val_secs, 31);
+                    let warmup = SimTime::from_secs(val_secs / 3);
+                    let end = SimTime::from_secs(val_secs);
+                    (alloc, case.monitored_goodput(&w, warmup, end))
+                })
+            })
+        })
+        .collect();
+    let val_outcome = sweep.run(val_jobs);
+
+    let mut validations = val_outcome.results.iter();
+    for (label, case, est, n_pts) in &est_outcome.results {
+        let Some(est) = est else {
+            println!("\nFig. 9{label}: no knee detected ({n_pts} scatter points)");
             continue;
         };
         println!(
@@ -55,26 +92,23 @@ fn main() {
             est.degree,
             est.bins
         );
-
-        // Validation sweep around the estimate.
-        let candidates = neighbourhood(est.optimal);
-        let warmup = SimTime::from_secs(val_secs / 3);
-        let end = SimTime::from_secs(val_secs);
-        let sweep: Vec<(usize, f64)> = candidates
-            .iter()
-            .map(|&alloc| {
-                let w = case.run(alloc, val_secs, 31);
-                (alloc, case.monitored_goodput(&w, warmup, end))
-            })
+        let sweep_res: Vec<(usize, f64)> = validations
+            .by_ref()
+            .take(neighbourhood(est.optimal).len())
+            .copied()
             .collect();
         let mut table = Table::new(vec!["allocation", "monitored goodput [req/s]"]);
-        for &(alloc, gp) in &sweep {
-            let marker = if alloc == est.optimal { "  <= SCG estimate" } else { "" };
+        for &(alloc, gp) in &sweep_res {
+            let marker = if alloc == est.optimal {
+                "  <= SCG estimate"
+            } else {
+                ""
+            };
             table.row(vec![format!("{alloc}{marker}"), format!("{gp:.0}")]);
         }
         print_table(format!("Fig. 9{label} — validation"), &table);
-        let best_gp = sweep.iter().map(|&(_, g)| g).fold(0.0f64, f64::max);
-        let est_gp = sweep
+        let best_gp = sweep_res.iter().map(|&(_, g)| g).fold(0.0f64, f64::max);
+        let est_gp = sweep_res
             .iter()
             .find(|&&(a, _)| a == est.optimal)
             .map_or(0.0, |&(_, g)| g);
@@ -82,16 +116,24 @@ fn main() {
         println!(
             "  estimate achieves {:.1}% of the sweep's best goodput — {}",
             100.0 * est_gp / best_gp.max(1e-9),
-            if ok { "validated ✓" } else { "NOT validated ✗" }
+            if ok {
+                "validated ✓"
+            } else {
+                "NOT validated ✗"
+            }
         );
         json.insert(
             label.to_string(),
             serde_json::json!({
                 "estimate": est.optimal,
-                "sweep": sweep,
+                "sweep": sweep_res,
                 "validated": ok,
             }),
         );
     }
-    save_json("fig09_model_validation", &serde_json::Value::Object(json));
+    save_json_with_perf(
+        "fig09_model_validation",
+        &serde_json::Value::Object(json),
+        &PerfMetrics::merged(&[est_outcome.perf, val_outcome.perf]),
+    );
 }

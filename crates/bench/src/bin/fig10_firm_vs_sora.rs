@@ -11,7 +11,9 @@ use autoscalers::{FirmConfig, FirmController};
 use cluster::Millicores;
 use scg::LocalizeConfig;
 use sim_core::SimDuration;
-use sora_bench::{cart_run, print_table, save_json, trace_secs, CartSetup, Table};
+use sora_bench::{
+    cart_run, job, print_table, save_json_with_perf, trace_secs, CartSetup, Sweep, Table,
+};
 use sora_core::{ResourceBounds, ResourceRegistry, SoftResource, SoraConfig, SoraController};
 use telemetry::ServiceId;
 use workload::TraceShape;
@@ -23,7 +25,10 @@ fn firm_config() -> FirmConfig {
     FirmConfig {
         // FIRM manages the Cart instance's CPU, 1–4 cores in 1-core steps.
         services: vec![CART],
-        localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+        localize: LocalizeConfig {
+            min_on_path: 30,
+            ..Default::default()
+        },
         min_limit: Millicores::from_cores(1),
         max_limit: Millicores::from_cores(4),
         ..Default::default()
@@ -38,7 +43,10 @@ fn sora_over_firm() -> SoraController<FirmController> {
     SoraController::sora(
         SoraConfig {
             sla: SimDuration::from_millis(400),
-            localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 30,
+                ..Default::default()
+            },
             ..Default::default()
         },
         registry,
@@ -94,14 +102,24 @@ fn main() {
         ..Default::default()
     };
 
-    let mut firm_only = FirmController::new(firm_config());
-    let (firm_result, firm_world) = cart_run(&setup, &mut firm_only);
+    let outcome = Sweep::from_env().run(vec![
+        job("firm-only", move || {
+            let mut firm_only = FirmController::new(firm_config());
+            (cart_run(&setup, &mut firm_only).0, Vec::new())
+        }),
+        job("firm+sora", move || {
+            let mut sora = sora_over_firm();
+            let result = cart_run(&setup, &mut sora).0;
+            let actions = sora.actions().to_vec();
+            (result, actions)
+        }),
+    ]);
+    let mut results = outcome.results.into_iter();
+    let (firm_result, _) = results.next().expect("firm run");
+    let (sora_result, sora_actions) = results.next().expect("sora run");
     print_timeline("FIRM", &firm_result);
-
-    let mut sora = sora_over_firm();
-    let (sora_result, sora_world) = cart_run(&setup, &mut sora);
     print_timeline("FIRM + Sora", &sora_result);
-    println!("sora actuations: {:?}", sora.actions());
+    println!("sora actuations: {sora_actions:?}");
 
     // The paper's headline: Sora stabilises the fluctuation and cuts tail
     // latency (2.2× on average across traces).
@@ -116,12 +134,21 @@ fn main() {
         "goodput: FIRM {:.0} vs Sora {:.0} req/s",
         firm_result.summary.goodput_rps, sora_result.summary.goodput_rps
     );
-    let peak_threads_firm = firm_result.timeline.iter().map(|r| r.thread_limit).max().unwrap_or(0);
-    let peak_threads_sora = sora_result.timeline.iter().map(|r| r.thread_limit).max().unwrap_or(0);
+    let peak_threads_firm = firm_result
+        .timeline
+        .iter()
+        .map(|r| r.thread_limit)
+        .max()
+        .unwrap_or(0);
+    let peak_threads_sora = sora_result
+        .timeline
+        .iter()
+        .map(|r| r.thread_limit)
+        .max()
+        .unwrap_or(0);
     println!("thread limit: FIRM stays at {peak_threads_firm}, Sora reaches {peak_threads_sora}");
-    let _ = (firm_world, sora_world);
 
-    save_json(
+    save_json_with_perf(
         "fig10_firm_vs_sora",
         &serde_json::json!({
             "firm": {
@@ -135,10 +162,11 @@ fn main() {
                 "rt": sora_result.rt_timeline,
                 "goodput": sora_result.goodput_timeline,
                 "summary": sora_result.summary,
-                "actions": sora.actions().iter()
+                "actions": sora_actions.iter()
                     .map(|(t, r, v)| (t.as_secs_f64(), r.clone(), *v))
                     .collect::<Vec<_>>(),
             },
         }),
+        &outcome.perf,
     );
 }

@@ -10,7 +10,9 @@ use autoscalers::{VpaConfig, VpaController};
 use cluster::Millicores;
 use scg::LocalizeConfig;
 use sim_core::SimDuration;
-use sora_bench::{cart_run, print_table, save_json, trace_secs, CartSetup, Table};
+use sora_bench::{
+    cart_run, job, print_table, save_json_with_perf, trace_secs, CartSetup, Sweep, Table,
+};
 use sora_core::{ResourceBounds, ResourceRegistry, SoftResource, SoraConfig, SoraController};
 use telemetry::ServiceId;
 use workload::TraceShape;
@@ -38,7 +40,10 @@ fn registry() -> ResourceRegistry {
 fn config() -> SoraConfig {
     SoraConfig {
         sla: SimDuration::from_millis(400),
-        localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+        localize: LocalizeConfig {
+            min_on_path: 30,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -50,11 +55,23 @@ fn main() {
         ..Default::default()
     };
 
-    let mut conscale = SoraController::conscale(config(), registry(), vpa());
-    let (con_res, _) = cart_run(&setup, &mut conscale);
-
-    let mut sora = SoraController::sora(config(), registry(), vpa());
-    let (sora_res, _) = cart_run(&setup, &mut sora);
+    let outcome = Sweep::from_env().run(vec![
+        job("conscale", move || {
+            let mut conscale = SoraController::conscale(config(), registry(), vpa());
+            let res = cart_run(&setup, &mut conscale).0;
+            let actions = conscale.actions().to_vec();
+            (res, actions)
+        }),
+        job("sora", move || {
+            let mut sora = SoraController::sora(config(), registry(), vpa());
+            let res = cart_run(&setup, &mut sora).0;
+            let actions = sora.actions().to_vec();
+            (res, actions)
+        }),
+    ]);
+    let mut results = outcome.results.into_iter();
+    let (con_res, con_actions) = results.next().expect("conscale run");
+    let (sora_res, sora_actions) = results.next().expect("sora run");
 
     let mut table = Table::new(vec!["metric", "ConScale (SCT)", "Sora (SCG)"]);
     table.row(vec![
@@ -78,17 +95,18 @@ fn main() {
         format!("{}", peak(&con_res)),
         format!("{}", peak(&sora_res)),
     ]);
-    print_table("Fig. 11 — ConScale vs Sora (Large Variation, VPA base)", &table);
+    print_table(
+        "Fig. 11 — ConScale vs Sora (Large Variation, VPA base)",
+        &table,
+    );
     println!(
         "actions (last 5): conscale {:?} | sora {:?}",
-        conscale.actions().iter().rev().take(5).collect::<Vec<_>>(),
-        sora.actions().iter().rev().take(5).collect::<Vec<_>>()
+        con_actions.iter().rev().take(5).collect::<Vec<_>>(),
+        sora_actions.iter().rev().take(5).collect::<Vec<_>>()
     );
-    println!(
-        "paper's claim: SCT over-allocates (40 threads) vs SCG (30); goodput Sora > ConScale"
-    );
+    println!("paper's claim: SCT over-allocates (40 threads) vs SCG (30); goodput Sora > ConScale");
 
-    save_json(
+    save_json_with_perf(
         "fig11_conscale_vs_sora",
         &serde_json::json!({
             "conscale": {
@@ -104,5 +122,6 @@ fn main() {
                 "summary": sora_res.summary,
             },
         }),
+        &outcome.perf,
     );
 }

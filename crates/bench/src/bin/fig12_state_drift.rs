@@ -10,7 +10,9 @@
 use autoscalers::{HpaConfig, HpaController};
 use scg::LocalizeConfig;
 use sim_core::SimDuration;
-use sora_bench::{drift_run, print_table, save_json, trace_secs, DriftSetup, Table};
+use sora_bench::{
+    drift_run, job, print_table, save_json_with_perf, trace_secs, DriftSetup, Sweep, Table,
+};
 use sora_core::{ResourceBounds, ResourceRegistry, SoftResource, SoraConfig, SoraController};
 use telemetry::ServiceId;
 
@@ -19,7 +21,13 @@ const HOME_TIMELINE: ServiceId = ServiceId(1);
 const POST_STORAGE: ServiceId = ServiceId(2);
 
 fn hpa() -> HpaController {
-    HpaController::new(POST_STORAGE, HpaConfig { max_replicas: 6, ..Default::default() })
+    HpaController::new(
+        POST_STORAGE,
+        HpaConfig {
+            max_replicas: 6,
+            ..Default::default()
+        },
+    )
 }
 
 fn print_timeline(name: &str, result: &apps::RunResult) {
@@ -34,8 +42,14 @@ fn print_timeline(name: &str, result: &apps::RunResult) {
     ]);
     for row in result.timeline.iter().step_by(30) {
         let t = row.t_secs as usize;
-        let rt = result.rt_timeline.get(t.saturating_sub(1)).map_or(0.0, |&(_, v)| v);
-        let gp = result.goodput_timeline.get(t.saturating_sub(1)).map_or(0.0, |&(_, v)| v);
+        let rt = result
+            .rt_timeline
+            .get(t.saturating_sub(1))
+            .map_or(0.0, |&(_, v)| v);
+        let gp = result
+            .goodput_timeline
+            .get(t.saturating_sub(1))
+            .map_or(0.0, |&(_, v)| v);
         table.row(vec![
             format!("{t}"),
             format!("{rt:.0}"),
@@ -64,26 +78,42 @@ fn main() {
         ..Default::default()
     };
 
-    let mut hpa_only = hpa();
-    let (hpa_res, _) = drift_run(&setup, &mut hpa_only);
+    let outcome = Sweep::from_env().run(vec![
+        job("hpa-only", move || {
+            let mut hpa_only = hpa();
+            (drift_run(&setup, &mut hpa_only).0, Vec::new())
+        }),
+        job("hpa+sora", move || {
+            let registry = ResourceRegistry::new().with(
+                SoftResource::ConnPool {
+                    caller: HOME_TIMELINE,
+                    target: POST_STORAGE,
+                },
+                ResourceBounds { min: 4, max: 256 },
+            );
+            let mut sora = SoraController::sora(
+                SoraConfig {
+                    sla: SimDuration::from_millis(400),
+                    localize: LocalizeConfig {
+                        min_on_path: 30,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                registry,
+                hpa(),
+            );
+            let res = drift_run(&setup, &mut sora).0;
+            let actions = sora.actions().to_vec();
+            (res, actions)
+        }),
+    ]);
+    let mut results = outcome.results.into_iter();
+    let (hpa_res, _) = results.next().expect("hpa run");
+    let (sora_res, sora_actions) = results.next().expect("sora run");
     print_timeline("Kubernetes HPA (static connections)", &hpa_res);
-
-    let registry = ResourceRegistry::new().with(
-        SoftResource::ConnPool { caller: HOME_TIMELINE, target: POST_STORAGE },
-        ResourceBounds { min: 4, max: 256 },
-    );
-    let mut sora = SoraController::sora(
-        SoraConfig {
-            sla: SimDuration::from_millis(400),
-            localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
-            ..Default::default()
-        },
-        registry,
-        hpa(),
-    );
-    let (sora_res, _) = drift_run(&setup, &mut sora);
     print_timeline("HPA + Sora (adaptive connections)", &sora_res);
-    println!("sora actuations: {:?}", sora.actions());
+    println!("sora actuations: {sora_actions:?}");
 
     println!("\n== Fig. 12 verdict ==");
     println!(
@@ -103,7 +133,7 @@ fn main() {
         final_conns(&sora_res)
     );
 
-    save_json(
+    save_json_with_perf(
         "fig12_state_drift",
         &serde_json::json!({
             "hpa": {
@@ -117,10 +147,11 @@ fn main() {
                 "rt": sora_res.rt_timeline,
                 "goodput": sora_res.goodput_timeline,
                 "summary": sora_res.summary,
-                "actions": sora.actions().iter()
+                "actions": sora_actions.iter()
                     .map(|(t, r, v)| (t.as_secs_f64(), r.clone(), *v))
                     .collect::<Vec<_>>(),
             },
         }),
+        &outcome.perf,
     );
 }

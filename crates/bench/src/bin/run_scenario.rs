@@ -10,7 +10,7 @@
 //! printed as a summary and archived under `results/scenario_<name>.json`.
 
 use sora_bench::config::{App, Hardware, ScenarioSpec, SoftAdaptation};
-use sora_bench::save_json;
+use sora_bench::{job, save_json_with_perf, Sweep};
 use workload::TraceShape;
 
 fn template() -> ScenarioSpec {
@@ -40,12 +40,19 @@ fn main() {
             );
         }
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             let spec: ScenarioSpec = serde_json::from_str(&text)
                 .unwrap_or_else(|e| panic!("invalid scenario config {path}: {e}"));
             println!("running: {spec:#?}");
-            let outcome = spec.run();
+            let run_spec = spec.clone();
+            let sweep_outcome =
+                Sweep::from_env().run(vec![job("scenario", move || run_spec.run())]);
+            let outcome = sweep_outcome
+                .results
+                .into_iter()
+                .next()
+                .expect("one scenario run");
             println!(
                 "\ncompleted {}  dropped {}  mean {:.1} ms  p95 {:.0} ms  p99 {:.0} ms  \
                  goodput({} ms) {:.0} req/s",
@@ -61,7 +68,7 @@ fn main() {
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .unwrap_or("scenario");
-            save_json(
+            save_json_with_perf(
                 &format!("scenario_{stem}"),
                 &serde_json::json!({
                     "spec": spec,
@@ -70,6 +77,7 @@ fn main() {
                     "rt": outcome.result.rt_timeline,
                     "goodput": outcome.result.goodput_timeline,
                 }),
+                &sweep_outcome.perf,
             );
         }
         None => {

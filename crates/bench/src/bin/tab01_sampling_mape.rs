@@ -6,11 +6,22 @@
 //! monitored service's goodput (the Fig. 9 validation methodology).
 //! Estimates: the SCG model applied to disjoint 60 s windows of one long
 //! steady run with a generous allocation, re-sampled at each interval.
+//!
+//! All runs are independent, so the three ground-truth sweeps (3 × 10
+//! allocations) and the three long estimation runs each fan out across the
+//! [`Sweep`] harness; results are collected by input index, keeping the
+//! output byte-identical at any job count.
 
 use sim_core::{SimDuration, SimTime};
-use sora_bench::{print_table, save_json, MonitoredCase, Table};
+use sora_bench::{job, print_table, save_json_with_perf, MonitoredCase, PerfMetrics, Sweep, Table};
 
 const INTERVALS_MS: [u64; 6] = [10, 20, 50, 100, 200, 500];
+const TRUTH_ALLOCS: [usize; 10] = [2, 3, 4, 5, 6, 8, 10, 14, 20, 30];
+const CASES: [MonitoredCase; 3] = [
+    MonitoredCase::CartThreads,
+    MonitoredCase::CatalogueConns,
+    MonitoredCase::PostStorageConns,
+];
 
 struct CaseResult {
     truth: usize,
@@ -18,41 +29,32 @@ struct CaseResult {
     estimates: Vec<(u64, Vec<Option<usize>>)>,
 }
 
-fn analyse(case: MonitoredCase, run_secs: u64, sweep_secs: u64) -> CaseResult {
-    // Ground truth from an allocation sweep of the monitored goodput.
-    let warmup = SimTime::from_secs(sweep_secs / 3);
-    let end = SimTime::from_secs(sweep_secs);
-    let truth = [2usize, 3, 4, 5, 6, 8, 10, 14, 20, 30]
-        .iter()
-        .map(|&alloc| {
-            let w = case.run(alloc, sweep_secs, 61);
-            (alloc, case.monitored_goodput(&w, warmup, end))
-        })
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty sweep")
-        .0;
-    // One long generous run, re-analysed per window × interval.
+/// One long generous run, re-analysed per window × interval.
+fn estimate(case: MonitoredCase, run_secs: u64) -> Vec<(u64, Vec<Option<usize>>)> {
     let world = case.run(case.generous_allocation(), run_secs, 63);
     let model = scg::ScgModel::default();
     let window = 60u64;
     let windows: Vec<(SimTime, SimTime)> = (0..run_secs / window)
-        .map(|i| (SimTime::from_secs(i * window), SimTime::from_secs((i + 1) * window)))
+        .map(|i| {
+            (
+                SimTime::from_secs(i * window),
+                SimTime::from_secs((i + 1) * window),
+            )
+        })
         .collect();
-    let estimates = INTERVALS_MS
+    INTERVALS_MS
         .iter()
         .map(|&ms| {
             let per_window = windows
                 .iter()
                 .map(|&(from, to)| {
-                    let pts =
-                        case.scatter(&world, from, to, SimDuration::from_millis(ms));
+                    let pts = case.scatter(&world, from, to, SimDuration::from_millis(ms));
                     model.estimate(&pts).map(|e| e.optimal)
                 })
                 .collect();
             (ms, per_window)
         })
-        .collect();
-    CaseResult { truth, estimates }
+        .collect()
 }
 
 fn mape(truth: usize, ests: &[Option<usize>]) -> Option<(f64, usize)> {
@@ -69,10 +71,51 @@ fn main() {
     let quick = sora_bench::quick_mode();
     let run_secs = if quick { 240 } else { 360 };
     let sweep_secs = if quick { 45 } else { 120 };
+    let sweep = Sweep::from_env();
 
-    let cart = analyse(MonitoredCase::CartThreads, run_secs, sweep_secs);
-    let cat = analyse(MonitoredCase::CatalogueConns, run_secs, sweep_secs);
-    let ps = analyse(MonitoredCase::PostStorageConns, run_secs, sweep_secs);
+    // Ground truth from allocation sweeps of the monitored goodput:
+    // 3 cases × 10 allocations, all independent.
+    let warmup = SimTime::from_secs(sweep_secs / 3);
+    let end = SimTime::from_secs(sweep_secs);
+    let truth_jobs = CASES
+        .into_iter()
+        .flat_map(|case| {
+            TRUTH_ALLOCS.into_iter().map(move |alloc| {
+                job(format!("truth/{case:?}/{alloc}"), move || {
+                    let w = case.run(alloc, sweep_secs, 61);
+                    case.monitored_goodput(&w, warmup, end)
+                })
+            })
+        })
+        .collect();
+    let truth_outcome = sweep.run(truth_jobs);
+
+    // One long generous run per case, re-analysed per window × interval.
+    let est_jobs = CASES
+        .into_iter()
+        .map(|case| {
+            job(format!("estimate/{case:?}"), move || {
+                estimate(case, run_secs)
+            })
+        })
+        .collect();
+    let est_outcome = sweep.run(est_jobs);
+
+    let cases: Vec<CaseResult> = CASES
+        .iter()
+        .zip(truth_outcome.results.chunks(TRUTH_ALLOCS.len()))
+        .zip(est_outcome.results)
+        .map(|((_, goodputs), estimates)| {
+            let truth = TRUTH_ALLOCS
+                .into_iter()
+                .zip(goodputs.iter().copied())
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty sweep")
+                .0;
+            CaseResult { truth, estimates }
+        })
+        .collect();
+    let (cart, cat, ps) = (&cases[0], &cases[1], &cases[2]);
     println!(
         "ground truth optima — cart: {}, catalogue: {}, post storage: {}",
         cart.truth, cat.truth, ps.truth
@@ -90,7 +133,7 @@ fn main() {
             Some((m, n)) => format!("{m:.1} (n={n})"),
             None => "no knee".to_string(),
         };
-        table.row(vec![format!("{ms} ms"), fmt(&cart), fmt(&cat), fmt(&ps)]);
+        table.row(vec![format!("{ms} ms"), fmt(cart), fmt(cat), fmt(ps)]);
         json.insert(
             format!("{ms}ms"),
             serde_json::json!({
@@ -106,5 +149,9 @@ fn main() {
         "truth".into(),
         serde_json::json!({"cart": cart.truth, "catalogue": cat.truth, "post_storage": ps.truth}),
     );
-    save_json("tab01_sampling_mape", &serde_json::Value::Object(json));
+    save_json_with_perf(
+        "tab01_sampling_mape",
+        &serde_json::Value::Object(json),
+        &PerfMetrics::merged(&[truth_outcome.perf, est_outcome.perf]),
+    );
 }

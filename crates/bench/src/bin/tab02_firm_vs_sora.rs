@@ -1,11 +1,17 @@
 //! Table 2 — tail response time (p95/p99) and average goodput, FIRM vs
 //! FIRM + Sora, under all six real-world bursty workload traces.
+//!
+//! The twelve runs (six traces × two controller stacks) are independent and
+//! fan out across the [`Sweep`] harness; table rows are assembled from the
+//! index-ordered results, so the output is byte-identical at any job count.
 
 use autoscalers::{FirmConfig, FirmController};
 use cluster::Millicores;
 use scg::LocalizeConfig;
 use sim_core::SimDuration;
-use sora_bench::{cart_run, print_table, save_json, trace_secs, CartSetup, Table};
+use sora_bench::{
+    cart_run, job, print_table, save_json_with_perf, trace_secs, CartSetup, Sweep, Table,
+};
 use sora_core::{ResourceBounds, ResourceRegistry, SoftResource, SoraConfig, SoraController};
 use telemetry::ServiceId;
 use workload::TraceShape;
@@ -15,7 +21,10 @@ const CART: ServiceId = ServiceId(1);
 fn firm_config() -> FirmConfig {
     FirmConfig {
         services: vec![CART],
-        localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+        localize: LocalizeConfig {
+            min_on_path: 30,
+            ..Default::default()
+        },
         min_limit: Millicores::from_cores(1),
         max_limit: Millicores::from_cores(4),
         ..Default::default()
@@ -23,6 +32,40 @@ fn firm_config() -> FirmConfig {
 }
 
 fn main() {
+    let secs = trace_secs();
+    let mut jobs = Vec::new();
+    for shape in TraceShape::ALL {
+        let setup = CartSetup {
+            shape,
+            secs,
+            ..Default::default()
+        };
+        jobs.push(job(format!("firm/{shape}"), move || {
+            let mut firm = FirmController::new(firm_config());
+            cart_run(&setup, &mut firm).0.summary
+        }));
+        jobs.push(job(format!("sora/{shape}"), move || {
+            let registry = ResourceRegistry::new().with(
+                SoftResource::ThreadPool { service: CART },
+                ResourceBounds { min: 5, max: 200 },
+            );
+            let mut sora = SoraController::sora(
+                SoraConfig {
+                    sla: SimDuration::from_millis(400),
+                    localize: LocalizeConfig {
+                        min_on_path: 30,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                registry,
+                FirmController::new(firm_config()),
+            );
+            cart_run(&setup, &mut sora).0.summary
+        }));
+    }
+    let outcome = Sweep::from_env().run(jobs);
+
     let mut table = Table::new(vec![
         "trace",
         "p95 FIRM/Sora [ms]",
@@ -31,48 +74,28 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     let mut p99_ratios = Vec::new();
-    for shape in TraceShape::ALL {
-        let setup = CartSetup { shape, secs: trace_secs(), ..Default::default() };
-
-        let mut firm = FirmController::new(firm_config());
-        let (firm_res, _) = cart_run(&setup, &mut firm);
-
-        let registry = ResourceRegistry::new().with(
-            SoftResource::ThreadPool { service: CART },
-            ResourceBounds { min: 5, max: 200 },
-        );
-        let mut sora = SoraController::sora(
-            SoraConfig {
-                sla: SimDuration::from_millis(400),
-                localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
-                ..Default::default()
-            },
-            registry,
-            FirmController::new(firm_config()),
-        );
-        let (sora_res, _) = cart_run(&setup, &mut sora);
-
+    for (shape, pair) in TraceShape::ALL.into_iter().zip(outcome.results.chunks(2)) {
+        let (firm, sora) = (&pair[0], &pair[1]);
         table.row(vec![
             shape.to_string(),
-            format!("{:.0} / {:.0}", firm_res.summary.p95_ms, sora_res.summary.p95_ms),
-            format!("{:.0} / {:.0}", firm_res.summary.p99_ms, sora_res.summary.p99_ms),
-            format!(
-                "{:.0} / {:.0}",
-                firm_res.summary.goodput_rps, sora_res.summary.goodput_rps
-            ),
+            format!("{:.0} / {:.0}", firm.p95_ms, sora.p95_ms),
+            format!("{:.0} / {:.0}", firm.p99_ms, sora.p99_ms),
+            format!("{:.0} / {:.0}", firm.goodput_rps, sora.goodput_rps),
         ]);
-        p99_ratios.push(firm_res.summary.p99_ms / sora_res.summary.p99_ms.max(1.0));
+        p99_ratios.push(firm.p99_ms / sora.p99_ms.max(1.0));
         rows.push(serde_json::json!({
             "trace": shape.name(),
-            "firm": firm_res.summary,
-            "sora": sora_res.summary,
+            "firm": firm,
+            "sora": sora,
         }));
     }
     print_table("Table 2 — FIRM vs FIRM+Sora, six bursty traces", &table);
     let avg: f64 = p99_ratios.iter().sum::<f64>() / p99_ratios.len() as f64;
     let max = p99_ratios.iter().copied().fold(0.0f64, f64::max);
-    println!(
-        "p99 reduction: mean {avg:.2}x, max {max:.2}x (paper: ~2.2x mean, up to 2.5x)"
+    println!("p99 reduction: mean {avg:.2}x, max {max:.2}x (paper: ~2.2x mean, up to 2.5x)");
+    save_json_with_perf(
+        "tab02_firm_vs_sora",
+        &serde_json::json!(rows),
+        &outcome.perf,
     );
-    save_json("tab02_firm_vs_sora", &serde_json::json!(rows));
 }

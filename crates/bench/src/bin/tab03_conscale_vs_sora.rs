@@ -1,11 +1,17 @@
 //! Table 3 — average goodput, ConScale vs Sora, six traces × two SLA
 //! thresholds (250 ms and 500 ms), both over Kubernetes VPA.
+//!
+//! The 24 runs (two SLAs × six traces × two adapters) fan out across the
+//! [`Sweep`] harness; rows are assembled from index-ordered results so the
+//! tables are byte-identical at any job count.
 
 use autoscalers::{VpaConfig, VpaController};
 use cluster::Millicores;
 use scg::LocalizeConfig;
 use sim_core::{SimDuration, SimTime};
-use sora_bench::{cart_run, print_table, save_json, trace_secs, CartSetup, Table};
+use sora_bench::{
+    cart_run, job, print_table, save_json_with_perf, trace_secs, CartSetup, Sweep, Table,
+};
 use sora_core::{ResourceBounds, ResourceRegistry, SoftResource, SoraConfig, SoraController};
 use telemetry::ServiceId;
 use workload::TraceShape;
@@ -36,7 +42,10 @@ fn run(shape: TraceShape, sla_ms: u64, latency_aware: bool, secs: u64) -> (f64, 
     );
     let config = SoraConfig {
         sla: SimDuration::from_millis(sla_ms),
-        localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+        localize: LocalizeConfig {
+            min_on_path: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut ctl = if latency_aware {
@@ -55,6 +64,20 @@ fn run(shape: TraceShape, sla_ms: u64, latency_aware: bool, secs: u64) -> (f64, 
 
 fn main() {
     let secs = trace_secs();
+    let mut jobs = Vec::new();
+    for sla_ms in [250u64, 500] {
+        for shape in TraceShape::ALL {
+            for latency_aware in [false, true] {
+                let kind = if latency_aware { "sora" } else { "conscale" };
+                jobs.push(job(format!("{kind}/{shape}@{sla_ms}ms"), move || {
+                    run(shape, sla_ms, latency_aware, secs)
+                }));
+            }
+        }
+    }
+    let outcome = Sweep::from_env().run(jobs);
+
+    let mut results = outcome.results.iter();
     let mut rows = Vec::new();
     for sla_ms in [250u64, 500] {
         let mut table = Table::new(vec![
@@ -64,8 +87,8 @@ fn main() {
             "Sora/ConScale",
         ]);
         for shape in TraceShape::ALL {
-            let (con_gp, con_p99) = run(shape, sla_ms, false, secs);
-            let (sora_gp, sora_p99) = run(shape, sla_ms, true, secs);
+            let &(con_gp, con_p99) = results.next().expect("conscale result");
+            let &(sora_gp, sora_p99) = results.next().expect("sora result");
             table.row(vec![
                 shape.to_string(),
                 format!("{con_gp:.0}"),
@@ -84,5 +107,9 @@ fn main() {
         print_table(format!("Table 3 — SLA threshold {sla_ms} ms"), &table);
     }
     println!("paper's claim: Sora outperforms ConScale at both SLAs (≈1.1–1.5x goodput)");
-    save_json("tab03_conscale_vs_sora", &serde_json::json!(rows));
+    save_json_with_perf(
+        "tab03_conscale_vs_sora",
+        &serde_json::json!(rows),
+        &outcome.perf,
+    );
 }

@@ -2,8 +2,10 @@
 //! an experiment as JSON (application, workload trace, controller stack,
 //! SLA) and run it without writing Rust.
 
-use apps::{RunResult, Scenario, ScenarioConfig, SockShop, SockShopParams, SocialNetwork,
-           SocialNetworkParams, Watch};
+use apps::{
+    RunResult, Scenario, ScenarioConfig, SocialNetwork, SocialNetworkParams, SockShop,
+    SockShopParams, Watch,
+};
 use autoscalers::{FirmConfig, FirmController, HpaConfig, HpaController, VpaConfig, VpaController};
 use cluster::Millicores;
 use microsim::{World, WorldConfig};
@@ -132,10 +134,13 @@ impl ScenarioSpec {
     /// The tunable soft resource of the app.
     fn soft_resource(&self) -> SoftResource {
         match self.app {
-            App::SockShop => SoftResource::ThreadPool { service: ServiceId(1) },
-            App::SocialNetwork => {
-                SoftResource::ConnPool { caller: ServiceId(1), target: ServiceId(2) }
-            }
+            App::SockShop => SoftResource::ThreadPool {
+                service: ServiceId(1),
+            },
+            App::SocialNetwork => SoftResource::ConnPool {
+                caller: ServiceId(1),
+                target: ServiceId(2),
+            },
         }
     }
 
@@ -147,24 +152,28 @@ impl ScenarioSpec {
             Hardware::Vpa => Box::new(VpaController::new(focus, VpaConfig::default())),
             Hardware::Firm => Box::new(FirmController::new(FirmConfig {
                 services: vec![focus],
-                localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+                localize: LocalizeConfig {
+                    min_on_path: 30,
+                    ..Default::default()
+                },
                 min_limit: Millicores::from_cores(1),
                 max_limit: Millicores::from_cores(4),
                 ..Default::default()
             })),
         };
-        let registry = ResourceRegistry::new()
-            .with(self.soft_resource(), ResourceBounds { min: 2, max: 256 });
+        let registry =
+            ResourceRegistry::new().with(self.soft_resource(), ResourceBounds { min: 2, max: 256 });
         let sora_config = SoraConfig {
             sla: SimDuration::from_millis(self.sla_ms),
-            localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 30,
+                ..Default::default()
+            },
             ..Default::default()
         };
         match self.soft {
             SoftAdaptation::None => hardware,
-            SoftAdaptation::Sora => {
-                Box::new(SoraController::sora(sora_config, registry, hardware))
-            }
+            SoftAdaptation::Sora => Box::new(SoraController::sora(sora_config, registry, hardware)),
             SoftAdaptation::Conscale => {
                 Box::new(SoraController::conscale(sora_config, registry, hardware))
             }
@@ -173,7 +182,10 @@ impl ScenarioSpec {
 
     /// Builds and runs the scenario.
     pub fn run(&self) -> ScenarioOutcome {
-        let world_config = WorldConfig { trace_sample_every: 10, ..Default::default() };
+        let world_config = WorldConfig {
+            trace_sample_every: 10,
+            ..Default::default()
+        };
         let curve = RateCurve::new(
             self.trace,
             self.max_users,
@@ -204,9 +216,15 @@ impl ScenarioSpec {
                     scenario_config,
                     pool,
                     Mix::single(shop.get_cart),
-                    Watch { service: shop.cart, conns: None },
+                    Watch {
+                        service: shop.cart,
+                        conns: None,
+                    },
                 );
-                (scenario.run(&mut shop.world, controller.as_mut()), shop.world)
+                (
+                    scenario.run(&mut shop.world, controller.as_mut()),
+                    shop.world,
+                )
             }
             App::SocialNetwork => {
                 let mut sn = SocialNetwork::build_with_config(
@@ -236,7 +254,11 @@ impl ScenarioSpec {
             }
         };
         let summary = result.summary;
-        ScenarioOutcome { result, summary, world }
+        ScenarioOutcome {
+            result,
+            summary,
+            world,
+        }
     }
 }
 
@@ -287,14 +309,31 @@ mod tests {
 
     #[test]
     fn controller_stacks_compose() {
-        for (hw, soft) in [
+        // The three stacks are independent runs — fan them out through the
+        // sweep harness (also exercising it against full scenario runs).
+        let stacks = [
             (Hardware::Firm, SoftAdaptation::Sora),
             (Hardware::Vpa, SoftAdaptation::Conscale),
             (Hardware::Hpa, SoftAdaptation::None),
-        ] {
-            let spec = ScenarioSpec { hardware: hw, soft, duration_secs: 20, ..base() };
-            let outcome = spec.run();
-            assert!(outcome.summary.completed > 500, "{hw:?}/{soft:?}");
+        ];
+        let outcome = crate::Sweep::with_jobs(3).run(
+            stacks
+                .into_iter()
+                .map(|(hw, soft)| {
+                    crate::job(format!("{hw:?}/{soft:?}"), move || {
+                        let spec = ScenarioSpec {
+                            hardware: hw,
+                            soft,
+                            duration_secs: 20,
+                            ..base()
+                        };
+                        spec.run().summary
+                    })
+                })
+                .collect(),
+        );
+        for ((hw, soft), summary) in stacks.into_iter().zip(outcome.results) {
+            assert!(summary.completed > 500, "{hw:?}/{soft:?}");
         }
     }
 

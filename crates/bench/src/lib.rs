@@ -12,12 +12,14 @@
 pub mod config;
 pub mod report;
 pub mod scenarios;
+pub mod sweep;
 
-pub use report::{print_table, save_json, Table};
+pub use report::{print_table, save_json, save_json_with_perf, Table};
 pub use scenarios::{
-    cart_run, cart_world, drift_run, post_storage_goodput, sweep_cart_goodput, CartSetup,
-    DriftSetup, MonitoredCase,
+    cart_run, cart_world, drift_run, post_storage_goodput, sweep_cart_goodput,
+    sweep_cart_goodput_outcome, CartSetup, DriftSetup, MonitoredCase,
 };
+pub use sweep::{job, Job, PerfMetrics, PerfTimer, RunStat, Sweep, SweepOutcome};
 
 /// Returns `true` when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {

@@ -24,7 +24,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<impl Into<String>>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -90,6 +93,17 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
         }
         Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
     }
+}
+
+/// Saves a JSON result together with a machine-readable perf record as
+/// `{"data": <value>, "perf": {"total_wall_secs": …, "jobs": …, "runs": …}}`
+/// under `results/<name>.json`, so perf regressions in the harness itself
+/// are visible across commits.
+pub fn save_json_with_perf<T: Serialize>(name: &str, value: &T, perf: &crate::sweep::PerfMetrics) {
+    let mut wrapped = serde_json::Map::new();
+    wrapped.insert("data".to_string(), serde_json::to_value(value));
+    wrapped.insert("perf".to_string(), serde_json::to_value(perf));
+    save_json(name, &serde_json::Value::Object(wrapped));
 }
 
 fn results_dir() -> PathBuf {

@@ -1,7 +1,9 @@
 //! Scenario presets calibrated to the paper's experimental setups.
 
-use apps::{RunResult, Scenario, ScenarioConfig, SockShop, SockShopParams, SocialNetwork,
-           SocialNetworkParams, Watch};
+use apps::{
+    RunResult, Scenario, ScenarioConfig, SocialNetwork, SocialNetworkParams, SockShop,
+    SockShopParams, Watch,
+};
 use microsim::{World, WorldConfig};
 use sim_core::{Dist, SimDuration, SimRng, SimTime};
 use sora_core::Controller;
@@ -47,13 +49,20 @@ impl Default for CartSetup {
 /// 12-minute, ~1 400 req/s run keeps bounded memory (the metrics samplers
 /// feeding the SCG model are unaffected by warehouse sampling).
 fn run_world_config() -> WorldConfig {
-    WorldConfig { trace_sample_every: 10, ..WorldConfig::default() }
+    WorldConfig {
+        trace_sample_every: 10,
+        ..WorldConfig::default()
+    }
 }
 
 /// Builds the Sock Shop world for a [`CartSetup`] (exposed for experiments
 /// that need direct world access, e.g. the Fig. 4 histogram study).
 pub fn cart_world(setup: &CartSetup) -> SockShop {
-    SockShop::build_with_config(setup.params, run_world_config(), SimRng::seed_from(setup.seed))
+    SockShop::build_with_config(
+        setup.params,
+        run_world_config(),
+        SimRng::seed_from(setup.seed),
+    )
 }
 
 /// Runs a Cart-path scenario under `controller`, returning the run result
@@ -71,9 +80,15 @@ pub fn cart_run(setup: &CartSetup, controller: &mut dyn Controller) -> (RunResul
         Dist::exponential_ms(THINK_MS),
         SimRng::seed_from(setup.seed ^ 0x9e37),
     );
-    let watch = Watch { service: shop.cart, conns: None };
+    let watch = Watch {
+        service: shop.cart,
+        conns: None,
+    };
     let scenario = Scenario::new(
-        ScenarioConfig { report_rtt: setup.report_rtt, ..Default::default() },
+        ScenarioConfig {
+            report_rtt: setup.report_rtt,
+            ..Default::default()
+        },
         pool,
         Mix::single(shop.get_cart),
         watch,
@@ -85,6 +100,10 @@ pub fn cart_run(setup: &CartSetup, controller: &mut dyn Controller) -> (RunResul
 /// Sweeps the Cart thread pool under a steady workload (the Figs. 3(a–d) /
 /// 9(a) validation methodology): returns `(pool_size, goodput_rps)` pairs,
 /// goodput measured against `threshold` after a warm-up third.
+///
+/// The per-pool runs are independent and fan out across the [`crate::Sweep`]
+/// harness ([`crate::Sweep::from_env`] resolves the worker count); pairs come
+/// back in `pool_sizes` order regardless of completion order.
 pub fn sweep_cart_goodput(
     pool_sizes: &[usize],
     cart_cores: u32,
@@ -93,28 +112,44 @@ pub fn sweep_cart_goodput(
     threshold: SimDuration,
     seed: u64,
 ) -> Vec<(usize, f64)> {
-    pool_sizes
+    sweep_cart_goodput_outcome(pool_sizes, cart_cores, users, secs, threshold, seed).results
+}
+
+/// [`sweep_cart_goodput`] with the sweep's perf record attached (for
+/// binaries archiving wall-clock into `results/*.json`).
+pub fn sweep_cart_goodput_outcome(
+    pool_sizes: &[usize],
+    cart_cores: u32,
+    users: f64,
+    secs: u64,
+    threshold: SimDuration,
+    seed: u64,
+) -> crate::SweepOutcome<(usize, f64)> {
+    let jobs = pool_sizes
         .iter()
         .map(|&pool| {
-            let setup = CartSetup {
-                shape: TraceShape::Steady,
-                max_users: users,
-                secs,
-                params: SockShopParams {
-                    cart_cores,
-                    cart_threads: pool,
-                    ..SockShopParams::default()
-                },
-                report_rtt: threshold,
-                seed,
-            };
-            let mut null = sora_core::NullController;
-            let (_, world) = cart_run(&setup, &mut null);
-            let warmup = SimTime::from_secs(secs / 3);
-            let end = SimTime::from_secs(secs);
-            (pool, world.client().goodput_rate(warmup, end, threshold))
+            crate::job(format!("cart-pool-{pool}"), move || {
+                let setup = CartSetup {
+                    shape: TraceShape::Steady,
+                    max_users: users,
+                    secs,
+                    params: SockShopParams {
+                        cart_cores,
+                        cart_threads: pool,
+                        ..SockShopParams::default()
+                    },
+                    report_rtt: threshold,
+                    seed,
+                };
+                let mut null = sora_core::NullController;
+                let (_, world) = cart_run(&setup, &mut null);
+                let warmup = SimTime::from_secs(secs / 3);
+                let end = SimTime::from_secs(secs);
+                (pool, world.client().goodput_rate(warmup, end, threshold))
+            })
         })
-        .collect()
+        .collect();
+    crate::Sweep::from_env().run(jobs)
 }
 
 /// A Social Network read-home-timeline experiment (the §5.3 setup).
@@ -173,7 +208,10 @@ pub fn drift_run(setup: &DriftSetup, controller: &mut dyn Controller) -> (RunRes
         conns: Some((sn.home_timeline, sn.post_storage)),
     };
     let mut scenario = Scenario::new(
-        ScenarioConfig { report_rtt: setup.report_rtt, ..Default::default() },
+        ScenarioConfig {
+            report_rtt: setup.report_rtt,
+            ..Default::default()
+        },
         pool,
         Mix::single(sn.read_home_timeline_light),
         watch,
@@ -209,17 +247,26 @@ pub fn post_storage_goodput(
         run_world_config(),
         SimRng::seed_from(seed),
     );
-    let curve =
-        RateCurve::new(TraceShape::Steady, users, SimDuration::from_secs(secs));
+    let curve = RateCurve::new(TraceShape::Steady, users, SimDuration::from_secs(secs));
     let pool = UserPool::new(
         curve,
         Dist::exponential_ms(THINK_MS),
         SimRng::seed_from(seed ^ 0x51ca),
     );
-    let rt = if heavy { sn.read_home_timeline_heavy } else { sn.read_home_timeline_light };
-    let watch = Watch { service: sn.post_storage, conns: None };
+    let rt = if heavy {
+        sn.read_home_timeline_heavy
+    } else {
+        sn.read_home_timeline_light
+    };
+    let watch = Watch {
+        service: sn.post_storage,
+        conns: None,
+    };
     let scenario = Scenario::new(
-        ScenarioConfig { report_rtt: threshold, ..Default::default() },
+        ScenarioConfig {
+            report_rtt: threshold,
+            ..Default::default()
+        },
         pool,
         Mix::single(rt),
         watch,
@@ -228,7 +275,9 @@ pub fn post_storage_goodput(
     let result = scenario.run(&mut sn.world, &mut null);
     let warmup = SimTime::from_secs(secs / 3);
     let _ = result;
-    sn.world.client().goodput_rate(warmup, SimTime::from_secs(secs), threshold)
+    sn.world
+        .client()
+        .goodput_rate(warmup, SimTime::from_secs(secs), threshold)
 }
 
 #[cfg(test)]
@@ -351,11 +400,8 @@ impl MonitoredCase {
                     run_world_config(),
                     SimRng::seed_from(seed),
                 );
-                let curve = RateCurve::new(
-                    TraceShape::Steady,
-                    1_600.0,
-                    SimDuration::from_secs(secs),
-                );
+                let curve =
+                    RateCurve::new(TraceShape::Steady, 1_600.0, SimDuration::from_secs(secs));
                 let pool = UserPool::new(
                     curve,
                     Dist::exponential_ms(THINK_MS),
@@ -365,7 +411,10 @@ impl MonitoredCase {
                     ScenarioConfig::default(),
                     pool,
                     Mix::single(shop.get_catalogue),
-                    Watch { service: shop.catalogue, conns: None },
+                    Watch {
+                        service: shop.catalogue,
+                        conns: None,
+                    },
                 );
                 let mut null = sora_core::NullController;
                 let _ = scenario.run(&mut shop.world, &mut null);
@@ -381,11 +430,8 @@ impl MonitoredCase {
                     run_world_config(),
                     SimRng::seed_from(seed),
                 );
-                let curve = RateCurve::new(
-                    TraceShape::Steady,
-                    4_200.0,
-                    SimDuration::from_secs(secs),
-                );
+                let curve =
+                    RateCurve::new(TraceShape::Steady, 4_200.0, SimDuration::from_secs(secs));
                 let pool = UserPool::new(
                     curve,
                     Dist::exponential_ms(THINK_MS),
@@ -395,7 +441,10 @@ impl MonitoredCase {
                     ScenarioConfig::default(),
                     pool,
                     Mix::single(sn.read_home_timeline_light),
-                    Watch { service: sn.post_storage, conns: None },
+                    Watch {
+                        service: sn.post_storage,
+                        conns: None,
+                    },
                 );
                 let mut null = sora_core::NullController;
                 let _ = scenario.run(&mut sn.world, &mut null);
@@ -430,8 +479,7 @@ impl MonitoredCase {
         let svc = self.monitored_service();
         let mut pts = Vec::new();
         for pod in world.ready_replicas(svc) {
-            if let (Some(conc), Some(comp)) =
-                (world.concurrency_of(pod), world.completions_of(pod))
+            if let (Some(conc), Some(comp)) = (world.concurrency_of(pod), world.completions_of(pod))
             {
                 pts.extend(telemetry::build_scatter(
                     conc,

@@ -1,0 +1,371 @@
+//! Parallel, deterministic fan-out of independent scenario runs.
+//!
+//! Every experiment binary in this crate regenerates its table/figure from
+//! a set of *independent* simulation runs: each run owns its `World`,
+//! seeded from its own root seed (DESIGN §3), so runs share no mutable
+//! state and are bit-for-bit reproducible in isolation. That is exactly
+//! the property that makes fanning them out across threads safe: the
+//! [`Sweep`] engine executes submitted closures on a small worker pool and
+//! collects results **by input index**, so the output order — and therefore
+//! every table row and JSON archive derived from it — is byte-identical to
+//! the serial execution regardless of which run finishes first.
+//!
+//! Worker count comes from (in priority order) the `SORA_BENCH_JOBS`
+//! environment variable, a `--jobs N` command-line flag, or the machine's
+//! available parallelism. With one job the engine degrades to plain
+//! in-thread execution — no threads are spawned at all.
+//!
+//! Panics inside a run are caught, reported with the failing run's label,
+//! and re-raised on the submitting thread once all workers have stopped.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// One labelled unit of work for a [`Sweep`].
+pub struct Job<'env, T> {
+    label: String,
+    run: Box<dyn FnOnce() -> T + Send + 'env>,
+}
+
+/// Wraps a closure with a human-readable label (used in progress output and
+/// panic reports; typically the scenario name plus its seed).
+pub fn job<'env, T>(
+    label: impl Into<String>,
+    run: impl FnOnce() -> T + Send + 'env,
+) -> Job<'env, T> {
+    Job {
+        label: label.into(),
+        run: Box::new(run),
+    }
+}
+
+/// Machine-readable performance record of a sweep (or a whole binary),
+/// archived into `results/*.json` to track the repo's perf trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfMetrics {
+    /// Total wall-clock time in seconds.
+    pub total_wall_secs: f64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Number of runs executed.
+    pub runs: usize,
+}
+
+impl PerfMetrics {
+    /// Sums run counts and wall-clock across phases, keeping the widest
+    /// worker count (for binaries that execute several sweeps).
+    pub fn merged(parts: &[PerfMetrics]) -> PerfMetrics {
+        PerfMetrics {
+            total_wall_secs: parts.iter().map(|p| p.total_wall_secs).sum(),
+            jobs: parts.iter().map(|p| p.jobs).max().unwrap_or(1),
+            runs: parts.iter().map(|p| p.runs).sum(),
+        }
+    }
+}
+
+/// Per-run timing, index-aligned with the sweep's results.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunStat {
+    /// The job's label.
+    pub label: String,
+    /// The run's wall-clock in seconds.
+    pub wall_secs: f64,
+}
+
+/// Results of a sweep, in submission order.
+pub struct SweepOutcome<T> {
+    /// One result per job, ordered by input index (not completion order).
+    pub results: Vec<T>,
+    /// Per-run wall-clock, index-aligned with `results`.
+    pub run_stats: Vec<RunStat>,
+    /// The perf record: total wall-clock, worker count, run count.
+    pub perf: PerfMetrics,
+}
+
+/// A worker pool fanning independent runs across threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Sweep {
+    jobs: usize,
+}
+
+impl Sweep {
+    /// A sweep with an explicit worker count (min 1).
+    pub fn with_jobs(jobs: usize) -> Sweep {
+        Sweep { jobs: jobs.max(1) }
+    }
+
+    /// Resolves the worker count from `SORA_BENCH_JOBS`, then `--jobs N`
+    /// (or `--jobs=N`) on the command line, then available parallelism.
+    pub fn from_env() -> Sweep {
+        if let Ok(v) = std::env::var("SORA_BENCH_JOBS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return Sweep::with_jobs(n);
+            }
+            eprintln!("warning: ignoring unparsable SORA_BENCH_JOBS={v}");
+        }
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            if a == "--jobs" {
+                if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    return Sweep::with_jobs(n);
+                }
+            } else if let Some(v) = a.strip_prefix("--jobs=") {
+                if let Ok(n) = v.parse() {
+                    return Sweep::with_jobs(n);
+                }
+            }
+        }
+        Sweep::with_jobs(
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every job, returning results in submission order.
+    ///
+    /// With `jobs == 1` (or a single job) everything executes inline on the
+    /// calling thread. Otherwise jobs are pulled off a shared counter by
+    /// `min(jobs, len)` scoped worker threads; each result lands in the
+    /// slot of its input index.
+    ///
+    /// # Panics
+    ///
+    /// If a run panics, the panic is re-raised here (after all workers have
+    /// drained) with the failing run's label printed to stderr; the first
+    /// failing input index wins when several runs panic.
+    pub fn run<'env, T: Send>(&self, jobs: Vec<Job<'env, T>>) -> SweepOutcome<T> {
+        let started = Instant::now();
+        let n = jobs.len();
+        let workers = self.jobs.min(n.max(1));
+
+        if workers <= 1 {
+            let mut results = Vec::with_capacity(n);
+            let mut run_stats = Vec::with_capacity(n);
+            for job in jobs {
+                let t0 = Instant::now();
+                let value = (job.run)();
+                let wall_secs = t0.elapsed().as_secs_f64();
+                eprintln!("[sweep] {}: {:.2}s", job.label, wall_secs);
+                results.push(value);
+                run_stats.push(RunStat {
+                    label: job.label,
+                    wall_secs,
+                });
+            }
+            let total_wall_secs = started.elapsed().as_secs_f64();
+            return SweepOutcome {
+                results,
+                run_stats,
+                perf: PerfMetrics {
+                    total_wall_secs,
+                    jobs: 1,
+                    runs: n,
+                },
+            };
+        }
+
+        type Slot<T> = Option<Result<(T, RunStat), (String, Box<dyn std::any::Any + Send>)>>;
+        let slots: Vec<Mutex<Slot<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let tasks: Vec<Mutex<Option<Job<'env, T>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = tasks[i]
+                        .lock()
+                        .expect("task slot poisoned")
+                        .take()
+                        .expect("each task is taken exactly once");
+                    let label = job.label;
+                    let t0 = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(job.run));
+                    let wall_secs = t0.elapsed().as_secs_f64();
+                    let slot_value = match outcome {
+                        Ok(value) => {
+                            eprintln!("[sweep] {label}: {wall_secs:.2}s");
+                            Ok((value, RunStat { label, wall_secs }))
+                        }
+                        Err(payload) => Err((label, payload)),
+                    };
+                    *slots[i].lock().expect("result slot poisoned") = Some(slot_value);
+                });
+            }
+        });
+
+        let mut results = Vec::with_capacity(n);
+        let mut run_stats = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.into_inner().expect("result slot poisoned") {
+                Some(Ok((value, stat))) => {
+                    results.push(value);
+                    run_stats.push(stat);
+                }
+                Some(Err((label, payload))) => {
+                    eprintln!("[sweep] run `{label}` panicked; re-raising");
+                    resume_unwind(payload);
+                }
+                None => unreachable!("worker pool exited with an unfilled slot"),
+            }
+        }
+        let total_wall_secs = started.elapsed().as_secs_f64();
+        eprintln!("[sweep] {n} runs on {workers} workers in {total_wall_secs:.2}s");
+        SweepOutcome {
+            results,
+            run_stats,
+            perf: PerfMetrics {
+                total_wall_secs,
+                jobs: workers,
+                runs: n,
+            },
+        }
+    }
+}
+
+/// Tracks a whole binary's wall-clock for its perf record.
+pub struct PerfTimer {
+    started: Instant,
+}
+
+impl PerfTimer {
+    /// Starts timing.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> PerfTimer {
+        PerfTimer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Finishes into a [`PerfMetrics`] with the given jobs/runs counts.
+    pub fn finish(self, jobs: usize, runs: usize) -> PerfMetrics {
+        PerfMetrics {
+            total_wall_secs: self.started.elapsed().as_secs_f64(),
+            jobs,
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(sweep: &Sweep, n: usize) -> Vec<usize> {
+        let jobs = (0..n)
+            .map(|i| job(format!("sq-{i}"), move || i * i))
+            .collect();
+        sweep.run(jobs).results
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let parallel = squares(&Sweep::with_jobs(4), 32);
+        assert_eq!(parallel, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_output() {
+        // Unequal run times force out-of-order completion.
+        let make_jobs = || {
+            (0..16)
+                .map(|i| {
+                    job(format!("run-{i}"), move || {
+                        if i % 3 == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        (i, i * 7)
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = Sweep::with_jobs(1).run(make_jobs());
+        let parallel = Sweep::with_jobs(8).run(make_jobs());
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(serial.perf.runs, parallel.perf.runs);
+        assert_eq!(parallel.perf.jobs, 8);
+        assert_eq!(serial.perf.jobs, 1);
+    }
+
+    #[test]
+    fn jobs_one_runs_inline() {
+        let main_thread = std::thread::current().id();
+        let outcome =
+            Sweep::with_jobs(1).run(vec![job("inline", move || std::thread::current().id())]);
+        assert_eq!(outcome.results, vec![main_thread]);
+    }
+
+    #[test]
+    fn panics_propagate_with_first_failing_index() {
+        let result = std::panic::catch_unwind(|| {
+            Sweep::with_jobs(4).run(vec![
+                job("fine", || 1),
+                job("boom-seed-42", || panic!("exploded at seed 42")),
+                job("also-fine", || 3),
+            ])
+        });
+        let payload = match result {
+            Ok(_) => panic!("sweep must re-raise the panic"),
+            Err(payload) => payload,
+        };
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("exploded at seed 42"), "got: {msg}");
+    }
+
+    #[test]
+    fn run_stats_align_with_results() {
+        let outcome =
+            Sweep::with_jobs(2).run((0..6).map(|i| job(format!("j{i}"), move || i)).collect());
+        let labels: Vec<&str> = outcome.run_stats.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["j0", "j1", "j2", "j3", "j4", "j5"]);
+        assert!(outcome.run_stats.iter().all(|s| s.wall_secs >= 0.0));
+    }
+
+    #[test]
+    fn merged_perf_accumulates() {
+        let a = PerfMetrics {
+            total_wall_secs: 1.0,
+            jobs: 4,
+            runs: 10,
+        };
+        let b = PerfMetrics {
+            total_wall_secs: 0.5,
+            jobs: 2,
+            runs: 3,
+        };
+        let m = PerfMetrics::merged(&[a, b]);
+        assert_eq!(m.runs, 13);
+        assert_eq!(m.jobs, 4);
+        assert!((m.total_wall_secs - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn borrows_from_environment_work() {
+        // Scoped threads: jobs may borrow locals without 'static.
+        let data = [10, 20, 30];
+        let outcome = Sweep::with_jobs(2).run(
+            data.iter()
+                .map(|&x| job(format!("x{x}"), move || x + 1))
+                .collect(),
+        );
+        assert_eq!(outcome.results, vec![11, 21, 31]);
+    }
+}

@@ -81,7 +81,10 @@ impl PsCpu {
     ///
     /// Panics if `csw_overhead` is negative or not finite.
     pub fn new(limit: Millicores, csw_overhead: f64) -> Self {
-        assert!(csw_overhead >= 0.0 && csw_overhead.is_finite(), "invalid overhead");
+        assert!(
+            csw_overhead >= 0.0 && csw_overhead.is_finite(),
+            "invalid overhead"
+        );
         PsCpu {
             limit,
             csw_overhead,
@@ -138,7 +141,10 @@ impl PsCpu {
     ///
     /// Panics if `now` is earlier than the last update.
     pub fn advance(&mut self, now: SimTime) {
-        assert!(now >= self.last_update, "PsCpu asked to move backwards in time");
+        assert!(
+            now >= self.last_update,
+            "PsCpu asked to move backwards in time"
+        );
         let dt = (now - self.last_update).as_nanos() as f64;
         self.last_update = now;
         if dt == 0.0 || self.jobs.is_empty() {
@@ -161,7 +167,12 @@ impl PsCpu {
         self.advance(now);
         let id = CpuJobId(self.next_id);
         self.next_id += 1;
-        self.jobs.insert(id, Job { remaining: demand.as_nanos() as f64 });
+        self.jobs.insert(
+            id,
+            Job {
+                remaining: demand.as_nanos() as f64,
+            },
+        );
         self.epoch += 1;
         id
     }
@@ -192,7 +203,10 @@ impl PsCpu {
     ///
     /// Panics if `csw_overhead` is negative or not finite.
     pub fn set_csw_overhead(&mut self, now: SimTime, csw_overhead: f64) {
-        assert!(csw_overhead >= 0.0 && csw_overhead.is_finite(), "invalid overhead");
+        assert!(
+            csw_overhead >= 0.0 && csw_overhead.is_finite(),
+            "invalid overhead"
+        );
         self.advance(now);
         if (self.csw_overhead - csw_overhead).abs() > f64::EPSILON {
             self.csw_overhead = csw_overhead;
@@ -208,15 +222,12 @@ impl PsCpu {
         if rate <= 0.0 {
             return None;
         }
-        let (id, job) = self
-            .jobs
-            .iter()
-            .min_by(|a, b| {
-                a.1.remaining
-                    .partial_cmp(&b.1.remaining)
-                    .expect("remaining work is never NaN")
-                    .then(a.0.cmp(b.0))
-            })?;
+        let (id, job) = self.jobs.iter().min_by(|a, b| {
+            a.1.remaining
+                .partial_cmp(&b.1.remaining)
+                .expect("remaining work is never NaN")
+                .then(a.0.cmp(b.0))
+        })?;
         let dt_nanos = (job.remaining / rate).ceil().max(0.0) as u64;
         Some((self.last_update + SimDuration::from_nanos(dt_nanos), *id))
     }
@@ -225,19 +236,28 @@ impl PsCpu {
     /// Must be called with state already advanced; bumps the epoch when any
     /// job is removed.
     pub fn take_finished(&mut self) -> Vec<CpuJobId> {
-        let done: Vec<CpuJobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| j.remaining <= Self::FINISH_EPS)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &done {
+        let mut done = Vec::new();
+        self.take_finished_into(&mut done);
+        done
+    }
+
+    /// [`take_finished`](PsCpu::take_finished) into a caller-owned buffer
+    /// (cleared first), so event loops can reuse one allocation across the
+    /// hottest completion path. Ids are appended in ascending order.
+    pub fn take_finished_into(&mut self, out: &mut Vec<CpuJobId>) {
+        out.clear();
+        out.extend(
+            self.jobs
+                .iter()
+                .filter(|(_, j)| j.remaining <= Self::FINISH_EPS)
+                .map(|(&id, _)| id),
+        );
+        for id in out.iter() {
             self.jobs.remove(id);
         }
-        if !done.is_empty() {
+        if !out.is_empty() {
             self.epoch += 1;
         }
-        done
     }
 }
 

@@ -6,9 +6,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies a node in the cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -28,7 +26,11 @@ pub struct Node {
 impl Node {
     /// Creates an empty node.
     pub fn new(id: NodeId, capacity: Millicores) -> Self {
-        Node { id, capacity, allocated: Millicores::ZERO }
+        Node {
+            id,
+            capacity,
+            allocated: Millicores::ZERO,
+        }
     }
 
     /// The node's identity.

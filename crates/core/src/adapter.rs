@@ -24,7 +24,11 @@ pub struct ConcurrencyAdapter {
 
 impl Default for ConcurrencyAdapter {
     fn default() -> Self {
-        ConcurrencyAdapter { hysteresis: 0.15, explore_factor: 2.0, max_shrink: 0.3 }
+        ConcurrencyAdapter {
+            hysteresis: 0.15,
+            explore_factor: 2.0,
+            max_shrink: 0.3,
+        }
     }
 }
 
@@ -38,8 +42,15 @@ impl ConcurrencyAdapter {
     pub fn new(hysteresis: f64, explore_factor: f64, max_shrink: f64) -> Self {
         assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
         assert!(explore_factor > 1.0, "exploration must grow the pool");
-        assert!(max_shrink > 0.0 && max_shrink <= 1.0, "invalid shrink bound");
-        ConcurrencyAdapter { hysteresis, explore_factor, max_shrink }
+        assert!(
+            max_shrink > 0.0 && max_shrink <= 1.0,
+            "invalid shrink bound"
+        );
+        ConcurrencyAdapter {
+            hysteresis,
+            explore_factor,
+            max_shrink,
+        }
     }
 
     /// The resource's current per-replica setting.
@@ -147,12 +158,10 @@ mod tests {
         let mut w = World::new(WorldConfig::default(), SimRng::seed_from(1));
         let rt = RequestTypeId(0);
         let db_id = ServiceId(1);
-        let front = w.add_service(
-            ServiceSpec::new("front")
-                .threads(10)
-                .conns(db_id, 5)
-                .on(rt, Behavior::tier(Dist::constant_ms(1), db_id, Dist::constant_ms(1))),
-        );
+        let front = w.add_service(ServiceSpec::new("front").threads(10).conns(db_id, 5).on(
+            rt,
+            Behavior::tier(Dist::constant_ms(1), db_id, Dist::constant_ms(1)),
+        ));
         w.add_service(ServiceSpec::new("db").on(rt, Behavior::leaf(Dist::constant_ms(2))));
         w.add_request_type("r", front);
         for svc in [front, db_id] {
@@ -185,7 +194,10 @@ mod tests {
         let mut a = ConcurrencyAdapter::default();
         let tp = SoftResource::ThreadPool { service: front };
         let b = ResourceBounds { min: 4, max: 16 };
-        assert_eq!(a.apply_estimate(&mut w, tp, b, 500, SimTime::ZERO), Some(16));
+        assert_eq!(
+            a.apply_estimate(&mut w, tp, b, 500, SimTime::ZERO),
+            Some(16)
+        );
         // Shrinking respects both the damping and, eventually, the floor.
         assert_eq!(a.apply_estimate(&mut w, tp, b, 1, SimTime::ZERO), Some(11));
         assert_eq!(a.apply_estimate(&mut w, tp, b, 1, SimTime::ZERO), Some(7));
@@ -200,12 +212,20 @@ mod tests {
             let pod = w.add_replica(db).unwrap();
             w.make_ready(pod);
         }
-        let cp = SoftResource::ConnPool { caller: front, target: db };
+        let cp = SoftResource::ConnPool {
+            caller: front,
+            target: db,
+        };
         // optimal 30 per db replica × 4 replicas / 1 caller = 120.
         assert_eq!(ConcurrencyAdapter::desired_setting(&w, cp, 30), 120);
         let mut a = ConcurrencyAdapter::default();
-        let applied =
-            a.apply_estimate(&mut w, cp, ResourceBounds { min: 1, max: 512 }, 30, SimTime::ZERO);
+        let applied = a.apply_estimate(
+            &mut w,
+            cp,
+            ResourceBounds { min: 1, max: 512 },
+            30,
+            SimTime::ZERO,
+        );
         assert_eq!(applied, Some(120));
         assert_eq!(w.conn_limit(front, db), Some(120));
     }
@@ -224,7 +244,10 @@ mod tests {
     fn saturation_detection() {
         let (mut w, front, db) = world();
         let tp = SoftResource::ThreadPool { service: front };
-        let cp = SoftResource::ConnPool { caller: front, target: db };
+        let cp = SoftResource::ConnPool {
+            caller: front,
+            target: db,
+        };
         assert!(!ConcurrencyAdapter::is_saturated(&w, tp));
         assert!(!ConcurrencyAdapter::is_saturated(&w, cp));
         // Saturate the 10-thread front with slow backpressure: shrink the

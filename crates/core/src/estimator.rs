@@ -76,7 +76,14 @@ impl ConcurrencyEstimator {
                 continue;
             };
             let pts = if self.config.latency_aware {
-                build_scatter(conc, comp, from, now, self.config.sampling_interval, threshold)
+                build_scatter(
+                    conc,
+                    comp,
+                    from,
+                    now,
+                    self.config.sampling_interval,
+                    threshold,
+                )
             } else {
                 build_scatter_throughput(conc, comp, from, now, self.config.sampling_interval)
             };
@@ -150,7 +157,11 @@ mod tests {
         let (w, svc) = loaded_world(16);
         let est = ConcurrencyEstimator::default();
         let pts = est.scatter(&w, svc, t(61_000), SimDuration::from_millis(50));
-        assert!(pts.len() > 300, "one minute at 100 ms ≈ 600 points: {}", pts.len());
+        assert!(
+            pts.len() > 300,
+            "one minute at 100 ms ≈ 600 points: {}",
+            pts.len()
+        );
     }
 
     #[test]
@@ -158,12 +169,23 @@ mod tests {
         let (w, svc) = loaded_world(16);
         let lat = ConcurrencyEstimator::default();
         let thr = ConcurrencyEstimator::new(
-            EstimatorConfig { latency_aware: false, ..Default::default() },
+            EstimatorConfig {
+                latency_aware: false,
+                ..Default::default()
+            },
             ScgModel::default(),
         );
         let tight = SimDuration::from_millis(8);
-        let g: f64 = lat.scatter(&w, svc, t(61_000), tight).iter().map(|p| p.rate).sum();
-        let tp: f64 = thr.scatter(&w, svc, t(61_000), tight).iter().map(|p| p.rate).sum();
+        let g: f64 = lat
+            .scatter(&w, svc, t(61_000), tight)
+            .iter()
+            .map(|p| p.rate)
+            .sum();
+        let tp: f64 = thr
+            .scatter(&w, svc, t(61_000), tight)
+            .iter()
+            .map(|p| p.rate)
+            .sum();
         assert!(g < tp, "goodput {g} must be below throughput {tp}");
     }
 
@@ -188,14 +210,15 @@ mod tests {
         let cfg = WorldConfig::default();
         let mut w = World::new(cfg, SimRng::seed_from(0));
         let rt = RequestTypeId(0);
-        let svc = w.add_service(
-            ServiceSpec::new("idle").on(rt, Behavior::leaf(Dist::constant_ms(1))),
-        );
+        let svc =
+            w.add_service(ServiceSpec::new("idle").on(rt, Behavior::leaf(Dist::constant_ms(1))));
         w.add_request_type("r", svc);
         let pod = w.add_replica(svc).unwrap();
         w.make_ready(pod);
         let est = ConcurrencyEstimator::default();
-        assert!(est.estimate(&w, svc, SimTime::ZERO, SimDuration::from_millis(100)).is_none());
+        assert!(est
+            .estimate(&w, svc, SimTime::ZERO, SimDuration::from_millis(100))
+            .is_none());
         assert!(est
             .estimate(&w, svc, t(10_000), SimDuration::from_millis(100))
             .is_none());
@@ -238,7 +261,12 @@ mod debug_tests {
             }
             w.run_until(sim_core::SimTime::from_millis(61_000));
             let est = ConcurrencyEstimator::default();
-            let pts = est.scatter(&w, svc, sim_core::SimTime::from_millis(61_000), SimDuration::from_millis(60));
+            let pts = est.scatter(
+                &w,
+                svc,
+                sim_core::SimTime::from_millis(61_000),
+                SimDuration::from_millis(60),
+            );
             let model = scg::ScgModel::default();
             let bins = model.aggregate(&pts);
             println!("gap={gap}: bins:");

@@ -38,7 +38,10 @@ pub struct Monitor {
 impl Monitor {
     /// Creates a monitor analysing the trailing `window` of traces.
     pub fn new(window: SimDuration) -> Self {
-        Monitor { window, probe: UtilizationProbe::new() }
+        Monitor {
+            window,
+            probe: UtilizationProbe::new(),
+        }
     }
 
     /// The analysis window.
@@ -55,9 +58,17 @@ impl Monitor {
             utilization.insert(service, self.probe.read(world, service, now));
         }
         let from = now.saturating_since(SimTime::ZERO);
-        let from = if from > self.window { SimTime::ZERO + (from - self.window) } else { SimTime::ZERO };
+        let from = if from > self.window {
+            SimTime::ZERO + (from - self.window)
+        } else {
+            SimTime::ZERO
+        };
         let path_stats = per_service_stats(world.warehouse().iter_window(from, now));
-        Observation { now, utilization, path_stats }
+        Observation {
+            now,
+            utilization,
+            path_stats,
+        }
     }
 }
 
@@ -85,9 +96,7 @@ mod tests {
             rt,
             Behavior::tier(Dist::constant_ms(1), worker_id, Dist::constant_ms(1)),
         ));
-        w.add_service(
-            ServiceSpec::new("worker").on(rt, Behavior::leaf(Dist::exponential_ms(8.0))),
-        );
+        w.add_service(ServiceSpec::new("worker").on(rt, Behavior::leaf(Dist::exponential_ms(8.0))));
         let rt = w.add_request_type("r", front);
         for svc in [front, worker_id] {
             let pod = w.add_replica(svc).unwrap();
@@ -119,7 +128,10 @@ mod tests {
         w.run_until(t(2_500));
         let mut m = Monitor::new(SimDuration::from_secs(60));
         let obs = m.observe(&mut w, t(2_500));
-        let crit = obs.critical_service(&LocalizeConfig { min_on_path: 10, ..Default::default() });
+        let crit = obs.critical_service(&LocalizeConfig {
+            min_on_path: 10,
+            ..Default::default()
+        });
         assert_eq!(crit, Some(ServiceId(1)), "worker dominates end-to-end RT");
     }
 
@@ -137,7 +149,15 @@ mod tests {
         w.run_until(t(2_000));
         let idle = m.observe(&mut w, t(2_000));
         let w_id = ServiceId(1);
-        assert!(busy.utilization[&w_id] > 0.3, "busy: {:?}", busy.utilization);
-        assert!(idle.utilization[&w_id] < 0.1, "idle: {:?}", idle.utilization);
+        assert!(
+            busy.utilization[&w_id] > 0.3,
+            "busy: {:?}",
+            busy.utilization
+        );
+        assert!(
+            idle.utilization[&w_id] < 0.1,
+            "idle: {:?}",
+            idle.utilization
+        );
     }
 }

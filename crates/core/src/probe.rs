@@ -42,8 +42,10 @@ impl UtilizationProbe {
     /// time zero.
     pub fn read(&mut self, world: &mut World, service: ServiceId, now: SimTime) -> f64 {
         let busy = world.cpu_busy_core_secs(service);
-        let (prev_busy, prev_t) =
-            self.marks.insert(service, (busy, now)).unwrap_or((0.0, SimTime::ZERO));
+        let (prev_busy, prev_t) = self
+            .marks
+            .insert(service, (busy, now))
+            .unwrap_or((0.0, SimTime::ZERO));
         let dt = now.saturating_since(prev_t).as_secs_f64();
         let capacity = world.cpu_capacity_cores(service);
         if dt <= 0.0 || capacity <= 0.0 {
@@ -114,6 +116,9 @@ mod tests {
         }
         // The slow probe's single 1 s reading is unaffected by them.
         let u = slow.read(&mut w, svc, t(1_000));
-        assert!((u - 1.0).abs() < 0.01, "slow probe must see the full delta: {u}");
+        assert!(
+            (u - 1.0).abs() < 0.01,
+            "slow probe must see the full delta: {u}"
+        );
     }
 }

@@ -89,7 +89,10 @@ impl ResourceRegistry {
     ///
     /// Panics if the resource is already registered or bounds are empty.
     pub fn with(mut self, resource: SoftResource, bounds: ResourceBounds) -> Self {
-        assert!(bounds.min >= 1 && bounds.min <= bounds.max, "invalid bounds {bounds:?}");
+        assert!(
+            bounds.min >= 1 && bounds.min <= bounds.max,
+            "invalid bounds {bounds:?}"
+        );
         assert!(
             !self.entries.iter().any(|(r, _)| *r == resource),
             "{resource} registered twice"
@@ -99,7 +102,10 @@ impl ResourceRegistry {
     }
 
     /// The resource gating `service`'s concurrency, if registered.
-    pub fn for_monitored_service(&self, service: ServiceId) -> Option<(SoftResource, ResourceBounds)> {
+    pub fn for_monitored_service(
+        &self,
+        service: ServiceId,
+    ) -> Option<(SoftResource, ResourceBounds)> {
         self.entries
             .iter()
             .find(|(r, _)| r.monitored_service() == service)
@@ -128,8 +134,13 @@ mod tests {
 
     #[test]
     fn monitored_service_of_each_kind() {
-        let tp = SoftResource::ThreadPool { service: ServiceId(1) };
-        let cp = SoftResource::ConnPool { caller: ServiceId(1), target: ServiceId(2) };
+        let tp = SoftResource::ThreadPool {
+            service: ServiceId(1),
+        };
+        let cp = SoftResource::ConnPool {
+            caller: ServiceId(1),
+            target: ServiceId(2),
+        };
         assert_eq!(tp.monitored_service(), ServiceId(1));
         assert_eq!(cp.monitored_service(), ServiceId(2));
         assert_eq!(tp.to_string(), "threads(svc-1)");
@@ -140,11 +151,16 @@ mod tests {
     fn registry_lookup() {
         let reg = ResourceRegistry::new()
             .with(
-                SoftResource::ThreadPool { service: ServiceId(1) },
+                SoftResource::ThreadPool {
+                    service: ServiceId(1),
+                },
                 ResourceBounds { min: 2, max: 64 },
             )
             .with(
-                SoftResource::ConnPool { caller: ServiceId(0), target: ServiceId(3) },
+                SoftResource::ConnPool {
+                    caller: ServiceId(0),
+                    target: ServiceId(3),
+                },
                 ResourceBounds::default(),
             );
         assert_eq!(reg.len(), 2);
@@ -165,7 +181,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "registered twice")]
     fn duplicate_registration_panics() {
-        let r = SoftResource::ThreadPool { service: ServiceId(0) };
+        let r = SoftResource::ThreadPool {
+            service: ServiceId(0),
+        };
         let _ = ResourceRegistry::new()
             .with(r, ResourceBounds::default())
             .with(r, ResourceBounds::default());

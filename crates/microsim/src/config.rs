@@ -26,7 +26,9 @@ pub enum Stage {
 impl Stage {
     /// A compute stage with constant demand in milliseconds.
     pub fn compute_ms(ms: u64) -> Stage {
-        Stage::Compute { demand: Dist::constant_ms(ms) }
+        Stage::Compute {
+            demand: Dist::constant_ms(ms),
+        }
     }
 
     /// A compute stage with the given demand distribution.
@@ -36,7 +38,9 @@ impl Stage {
 
     /// A sequential call to one downstream service.
     pub fn call(target: ServiceId) -> Stage {
-        Stage::Call { targets: vec![target] }
+        Stage::Call {
+            targets: vec![target],
+        }
     }
 
     /// A parallel fan-out call.
@@ -62,7 +66,9 @@ impl Behavior {
 
     /// A leaf behaviour: a single compute stage.
     pub fn leaf(demand: Dist) -> Self {
-        Behavior { stages: vec![Stage::Compute { demand }] }
+        Behavior {
+            stages: vec![Stage::Compute { demand }],
+        }
     }
 
     /// `compute(req) → call(target) → compute(res)`, the classic middle-tier

@@ -30,7 +30,11 @@ pub(crate) struct ThreadGate {
 
 impl ThreadGate {
     fn new(limit: usize) -> Self {
-        ThreadGate { limit, active: 0, queue: VecDeque::new() }
+        ThreadGate {
+            limit,
+            active: 0,
+            queue: VecDeque::new(),
+        }
     }
 
     /// Tries to take a thread immediately; `false` means the caller must
@@ -83,7 +87,11 @@ pub(crate) struct ConnPool {
 
 impl ConnPool {
     fn new(limit: usize) -> Self {
-        ConnPool { limit, in_use: 0, waiters: VecDeque::new() }
+        ConnPool {
+            limit,
+            in_use: 0,
+            waiters: VecDeque::new(),
+        }
     }
 
     pub fn try_acquire(&mut self) -> bool {
@@ -145,7 +153,10 @@ impl Replica {
             state: ReplicaState::Starting,
             cpu: PsCpu::new(cpu_limit, csw_overhead),
             threads: ThreadGate::new(thread_limit),
-            conns: conn_limits.iter().map(|(&t, &l)| (t, ConnPool::new(l))).collect(),
+            conns: conn_limits
+                .iter()
+                .map(|(&t, &l)| (t, ConnPool::new(l)))
+                .collect(),
             jobs: HashMap::new(),
             concurrency: ConcurrencyTracker::new(metrics_horizon),
             completions: CompletionLog::new(metrics_horizon),
@@ -199,8 +210,16 @@ mod tests {
         let mut p = ConnPool::new(1);
         assert!(p.try_acquire());
         assert!(!p.try_acquire());
-        p.waiters.push_back(ConnWaiter { request: RequestId(1), frame: 0, call_idx: 0 });
-        p.waiters.push_back(ConnWaiter { request: RequestId(2), frame: 0, call_idx: 0 });
+        p.waiters.push_back(ConnWaiter {
+            request: RequestId(1),
+            frame: 0,
+            call_idx: 0,
+        });
+        p.waiters.push_back(ConnWaiter {
+            request: RequestId(2),
+            frame: 0,
+            call_idx: 0,
+        });
         assert!(p.grant_next().is_none());
         p.release();
         assert_eq!(p.grant_next().unwrap().request, RequestId(1));

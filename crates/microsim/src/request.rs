@@ -68,7 +68,12 @@ pub(crate) struct RequestState {
 
 impl RequestState {
     pub fn new(id: RequestId, rtype: RequestTypeId, issued: SimTime) -> Self {
-        RequestState { id, rtype, issued, frames: Vec::new() }
+        RequestState {
+            id,
+            rtype,
+            issued,
+            frames: Vec::new(),
+        }
     }
 
     /// Assembles the finished trace. All frames must be departed.
@@ -98,7 +103,11 @@ impl RequestState {
                 children: f.calls,
             })
             .collect();
-        Trace { request, request_type: rtype, spans }
+        Trace {
+            request,
+            request_type: rtype,
+            spans,
+        }
     }
 }
 
@@ -116,10 +125,13 @@ mod tests {
         let mut req = RequestState::new(RequestId(7), RequestTypeId(1), t(0));
         let mut root = Frame::new(ServiceId(0), ReplicaId(0), SpanId(100), None, t(1));
         root.departure = Some(t(50));
-        root.calls.push(ChildCall { service: ServiceId(1), start: t(5), end: t(40) });
+        root.calls.push(ChildCall {
+            service: ServiceId(1),
+            start: t(5),
+            end: t(40),
+        });
         req.frames.push(root);
-        let mut child =
-            Frame::new(ServiceId(1), ReplicaId(3), SpanId(101), Some((0, 0)), t(6));
+        let mut child = Frame::new(ServiceId(1), ReplicaId(3), SpanId(101), Some((0, 0)), t(6));
         child.departure = Some(t(39));
         req.frames.push(child);
 
@@ -134,7 +146,13 @@ mod tests {
     #[should_panic(expected = "open frame")]
     fn open_frame_panics_on_assembly() {
         let mut req = RequestState::new(RequestId(1), RequestTypeId(0), t(0));
-        req.frames.push(Frame::new(ServiceId(0), ReplicaId(0), SpanId(0), None, t(0)));
+        req.frames.push(Frame::new(
+            ServiceId(0),
+            ReplicaId(0),
+            SpanId(0),
+            None,
+            t(0),
+        ));
         let _ = req.into_trace();
     }
 }

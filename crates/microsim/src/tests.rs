@@ -100,7 +100,10 @@ fn oversubscription_with_overhead_extends_makespan() {
     assert_eq!(serial, t(200), "sequential: 20 × 10 ms");
     // 20 concurrent jobs on 1 core with κ = 0.1 → up to 1 + 0.1·√19 ≈ 1.44×
     // slower while fully oversubscribed.
-    assert!(oversub > t(250), "oversubscribed makespan {oversub} should exceed serial");
+    assert!(
+        oversub > t(250),
+        "oversubscribed makespan {oversub} should exceed serial"
+    );
 }
 
 /// front(1 ms) → backend(8 ms) → front(1 ms): checks span decomposition.
@@ -151,10 +154,9 @@ fn parallel_fanout_overlaps_children() {
     let mut w = World::new(exact_config(), SimRng::seed_from(5));
     let rt = RequestTypeId(0);
     let (a_id, b_id) = (ServiceId(1), ServiceId(2));
-    let front = w.add_service(ServiceSpec::new("front").on(
-        rt,
-        Behavior::new(vec![Stage::fanout(vec![a_id, b_id])]),
-    ));
+    let front = w.add_service(
+        ServiceSpec::new("front").on(rt, Behavior::new(vec![Stage::fanout(vec![a_id, b_id])])),
+    );
     for (name, ms) in [("a", 10), ("b", 30)] {
         w.add_service(
             ServiceSpec::new(name)
@@ -173,7 +175,11 @@ fn parallel_fanout_overlaps_children() {
     assert_eq!(done[0].response_time.as_millis(), 30);
     let trace = w.warehouse().iter().next().unwrap();
     let path = telemetry::critical_path(trace);
-    assert_eq!(path.last().unwrap().service, b_id, "critical path follows slow branch");
+    assert_eq!(
+        path.last().unwrap().service,
+        b_id,
+        "critical path follows slow branch"
+    );
 }
 
 #[test]
@@ -247,7 +253,11 @@ fn raising_conn_limit_mid_flight_grants_waiters() {
     w.set_conn_limit(front, db_id, 3);
     let done = w.run_until(t(1000));
     assert_eq!(done.len(), 3);
-    let max_rt = done.iter().map(|c| c.response_time.as_millis()).max().unwrap();
+    let max_rt = done
+        .iter()
+        .map(|c| c.response_time.as_millis())
+        .max()
+        .unwrap();
     // Waiters released at 50 ms finish at 150 ms instead of 300 ms serial.
     assert!(max_rt <= 150, "max rt {max_rt}");
 }
@@ -265,7 +275,11 @@ fn raising_thread_limit_admits_queued_requests() {
     w.run_until(t(11));
     assert_eq!(w.running_threads(svc), 3);
     let done = w.run_until(t(1000));
-    let max_rt = done.iter().map(|c| c.response_time.as_millis()).max().unwrap();
+    let max_rt = done
+        .iter()
+        .map(|c| c.response_time.as_millis())
+        .max()
+        .unwrap();
     assert!(max_rt <= 210, "queued requests released at 10 ms: {max_rt}");
 }
 
@@ -302,7 +316,10 @@ fn replicas_round_robin_and_drain() {
     let drained = w.drain_replica(svc, 1).unwrap();
     w.run_until(t(1001));
     assert_eq!(w.ready_replicas(svc).len(), 1);
-    assert!(w.completions_of(drained).is_none(), "drained replica removed");
+    assert!(
+        w.completions_of(drained).is_none(),
+        "drained replica removed"
+    );
     w.inject_at(t(1100), rt);
     assert_eq!(w.run_until(t(2000)).len(), 1);
     // min_keep respected.
@@ -319,7 +336,11 @@ fn draining_replica_finishes_in_flight_work() {
     w.run_until(t(10));
     w.drain_replica(svc, 1).unwrap();
     let done = w.run_until(t(1000));
-    assert_eq!(done.len(), 2, "in-flight request on draining replica completes");
+    assert_eq!(
+        done.len(),
+        2,
+        "in-flight request on draining replica completes"
+    );
     assert_eq!(w.ready_replicas(svc).len(), 1);
 }
 
@@ -403,7 +424,10 @@ fn busy_counters_reflect_busy_fraction() {
     w.inject_at(t(0), rt);
     w.run_until(t(50));
     let busy = w.cpu_busy_core_secs(svc);
-    assert!((busy - 0.05).abs() < 0.001, "1 job on 1 core for 50 ms: {busy}");
+    assert!(
+        (busy - 0.05).abs() < 0.001,
+        "1 job on 1 core for 50 ms: {busy}"
+    );
     assert_eq!(w.cpu_capacity_cores(svc), 1.0);
     let done = w.run_until(t(300));
     assert_eq!(done.len(), 1);
@@ -447,7 +471,10 @@ fn concurrency_sampler_sees_thread_occupancy() {
     let pod = w.ready_replicas(svc)[0];
     let conc = w.concurrency_of(pod).unwrap();
     let avg = conc.average_in(t(0), t(100));
-    assert!((avg - 2.0).abs() < 0.05, "two threads busy for 100 ms: {avg}");
+    assert!(
+        (avg - 2.0).abs() < 0.05,
+        "two threads busy for 100 ms: {avg}"
+    );
 }
 
 proptest! {
@@ -535,8 +562,7 @@ fn timeouts_release_queued_requests_before_admission() {
             .threads(1)
             .on(rt, Behavior::leaf(Dist::constant_ms(40))),
     );
-    let rt =
-        w.add_request_type_with_timeout("r", svc, Some(SimDuration::from_millis(60)));
+    let rt = w.add_request_type_with_timeout("r", svc, Some(SimDuration::from_millis(60)));
     let pod = w.add_replica(svc).unwrap();
     w.make_ready(pod);
     for _ in 0..5 {

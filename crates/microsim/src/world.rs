@@ -3,7 +3,7 @@
 use crate::config::{LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
 use crate::replica::{ConnWaiter, Replica, ReplicaState};
 use crate::request::{Frame, FrameIdx, RequestState};
-use cluster::{ClusterState, Millicores, PlacementError};
+use cluster::{ClusterState, CpuJobId, Millicores, PlacementError};
 use sim_core::{EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use telemetry::{
@@ -31,9 +31,18 @@ enum Event {
     /// A user request reaches its entry service.
     ExternalArrival { request: RequestId },
     /// An inter-service call reaches the target service.
-    ChildArrival { request: RequestId, parent: FrameIdx, call_idx: usize, target: ServiceId },
+    ChildArrival {
+        request: RequestId,
+        parent: FrameIdx,
+        call_idx: usize,
+        target: ServiceId,
+    },
     /// A child's response reaches the calling frame.
-    ChildReturn { request: RequestId, parent: FrameIdx, call_idx: usize },
+    ChildReturn {
+        request: RequestId,
+        parent: FrameIdx,
+        call_idx: usize,
+    },
     /// A CPU on `replica` may have finished a job (valid only at `epoch`).
     CpuDone { replica: ReplicaId, epoch: u64 },
     /// A starting replica becomes ready.
@@ -105,6 +114,11 @@ pub struct World {
     client_by_type: Vec<ClientLog>,
     completed: Vec<Completion>,
     dropped_log: Vec<RequestId>,
+    /// Scratch buffers reused across [`World::on_cpu_done`] invocations —
+    /// the hottest event handler, fired once per compute stage — so the
+    /// completion batch never re-allocates in steady state.
+    cpu_jobs_scratch: Vec<CpuJobId>,
+    cpu_work_scratch: Vec<(RequestId, FrameIdx)>,
     next_request: u64,
     next_replica: u64,
     next_span: u64,
@@ -134,6 +148,8 @@ impl World {
             client_by_type: Vec::new(),
             completed: Vec::new(),
             dropped_log: Vec::new(),
+            cpu_jobs_scratch: Vec::new(),
+            cpu_work_scratch: Vec::new(),
             next_request: 0,
             next_replica: 0,
             next_span: 0,
@@ -177,8 +193,13 @@ impl World {
         timeout: Option<SimDuration>,
     ) -> RequestTypeId {
         let id = RequestTypeId(self.request_types.len() as u32);
-        self.request_types.push(RequestTypeSpec { name: name.into(), entry, timeout });
-        self.client_by_type.push(ClientLog::new(self.config.client_bucket));
+        self.request_types.push(RequestTypeSpec {
+            name: name.into(),
+            entry,
+            timeout,
+        });
+        self.client_by_type
+            .push(ClientLog::new(self.config.client_bucket));
         id
     }
 
@@ -218,8 +239,10 @@ impl World {
         self.replicas.insert(id, replica);
         self.services[service.get() as usize].replicas.push(id);
         let delay = self.config.replica_startup.sample(&mut self.rng);
-        self.queue
-            .schedule(self.now().max(self.queue.now()) + delay, Event::ReplicaReady { replica: id });
+        self.queue.schedule(
+            self.now().max(self.queue.now()) + delay,
+            Event::ReplicaReady { replica: id },
+        );
         Ok(id)
     }
 
@@ -244,7 +267,9 @@ impl World {
             .iter()
             .copied()
             .filter(|id| {
-                self.replicas.get(id).is_some_and(|r| r.state != ReplicaState::Draining)
+                self.replicas
+                    .get(id)
+                    .is_some_and(|r| r.state != ReplicaState::Draining)
             })
             .collect();
         if live.len() <= min_keep {
@@ -269,7 +294,9 @@ impl World {
             .requests
             .iter()
             .filter(|(_, rs)| {
-                rs.frames.iter().any(|f| f.replica == replica && f.departure.is_none())
+                rs.frames
+                    .iter()
+                    .any(|f| f.replica == replica && f.departure.is_none())
             })
             .map(|(&id, _)| id)
             .collect();
@@ -336,14 +363,20 @@ impl World {
     /// `target`, granting queued calls immediately if the limit grew.
     pub fn set_conn_limit(&mut self, service: ServiceId, target: ServiceId, limit: usize) {
         let now = self.now();
-        self.services[service.get() as usize].conn_limits.insert(target, limit);
+        self.services[service.get() as usize]
+            .conn_limits
+            .insert(target, limit);
         let ids = self.services[service.get() as usize].replicas.clone();
         for id in ids {
             if let Some(r) = self.replicas.get_mut(&id) {
                 let pool = r
                     .conns
                     .entry(target)
-                    .or_insert_with(|| crate::replica::ConnPool { limit, in_use: 0, waiters: Default::default() });
+                    .or_insert_with(|| crate::replica::ConnPool {
+                        limit,
+                        in_use: 0,
+                        waiters: Default::default(),
+                    });
                 pool.limit = limit;
             }
             self.drain_conn_waiters(now, id, target);
@@ -368,9 +401,11 @@ impl World {
         self.next_request += 1;
         self.requests.insert(id, RequestState::new(id, rtype, at));
         let net = self.config.net_delay.sample(&mut self.rng);
-        self.queue.schedule(at + net, Event::ExternalArrival { request: id });
+        self.queue
+            .schedule(at + net, Event::ExternalArrival { request: id });
         if let Some(timeout) = self.request_types[rtype.get() as usize].timeout {
-            self.queue.schedule(at + timeout, Event::Timeout { request: id });
+            self.queue
+                .schedule(at + timeout, Event::Timeout { request: id });
         }
         id
     }
@@ -394,12 +429,17 @@ impl World {
     fn dispatch(&mut self, now: SimTime, event: Event) {
         match event {
             Event::ExternalArrival { request } => self.on_external_arrival(now, request),
-            Event::ChildArrival { request, parent, call_idx, target } => {
-                self.on_child_arrival(now, request, parent, call_idx, target)
-            }
-            Event::ChildReturn { request, parent, call_idx } => {
-                self.on_child_return(now, request, parent, call_idx)
-            }
+            Event::ChildArrival {
+                request,
+                parent,
+                call_idx,
+                target,
+            } => self.on_child_arrival(now, request, parent, call_idx, target),
+            Event::ChildReturn {
+                request,
+                parent,
+                call_idx,
+            } => self.on_child_return(now, request, parent, call_idx),
             Event::CpuDone { replica, epoch } => self.on_cpu_done(now, replica, epoch),
             Event::ReplicaReady { replica } => self.make_ready(replica),
             Event::Timeout { request } => {
@@ -411,7 +451,9 @@ impl World {
     }
 
     fn on_external_arrival(&mut self, now: SimTime, request: RequestId) {
-        let Some(rs) = self.requests.get(&request) else { return };
+        let Some(rs) = self.requests.get(&request) else {
+            return;
+        };
         let entry = self.request_types[rs.rtype.get() as usize].entry;
         let Some(replica) = self.pick_replica(entry) else {
             // No ready replica: the request is refused at the edge.
@@ -444,20 +486,39 @@ impl World {
             // retry, as a client library would).
             self.queue.schedule(
                 now + SimDuration::from_millis(10),
-                Event::ChildArrival { request, parent, call_idx, target },
+                Event::ChildArrival {
+                    request,
+                    parent,
+                    call_idx,
+                    target,
+                },
             );
             return;
         };
         let span = SpanId(self.next_span);
         self.next_span += 1;
         let rs = self.requests.get_mut(&request).expect("checked above");
-        rs.frames.push(Frame::new(target, replica, span, Some((parent, call_idx)), now));
+        rs.frames.push(Frame::new(
+            target,
+            replica,
+            span,
+            Some((parent, call_idx)),
+            now,
+        ));
         let frame = rs.frames.len() - 1;
         self.admit_or_queue(now, request, frame);
     }
 
-    fn on_child_return(&mut self, now: SimTime, request: RequestId, parent: FrameIdx, call_idx: usize) {
-        let Some(rs) = self.requests.get_mut(&request) else { return };
+    fn on_child_return(
+        &mut self,
+        now: SimTime,
+        request: RequestId,
+        parent: FrameIdx,
+        call_idx: usize,
+    ) {
+        let Some(rs) = self.requests.get_mut(&request) else {
+            return;
+        };
         let frame = &mut rs.frames[parent];
         frame.calls[call_idx].end = now;
         let target = frame.calls[call_idx].service;
@@ -475,54 +536,66 @@ impl World {
     }
 
     fn on_cpu_done(&mut self, now: SimTime, replica: ReplicaId, epoch: u64) {
-        let Some(r) = self.replicas.get_mut(&replica) else { return };
-        if r.cpu.epoch() != epoch {
-            return; // stale completion event
-        }
-        r.cpu.advance(now);
-        let finished = r.cpu.take_finished();
-        let mut work: Vec<(RequestId, FrameIdx)> = Vec::with_capacity(finished.len());
-        for job in finished {
-            if let Some(pair) = r.jobs.remove(&job) {
-                work.push(pair);
+        let mut finished = std::mem::take(&mut self.cpu_jobs_scratch);
+        let mut work = std::mem::take(&mut self.cpu_work_scratch);
+        let live = match self.replicas.get_mut(&replica) {
+            // A stale epoch means the event refers to a superseded schedule.
+            Some(r) if r.cpu.epoch() == epoch => {
+                r.cpu.advance(now);
+                r.cpu.take_finished_into(&mut finished);
+                for job in finished.drain(..) {
+                    if let Some(pair) = r.jobs.remove(&job) {
+                        work.push(pair);
+                    }
+                }
+                true
             }
-        }
-        for (request, frame) in work {
+            _ => false,
+        };
+        for (request, frame) in work.drain(..) {
             if let Some(rs) = self.requests.get_mut(&request) {
                 rs.frames[frame].stage += 1;
                 self.run_frame(now, request, frame);
             }
         }
-        self.schedule_cpu(now, replica);
+        self.cpu_jobs_scratch = finished;
+        self.cpu_work_scratch = work;
+        if live {
+            self.schedule_cpu(now, replica);
+        }
     }
 
     // ------------------------------------------------------------------
     // Request lifecycle helpers
     // ------------------------------------------------------------------
 
+    /// Selects a ready replica under the service's LB policy. Two-pass and
+    /// allocation-free — count the ready replicas, then walk to the chosen
+    /// one — because this runs on every span admission. The RNG draw
+    /// sequence is identical to the collect-then-index formulation, so
+    /// simulation outputs are unchanged.
     fn pick_replica(&mut self, service: ServiceId) -> Option<ReplicaId> {
-        let rt = &self.services[service.get() as usize];
-        let ready: Vec<ReplicaId> = rt
-            .replicas
-            .iter()
-            .copied()
-            .filter(|id| self.replicas.get(id).is_some_and(|r| r.state == ReplicaState::Ready))
-            .collect();
-        if ready.is_empty() {
+        let n = self.ready_count(service);
+        if n == 0 {
             return None;
         }
-        let choice = match rt.spec.lb {
+        let choice = match self.services[service.get() as usize].spec.lb {
             LbPolicy::RoundRobin => {
                 let rt = &mut self.services[service.get() as usize];
-                let c = ready[rt.rr % ready.len()];
+                let k = rt.rr % n;
                 rt.rr = rt.rr.wrapping_add(1);
-                c
+                self.nth_ready(service, k)
             }
-            LbPolicy::Random => ready[self.lb_rng.index(ready.len())],
+            LbPolicy::Random => {
+                let k = self.lb_rng.index(n);
+                self.nth_ready(service, k)
+            }
             LbPolicy::LeastOutstanding => {
                 // Power of two choices.
-                let a = ready[self.lb_rng.index(ready.len())];
-                let b = ready[self.lb_rng.index(ready.len())];
+                let ka = self.lb_rng.index(n);
+                let a = self.nth_ready(service, ka);
+                let kb = self.lb_rng.index(n);
+                let b = self.nth_ready(service, kb);
                 if self.replicas[&a].outstanding() <= self.replicas[&b].outstanding() {
                     a
                 } else {
@@ -531,6 +604,33 @@ impl World {
             }
         };
         Some(choice)
+    }
+
+    fn ready_count(&self, service: ServiceId) -> usize {
+        self.services[service.get() as usize]
+            .replicas
+            .iter()
+            .filter(|id| {
+                self.replicas
+                    .get(id)
+                    .is_some_and(|r| r.state == ReplicaState::Ready)
+            })
+            .count()
+    }
+
+    /// The `n`-th ready replica of `service` in creation order.
+    fn nth_ready(&self, service: ServiceId, n: usize) -> ReplicaId {
+        self.services[service.get() as usize]
+            .replicas
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.replicas
+                    .get(id)
+                    .is_some_and(|r| r.state == ReplicaState::Ready)
+            })
+            .nth(n)
+            .expect("nth_ready index is below the ready count")
     }
 
     fn admit_or_queue(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
@@ -548,7 +648,10 @@ impl World {
     }
 
     fn start_service(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
-        let rs = self.requests.get_mut(&request).expect("admitting a live request");
+        let rs = self
+            .requests
+            .get_mut(&request)
+            .expect("admitting a live request");
         let f = &mut rs.frames[frame];
         f.started = Some(now);
         let replica = f.replica;
@@ -562,7 +665,9 @@ impl World {
     /// frame blocks (CPU, downstream calls) or completes.
     fn run_frame(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
         loop {
-            let Some(rs) = self.requests.get(&request) else { return };
+            let Some(rs) = self.requests.get(&request) else {
+                return;
+            };
             let f = &rs.frames[frame];
             let (service, replica) = (f.service, f.replica);
             let stage_idx = f.stage;
@@ -584,7 +689,9 @@ impl World {
                 }
                 Some(Stage::Compute { demand }) => {
                     let d = demand.sample(&mut self.rng);
-                    let Some(r) = self.replicas.get_mut(&replica) else { return };
+                    let Some(r) = self.replicas.get_mut(&replica) else {
+                        return;
+                    };
                     let job = r.cpu.add(now, d);
                     r.jobs.insert(job, (request, frame));
                     self.schedule_cpu(now, replica);
@@ -603,22 +710,46 @@ impl World {
         }
     }
 
-    fn issue_calls(&mut self, now: SimTime, request: RequestId, frame: FrameIdx, targets: &[ServiceId]) {
-        let replica = self.requests[&request].frames[frame].replica;
+    fn issue_calls(
+        &mut self,
+        now: SimTime,
+        request: RequestId,
+        frame: FrameIdx,
+        targets: &[ServiceId],
+    ) {
+        let replica = {
+            let rs = self.requests.get_mut(&request).expect("present");
+            let f = &mut rs.frames[frame];
+            // One growth step for the whole fan-out instead of one per call.
+            f.calls.reserve(targets.len());
+            f.replica
+        };
         for &target in targets {
             let call_idx = {
                 let rs = self.requests.get_mut(&request).expect("present");
                 let f = &mut rs.frames[frame];
-                f.calls.push(telemetry::ChildCall { service: target, start: now, end: now });
+                f.calls.push(telemetry::ChildCall {
+                    service: target,
+                    start: now,
+                    end: now,
+                });
                 f.pending_children += 1;
                 f.calls.len() - 1
             };
-            let acquired = match self.replicas.get_mut(&replica).and_then(|r| r.conns.get_mut(&target)) {
+            let acquired = match self
+                .replicas
+                .get_mut(&replica)
+                .and_then(|r| r.conns.get_mut(&target))
+            {
                 Some(pool) => {
                     if pool.try_acquire() {
                         true
                     } else {
-                        pool.waiters.push_back(ConnWaiter { request, frame, call_idx });
+                        pool.waiters.push_back(ConnWaiter {
+                            request,
+                            frame,
+                            call_idx,
+                        });
                         false
                     }
                 }
@@ -628,7 +759,12 @@ impl World {
                 let net = self.config.net_delay.sample(&mut self.rng);
                 self.queue.schedule(
                     now + net,
-                    Event::ChildArrival { request, parent: frame, call_idx, target },
+                    Event::ChildArrival {
+                        request,
+                        parent: frame,
+                        call_idx,
+                        target,
+                    },
                 );
             }
         }
@@ -636,7 +772,10 @@ impl World {
 
     fn complete_span(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
         let (replica, parent, arrival) = {
-            let rs = self.requests.get_mut(&request).expect("completing a live request");
+            let rs = self
+                .requests
+                .get_mut(&request)
+                .expect("completing a live request");
             let f = &mut rs.frames[frame];
             f.departure = Some(now);
             (f.replica, f.parent, f.arrival)
@@ -652,15 +791,24 @@ impl World {
         match parent {
             Some((p, call_idx)) => {
                 let net = self.config.net_delay.sample(&mut self.rng);
-                self.queue
-                    .schedule(now + net, Event::ChildReturn { request, parent: p, call_idx });
+                self.queue.schedule(
+                    now + net,
+                    Event::ChildReturn {
+                        request,
+                        parent: p,
+                        call_idx,
+                    },
+                );
             }
             None => self.finalize_request(now, request),
         }
     }
 
     fn finalize_request(&mut self, now: SimTime, request: RequestId) {
-        let rs = self.requests.remove(&request).expect("finalizing a live request");
+        let rs = self
+            .requests
+            .remove(&request)
+            .expect("finalizing a live request");
         let issued = rs.issued;
         let rtype = rs.rtype;
         let net = self.config.net_delay.sample(&mut self.rng);
@@ -670,12 +818,20 @@ impl World {
         self.warehouse.push(trace);
         self.client.record(completed, response_time);
         self.client_by_type[rtype.get() as usize].record(completed, response_time);
-        self.completed.push(Completion { request, rtype, issued, completed, response_time });
+        self.completed.push(Completion {
+            request,
+            rtype,
+            issued,
+            completed,
+            response_time,
+        });
     }
 
     /// Aborts a request outright, reclaiming every resource its frames hold.
     fn abort_request(&mut self, now: SimTime, request: RequestId) {
-        let Some(rs) = self.requests.remove(&request) else { return };
+        let Some(rs) = self.requests.remove(&request) else {
+            return;
+        };
         for frame in &rs.frames {
             if frame.departure.is_some() {
                 continue; // span finished; resources already released
@@ -745,8 +901,12 @@ impl World {
     fn drain_conn_waiters(&mut self, now: SimTime, replica: ReplicaId, target: ServiceId) {
         loop {
             let waiter = {
-                let Some(r) = self.replicas.get_mut(&replica) else { return };
-                let Some(pool) = r.conns.get_mut(&target) else { return };
+                let Some(r) = self.replicas.get_mut(&replica) else {
+                    return;
+                };
+                let Some(pool) = r.conns.get_mut(&target) else {
+                    return;
+                };
                 match pool.grant_next() {
                     Some(w) => {
                         if self.requests.contains_key(&w.request) {
@@ -781,7 +941,9 @@ impl World {
     fn drain_thread_queue(&mut self, now: SimTime, replica: ReplicaId) {
         loop {
             let next = {
-                let Some(r) = self.replicas.get_mut(&replica) else { return };
+                let Some(r) = self.replicas.get_mut(&replica) else {
+                    return;
+                };
                 match r.threads.admit_next() {
                     Some((req, frame)) => {
                         if self.requests.contains_key(&req) {
@@ -815,7 +977,13 @@ impl World {
         if let Some(r) = self.replicas.get_mut(&replica) {
             r.cpu.advance(now);
             if let Some((t, _)) = r.cpu.next_completion() {
-                self.queue.schedule(t, Event::CpuDone { replica, epoch: r.cpu.epoch() });
+                self.queue.schedule(
+                    t,
+                    Event::CpuDone {
+                        replica,
+                        epoch: r.cpu.epoch(),
+                    },
+                );
             }
         }
     }
@@ -862,7 +1030,11 @@ impl World {
             .replicas
             .iter()
             .copied()
-            .filter(|id| self.replicas.get(id).is_some_and(|r| r.state == ReplicaState::Ready))
+            .filter(|id| {
+                self.replicas
+                    .get(id)
+                    .is_some_and(|r| r.state == ReplicaState::Ready)
+            })
             .collect()
     }
 
@@ -947,7 +1119,10 @@ impl World {
 
     /// The current per-replica connection limit from `service` to `target`.
     pub fn conn_limit(&self, service: ServiceId, target: ServiceId) -> Option<usize> {
-        self.services[service.get() as usize].conn_limits.get(&target).copied()
+        self.services[service.get() as usize]
+            .conn_limits
+            .get(&target)
+            .copied()
     }
 
     /// The current per-replica CPU limit of `service`.
@@ -963,9 +1138,10 @@ impl World {
     /// corrupt each other's view.
     pub fn cpu_busy_core_secs(&mut self, service: ServiceId) -> f64 {
         let now = self.now();
-        let rt = &self.services[service.get() as usize];
-        let mut total = rt.retired_busy_nanos;
-        for id in rt.replicas.clone() {
+        let svc = service.get() as usize;
+        let mut total = self.services[svc].retired_busy_nanos;
+        for i in 0..self.services[svc].replicas.len() {
+            let id = self.services[svc].replicas[i];
             if let Some(r) = self.replicas.get_mut(&id) {
                 r.cpu.advance(now);
                 total += r.cpu.busy_core_nanos();
@@ -977,8 +1153,7 @@ impl World {
     /// Aggregate CPU capacity of `service` in cores (ready replicas ×
     /// per-replica limit).
     pub fn cpu_capacity_cores(&self, service: ServiceId) -> f64 {
-        self.ready_replicas(service).len() as f64
-            * self.cpu_limit(service).as_cores_f64()
+        self.ready_replicas(service).len() as f64 * self.cpu_limit(service).as_cores_f64()
     }
 
     /// The name of `service` (for reports).

@@ -78,7 +78,11 @@ impl PolyFit {
             }
         }
         let coeffs = solve(ata, aty)?;
-        Some(PolyFit { coeffs, x_min, x_scale: spread })
+        Some(PolyFit {
+            coeffs,
+            x_min,
+            x_scale: spread,
+        })
     }
 
     /// Evaluates the polynomial at `x` (original domain).
@@ -155,7 +159,10 @@ mod tests {
     #[test]
     fn exact_on_polynomial_data() {
         let xs: Vec<f64> = (0..30).map(f64::from).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 0.5 * x + 0.02 * x.powi(3)).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.0 - 0.5 * x + 0.02 * x.powi(3))
+            .collect();
         let fit = PolyFit::fit(&xs, &ys, 3).unwrap();
         for (&x, &y) in xs.iter().zip(&ys) {
             assert!((fit.eval(x) - y).abs() < 1e-6);
@@ -204,7 +211,11 @@ mod tests {
         let ys = [1.0, 2.0, 3.0, 4.0, 100.0];
         let ws = [100.0, 100.0, 100.0, 100.0, 0.01];
         let fit = PolyFit::fit_weighted(&xs, &ys, Some(&ws), 1).unwrap();
-        assert!((fit.eval(2.0) - 2.0).abs() < 0.2, "heavy cluster wins: {}", fit.eval(2.0));
+        assert!(
+            (fit.eval(2.0) - 2.0).abs() < 0.2,
+            "heavy cluster wins: {}",
+            fit.eval(2.0)
+        );
         // Invalid weights are rejected.
         assert!(PolyFit::fit_weighted(&xs, &ys, Some(&[1.0; 3]), 1).is_none());
         assert!(PolyFit::fit_weighted(&xs, &ys, Some(&[0.0; 5]), 1).is_none());

@@ -41,7 +41,10 @@ pub struct Kneedle {
 
 impl Default for Kneedle {
     fn default() -> Self {
-        Kneedle { sensitivity: 1.0, direction: KneeDirection::Knee }
+        Kneedle {
+            sensitivity: 1.0,
+            direction: KneeDirection::Knee,
+        }
     }
 }
 
@@ -151,7 +154,13 @@ mod tests {
     #[test]
     fn rise_then_fall_peaks_near_maximum() {
         // Goodput-like: rises to x=20 then declines (over-allocation).
-        let (xs, ys) = grid(50, |x| if x <= 20.0 { x * 50.0 } else { 1000.0 - (x - 20.0) * 10.0 });
+        let (xs, ys) = grid(50, |x| {
+            if x <= 20.0 {
+                x * 50.0
+            } else {
+                1000.0 - (x - 20.0) * 10.0
+            }
+        });
         let knee = Kneedle::default().detect(&xs, &ys).unwrap();
         assert!((15.0..=25.0).contains(&knee), "knee {knee}");
     }
@@ -168,7 +177,10 @@ mod tests {
     fn elbow_direction_detects_decreasing_curves() {
         // Convex decreasing: fast drop then flat (e.g. error vs parameter).
         let (xs, ys) = grid(40, |x| (-x / 4.0).exp());
-        let det = Kneedle { direction: KneeDirection::Elbow, ..Kneedle::default() };
+        let det = Kneedle {
+            direction: KneeDirection::Elbow,
+            ..Kneedle::default()
+        };
         let elbow = det.detect(&xs, &ys).unwrap();
         // Mirror of the knee case: normalised slope magnitude crosses 1
         // near x = 4·ln(39/4) ≈ 9.1.
@@ -190,8 +202,14 @@ mod tests {
     fn higher_sensitivity_is_more_conservative() {
         // Gentle curve with a mild knee: S=1 finds it, S=25 does not.
         let (xs, ys) = grid(30, |x| (x / 30.0).powf(0.6));
-        let eager = Kneedle { sensitivity: 1.0, ..Kneedle::default() };
-        let strict = Kneedle { sensitivity: 25.0, ..Kneedle::default() };
+        let eager = Kneedle {
+            sensitivity: 1.0,
+            ..Kneedle::default()
+        };
+        let strict = Kneedle {
+            sensitivity: 25.0,
+            ..Kneedle::default()
+        };
         assert!(eager.detect(&xs, &ys).is_some());
         assert_eq!(strict.detect(&xs, &ys), None);
     }

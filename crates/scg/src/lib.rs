@@ -40,6 +40,6 @@ pub mod sensitivity;
 
 pub use deadline::propagate_deadline;
 pub use fit::PolyFit;
-pub use kneedle::{Kneedle, KneeDirection};
+pub use kneedle::{KneeDirection, Kneedle};
 pub use localize::{localize_critical_service, LocalizeConfig};
 pub use model::{ConcurrencyEstimate, ScgConfig, ScgModel};

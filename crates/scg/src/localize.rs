@@ -17,7 +17,10 @@ pub struct LocalizeConfig {
 
 impl Default for LocalizeConfig {
     fn default() -> Self {
-        LocalizeConfig { util_threshold: 0.7, min_on_path: 20 }
+        LocalizeConfig {
+            util_threshold: 0.7,
+            min_on_path: 20,
+        }
     }
 }
 
@@ -104,7 +107,11 @@ mod tests {
             children: vec![],
             ..root.clone()
         };
-        Trace { request: RequestId(i), request_type: RequestTypeId(0), spans: vec![root, child] }
+        Trace {
+            request: RequestId(i),
+            request_type: RequestTypeId(0),
+            spans: vec![root, child],
+        }
     }
 
     fn stats() -> CriticalPathStats {
@@ -116,17 +123,29 @@ mod tests {
     fn utilization_screen_plus_pcc() {
         let stats = stats();
         let util = BTreeMap::from([(ServiceId(0), 0.9), (ServiceId(1), 0.95)]);
-        let cfg = LocalizeConfig { min_on_path: 10, ..LocalizeConfig::default() };
+        let cfg = LocalizeConfig {
+            min_on_path: 10,
+            ..LocalizeConfig::default()
+        };
         // Both are hot; worker's self time drives RT → worker wins.
-        assert_eq!(localize_critical_service(&stats, &util, &cfg), Some(ServiceId(1)));
+        assert_eq!(
+            localize_critical_service(&stats, &util, &cfg),
+            Some(ServiceId(1))
+        );
     }
 
     #[test]
     fn falls_back_to_pcc_when_cpu_looks_idle() {
         let stats = stats();
         let util = BTreeMap::from([(ServiceId(0), 0.2), (ServiceId(1), 0.3)]);
-        let cfg = LocalizeConfig { min_on_path: 10, ..LocalizeConfig::default() };
-        assert_eq!(localize_critical_service(&stats, &util, &cfg), Some(ServiceId(1)));
+        let cfg = LocalizeConfig {
+            min_on_path: 10,
+            ..LocalizeConfig::default()
+        };
+        assert_eq!(
+            localize_critical_service(&stats, &util, &cfg),
+            Some(ServiceId(1))
+        );
     }
 
     #[test]
@@ -135,7 +154,10 @@ mod tests {
         // Only the (constant-time) front-end passes the screen, but its PCC
         // is undefined/low; the fallback ranking still finds the worker.
         let util = BTreeMap::from([(ServiceId(0), 0.99), (ServiceId(1), 0.1)]);
-        let cfg = LocalizeConfig { min_on_path: 10, ..LocalizeConfig::default() };
+        let cfg = LocalizeConfig {
+            min_on_path: 10,
+            ..LocalizeConfig::default()
+        };
         let got = localize_critical_service(&stats, &util, &cfg);
         assert_eq!(got, Some(ServiceId(1)));
     }

@@ -159,8 +159,10 @@ impl ScgModel {
         let max_deg = self.config.max_degree.min(xs.len().saturating_sub(2));
         let (x0, x1) = (xs[0], *xs.last().expect("non-empty"));
         let n = self.config.grid_points.max(8);
-        let detector =
-            Kneedle { sensitivity: self.config.sensitivity, ..Kneedle::default() };
+        let detector = Kneedle {
+            sensitivity: self.config.sensitivity,
+            ..Kneedle::default()
+        };
         for degree in self.config.min_degree.min(max_deg)..=max_deg {
             let Some(fit) = PolyFit::fit_weighted(&xs, &ys, Some(&ws), degree) else {
                 continue;
@@ -234,8 +236,15 @@ mod tests {
         // Over-allocation regime: goodput declines past the optimum.
         let pts: Vec<ScatterPoint> = (1..=40)
             .flat_map(|q| {
-                let rate = if q <= 10 { q as f64 * 100.0 } else { 1000.0 - (q - 10) as f64 * 25.0 };
-                (0..5).map(move |k| ScatterPoint { q: q as f64, rate: rate + k as f64 })
+                let rate = if q <= 10 {
+                    q as f64 * 100.0
+                } else {
+                    1000.0 - (q - 10) as f64 * 25.0
+                };
+                (0..5).map(move |k| ScatterPoint {
+                    q: q as f64,
+                    rate: rate + k as f64,
+                })
             })
             .collect();
         let est = ScgModel::default().estimate(&pts).unwrap();
@@ -244,15 +253,23 @@ mod tests {
 
     #[test]
     fn too_few_bins_yield_none() {
-        let pts: Vec<ScatterPoint> =
-            (1..=3).map(|q| ScatterPoint { q: q as f64, rate: q as f64 }).collect();
+        let pts: Vec<ScatterPoint> = (1..=3)
+            .map(|q| ScatterPoint {
+                q: q as f64,
+                rate: q as f64,
+            })
+            .collect();
         assert_eq!(ScgModel::default().estimate(&pts), None);
     }
 
     #[test]
     fn flat_scatter_yields_none() {
-        let pts: Vec<ScatterPoint> =
-            (1..=20).map(|q| ScatterPoint { q: q as f64, rate: 100.0 }).collect();
+        let pts: Vec<ScatterPoint> = (1..=20)
+            .map(|q| ScatterPoint {
+                q: q as f64,
+                rate: 100.0,
+            })
+            .collect();
         assert_eq!(ScgModel::default().estimate(&pts), None);
     }
 
@@ -271,7 +288,10 @@ mod tests {
             ScatterPoint { q: 0.1, rate: 99.0 }, // idle-ish: dropped
             ScatterPoint { q: 2.0, rate: 30.0 },
         ];
-        let model = ScgModel::new(ScgConfig { min_bin_samples: 1, ..Default::default() });
+        let model = ScgModel::new(ScgConfig {
+            min_bin_samples: 1,
+            ..Default::default()
+        });
         assert_eq!(model.aggregate(&pts), vec![(1.0, 15.0), (2.0, 30.0)]);
         // The default config requires 3 samples per bin.
         let sparse = ScgModel::default().aggregate(&pts);
@@ -285,14 +305,24 @@ mod tests {
         // saturates later. The knee must move right as the threshold loosens.
         let tight: Vec<ScatterPoint> = (1..=30)
             .flat_map(|q| {
-                let rate = if q <= 6 { q as f64 * 150.0 } else { 900.0 - (q - 6) as f64 * 40.0 };
-                (0..8).map(move |k| ScatterPoint { q: q as f64, rate: rate.max(0.0) + k as f64 })
+                let rate = if q <= 6 {
+                    q as f64 * 150.0
+                } else {
+                    900.0 - (q - 6) as f64 * 40.0
+                };
+                (0..8).map(move |k| ScatterPoint {
+                    q: q as f64,
+                    rate: rate.max(0.0) + k as f64,
+                })
             })
             .collect();
         let loose: Vec<ScatterPoint> = (1..=30)
             .flat_map(|q| {
                 let rate = (q as f64).min(15.0) * 100.0;
-                (0..8).map(move |k| ScatterPoint { q: q as f64, rate: rate + k as f64 })
+                (0..8).map(move |k| ScatterPoint {
+                    q: q as f64,
+                    rate: rate + k as f64,
+                })
             })
             .collect();
         let m = ScgModel::default();

@@ -62,7 +62,11 @@ pub fn degree_sweep(points: &[ScatterPoint], degrees: &[usize]) -> Vec<DegreeRow
             } else {
                 None
             };
-            DegreeRow { degree, knee, relative_rmse }
+            DegreeRow {
+                degree,
+                knee,
+                relative_rmse,
+            }
         })
         .collect()
 }
@@ -78,7 +82,10 @@ pub fn kneedle_sensitivity_sweep(
     sensitivities
         .iter()
         .map(|&s| {
-            let model = ScgModel::new(ScgConfig { sensitivity: s, ..ScgConfig::default() });
+            let model = ScgModel::new(ScgConfig {
+                sensitivity: s,
+                ..ScgConfig::default()
+            });
             (s, model.estimate(points).map(|e| e.optimal))
         })
         .collect()
@@ -130,7 +137,10 @@ mod tests {
         let rmses: Vec<f64> = rows.iter().filter_map(|r| r.relative_rmse).collect();
         assert_eq!(rmses.len(), 4);
         for w in rmses.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "rmse must not grow with degree: {rmses:?}");
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "rmse must not grow with degree: {rmses:?}"
+            );
         }
         // The paper's working range localises a knee near q0·ln(…) ≈ 6–10.
         let d5 = rows.iter().find(|r| r.degree == 5).unwrap();
@@ -143,7 +153,10 @@ mod tests {
         let pts = scatter(2);
         let sweep = kneedle_sensitivity_sweep(&pts, &[0.5, 1.0, 5.0, 500.0]);
         assert!(sweep[0].1.is_some(), "eager settings confirm the knee");
-        assert!(sweep.last().unwrap().1.is_none(), "absurd S rejects everything");
+        assert!(
+            sweep.last().unwrap().1.is_none(),
+            "absurd S rejects everything"
+        );
         // Once the knee vanishes it stays vanished (monotone in S).
         let first_none = sweep.iter().position(|(_, k)| k.is_none());
         if let Some(i) = first_none {
@@ -160,11 +173,17 @@ mod tests {
         for offset in 0..3 {
             shuffled.extend(pts.iter().skip(offset).step_by(3).copied());
         }
-        let ests: Vec<usize> = chunked_estimates(&shuffled, 3).into_iter().flatten().collect();
+        let ests: Vec<usize> = chunked_estimates(&shuffled, 3)
+            .into_iter()
+            .flatten()
+            .collect();
         assert!(ests.len() >= 2, "most chunks estimate");
         let min = ests.iter().min().unwrap();
         let max = ests.iter().max().unwrap();
-        assert!(max - min <= 4, "stationary data gives stable knees: {ests:?}");
+        assert!(
+            max - min <= 4,
+            "stationary data gives stable knees: {ests:?}"
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Sampling distributions for service demands and inter-arrival times.
 
 use crate::{SimDuration, SimRng};
-use rand::Rng;
-use rand_distr::{Distribution as _, Exp, LogNormal};
 use serde::{Deserialize, Serialize};
 
 /// A duration-valued sampling distribution.
@@ -72,7 +70,9 @@ pub enum Dist {
 impl Dist {
     /// A constant duration of `ms` milliseconds.
     pub const fn constant_ms(ms: u64) -> Dist {
-        Dist::Constant { nanos: ms * 1_000_000 }
+        Dist::Constant {
+            nanos: ms * 1_000_000,
+        }
     }
 
     /// A constant duration of `us` microseconds.
@@ -83,20 +83,34 @@ impl Dist {
     /// An exponential distribution with mean `ms` milliseconds.
     pub fn exponential_ms(ms: f64) -> Dist {
         assert!(ms > 0.0 && ms.is_finite(), "mean must be positive");
-        Dist::Exponential { mean_nanos: (ms * 1e6) as u64 }
+        Dist::Exponential {
+            mean_nanos: (ms * 1e6) as u64,
+        }
     }
 
     /// A log-normal distribution with the given median (milliseconds) and sigma.
     pub fn lognormal_ms(median_ms: f64, sigma: f64) -> Dist {
-        assert!(median_ms > 0.0 && median_ms.is_finite(), "median must be positive");
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
-        Dist::LogNormal { median_nanos: (median_ms * 1e6) as u64, sigma }
+        assert!(
+            median_ms > 0.0 && median_ms.is_finite(),
+            "median must be positive"
+        );
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
+        Dist::LogNormal {
+            median_nanos: (median_ms * 1e6) as u64,
+            sigma,
+        }
     }
 
     /// A uniform distribution on `[low_ms, high_ms]` milliseconds.
     pub fn uniform_ms(low_ms: u64, high_ms: u64) -> Dist {
         assert!(low_ms <= high_ms, "low > high");
-        Dist::Uniform { low: low_ms * 1_000_000, high: high_ms * 1_000_000 }
+        Dist::Uniform {
+            low: low_ms * 1_000_000,
+            high: high_ms * 1_000_000,
+        }
     }
 
     /// The distribution mean, as a duration.
@@ -105,9 +119,10 @@ impl Dist {
             Dist::Constant { nanos } => nanos as f64,
             Dist::Uniform { low, high } => (low + high) as f64 / 2.0,
             Dist::Exponential { mean_nanos } => mean_nanos as f64,
-            Dist::LogNormal { median_nanos, sigma } => {
-                median_nanos as f64 * (sigma * sigma / 2.0).exp()
-            }
+            Dist::LogNormal {
+                median_nanos,
+                sigma,
+            } => median_nanos as f64 * (sigma * sigma / 2.0).exp(),
             Dist::BoundedPareto { low, high, alpha } => {
                 let (l, h) = (low as f64, high as f64);
                 if (alpha - 1.0).abs() < 1e-9 {
@@ -132,20 +147,18 @@ impl Dist {
                 if low == high {
                     low as f64
                 } else {
-                    rng.gen_range(low..=high) as f64
+                    rng.u64_inclusive(low, high) as f64
                 }
             }
-            Dist::Exponential { mean_nanos } => {
-                let exp = Exp::new(1.0 / mean_nanos as f64).expect("positive rate");
-                exp.sample(rng)
-            }
-            Dist::LogNormal { median_nanos, sigma } => {
+            Dist::Exponential { mean_nanos } => sample_exp(rng, mean_nanos as f64),
+            Dist::LogNormal {
+                median_nanos,
+                sigma,
+            } => {
                 if sigma == 0.0 {
                     median_nanos as f64
                 } else {
-                    let ln = LogNormal::new((median_nanos as f64).ln(), sigma)
-                        .expect("valid lognormal");
-                    ln.sample(rng)
+                    ((median_nanos as f64).ln() + sigma * sample_std_normal(rng)).exp()
                 }
             }
             Dist::BoundedPareto { low, high, alpha } => {
@@ -157,12 +170,26 @@ impl Dist {
             }
             Dist::Erlang { k, mean_nanos } => {
                 let stage_mean = mean_nanos as f64 / f64::from(k.max(1));
-                let exp = Exp::new(1.0 / stage_mean).expect("positive rate");
-                (0..k.max(1)).map(|_| exp.sample(rng)).sum()
+                (0..k.max(1)).map(|_| sample_exp(rng, stage_mean)).sum()
             }
         };
         SimDuration::from_nanos(nanos.max(0.0).round() as u64)
     }
+}
+
+/// Exponential draw by inverse CDF: `-mean · ln(1 - U)` with `U ∈ [0, 1)`.
+fn sample_exp(rng: &mut SimRng, mean: f64) -> f64 {
+    -mean * (1.0 - rng.f64()).ln()
+}
+
+/// Standard-normal draw via the Box–Muller transform.
+///
+/// Consumes exactly two uniforms per call, keeping the stream deterministic
+/// regardless of the value drawn (no rejection loop).
+fn sample_std_normal(rng: &mut SimRng) -> f64 {
+    let u1 = 1.0 - rng.f64(); // (0, 1] so ln() is finite
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]
@@ -171,7 +198,10 @@ mod tests {
 
     fn empirical_mean(d: Dist, n: usize, seed: u64) -> f64 {
         let mut rng = SimRng::seed_from(seed);
-        (0..n).map(|_| d.sample(&mut rng).as_nanos() as f64).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| d.sample(&mut rng).as_nanos() as f64)
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -189,7 +219,10 @@ mod tests {
         let d = Dist::exponential_ms(4.0);
         let m = empirical_mean(d, 200_000, 1);
         let expected = d.mean().as_nanos() as f64;
-        assert!((m - expected).abs() / expected < 0.02, "mean {m} vs {expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.02,
+            "mean {m} vs {expected}"
+        );
     }
 
     #[test]
@@ -197,19 +230,29 @@ mod tests {
         let d = Dist::lognormal_ms(4.0, 0.5);
         let m = empirical_mean(d, 300_000, 2);
         let expected = d.mean().as_nanos() as f64;
-        assert!((m - expected).abs() / expected < 0.03, "mean {m} vs {expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.03,
+            "mean {m} vs {expected}"
+        );
     }
 
     #[test]
     fn erlang_mean_converges_and_has_lower_variance() {
-        let e1 = Dist::Exponential { mean_nanos: 1_000_000 };
-        let e4 = Dist::Erlang { k: 4, mean_nanos: 1_000_000 };
+        let e1 = Dist::Exponential {
+            mean_nanos: 1_000_000,
+        };
+        let e4 = Dist::Erlang {
+            k: 4,
+            mean_nanos: 1_000_000,
+        };
         let m = empirical_mean(e4, 100_000, 3);
         assert!((m - 1e6).abs() / 1e6 < 0.02);
         // variance of Erlang-k is mean^2/k < mean^2 for exponential
         let mut rng = SimRng::seed_from(4);
         let var = |d: &Dist, rng: &mut SimRng| {
-            let xs: Vec<f64> = (0..50_000).map(|_| d.sample(rng).as_nanos() as f64).collect();
+            let xs: Vec<f64> = (0..50_000)
+                .map(|_| d.sample(rng).as_nanos() as f64)
+                .collect();
             let mu = xs.iter().sum::<f64>() / xs.len() as f64;
             xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / xs.len() as f64
         };
@@ -218,7 +261,11 @@ mod tests {
 
     #[test]
     fn bounded_pareto_stays_in_bounds() {
-        let d = Dist::BoundedPareto { low: 1_000, high: 1_000_000, alpha: 1.5 };
+        let d = Dist::BoundedPareto {
+            low: 1_000,
+            high: 1_000_000,
+            alpha: 1.5,
+        };
         let mut rng = SimRng::seed_from(5);
         for _ in 0..10_000 {
             let x = d.sample(&mut rng).as_nanos();

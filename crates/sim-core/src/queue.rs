@@ -65,7 +65,11 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The current simulated instant: the timestamp of the last popped event
@@ -81,7 +85,11 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than [`now`](Self::now); the simulator never
     /// travels backwards.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });

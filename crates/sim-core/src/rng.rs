@@ -1,7 +1,10 @@
 //! Seeded, splittable randomness for reproducible simulations.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng as _};
+//!
+//! Self-contained implementation (no external crates): a xoshiro256++
+//! generator seeded through splitmix64, the standard construction from
+//! Blackman & Vigna. Streams are derived by hashing a label into the root
+//! seed, so components can be wired up in any order without perturbing each
+//! other's draws.
 
 /// A deterministic random-number generator for simulation runs.
 ///
@@ -29,13 +32,21 @@ use rand::{Rng, RngCore, SeedableRng as _};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a root seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { seed, inner: SmallRng::seed_from_u64(seed) }
+        // Expand the seed into xoshiro state via splitmix64, per the
+        // generator authors' recommendation.
+        let mut x = seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *s = mix(x);
+        }
+        SimRng { seed, state }
     }
 
     /// The root seed this generator (or its parent) was created from.
@@ -50,18 +61,38 @@ impl SimRng {
     /// be wired up in any order without changing each other's draws.
     pub fn split(&self, label: &str) -> SimRng {
         let sub = splitmix64(self.seed ^ fnv1a(label.as_bytes()));
-        SimRng { seed: sub, inner: SmallRng::seed_from_u64(sub) }
+        SimRng::seed_from(sub)
     }
 
     /// Derives an independent stream indexed by an integer (e.g. a replica id).
     pub fn split_index(&self, label: &str, index: u64) -> SimRng {
         let sub = splitmix64(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix64(index));
-        SimRng { seed: sub, inner: SmallRng::seed_from_u64(sub) }
+        SimRng::seed_from(sub)
+    }
+
+    /// Next raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit draw (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// A uniform draw in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform draw in `[low, high)`.
@@ -71,7 +102,7 @@ impl SimRng {
     /// Panics if `low >= high`.
     pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
         assert!(low < high, "empty range [{low}, {high})");
-        self.inner.gen_range(low..high)
+        low + self.f64() * (high - low)
     }
 
     /// A uniform integer draw in `[0, n)`.
@@ -81,7 +112,47 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty range");
-        self.inner.gen_range(0..n)
+        // Lemire-style multiply-shift keeps the draw unbiased without
+        // division in the common case.
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// A uniform integer draw in `[low, high]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn u64_inclusive(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low <= high, "empty range [{low}, {high}]");
+        let span = high - low;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let n = span + 1;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        low + (m >> 64) as u64
     }
 
     /// A Bernoulli draw with probability `p` of `true`.
@@ -91,22 +162,7 @@ impl SimRng {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        self.inner.gen::<f64>() < p
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        self.f64() < p
     }
 }
 
@@ -119,11 +175,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+/// The splitmix64 output mix (finalisation only).
+fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+fn splitmix64(x: u64) -> u64 {
+    mix(x.wrapping_add(0x9e37_79b9_7f4a_7c15))
 }
 
 #[cfg(test)]
@@ -178,9 +238,23 @@ mod tests {
             assert!((2.0..3.0).contains(&u));
             let i = r.index(5);
             assert!(i < 5);
+            let k = r.u64_inclusive(10, 20);
+            assert!((10..=20).contains(&k));
         }
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn index_is_roughly_uniform() {
+        let mut r = SimRng::seed_from(17);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[r.index(5)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
     }
 
     #[test]

@@ -62,7 +62,9 @@ mod tests {
     #[test]
     fn uncorrelated_is_near_zero() {
         // x alternates, y ramps: correlation is ~0 by symmetry.
-        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let r = pearson(&x, &y).unwrap();
         assert!(r.abs() < 0.05, "r = {r}");

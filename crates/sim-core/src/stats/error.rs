@@ -35,7 +35,11 @@ pub fn mae(actual: &[f64], predicted: &[f64]) -> Option<f64> {
     if actual.len() != predicted.len() || actual.is_empty() {
         return None;
     }
-    let sum: f64 = actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum();
+    let sum: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum();
     Some(sum / actual.len() as f64)
 }
 
@@ -44,7 +48,11 @@ pub fn rmse(actual: &[f64], predicted: &[f64]) -> Option<f64> {
     if actual.len() != predicted.len() || actual.is_empty() {
         return None;
     }
-    let sum: f64 = actual.iter().zip(predicted).map(|(a, p)| (a - p).powi(2)).sum();
+    let sum: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).powi(2))
+        .sum();
     Some((sum / actual.len() as f64).sqrt())
 }
 

@@ -139,7 +139,11 @@ impl LatencyHistogram {
             seen += c;
             if seen >= rank {
                 let hi = self.bound_of(i).min(self.max as f64);
-                let lo = if i == 0 { self.min as f64 } else { self.bound_of(i - 1) };
+                let lo = if i == 0 {
+                    self.min as f64
+                } else {
+                    self.bound_of(i - 1)
+                };
                 let mid = (lo.max(self.min as f64) + hi).max(0.0) / 2.0;
                 return Some(SimDuration::from_nanos(mid.round() as u64));
             }
@@ -161,7 +165,9 @@ impl LatencyHistogram {
             let lo = if i == 0 { 0.0 } else { self.bound_of(i - 1) };
             sum += c as f64 * (lo + hi) / 2.0;
         }
-        Some(SimDuration::from_nanos((sum / self.total as f64).round() as u64))
+        Some(SimDuration::from_nanos(
+            (sum / self.total as f64).round() as u64
+        ))
     }
 
     /// Smallest recorded sample.

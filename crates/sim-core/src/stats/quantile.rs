@@ -79,7 +79,8 @@ impl P2Quantile {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             }
             return;
         }
@@ -115,13 +116,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
-                let new_height = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, s)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += s;
             }
@@ -138,8 +138,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = (i as f64 + s) as usize;
         self.heights[i]
-            + s * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// The current estimate, or `None` before any observation. With fewer

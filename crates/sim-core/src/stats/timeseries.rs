@@ -63,7 +63,10 @@ impl BucketSeries {
     /// Panics if `width` is zero.
     pub fn new(width: SimDuration) -> Self {
         assert!(!width.is_zero(), "bucket width must be non-zero");
-        BucketSeries { width, buckets: Vec::new() }
+        BucketSeries {
+            width,
+            buckets: Vec::new(),
+        }
     }
 
     /// The configured bucket width.
@@ -122,7 +125,10 @@ impl BucketSeries {
 
     /// Iterates `(bucket_start, aggregate)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, &BucketStat)> + '_ {
-        self.buckets.iter().enumerate().map(|(i, b)| (self.start_of(i), b))
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (self.start_of(i), b))
     }
 
     /// Restricts iteration to buckets fully inside `[from, to)`.
@@ -131,7 +137,8 @@ impl BucketSeries {
         from: SimTime,
         to: SimTime,
     ) -> impl Iterator<Item = (SimTime, &BucketStat)> + '_ {
-        self.iter().filter(move |(t, _)| *t >= from && *t + self.width <= to)
+        self.iter()
+            .filter(move |(t, _)| *t >= from && *t + self.width <= to)
     }
 
     /// Per-bucket counts converted to a rate (events per second).

@@ -20,7 +20,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(t.as_millis(), 250);
 /// assert!((t.as_secs_f64() - 0.25).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -33,7 +35,9 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_millis(), 1);
 /// assert_eq!(d * 4, SimDuration::from_micros(6000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -63,7 +67,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid simulation time {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid simulation time {secs}"
+        );
         SimTime((secs * 1e9).round() as u64)
     }
 
@@ -182,7 +189,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -203,14 +213,22 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("simulation time underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulation time underflow"),
+        )
     }
 }
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative simulation interval"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("negative simulation interval"),
+        )
     }
 }
 
@@ -292,7 +310,10 @@ mod tests {
         assert_eq!((t - SimTime::from_millis(100)).as_millis(), 50);
         assert_eq!(t - SimDuration::from_millis(150), SimTime::ZERO);
         assert_eq!(SimDuration::from_millis(6) / 2, SimDuration::from_millis(3));
-        assert_eq!(SimDuration::from_millis(6) * 2, SimDuration::from_millis(12));
+        assert_eq!(
+            SimDuration::from_millis(6) * 2,
+            SimDuration::from_millis(12)
+        );
     }
 
     #[test]
@@ -307,7 +328,10 @@ mod tests {
     fn floor_to_bucket() {
         let t = SimTime::from_millis(257);
         assert_eq!(t.floor_to(SimDuration::from_millis(100)).as_millis(), 200);
-        assert_eq!(SimTime::ZERO.floor_to(SimDuration::from_millis(100)), SimTime::ZERO);
+        assert_eq!(
+            SimTime::ZERO.floor_to(SimDuration::from_millis(100)),
+            SimTime::ZERO
+        );
     }
 
     #[test]
@@ -319,7 +343,10 @@ mod tests {
     #[test]
     fn mul_f64_rounds() {
         assert_eq!(SimDuration::from_nanos(10).mul_f64(1.26).as_nanos(), 13);
-        assert_eq!(SimDuration::from_millis(100).mul_f64(0.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(100).mul_f64(0.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

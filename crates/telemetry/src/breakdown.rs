@@ -112,7 +112,9 @@ pub fn latency_breakdown<'a>(
             entry
                 .downstream_wait_ms
                 .push(span.child_wait_time().as_millis_f64());
-            entry.response_time_ms.push(span.response_time().as_millis_f64());
+            entry
+                .response_time_ms
+                .push(span.response_time().as_millis_f64());
         }
     }
     out
@@ -154,7 +156,11 @@ mod tests {
             children: vec![],
             ..root.clone()
         };
-        Trace { request: RequestId(req), request_type: RequestTypeId(0), spans: vec![root, child] }
+        Trace {
+            request: RequestId(req),
+            request_type: RequestTypeId(0),
+            spans: vec![root, child],
+        }
     }
 
     #[test]
@@ -163,9 +169,8 @@ mod tests {
         let b = latency_breakdown(&traces);
         let root = &b[&ServiceId(0)];
         assert_eq!(root.spans(), 10);
-        let sum = root.queue_wait_ms.mean()
-            + root.self_time_ms.mean()
-            + root.downstream_wait_ms.mean();
+        let sum =
+            root.queue_wait_ms.mean() + root.self_time_ms.mean() + root.downstream_wait_ms.mean();
         assert!(
             (sum - root.response_time_ms.mean()).abs() < 1e-9,
             "{sum} vs {}",
@@ -177,7 +182,10 @@ mod tests {
     fn dominant_component_identification() {
         // Heavy queueing at the root.
         let queued = latency_breakdown(&[make_trace(0, 100, 5)]);
-        assert_eq!(queued[&ServiceId(0)].dominant(), BreakdownComponent::QueueWait);
+        assert_eq!(
+            queued[&ServiceId(0)].dominant(),
+            BreakdownComponent::QueueWait
+        );
         // Downstream-bound root.
         let downstream = latency_breakdown(&[make_trace(0, 0, 100)]);
         assert_eq!(
@@ -185,8 +193,14 @@ mod tests {
             BreakdownComponent::DownstreamWait
         );
         // The leaf child is always self-time-bound.
-        assert_eq!(downstream[&ServiceId(1)].dominant(), BreakdownComponent::SelfTime);
-        assert_eq!(BreakdownComponent::QueueWait.to_string(), "thread-pool queueing");
+        assert_eq!(
+            downstream[&ServiceId(1)].dominant(),
+            BreakdownComponent::SelfTime
+        );
+        assert_eq!(
+            BreakdownComponent::QueueWait.to_string(),
+            "thread-pool queueing"
+        );
     }
 
     #[test]

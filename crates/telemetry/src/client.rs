@@ -41,7 +41,11 @@ impl ClientLog {
     /// Panics if `bucket` is zero.
     pub fn new(bucket: SimDuration) -> Self {
         assert!(!bucket.is_zero(), "bucket must be non-zero");
-        ClientLog { bucket, outcomes: Vec::new(), histogram: LatencyHistogram::new() }
+        ClientLog {
+            bucket,
+            outcomes: Vec::new(),
+            histogram: LatencyHistogram::new(),
+        }
     }
 
     /// Records one finished request.
@@ -57,7 +61,10 @@ impl ClientLog {
 
     /// Completed requests within `threshold` (goodput count).
     pub fn goodput_count(&self, threshold: SimDuration) -> u64 {
-        self.outcomes.iter().filter(|&&(_, rt)| rt <= threshold).count() as u64
+        self.outcomes
+            .iter()
+            .filter(|&&(_, rt)| rt <= threshold)
+            .count() as u64
     }
 
     /// Average goodput in requests/second over `[from, to)`.
@@ -90,7 +97,10 @@ impl ClientLog {
             }
         }
         let secs = self.bucket.as_secs_f64();
-        series.iter().map(|(t, b)| (t, b.count as f64 / secs)).collect()
+        series
+            .iter()
+            .map(|(t, b)| (t, b.count as f64 / secs))
+            .collect()
     }
 
     /// Mean response-time timeline: `(bucket_start, mean_rt_ms)` with empty

@@ -33,7 +33,10 @@ pub struct CompletionLog {
 impl CompletionLog {
     /// Creates a log retaining `horizon` of history.
     pub fn new(horizon: SimDuration) -> Self {
-        CompletionLog { horizon, entries: VecDeque::new() }
+        CompletionLog {
+            horizon,
+            entries: VecDeque::new(),
+        }
     }
 
     /// Records a completion at `t` with response time `rt`.
@@ -82,7 +85,9 @@ impl CompletionLog {
 
     /// Completions in `[from, to)` with response time ≤ `threshold`.
     pub fn goodput_in(&self, from: SimTime, to: SimTime, threshold: SimDuration) -> u64 {
-        self.iter_window(from, to).filter(|&&(_, rt)| rt <= threshold).count() as u64
+        self.iter_window(from, to)
+            .filter(|&&(_, rt)| rt <= threshold)
+            .count() as u64
     }
 
     /// Iterates `(time, response_time)` entries in `[from, to)`.

@@ -41,7 +41,12 @@ impl ConcurrencyTracker {
     pub fn new(horizon: SimDuration) -> Self {
         let mut changes = VecDeque::new();
         changes.push_back((SimTime::ZERO, 0));
-        ConcurrencyTracker { horizon, changes, current: 0, peak: 0 }
+        ConcurrencyTracker {
+            horizon,
+            changes,
+            current: 0,
+            peak: 0,
+        }
     }
 
     /// Current in-service count.
@@ -139,8 +144,7 @@ impl ConcurrencyTracker {
                 let idx = ((cursor - from).as_nanos() / width.as_nanos()) as usize;
                 let bucket_end = from + width * (idx as u64 + 1);
                 let chunk_end = bucket_end.min(e);
-                out[idx] +=
-                    (chunk_end - cursor).as_nanos() as f64 * f64::from(level);
+                out[idx] += (chunk_end - cursor).as_nanos() as f64 * f64::from(level);
                 cursor = chunk_end;
             }
         }
@@ -157,7 +161,11 @@ impl ConcurrencyTracker {
         let n = self.changes.len();
         (0..n).map(move |i| {
             let (start, level) = self.changes[i];
-            let end = if i + 1 < n { self.changes[i + 1].0 } else { SimTime::MAX };
+            let end = if i + 1 < n {
+                self.changes[i + 1].0
+            } else {
+                SimTime::MAX
+            };
             (start, end, level)
         })
     }
@@ -191,7 +199,7 @@ mod tests {
         c.enter(t(100)); // level 2 from 100
         c.leave(t(300)); // level 1 from 300
         c.leave(t(400)); // level 0 from 400
-        // [0,400): 100ms@1 + 200ms@2 + 100ms@1 = 600 level·ms / 400 = 1.5
+                         // [0,400): 100ms@1 + 200ms@2 + 100ms@1 = 600 level·ms / 400 = 1.5
         assert!((c.average_in(t(0), t(400)) - 1.5).abs() < 1e-9);
         // Open-ended current level counts too.
         c.enter(t(500));

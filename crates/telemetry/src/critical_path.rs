@@ -48,13 +48,11 @@ pub fn critical_path(trace: &Trace) -> Vec<PathHop> {
             self_time: span.self_time(),
             response_time: span.response_time(),
         });
-        let next = children
-            .get(&Some(span.id))
-            .and_then(|kids| {
-                kids.iter()
-                    .copied()
-                    .max_by_key(|&i| (trace.spans[i].response_time(), std::cmp::Reverse(i)))
-            });
+        let next = children.get(&Some(span.id)).and_then(|kids| {
+            kids.iter()
+                .copied()
+                .max_by_key(|&i| (trace.spans[i].response_time(), std::cmp::Reverse(i)))
+        });
         match next {
             Some(i) => current = i,
             None => break,
@@ -131,7 +129,9 @@ impl CriticalPathStats {
 
     /// How many traces had `service` on their critical path.
     pub fn on_path_count(&self, service: ServiceId) -> u64 {
-        self.samples.get(&service).map_or(0, |(pt, _)| pt.len() as u64)
+        self.samples
+            .get(&service)
+            .map_or(0, |(pt, _)| pt.len() as u64)
     }
 }
 
@@ -186,8 +186,16 @@ mod tests {
             service_start: t(0),
             departure: t(cat_ms + 20),
             children: vec![
-                ChildCall { service: ServiceId(1), start: t(5), end: t(35) },
-                ChildCall { service: ServiceId(2), start: t(5), end: t(cat_ms + 10) },
+                ChildCall {
+                    service: ServiceId(1),
+                    start: t(5),
+                    end: t(35),
+                },
+                ChildCall {
+                    service: ServiceId(2),
+                    start: t(5),
+                    end: t(cat_ms + 10),
+                },
             ],
         };
         let cart = Span {
@@ -207,7 +215,11 @@ mod tests {
             arrival: t(5),
             service_start: t(5),
             departure: t(cat_ms + 10),
-            children: vec![ChildCall { service: ServiceId(3), start: t(10), end: t(cat_ms) }],
+            children: vec![ChildCall {
+                service: ServiceId(3),
+                start: t(10),
+                end: t(cat_ms),
+            }],
             ..fe.clone()
         };
         let db = Span {
@@ -277,11 +289,20 @@ mod tests {
         let traces: Vec<Trace> = (0..5).map(|i| fanout_trace(i, 100)).collect();
         let stats = per_service_stats(&traces);
         // Upstream of the front-end is zero.
-        assert_eq!(stats.mean_upstream_pt(ServiceId(0)).unwrap(), SimDuration::ZERO);
+        assert_eq!(
+            stats.mean_upstream_pt(ServiceId(0)).unwrap(),
+            SimDuration::ZERO
+        );
         // Upstream of catalogue = front-end self time (15 ms).
-        assert_eq!(stats.mean_upstream_pt(ServiceId(2)).unwrap().as_millis(), 15);
+        assert_eq!(
+            stats.mean_upstream_pt(ServiceId(2)).unwrap().as_millis(),
+            15
+        );
         // Upstream of db = 15 + 15 = 30 ms.
-        assert_eq!(stats.mean_upstream_pt(ServiceId(3)).unwrap().as_millis(), 30);
+        assert_eq!(
+            stats.mean_upstream_pt(ServiceId(3)).unwrap().as_millis(),
+            30
+        );
         assert_eq!(stats.mean_upstream_pt(ServiceId(9)), None);
     }
 

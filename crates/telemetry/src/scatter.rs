@@ -51,7 +51,14 @@ pub fn build_scatter(
     interval: SimDuration,
     threshold: SimDuration,
 ) -> Vec<ScatterPoint> {
-    build_points(concurrency, completions, from, to, interval, Some(threshold))
+    build_points(
+        concurrency,
+        completions,
+        from,
+        to,
+        interval,
+        Some(threshold),
+    )
 }
 
 /// Like [`build_scatter`] but counts *all* completions — the
@@ -76,19 +83,18 @@ fn build_points(
 ) -> Vec<ScatterPoint> {
     assert!(!interval.is_zero(), "sampling interval must be non-zero");
     let qs = concurrency.bucket_averages(from, to, interval);
-    let counts = completions.bucket_counts(
-        from,
-        to,
-        interval,
-        threshold.unwrap_or(SimDuration::MAX),
-    );
+    let counts =
+        completions.bucket_counts(from, to, interval, threshold.unwrap_or(SimDuration::MAX));
     let secs = interval.as_secs_f64();
     qs.iter()
         .zip(&counts)
         .filter(|(&q, &(total, _))| q > 0.0 || total > 0)
         .map(|(&q, &(total, good))| {
             let n = if threshold.is_some() { good } else { total };
-            ScatterPoint { q, rate: n as f64 / secs }
+            ScatterPoint {
+                q,
+                rate: n as f64 / secs,
+            }
         })
         .collect()
 }

@@ -192,8 +192,16 @@ mod tests {
             0,
             100,
             vec![
-                ChildCall { service: ServiceId(1), start: t(10), end: t(30) },
-                ChildCall { service: ServiceId(2), start: t(50), end: t(70) },
+                ChildCall {
+                    service: ServiceId(1),
+                    start: t(10),
+                    end: t(30),
+                },
+                ChildCall {
+                    service: ServiceId(2),
+                    start: t(50),
+                    end: t(70),
+                },
             ],
         );
         assert_eq!(s.child_wait_time().as_millis(), 40);
@@ -207,9 +215,21 @@ mod tests {
             0,
             100,
             vec![
-                ChildCall { service: ServiceId(1), start: t(10), end: t(60) },
-                ChildCall { service: ServiceId(2), start: t(20), end: t(40) },
-                ChildCall { service: ServiceId(3), start: t(50), end: t(80) },
+                ChildCall {
+                    service: ServiceId(1),
+                    start: t(10),
+                    end: t(60),
+                },
+                ChildCall {
+                    service: ServiceId(2),
+                    start: t(20),
+                    end: t(40),
+                },
+                ChildCall {
+                    service: ServiceId(3),
+                    start: t(50),
+                    end: t(80),
+                },
             ],
         );
         // Union of [10,60] ∪ [20,40] ∪ [50,80] = [10,80] → 70 ms.
@@ -223,7 +243,11 @@ mod tests {
             0,
             10,
             50,
-            vec![ChildCall { service: ServiceId(1), start: t(0), end: t(100) }],
+            vec![ChildCall {
+                service: ServiceId(1),
+                start: t(0),
+                end: t(100),
+            }],
         );
         assert_eq!(s.child_wait_time().as_millis(), 40);
         assert_eq!(s.self_time(), SimDuration::ZERO);
@@ -236,7 +260,10 @@ mod tests {
             request_type: RequestTypeId(2),
             spans: vec![
                 span(0, 0, 50, vec![]),
-                Span { service: ServiceId(5), ..span(1, 5, 45, vec![]) },
+                Span {
+                    service: ServiceId(5),
+                    ..span(1, 5, 45, vec![])
+                },
             ],
         };
         assert_eq!(tr.response_time().as_millis(), 50);

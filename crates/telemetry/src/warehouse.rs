@@ -36,7 +36,25 @@ pub struct TraceWarehouse {
     horizon: SimDuration,
     sample_every: u64,
     counter: u64,
-    traces: VecDeque<Trace>,
+    traces: VecDeque<StoredTrace>,
+}
+
+/// A trace plus the two query keys every warehouse scan needs, computed once
+/// at ingest: the completion time (otherwise re-derived from the root span on
+/// every window comparison) and a Bloom-style presence mask of the services
+/// the trace touched (bit `service.0 % 64`). A clear mask bit proves the
+/// service is absent, so [`TraceWarehouse::iter_touching`] skips the span
+/// scan for non-matching traces; a set bit is confirmed by the exact scan
+/// (only relevant for topologies with ≥ 64 services, where bits can alias).
+#[derive(Debug, Clone)]
+struct StoredTrace {
+    completed: SimTime,
+    service_mask: u64,
+    trace: Trace,
+}
+
+fn service_bit(service: ServiceId) -> u64 {
+    1u64 << (service.0 % 64)
 }
 
 impl TraceWarehouse {
@@ -48,7 +66,12 @@ impl TraceWarehouse {
     /// Panics if `sample_every` is zero.
     pub fn new(horizon: SimDuration, sample_every: u64) -> Self {
         assert!(sample_every > 0, "sample_every must be at least 1");
-        TraceWarehouse { horizon, sample_every, counter: 0, traces: VecDeque::new() }
+        TraceWarehouse {
+            horizon,
+            sample_every,
+            counter: 0,
+            traces: VecDeque::new(),
+        }
     }
 
     /// Ingests a finished trace (subject to sampling), evicting expired ones.
@@ -56,7 +79,15 @@ impl TraceWarehouse {
         self.counter += 1;
         let now = trace.completed_at();
         if (self.counter - 1).is_multiple_of(self.sample_every) {
-            self.traces.push_back(trace);
+            let service_mask = trace
+                .spans
+                .iter()
+                .fold(0u64, |mask, span| mask | service_bit(span.service));
+            self.traces.push_back(StoredTrace {
+                completed: now,
+                service_mask,
+                trace,
+            });
         }
         self.evict_before(now);
     }
@@ -70,7 +101,7 @@ impl TraceWarehouse {
             SimTime::ZERO
         };
         while let Some(front) = self.traces.front() {
-            if front.completed_at() < min_keep {
+            if front.completed < min_keep {
                 self.traces.pop_front();
             } else {
                 break;
@@ -95,25 +126,38 @@ impl TraceWarehouse {
 
     /// Iterates stored traces oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &Trace> + '_ {
-        self.traces.iter()
+        self.traces.iter().map(|s| &s.trace)
     }
 
     /// Iterates traces that completed within `[from, to)`.
     pub fn iter_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &Trace> + '_ {
         self.traces
             .iter()
-            .filter(move |t| t.completed_at() >= from && t.completed_at() < to)
+            .filter(move |s| s.completed >= from && s.completed < to)
+            .map(|s| &s.trace)
     }
 
-    /// Iterates traces whose critical chain touches `service` in `[from, to)`.
+    /// Iterates traces whose spans touch `service` in `[from, to)`.
+    ///
+    /// Traces whose ingest-time presence mask excludes the service are
+    /// skipped without scanning their spans; mask hits are confirmed by an
+    /// exact span scan (masks can alias above 64 services).
     pub fn iter_touching(
         &self,
         service: ServiceId,
         from: SimTime,
         to: SimTime,
     ) -> impl Iterator<Item = &Trace> + '_ {
-        self.iter_window(from, to)
-            .filter(move |t| t.spans.iter().any(|s| s.service == service))
+        let bit = service_bit(service);
+        self.traces
+            .iter()
+            .filter(move |s| {
+                s.completed >= from
+                    && s.completed < to
+                    && s.service_mask & bit != 0
+                    && s.trace.spans.iter().any(|sp| sp.service == service)
+            })
+            .map(|s| &s.trace)
     }
 }
 
@@ -175,6 +219,26 @@ mod tests {
             .iter_touching(ServiceId(1), SimTime::ZERO, SimTime::from_secs(1))
             .count();
         assert_eq!(touching, 2); // requests 1 and 4
+    }
+
+    #[test]
+    fn touching_mask_is_exact_even_with_aliased_ids() {
+        // ServiceId(1) and ServiceId(65) share presence-mask bit 1; the
+        // confirming span scan must still tell them apart.
+        let mut w = TraceWarehouse::new(SimDuration::from_secs(10), 1);
+        let mut t1 = trace(1, 10);
+        t1.spans[0].service = ServiceId(65);
+        w.push(t1);
+        let mut t2 = trace(2, 20);
+        t2.spans[0].service = ServiceId(1);
+        w.push(t2);
+        let count = |svc: u32| {
+            w.iter_touching(ServiceId(svc), SimTime::ZERO, SimTime::from_secs(1))
+                .count()
+        };
+        assert_eq!(count(1), 1);
+        assert_eq!(count(65), 1);
+        assert_eq!(count(2), 0);
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl UserPool {
             Some(&std::cmp::Reverse((at, user))) if at <= self.next_control.min(self.end()) => {
                 self.pending.pop();
                 self.in_flight += 1;
-                UserAction::Send { at: at.max(now), user }
+                UserAction::Send {
+                    at: at.max(now),
+                    user,
+                }
             }
             _ => {
                 let until = self.next_control.min(self.end());
@@ -209,9 +212,15 @@ mod tests {
     #[test]
     fn sends_occur_and_increase_in_second_phase() {
         let sends = drive_instant_responses(pool(50.0, 60));
-        assert!(sends.len() > 1_000, "closed loop should cycle: {}", sends.len());
-        let first_half =
-            sends.iter().filter(|t| **t < SimTime::from_secs(30)).count();
+        assert!(
+            sends.len() > 1_000,
+            "closed loop should cycle: {}",
+            sends.len()
+        );
+        let first_half = sends
+            .iter()
+            .filter(|t| **t < SimTime::from_secs(30))
+            .count();
         let second_half = sends.len() - first_half;
         assert!(
             second_half as f64 > 1.5 * first_half as f64,

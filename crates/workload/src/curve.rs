@@ -38,7 +38,11 @@ impl RateCurve {
     pub fn new(shape: TraceShape, peak: f64, duration: SimDuration) -> Self {
         assert!(peak > 0.0 && peak.is_finite(), "peak must be positive");
         assert!(!duration.is_zero(), "duration must be non-zero");
-        RateCurve { shape, peak, duration }
+        RateCurve {
+            shape,
+            peak,
+            duration,
+        }
     }
 
     /// The underlying shape.
@@ -74,7 +78,11 @@ mod tests {
 
     #[test]
     fn scales_shape_by_peak() {
-        let c = RateCurve::new(TraceShape::SlowlyVarying, 1000.0, SimDuration::from_secs(100));
+        let c = RateCurve::new(
+            TraceShape::SlowlyVarying,
+            1000.0,
+            SimDuration::from_secs(100),
+        );
         let v = c.value_at(SimTime::from_secs(50));
         assert!((v - 1000.0).abs() < 1.0, "peak of the slow wave: {v}");
         assert!(c.value_at(SimTime::ZERO) < 500.0);

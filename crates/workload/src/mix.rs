@@ -89,7 +89,9 @@ mod tests {
     fn weights_shape_frequencies() {
         let mix = Mix::new(vec![(RequestTypeId(0), 3.0), (RequestTypeId(1), 1.0)]);
         let mut rng = SimRng::seed_from(1);
-        let hits = (0..40_000).filter(|_| mix.sample(&mut rng) == RequestTypeId(0)).count();
+        let hits = (0..40_000)
+            .filter(|_| mix.sample(&mut rng) == RequestTypeId(0))
+            .count();
         let frac = hits as f64 / 40_000.0;
         assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
         assert!((mix.probability(RequestTypeId(0)) - 0.75).abs() < 1e-12);

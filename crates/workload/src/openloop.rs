@@ -35,12 +35,20 @@ pub struct NhppArrivals {
 impl NhppArrivals {
     /// Creates the process starting at time zero.
     pub fn new(curve: RateCurve, rng: SimRng) -> Self {
-        NhppArrivals { curve, rng, cursor: SimTime::ZERO }
+        NhppArrivals {
+            curve,
+            rng,
+            cursor: SimTime::ZERO,
+        }
     }
 
     /// Creates the process starting at `start` (e.g. to resume mid-run).
     pub fn starting_at(curve: RateCurve, rng: SimRng, start: SimTime) -> Self {
-        NhppArrivals { curve, rng, cursor: start }
+        NhppArrivals {
+            curve,
+            rng,
+            cursor: start,
+        }
     }
 }
 
@@ -95,7 +103,10 @@ mod tests {
             "spike rate ({spike}/s) should dwarf flat rate ({flat}/s)"
         );
         // Flat region sits near 0.4 × peak.
-        assert!((flat - 420.0).abs() < 60.0, "flat ≈ 400–450 rps, got {flat}");
+        assert!(
+            (flat - 420.0).abs() < 60.0,
+            "flat ≈ 400–450 rps, got {flat}"
+        );
     }
 
     #[test]
@@ -104,7 +115,10 @@ mod tests {
         // Integral of the slow wave ≈ 0.675 average level.
         let expected = 0.675 * 500.0 * 200.0;
         let got = xs.len() as f64;
-        assert!((got - expected).abs() / expected < 0.05, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl WorkloadTrace {
                 "arrivals must be recorded in time order"
             );
         }
-        self.arrivals.push(ArrivalRecord { at_nanos: at.as_nanos(), rtype });
+        self.arrivals.push(ArrivalRecord {
+            at_nanos: at.as_nanos(),
+            rtype,
+        });
     }
 
     /// The recorded arrivals, time-ordered.
@@ -165,7 +168,10 @@ mod tests {
     fn records_round_trip_through_json() {
         let curve = RateCurve::new(TraceShape::BigSpike, 200.0, SimDuration::from_secs(30));
         let trace: WorkloadTrace = NhppArrivals::new(curve, SimRng::seed_from(4))
-            .map(|at| ArrivalRecord { at_nanos: at.as_nanos(), rtype: RequestTypeId(0) })
+            .map(|at| ArrivalRecord {
+                at_nanos: at.as_nanos(),
+                rtype: RequestTypeId(0),
+            })
             .collect();
         assert!(trace.len() > 1_000);
         let json = trace.to_json().unwrap();
@@ -177,7 +183,10 @@ mod tests {
     fn rate_curve_reflects_the_spike() {
         let curve = RateCurve::new(TraceShape::BigSpike, 500.0, SimDuration::from_secs(100));
         let trace: WorkloadTrace = NhppArrivals::new(curve, SimRng::seed_from(5))
-            .map(|at| ArrivalRecord { at_nanos: at.as_nanos(), rtype: RequestTypeId(0) })
+            .map(|at| ArrivalRecord {
+                at_nanos: at.as_nanos(),
+                rtype: RequestTypeId(0),
+            })
             .collect();
         let rates = trace.rate_curve(10);
         let mid = rates[5].1; // t = 50 s: the spike

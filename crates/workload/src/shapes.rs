@@ -61,7 +61,11 @@ impl TraceShape {
                 // Triangle wave, 8 periods, between 0.35 and 1.0.
                 let period = 1.0 / 8.0;
                 let phase = (x % period) / period;
-                let tri = if phase < 0.5 { phase * 2.0 } else { 2.0 - phase * 2.0 };
+                let tri = if phase < 0.5 {
+                    phase * 2.0
+                } else {
+                    2.0 - phase * 2.0
+                };
                 0.35 + 0.65 * tri
             }
             _ => piecewise(self.control_points(), x),

@@ -23,8 +23,11 @@ impl Controller for ChaosThenHpa {
         if !self.killed && now >= self.kill_at {
             let victims = world.ready_replicas(self.hpa.service());
             if let Some(&victim) = victims.first() {
-                println!("t={now}: chaos kills {victim} ({} in flight aborted so far: {})",
-                    world.running_threads(self.hpa.service()), world.dropped());
+                println!(
+                    "t={now}: chaos kills {victim} ({} in flight aborted so far: {})",
+                    world.running_threads(self.hpa.service()),
+                    world.dropped()
+                );
                 world.fail_replica(victim);
                 self.killed = true;
             }
@@ -40,7 +43,11 @@ impl Controller for ChaosThenHpa {
 fn main() {
     let cart = telemetry::ServiceId(1);
     let mut shop = SockShop::build(
-        SockShopParams { cart_cores: 2, cart_threads: 16, ..Default::default() },
+        SockShopParams {
+            cart_cores: 2,
+            cart_threads: 16,
+            ..Default::default()
+        },
         SimRng::seed_from(13),
     );
     // A second replica up front so the kill does not black-hole the service.
@@ -50,25 +57,46 @@ fn main() {
     let curve = RateCurve::new(TraceShape::Steady, 1_200.0, SimDuration::from_secs(120));
     let pool = UserPool::new(curve, Dist::exponential_ms(2_500.0), SimRng::seed_from(14));
     let scenario = Scenario::new(
-        ScenarioConfig { report_rtt: SimDuration::from_millis(400), ..Default::default() },
+        ScenarioConfig {
+            report_rtt: SimDuration::from_millis(400),
+            ..Default::default()
+        },
         pool,
         Mix::single(shop.get_cart),
-        Watch { service: cart, conns: None },
+        Watch {
+            service: cart,
+            conns: None,
+        },
     );
     let mut chaos = ChaosThenHpa {
         kill_at: SimTime::from_secs(45),
         killed: false,
-        hpa: HpaController::new(cart, HpaConfig { min_replicas: 2, ..Default::default() }),
+        hpa: HpaController::new(
+            cart,
+            HpaConfig {
+                min_replicas: 2,
+                ..Default::default()
+            },
+        ),
     };
     let res = scenario.run(&mut shop.world, &mut chaos);
 
-    println!("\ncompleted {}  dropped {} (aborted by the kill + edge refusals)",
-        res.summary.completed, res.summary.dropped);
-    println!("p99 {:.0} ms, goodput(400ms) {:.0} req/s", res.summary.p99_ms, res.summary.goodput_rps);
-    println!("cart replicas at end: {} (HPA restored capacity)",
-        shop.world.ready_replicas(cart).len());
+    println!(
+        "\ncompleted {}  dropped {} (aborted by the kill + edge refusals)",
+        res.summary.completed, res.summary.dropped
+    );
+    println!(
+        "p99 {:.0} ms, goodput(400ms) {:.0} req/s",
+        res.summary.p99_ms, res.summary.goodput_rps
+    );
+    println!(
+        "cart replicas at end: {} (HPA restored capacity)",
+        shop.world.ready_replicas(cart).len()
+    );
     for row in res.timeline.iter().step_by(15) {
-        println!("t={:>4.0}s replicas={} running_threads={:>2}",
-            row.t_secs, row.replicas, row.running_threads);
+        println!(
+            "t={:>4.0}s replicas={} running_threads={:>2}",
+            row.t_secs, row.replicas, row.running_threads
+        );
     }
 }

@@ -20,7 +20,10 @@ fn synthesize(threshold_ms: f64, rng: &mut SimRng) -> Vec<ScatterPoint> {
         // Fraction of requests within the deadline (logistic cut).
         let within = 1.0 / (1.0 + ((sojourn_ms - threshold_ms) / 4.0).exp());
         let noise = 1.0 + (rng.f64() - 0.5) * 0.1;
-        pts.push(ScatterPoint { q, rate: throughput * within * noise });
+        pts.push(ScatterPoint {
+            q,
+            rate: throughput * within * noise,
+        });
     }
     pts
 }
@@ -44,7 +47,10 @@ fn main() {
 
     // Raw Kneedle on an analytic curve, for comparison.
     let xs: Vec<f64> = (1..=40).map(f64::from).collect();
-    let ys: Vec<f64> = xs.iter().map(|&q| 1_000.0 * (1.0 - (-q / 6.0).exp())).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&q| 1_000.0 * (1.0 - (-q / 6.0).exp()))
+        .collect();
     let knee = Kneedle::default().detect(&xs, &ys);
     println!("\nKneedle on 1000·(1 − e^(−q/6)): knee at q = {knee:?}");
 

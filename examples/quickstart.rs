@@ -23,7 +23,14 @@ fn main() {
         ServiceSpec::new("front")
             .cpu(Millicores::from_cores(4))
             .threads(256)
-            .on(rt, Behavior::tier(Dist::lognormal_ms(0.5, 0.3), worker_id, Dist::constant_ms(0))),
+            .on(
+                rt,
+                Behavior::tier(
+                    Dist::lognormal_ms(0.5, 0.3),
+                    worker_id,
+                    Dist::constant_ms(0),
+                ),
+            ),
     );
     let worker = world.add_service(
         ServiceSpec::new("worker")
@@ -47,7 +54,10 @@ fn main() {
     let mut sora = SoraController::sora(
         SoraConfig {
             sla: SimDuration::from_millis(50),
-            localize: LocalizeConfig { min_on_path: 20, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 20,
+                ..Default::default()
+            },
             ..Default::default()
         },
         registry,
@@ -84,7 +94,11 @@ fn main() {
     );
     println!(
         "p99 = {}",
-        world.client().percentile(99.0).map(|d| format!("{d}")).unwrap_or_default()
+        world
+            .client()
+            .percentile(99.0)
+            .map(|d| format!("{d}"))
+            .unwrap_or_default()
     );
     for (t, resource, value) in sora.actions() {
         println!("  sora @ {t}: {resource} -> {value}");

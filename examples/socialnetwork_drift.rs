@@ -18,11 +18,17 @@ const DRIFT_AT: u64 = 150;
 
 fn run(name: &str, controller: &mut dyn Controller) {
     let mut sn = SocialNetwork::build(Default::default(), SimRng::seed_from(5));
-    let curve =
-        RateCurve::new(TraceShape::LargeVariation, 4_500.0, SimDuration::from_secs(SECS));
+    let curve = RateCurve::new(
+        TraceShape::LargeVariation,
+        4_500.0,
+        SimDuration::from_secs(SECS),
+    );
     let pool = UserPool::new(curve, Dist::exponential_ms(2_500.0), SimRng::seed_from(6));
     let scenario = Scenario::new(
-        ScenarioConfig { report_rtt: SimDuration::from_millis(400), ..Default::default() },
+        ScenarioConfig {
+            report_rtt: SimDuration::from_millis(400),
+            ..Default::default()
+        },
         pool,
         Mix::single(sn.read_home_timeline_light),
         Watch {
@@ -31,7 +37,10 @@ fn run(name: &str, controller: &mut dyn Controller) {
         },
     )
     // At DRIFT_AT the users start reading 10-post timelines instead of 2.
-    .with_mix_change(SimTime::from_secs(DRIFT_AT), Mix::single(sn.read_home_timeline_heavy));
+    .with_mix_change(
+        SimTime::from_secs(DRIFT_AT),
+        Mix::single(sn.read_home_timeline_heavy),
+    );
     let result = scenario.run(&mut sn.world, controller);
     let final_conns = result.timeline.last().map_or(0, |r| r.conns_established);
     let final_replicas = result.timeline.last().map_or(0, |r| r.replicas);
@@ -44,23 +53,34 @@ fn run(name: &str, controller: &mut dyn Controller) {
 
 fn main() {
     let (home_timeline, post_storage) = (telemetry::ServiceId(1), telemetry::ServiceId(2));
-    println!(
-        "Large Variation trace, 4 500 users, light→heavy read drift at {DRIFT_AT} s:\n"
-    );
-    let hpa =
-        || HpaController::new(post_storage, HpaConfig { max_replicas: 6, ..Default::default() });
+    println!("Large Variation trace, 4 500 users, light→heavy read drift at {DRIFT_AT} s:\n");
+    let hpa = || {
+        HpaController::new(
+            post_storage,
+            HpaConfig {
+                max_replicas: 6,
+                ..Default::default()
+            },
+        )
+    };
 
     let mut hpa_only = hpa();
     run("HPA", &mut hpa_only);
 
     let registry = ResourceRegistry::new().with(
-        SoftResource::ConnPool { caller: home_timeline, target: post_storage },
+        SoftResource::ConnPool {
+            caller: home_timeline,
+            target: post_storage,
+        },
         ResourceBounds { min: 4, max: 256 },
     );
     let mut sora = SoraController::sora(
         SoraConfig {
             sla: SimDuration::from_millis(400),
-            localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 30,
+                ..Default::default()
+            },
             ..Default::default()
         },
         registry,

@@ -19,13 +19,23 @@ const USERS: f64 = 3_500.0;
 
 fn run(name: &str, controller: &mut dyn Controller) {
     let mut shop = SockShop::build(Default::default(), SimRng::seed_from(7));
-    let curve = RateCurve::new(TraceShape::SteepTriPhase, USERS, SimDuration::from_secs(SECS));
+    let curve = RateCurve::new(
+        TraceShape::SteepTriPhase,
+        USERS,
+        SimDuration::from_secs(SECS),
+    );
     let pool = UserPool::new(curve, Dist::exponential_ms(2_500.0), SimRng::seed_from(8));
     let scenario = Scenario::new(
-        ScenarioConfig { report_rtt: SimDuration::from_millis(400), ..Default::default() },
+        ScenarioConfig {
+            report_rtt: SimDuration::from_millis(400),
+            ..Default::default()
+        },
         pool,
         Mix::single(shop.get_cart),
-        Watch { service: shop.cart, conns: None },
+        Watch {
+            service: shop.cart,
+            conns: None,
+        },
     );
     let result = scenario.run(&mut shop.world, controller);
     println!(
@@ -41,7 +51,10 @@ fn main() {
     let cart = telemetry::ServiceId(1); // Sock Shop layout: cart is service 1
     let firm_config = FirmConfig {
         services: vec![cart],
-        localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+        localize: LocalizeConfig {
+            min_on_path: 30,
+            ..Default::default()
+        },
         min_limit: Millicores::from_cores(1),
         max_limit: Millicores::from_cores(4),
         ..Default::default()
@@ -58,7 +71,10 @@ fn main() {
     let mut sora = SoraController::sora(
         SoraConfig {
             sla: SimDuration::from_millis(400),
-            localize: LocalizeConfig { min_on_path: 30, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 30,
+                ..Default::default()
+            },
             ..Default::default()
         },
         registry,

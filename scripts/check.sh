@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints (warnings are errors), tests.
+# Run before sending a PR; CI mirrors these steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "all checks passed"

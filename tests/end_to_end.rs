@@ -2,14 +2,13 @@
 //! closed-loop workloads with live controllers — the whole stack from
 //! `sim-core` up to `apps`.
 
-use apps::{Scenario, ScenarioConfig, SockShop, SockShopParams, SocialNetwork, Watch};
+use apps::{Scenario, ScenarioConfig, SocialNetwork, SockShop, SockShopParams, Watch};
 use autoscalers::{FirmConfig, FirmController, HpaConfig, HpaController};
 use cluster::Millicores;
 use scg::LocalizeConfig;
 use sim_core::{Dist, SimDuration, SimRng, SimTime};
 use sora_core::{
-    NullController, ResourceBounds, ResourceRegistry, SoftResource, SoraConfig,
-    SoraController,
+    NullController, ResourceBounds, ResourceRegistry, SoftResource, SoraConfig, SoraController,
 };
 use telemetry::ServiceId;
 use workload::{Mix, RateCurve, TraceShape, UserPool};
@@ -20,10 +19,16 @@ fn cart_scenario(shop: &SockShop, users: f64, secs: u64) -> Scenario {
     let curve = RateCurve::new(TraceShape::DualPhase, users, SimDuration::from_secs(secs));
     let pool = UserPool::new(curve, Dist::exponential_ms(2_500.0), SimRng::seed_from(9));
     Scenario::new(
-        ScenarioConfig { report_rtt: SimDuration::from_millis(400), ..Default::default() },
+        ScenarioConfig {
+            report_rtt: SimDuration::from_millis(400),
+            ..Default::default()
+        },
         pool,
         Mix::single(shop.get_cart),
-        Watch { service: CART, conns: None },
+        Watch {
+            service: CART,
+            conns: None,
+        },
     )
 }
 
@@ -53,14 +58,21 @@ fn whole_stack_is_deterministic() {
         let mut sora = SoraController::sora(
             SoraConfig {
                 sla: SimDuration::from_millis(100),
-                localize: LocalizeConfig { min_on_path: 20, ..Default::default() },
+                localize: LocalizeConfig {
+                    min_on_path: 20,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             registry,
             NullController,
         );
         let res = scenario.run(&mut shop.world, &mut sora);
-        (res.summary.completed, res.summary.p99_ms as u64, shop.world.thread_limit(CART))
+        (
+            res.summary.completed,
+            res.summary.p99_ms as u64,
+            shop.world.thread_limit(CART),
+        )
     };
     assert_eq!(run(), run(), "same seed, same everything");
 }
@@ -70,13 +82,20 @@ fn sora_over_firm_adapts_threads_on_hardware_scale_up() {
     // An under-threaded cart saturates; FIRM adds CPU; Sora must follow
     // with threads (or the new CPU is wasted, the paper's Fig. 10 story).
     let mut shop = SockShop::build(
-        SockShopParams { cart_cores: 1, cart_threads: 3, ..Default::default() },
+        SockShopParams {
+            cart_cores: 1,
+            cart_threads: 3,
+            ..Default::default()
+        },
         SimRng::seed_from(3),
     );
     let scenario = cart_scenario(&shop, 900.0, 120);
     let firm = FirmController::new(FirmConfig {
         services: vec![CART],
-        localize: LocalizeConfig { min_on_path: 20, ..Default::default() },
+        localize: LocalizeConfig {
+            min_on_path: 20,
+            ..Default::default()
+        },
         min_limit: Millicores::from_cores(1),
         max_limit: Millicores::from_cores(4),
         ..Default::default()
@@ -88,7 +107,10 @@ fn sora_over_firm_adapts_threads_on_hardware_scale_up() {
     let mut sora = SoraController::sora(
         SoraConfig {
             sla: SimDuration::from_millis(400),
-            localize: LocalizeConfig { min_on_path: 20, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 20,
+                ..Default::default()
+            },
             ..Default::default()
         },
         registry,
@@ -115,24 +137,45 @@ fn social_network_drift_with_hpa_and_sora_connections() {
     let curve = RateCurve::new(TraceShape::Steady, 2_500.0, SimDuration::from_secs(90));
     let pool = UserPool::new(curve, Dist::exponential_ms(2_500.0), SimRng::seed_from(5));
     let scenario = Scenario::new(
-        ScenarioConfig { report_rtt: SimDuration::from_millis(400), ..Default::default() },
+        ScenarioConfig {
+            report_rtt: SimDuration::from_millis(400),
+            ..Default::default()
+        },
         pool,
         Mix::single(sn.read_home_timeline_light),
-        Watch { service: ps, conns: Some((ht, ps)) },
+        Watch {
+            service: ps,
+            conns: Some((ht, ps)),
+        },
     )
-    .with_mix_change(SimTime::from_secs(45), Mix::single(sn.read_home_timeline_heavy));
+    .with_mix_change(
+        SimTime::from_secs(45),
+        Mix::single(sn.read_home_timeline_heavy),
+    );
     let registry = ResourceRegistry::new().with(
-        SoftResource::ConnPool { caller: ht, target: ps },
+        SoftResource::ConnPool {
+            caller: ht,
+            target: ps,
+        },
         ResourceBounds { min: 4, max: 256 },
     );
     let mut sora = SoraController::sora(
         SoraConfig {
             sla: SimDuration::from_millis(400),
-            localize: LocalizeConfig { min_on_path: 20, ..Default::default() },
+            localize: LocalizeConfig {
+                min_on_path: 20,
+                ..Default::default()
+            },
             ..Default::default()
         },
         registry,
-        HpaController::new(ps, HpaConfig { max_replicas: 4, ..Default::default() }),
+        HpaController::new(
+            ps,
+            HpaConfig {
+                max_replicas: 4,
+                ..Default::default()
+            },
+        ),
     );
     let res = scenario.run(&mut sn.world, &mut sora);
     assert!(res.summary.completed > 10_000, "{:?}", res.summary);
@@ -165,15 +208,18 @@ fn client_log_percentiles_are_ordered() {
 fn warehouse_traces_match_topology_paths() {
     let mut shop = SockShop::build(SockShopParams::default(), SimRng::seed_from(7));
     for i in 0..50 {
-        shop.world.inject_at(SimTime::from_millis(1 + i * 20), shop.get_catalogue);
+        shop.world
+            .inject_at(SimTime::from_millis(1 + i * 20), shop.get_catalogue);
     }
     shop.world.run_until(SimTime::from_secs(5));
     let stats = telemetry::per_service_stats(shop.world.warehouse().iter());
     assert!(stats.trace_count() >= 50);
     // The catalogue branch dominates the catalogue request's critical path.
     let dominant = stats.dominant_path().expect("some path");
-    let names: Vec<&str> =
-        dominant.iter().map(|&s| shop.world.service_name(s)).collect();
+    let names: Vec<&str> = dominant
+        .iter()
+        .map(|&s| shop.world.service_name(s))
+        .collect();
     assert_eq!(names[0], "front-end");
     assert!(names.contains(&"catalogue") || names.contains(&"cart"));
 }

@@ -19,11 +19,10 @@ fn three_tier(
     let mut w = World::new(WorldConfig::default(), SimRng::seed_from(seed));
     let rt = RequestTypeId(0);
     let (mid, leaf_a, leaf_b) = (ServiceId(1), ServiceId(2), ServiceId(3));
-    let front = w.add_service(
-        ServiceSpec::new("front")
-            .threads(64)
-            .on(rt, Behavior::tier(Dist::exponential_ms(0.5), mid, Dist::constant_us(200))),
-    );
+    let front = w.add_service(ServiceSpec::new("front").threads(64).on(
+        rt,
+        Behavior::tier(Dist::exponential_ms(0.5), mid, Dist::constant_us(200)),
+    ));
     w.add_service(
         ServiceSpec::new("mid")
             .cpu(Millicores::from_cores(cores))
@@ -42,7 +41,9 @@ fn three_tier(
     );
     for name in ["leaf-a", "leaf-b"] {
         w.add_service(
-            ServiceSpec::new(name).threads(32).on(rt, Behavior::leaf(Dist::exponential_ms(1.5))),
+            ServiceSpec::new(name)
+                .threads(32)
+                .on(rt, Behavior::leaf(Dist::exponential_ms(1.5))),
         );
     }
     let rt = w.add_request_type("r", front);
@@ -186,7 +187,10 @@ fn replica_scale_cycle_preserves_service_busy_counter_monotonicity() {
         }
         w.run_until(base + sim_core::SimDuration::from_secs(9));
         let busy = w.cpu_busy_core_secs(mid);
-        assert!(busy >= last, "busy counter must survive scale events: {busy} < {last}");
+        assert!(
+            busy >= last,
+            "busy counter must survive scale events: {busy} < {last}"
+        );
         last = busy;
     }
 }
