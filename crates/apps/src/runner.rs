@@ -70,6 +70,8 @@ pub struct Summary {
     pub completed: u64,
     /// Requests dropped without a response.
     pub dropped: u64,
+    /// Drops broken down by cause.
+    pub drop_breakdown: microsim::DropBreakdown,
     /// Mean response time in milliseconds.
     pub mean_rt_ms: f64,
     /// 95th percentile response time in milliseconds.
@@ -90,6 +92,9 @@ pub struct RunResult {
     pub goodput_timeline: Vec<(f64, f64)>,
     /// Per-second mean response time (milliseconds).
     pub rt_timeline: Vec<(f64, f64)>,
+    /// Client retry counters (all zero unless the pool has a
+    /// [`workload::RetryPolicy`]).
+    pub retry: workload::RetryStats,
     /// The run summary.
     pub summary: Summary,
 }
@@ -153,7 +158,7 @@ impl Scenario {
                     pool.on_completion(c.completed, user);
                 }
             }
-            for dropped in world.drain_dropped() {
+            for (dropped, _reason) in world.drain_dropped() {
                 if let Some(user) = user_of.remove(&dropped) {
                     // The client sees an error "now"; approximate with the
                     // world clock.
@@ -226,6 +231,7 @@ impl Scenario {
         let summary = Summary {
             completed: client.total(),
             dropped: world.dropped(),
+            drop_breakdown: world.drop_breakdown(),
             mean_rt_ms: client
                 .mean_response_time()
                 .map_or(0.0, |d| d.as_millis_f64()),
@@ -241,6 +247,7 @@ impl Scenario {
             timeline,
             goodput_timeline,
             rt_timeline,
+            retry: self.pool.retry_stats(),
             summary,
         }
     }

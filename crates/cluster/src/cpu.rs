@@ -61,6 +61,9 @@ struct Job {
 pub struct PsCpu {
     limit: Millicores,
     csw_overhead: f64,
+    /// Fraction of the limit actually deliverable (node CPU pressure from
+    /// noisy neighbours or throttling); 1.0 when the node is healthy.
+    pressure: f64,
     jobs: BTreeMap<CpuJobId, Job>,
     next_id: u64,
     last_update: SimTime,
@@ -88,6 +91,7 @@ impl PsCpu {
         PsCpu {
             limit,
             csw_overhead,
+            pressure: 1.0,
             jobs: BTreeMap::new(),
             next_id: 0,
             last_update: SimTime::ZERO,
@@ -100,6 +104,16 @@ impl PsCpu {
     /// The current CPU limit.
     pub fn limit(&self) -> Millicores {
         self.limit
+    }
+
+    /// The current pressure factor (fraction of the limit deliverable).
+    pub fn pressure(&self) -> f64 {
+        self.pressure
+    }
+
+    /// Cores actually deliverable right now: the limit scaled by pressure.
+    fn effective_cores(&self) -> f64 {
+        self.limit.as_cores_f64() * self.pressure
     }
 
     /// Number of runnable jobs.
@@ -129,9 +143,9 @@ impl PsCpu {
         if n == 0 || self.limit.is_zero() {
             return 0.0;
         }
-        let cores = self.limit.as_cores_f64();
+        let cores = self.effective_cores();
         let base = (cores / n as f64).min(1.0);
-        let excess = n.saturating_sub(self.limit.ceil_cores() as usize);
+        let excess = n.saturating_sub(cores.ceil() as usize);
         base / (1.0 + self.csw_overhead * (excess as f64).sqrt())
     }
 
@@ -152,7 +166,7 @@ impl PsCpu {
         }
         let n = self.jobs.len();
         let rate = self.rate(n);
-        let cores = self.limit.as_cores_f64();
+        let cores = self.effective_cores();
         self.busy_core_nanos += dt * (n as f64).min(cores);
         self.useful_core_nanos += dt * rate * n as f64;
         for job in self.jobs.values_mut() {
@@ -210,6 +224,24 @@ impl PsCpu {
         self.advance(now);
         if (self.csw_overhead - csw_overhead).abs() > f64::EPSILON {
             self.csw_overhead = csw_overhead;
+            self.epoch += 1;
+        }
+    }
+
+    /// Changes the node-pressure factor (fraction of the limit actually
+    /// deliverable), as of `now`. `1.0` restores full capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pressure` is not in `(0, 1]`.
+    pub fn set_pressure(&mut self, now: SimTime, pressure: f64) {
+        assert!(
+            pressure > 0.0 && pressure <= 1.0 && pressure.is_finite(),
+            "pressure must be in (0, 1]"
+        );
+        self.advance(now);
+        if (self.pressure - pressure).abs() > f64::EPSILON {
+            self.pressure = pressure;
             self.epoch += 1;
         }
     }
@@ -389,6 +421,53 @@ mod tests {
         assert!(cpu.next_completion().is_none());
         cpu.advance(SimTime::from_secs(100));
         assert!(cpu.take_finished().is_empty());
+    }
+
+    #[test]
+    fn pressure_halves_progress_and_restores() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(2), 0.0);
+        cpu.add(SimTime::ZERO, ms(10));
+        // Half the node's cycles are stolen: 1 effective core for 1 job.
+        let e = cpu.epoch();
+        cpu.set_pressure(SimTime::ZERO, 0.5);
+        assert!(cpu.epoch() > e, "pressure change must bump the epoch");
+        cpu.advance(SimTime::from_millis(5)); // 5 ms of work done at 1 core
+        cpu.set_pressure(SimTime::from_millis(5), 1.0);
+        let done = drain(&mut cpu);
+        assert_eq!(done[0].0.as_millis(), 10); // 5 ms left at full speed
+        assert!((cpu.pressure() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_shrinks_effective_cores_for_sharing_and_penalty() {
+        // 2 jobs on 2 cores would run at full speed; at pressure 0.5 they
+        // share 1 effective core (0.5 each) and pay the excess penalty.
+        let mut cpu = PsCpu::new(Millicores::from_cores(2), 0.1);
+        cpu.add(SimTime::ZERO, ms(10));
+        cpu.add(SimTime::ZERO, ms(10));
+        cpu.set_pressure(SimTime::ZERO, 0.5);
+        let done = drain(&mut cpu);
+        // base 0.5, excess 1 → slowdown 1.1 → 20 ms × 1.1 = 22 ms.
+        let got = done.last().unwrap().0.as_nanos() as f64 / 1e6;
+        assert!((got - 22.0).abs() < 0.1, "makespan {got} ms");
+    }
+
+    #[test]
+    fn busy_accounting_caps_at_effective_cores() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(4), 0.0);
+        for _ in 0..8 {
+            cpu.add(SimTime::ZERO, ms(100));
+        }
+        cpu.set_pressure(SimTime::ZERO, 0.25); // 1 effective core
+        cpu.advance(SimTime::from_millis(10));
+        assert!((cpu.busy_core_nanos() - 1.0 * 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pressure must be in (0, 1]")]
+    fn zero_pressure_rejected() {
+        let mut cpu = PsCpu::new(Millicores::from_cores(1), 0.0);
+        cpu.set_pressure(SimTime::ZERO, 0.0);
     }
 
     #[test]

@@ -30,6 +30,17 @@ pub struct SoraConfig {
     /// off, the critical service's goodput threshold is the raw SLA — an
     /// ablation quantifying what deadline propagation contributes.
     pub deadline_propagation: bool,
+    /// Graceful degradation under telemetry loss: when the critical
+    /// service's freshest completion sample is older than
+    /// [`staleness_bound`](Self::staleness_bound) (or absent entirely),
+    /// hold the last-known-good estimate and freeze actuation instead of
+    /// estimating from a stale scatter window. Off is the ablation: the
+    /// controller keeps estimating and exploring from pre-outage data.
+    pub degradation: bool,
+    /// How old the freshest completion sample may be before the sampling
+    /// window counts as stale. Must exceed the control period, or healthy
+    /// low-traffic lulls would freeze the controller.
+    pub staleness_bound: SimDuration,
 }
 
 impl Default for SoraConfig {
@@ -41,6 +52,8 @@ impl Default for SoraConfig {
             explore_when_no_knee: true,
             explore_util_ceiling: 0.9,
             deadline_propagation: true,
+            degradation: true,
+            staleness_bound: SimDuration::from_secs(30),
         }
     }
 }
@@ -68,6 +81,10 @@ pub struct SoraController<H> {
     hardware: H,
     /// Log of `(time, resource-description, new setting)` actuations.
     actions: Vec<(SimTime, String, usize)>,
+    /// Control periods skipped because telemetry was empty or stale.
+    frozen_periods: u64,
+    /// Last trustworthy optimal-concurrency estimate, held across outages.
+    last_good: Option<usize>,
 }
 
 impl<H: Controller> SoraController<H> {
@@ -103,12 +120,27 @@ impl<H: Controller> SoraController<H> {
             registry,
             hardware,
             actions: Vec::new(),
+            frozen_periods: 0,
+            last_good: None,
         }
     }
 
     /// The actuation log: `(time, resource, new setting)` triples.
     pub fn actions(&self) -> &[(SimTime, String, usize)] {
         &self.actions
+    }
+
+    /// Control periods skipped by the degradation guard because the
+    /// critical service's telemetry was empty or stale.
+    pub fn frozen_periods(&self) -> u64 {
+        self.frozen_periods
+    }
+
+    /// The last trustworthy optimal-concurrency estimate. While the guard
+    /// freezes actuation this value (already actuated) embodies the
+    /// last-known-good setting.
+    pub fn last_good_estimate(&self) -> Option<usize> {
+        self.last_good
     }
 
     /// The wrapped hardware autoscaler.
@@ -159,6 +191,30 @@ impl<H: Controller> Controller for SoraController<H> {
             return; // no tunable knob relates to the critical path
         };
 
+        // 2b. Degradation guard. Localisation above still works through a
+        // telemetry blackout (the warehouse window retains pre-outage
+        // traces), but the same staleness poisons the estimator's scatter:
+        // it describes the pre-fault regime while the live queue reflects
+        // the fault. Completion freshness is the tell — if the critical
+        // service has produced no sample within the staleness bound, hold
+        // the last-known-good setting and skip estimation and exploration
+        // entirely rather than actuate on garbage.
+        if self.config.degradation {
+            let freshest = world
+                .ready_replicas(critical)
+                .iter()
+                .filter_map(|&id| world.completions_of(id).and_then(|log| log.latest()))
+                .max();
+            let stale = match freshest {
+                Some(at) => now.saturating_since(at) > self.config.staleness_bound,
+                None => true,
+            };
+            if stale {
+                self.frozen_periods += 1;
+                return;
+            }
+        }
+
         // 3. Propagate the deadline along the critical path.
         let upstream = obs
             .path_stats
@@ -187,6 +243,9 @@ impl<H: Controller> Controller for SoraController<H> {
         let cpu_headroom = util < self.config.explore_util_ceiling;
         let current = ConcurrencyAdapter::current_setting(world, resource);
         let estimate = self.estimator.estimate(world, critical, now, threshold);
+        if let Some(est) = &estimate {
+            self.last_good = Some(est.optimal);
+        }
         match estimate {
             Some(est)
                 if !(saturated
@@ -221,7 +280,7 @@ mod tests {
     use super::*;
     use crate::{NullController, ResourceBounds, SoftResource};
     use cluster::Millicores;
-    use microsim::{Behavior, ServiceSpec, WorldConfig};
+    use microsim::{Behavior, BlackoutMode, FaultSchedule, ServiceSpec, WorldConfig};
     use sim_core::{Dist, SimRng};
     use telemetry::{RequestTypeId, ServiceId};
 
@@ -358,6 +417,141 @@ mod tests {
         assert!(
             sora_limit <= conscale_limit,
             "sora ({sora_limit}) must not allocate above conscale ({conscale_limit})"
+        );
+    }
+
+    fn registry_2_200(svc: ServiceId) -> ResourceRegistry {
+        ResourceRegistry::new().with(
+            SoftResource::ThreadPool { service: svc },
+            ResourceBounds { min: 2, max: 200 },
+        )
+    }
+
+    fn degradation_config() -> SoraConfig {
+        SoraConfig {
+            sla: SimDuration::from_millis(60),
+            localize: LocalizeConfig {
+                min_on_path: 10,
+                ..Default::default()
+            },
+            staleness_bound: SimDuration::from_secs(20),
+            ..Default::default()
+        }
+    }
+
+    /// Injects ~330 req/s Poisson-ish traffic over `[from, to)` ms.
+    fn inject_span(w: &mut World, rt: RequestTypeId, rng: &mut SimRng, from: u64, to: u64) {
+        let mut at = from;
+        while at < to {
+            at += (rng.f64() * 5.0) as u64 + 1;
+            w.inject_at(t(at), rt);
+        }
+    }
+
+    #[test]
+    fn stale_window_freezes_actuation_at_last_known_good() {
+        let (mut w, svc, rt) = overallocated_world();
+        let mut sora =
+            SoraController::sora(degradation_config(), registry_2_200(svc), NullController);
+        let mut rng = SimRng::seed_from(3);
+        inject_span(&mut w, rt, &mut rng, 0, 30_000);
+        w.run_until(t(30_000));
+        sora.control(&mut w, t(30_000));
+        assert_eq!(sora.frozen_periods(), 0, "fresh telemetry must not freeze");
+        let actions_before = sora.actions().len();
+        let limit_before = w.thread_limit(svc);
+        // The service goes quiet: by 70 s the freshest completion is ~40 s
+        // old, past the 20 s staleness bound.
+        w.run_until(t(70_000));
+        sora.control(&mut w, t(70_000));
+        assert_eq!(sora.frozen_periods(), 1, "stale window must freeze");
+        assert_eq!(
+            sora.actions().len(),
+            actions_before,
+            "no actuation while frozen"
+        );
+        assert_eq!(w.thread_limit(svc), limit_before, "last-known-good held");
+    }
+
+    #[test]
+    fn empty_completion_window_freezes_instead_of_estimating() {
+        let (mut w, svc, rt) = overallocated_world();
+        let mut sora =
+            SoraController::sora(degradation_config(), registry_2_200(svc), NullController);
+        let mut rng = SimRng::seed_from(3);
+        inject_span(&mut w, rt, &mut rng, 0, 30_000);
+        w.run_until(t(30_000));
+        sora.control(&mut w, t(30_000));
+        // Let in-flight work drain, then replace the only replica: the
+        // fresh pod's completion log is empty while the warehouse still
+        // localises from pre-crash traces.
+        w.run_until(t(35_000));
+        let pod = w.ready_replicas(svc)[0];
+        w.fail_replica(pod);
+        let fresh = w.recover_replica(svc).unwrap();
+        w.make_ready(fresh);
+        let frozen_before = sora.frozen_periods();
+        w.run_until(t(36_000));
+        sora.control(&mut w, t(36_000));
+        assert_eq!(
+            sora.frozen_periods(),
+            frozen_before + 1,
+            "empty completion window must freeze"
+        );
+    }
+
+    #[test]
+    fn estimation_resumes_within_one_period_after_blackout() {
+        // Telemetry blackout 40–100 s; control on a 15 s grid. With the
+        // 20 s staleness bound, ticks at 75 and 90 s are inside the frozen
+        // region; the first tick after the window ends (105 s) sees fresh
+        // completions again and must estimate immediately.
+        let run = |degradation: bool| {
+            let (mut w, svc, rt) = overallocated_world();
+            w.install_faults(FaultSchedule::new().telemetry_blackout(
+                t(40_000),
+                BlackoutMode::Drop,
+                SimDuration::from_secs(60),
+            ));
+            let mut sora = SoraController::sora(
+                SoraConfig {
+                    degradation,
+                    ..degradation_config()
+                },
+                registry_2_200(svc),
+                NullController,
+            );
+            let mut rng = SimRng::seed_from(3);
+            let mut frozen_at = std::collections::BTreeMap::new();
+            for tick in 1..=12u64 {
+                let ms = tick * 15_000;
+                inject_span(&mut w, rt, &mut rng, ms - 15_000, ms);
+                w.run_until(t(ms));
+                sora.control(&mut w, t(ms));
+                frozen_at.insert(ms / 1000, sora.frozen_periods());
+            }
+            (frozen_at, sora.last_good_estimate())
+        };
+
+        let (frozen, last_good) = run(true);
+        assert!(
+            frozen[&90] > frozen[&60],
+            "mid-blackout ticks must freeze: {frozen:?}"
+        );
+        assert_eq!(
+            frozen[&105], frozen[&90],
+            "first post-blackout tick must estimate, not freeze: {frozen:?}"
+        );
+        assert_eq!(
+            frozen[&180], frozen[&105],
+            "no freezes after recovery: {frozen:?}"
+        );
+        assert!(last_good.is_some(), "estimates resumed after the blackout");
+
+        let (frozen_off, _) = run(false);
+        assert_eq!(
+            frozen_off[&180], 0,
+            "ablation: degradation off never freezes"
         );
     }
 

@@ -204,6 +204,11 @@ pub struct WorldConfig {
     pub metrics_horizon: SimDuration,
     /// Bucket width of the end-to-end client log timeline.
     pub client_bucket: SimDuration,
+    /// Connection-level retry budget: how many times an inter-service call
+    /// finding no ready replica is re-attempted (every 10 ms, as a client
+    /// library would) before the whole request is dropped with
+    /// [`DropReason::RetriesExhausted`](crate::DropReason::RetriesExhausted).
+    pub max_connect_retries: u32,
 }
 
 impl Default for WorldConfig {
@@ -215,6 +220,7 @@ impl Default for WorldConfig {
             trace_sample_every: 1,
             metrics_horizon: SimDuration::from_secs(180),
             client_bucket: SimDuration::from_secs(1),
+            max_connect_retries: 50,
         }
     }
 }

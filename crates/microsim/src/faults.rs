@@ -1,0 +1,190 @@
+//! Deterministic fault injection: timed crash, pressure and blackout events.
+//!
+//! A [`FaultSchedule`] is a list of sim-clock-stamped fault events built
+//! before a run and installed with [`World::install_faults`]. Each event
+//! rides the world's ordinary event queue, so faults interleave with
+//! arrivals and completions in a fully deterministic order — the same seed
+//! and schedule always reproduce the same run, byte for byte, regardless of
+//! host parallelism.
+//!
+//! Three fault families cover the paper's unmodelled failure regimes:
+//!
+//! * **Replica crash** ([`FaultKind::ReplicaCrash`]): abruptly kills one
+//!   ready replica of a service (requests with open frames on it are
+//!   aborted, see [`World::fail_replica`]) and optionally restarts it after
+//!   a delay via [`World::recover_replica`] — the restarted pod pays normal
+//!   container start-up before taking traffic.
+//! * **Node CPU pressure** ([`FaultKind::CpuPressure`]): for a window,
+//!   every replica placed on the node delivers only `factor` of its CPU
+//!   limit (noisy neighbours / host throttling), implemented by
+//!   [`cluster::PsCpu::set_pressure`]. Replicas scheduled onto the node
+//!   mid-window inherit the pressure; the window's end restores full
+//!   capacity.
+//! * **Telemetry blackout** ([`FaultKind::TelemetryBlackout`]): the
+//!   monitoring pipeline goes dark for a window. In [`BlackoutMode::Drop`]
+//!   per-replica completion samples and warehouse traces in the window are
+//!   lost; in [`BlackoutMode::Lag`] they are buffered and delivered, in
+//!   order, when the window ends. Requests themselves are unaffected — only
+//!   the controller's view of them is — and the end-to-end client log keeps
+//!   recording, since it models the experiment harness rather than the
+//!   cluster's monitoring stack.
+//!
+//! [`World::install_faults`]: crate::World::install_faults
+//! [`World::fail_replica`]: crate::World::fail_replica
+//! [`World::recover_replica`]: crate::World::recover_replica
+
+use cluster::NodeId;
+use sim_core::{SimDuration, SimTime};
+use telemetry::ServiceId;
+
+/// What happens to telemetry samples produced during a blackout window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlackoutMode {
+    /// Samples in the window are lost.
+    Drop,
+    /// Samples are buffered and delivered in order when the window ends
+    /// (a lagging collector rather than a dead one).
+    Lag,
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Kill one ready replica of `service` (the longest-lived one, for
+    /// determinism); optionally start a replacement after `restart_after`.
+    ReplicaCrash {
+        /// The service losing a replica.
+        service: ServiceId,
+        /// Delay until a replacement pod is created (`None`: no restart).
+        restart_after: Option<SimDuration>,
+    },
+    /// Shrink the CPU actually deliverable on `node` to `factor` of each
+    /// hosted replica's limit for `duration`.
+    CpuPressure {
+        /// The afflicted node.
+        node: NodeId,
+        /// Fraction of the limit still deliverable, in `(0, 1]`.
+        factor: f64,
+        /// How long the pressure window lasts.
+        duration: SimDuration,
+    },
+    /// Withhold telemetry samples for `duration`.
+    TelemetryBlackout {
+        /// Whether withheld samples are lost or delivered late.
+        mode: BlackoutMode,
+        /// How long the blackout window lasts.
+        duration: SimDuration,
+    },
+}
+
+/// A fault with its injection instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires on the sim clock.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, sim-clock-driven schedule of fault events.
+///
+/// # Example
+///
+/// ```
+/// use microsim::{BlackoutMode, FaultSchedule};
+/// use cluster::NodeId;
+/// use sim_core::{SimDuration, SimTime};
+/// use telemetry::ServiceId;
+///
+/// let schedule = FaultSchedule::new()
+///     .crash(SimTime::from_secs(60), ServiceId(1), Some(SimDuration::from_secs(10)))
+///     .cpu_pressure(SimTime::from_secs(120), NodeId(0), 0.5, SimDuration::from_secs(30))
+///     .telemetry_blackout(SimTime::from_secs(120), BlackoutMode::Drop,
+///                         SimDuration::from_secs(30));
+/// assert_eq!(schedule.events().len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Adds a replica crash at `at`, optionally restarted `restart_after`
+    /// later.
+    pub fn crash(
+        mut self,
+        at: SimTime,
+        service: ServiceId,
+        restart_after: Option<SimDuration>,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::ReplicaCrash {
+                service,
+                restart_after,
+            },
+        });
+        self
+    }
+
+    /// Adds a CPU-pressure window on `node` starting at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn cpu_pressure(
+        mut self,
+        at: SimTime,
+        node: NodeId,
+        factor: f64,
+        duration: SimDuration,
+    ) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0 && factor.is_finite(),
+            "pressure factor must be in (0, 1]"
+        );
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::CpuPressure {
+                node,
+                factor,
+                duration,
+            },
+        });
+        self
+    }
+
+    /// Adds a telemetry blackout window starting at `at`.
+    pub fn telemetry_blackout(
+        mut self,
+        at: SimTime,
+        mode: BlackoutMode,
+        duration: SimDuration,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::TelemetryBlackout { mode, duration },
+        });
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}

@@ -13,7 +13,11 @@
 //!   draining and abrupt failure;
 //! * **telemetry**: every request produces a span tree ingested by the
 //!   trace warehouse, and every replica feeds concurrency/completion
-//!   samplers — the inputs of the SCG model.
+//!   samplers — the inputs of the SCG model;
+//! * **fault injection**: deterministic sim-clock schedules of replica
+//!   crashes (with restart), node CPU-pressure windows and telemetry
+//!   blackouts (see [`FaultSchedule`]), with every drop attributed to a
+//!   [`DropReason`].
 //!
 //! The paper's phenomena emerge from these mechanics rather than being
 //! scripted: under-allocated pools create queueing delay, over-allocated
@@ -24,12 +28,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod faults;
 mod replica;
 mod request;
 mod world;
 
 pub use config::{Behavior, LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
-pub use world::{Completion, World};
+pub use faults::{BlackoutMode, FaultEvent, FaultKind, FaultSchedule};
+pub use world::{Completion, DropBreakdown, DropReason, World};
 
 #[cfg(test)]
 mod tests;

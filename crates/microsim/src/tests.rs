@@ -1,7 +1,10 @@
 //! Behavioural tests of the simulator: request lifecycle, soft-resource
 //! gating, scaling, failure injection, determinism and conservation laws.
 
-use crate::{Behavior, LbPolicy, ServiceSpec, Stage, World, WorldConfig};
+use crate::{
+    Behavior, BlackoutMode, DropReason, FaultSchedule, LbPolicy, ServiceSpec, Stage, World,
+    WorldConfig,
+};
 use cluster::Millicores;
 use proptest::prelude::*;
 use sim_core::{Dist, SimDuration, SimRng, SimTime};
@@ -622,6 +625,286 @@ proptest! {
                 "completion {:?} beyond its {}ms budget", c.response_time, timeout_ms
             );
         }
+        prop_assert_eq!(w.running_threads(front), 0);
+        prop_assert_eq!(w.conns_in_use(front, db_id), 0);
+    }
+}
+
+#[test]
+fn fault_schedule_crash_and_restart_round_trip() {
+    let config = WorldConfig {
+        net_delay: Dist::constant_us(0),
+        replica_startup: Dist::constant_ms(100),
+        ..WorldConfig::default()
+    };
+    let mut w = World::new(config, SimRng::seed_from(7));
+    let rt = RequestTypeId(0);
+    let svc = w.add_service(
+        ServiceSpec::new("api")
+            .cpu(Millicores::from_cores(4))
+            .threads(4)
+            .on(rt, Behavior::leaf(Dist::constant_ms(1_000))),
+    );
+    let rt = w.add_request_type("r", svc);
+    let pod = w.add_replica(svc).unwrap();
+    w.make_ready(pod);
+    w.install_faults(FaultSchedule::new().crash(t(500), svc, Some(SimDuration::from_millis(200))));
+    w.inject_at(t(0), rt); // in flight when the crash hits
+    w.run_until(t(600));
+    assert_eq!(w.ready_replicas(svc).len(), 0, "replica crashed");
+    assert_eq!(w.drop_breakdown().replica_failed, 1);
+    // Restart at 700 ms + 100 ms start-up → ready at 800 ms.
+    w.run_until(t(900));
+    assert_eq!(w.ready_replicas(svc).len(), 1, "replacement came up");
+    w.inject_at(t(1_000), rt);
+    let done = w.run_until(t(10_000));
+    assert_eq!(done.len(), 1, "recovered replica serves traffic");
+    assert!(w.fault_log().iter().any(|(_, m)| m.contains("crash")));
+    assert!(w.fault_log().iter().any(|(_, m)| m.contains("restart")));
+}
+
+#[test]
+fn cpu_pressure_window_slows_hosted_replicas_then_lifts() {
+    let (mut w, rt, svc) = single_service_world(100, 4, 1, 0.0);
+    let pod = w.ready_replicas(svc)[0];
+    let node = w.node_of(pod).unwrap();
+    w.install_faults(FaultSchedule::new().cpu_pressure(
+        t(0),
+        node,
+        0.5,
+        SimDuration::from_millis(10_000),
+    ));
+    w.inject_at(t(0), rt);
+    let done = w.run_until(t(15_000));
+    // Half the core delivered → the 100 ms job takes 200 ms.
+    assert_eq!(done[0].response_time.as_millis(), 200);
+    // After the window, full speed again.
+    w.inject_at(t(11_000), rt);
+    let done = w.run_until(t(20_000));
+    assert_eq!(done[0].response_time.as_millis(), 100);
+}
+
+#[test]
+fn pressure_window_covers_replicas_added_mid_window() {
+    let (mut w, rt, svc) = single_service_world(100, 4, 1, 0.0);
+    let pod = w.ready_replicas(svc)[0];
+    let node = w.node_of(pod).unwrap();
+    w.install_faults(FaultSchedule::new().cpu_pressure(
+        t(0),
+        node,
+        0.5,
+        SimDuration::from_millis(60_000),
+    ));
+    w.run_until(t(1_000));
+    // Scale up inside the window; the lazy default node hosts everything.
+    let pod2 = w.add_replica(svc).unwrap();
+    w.make_ready(pod2);
+    assert_eq!(w.node_of(pod2).unwrap(), node);
+    // Route a request through each replica (round robin).
+    w.inject_at(t(2_000), rt);
+    w.inject_at(t(2_000), rt);
+    let done = w.run_until(t(30_000));
+    assert!(
+        done.iter().all(|c| c.response_time.as_millis() == 200),
+        "replicas added mid-window inherit the pressure: {done:?}"
+    );
+}
+
+#[test]
+fn telemetry_blackout_drop_loses_samples_but_not_requests() {
+    let (mut w, rt, svc) = single_service_world(10, 4, 4, 0.0);
+    let pod = w.ready_replicas(svc)[0];
+    w.install_faults(FaultSchedule::new().telemetry_blackout(
+        t(1_000),
+        BlackoutMode::Drop,
+        SimDuration::from_millis(2_000),
+    ));
+    w.inject_at(t(0), rt); // before the window: sampled
+    w.inject_at(t(2_000), rt); // inside: lost
+    let done = w.run_until(t(5_000));
+    assert_eq!(done.len(), 2, "requests themselves are unaffected");
+    assert_eq!(w.client().total(), 2, "client log keeps recording");
+    assert_eq!(w.completions_of(pod).unwrap().len(), 1, "sample lost");
+    assert_eq!(w.warehouse().len(), 1, "trace lost");
+}
+
+#[test]
+fn telemetry_blackout_lag_delivers_samples_at_window_end() {
+    let (mut w, rt, svc) = single_service_world(10, 4, 4, 0.0);
+    let pod = w.ready_replicas(svc)[0];
+    w.install_faults(FaultSchedule::new().telemetry_blackout(
+        t(1_000),
+        BlackoutMode::Lag,
+        SimDuration::from_millis(2_000),
+    ));
+    w.inject_at(t(2_000), rt);
+    let mut done = w.run_until(t(2_500));
+    assert_eq!(done.len(), 1, "the request itself completes normally");
+    assert_eq!(
+        w.completions_of(pod).unwrap().len(),
+        0,
+        "sample withheld inside the window"
+    );
+    w.inject_at(t(4_000), rt); // after the window
+    done.extend(w.run_until(t(5_000)));
+    assert_eq!(done.len(), 2);
+    assert_eq!(
+        w.completions_of(pod).unwrap().len(),
+        2,
+        "lagged sample delivered in order, live sample follows"
+    );
+    assert_eq!(w.warehouse().len(), 2);
+}
+
+#[test]
+fn connect_retries_exhaust_into_a_dropped_request() {
+    // front → db where db has no replica at all: the child call retries
+    // every 10 ms up to the budget, then the request drops.
+    let config = WorldConfig {
+        net_delay: Dist::constant_us(0),
+        replica_startup: Dist::constant_us(0),
+        max_connect_retries: 5,
+        ..WorldConfig::default()
+    };
+    let mut w = World::new(config, SimRng::seed_from(2));
+    let rt = RequestTypeId(0);
+    let db_id = ServiceId(1);
+    let front = w.add_service(
+        ServiceSpec::new("front")
+            .threads(4)
+            .on(rt, Behavior::new(vec![Stage::call(db_id)])),
+    );
+    w.add_service(ServiceSpec::new("db").on(rt, Behavior::leaf(Dist::constant_ms(1))));
+    let rt = w.add_request_type("q", front);
+    let pod = w.add_replica(front).unwrap();
+    w.make_ready(pod);
+    w.inject_at(t(0), rt);
+    let done = w.run_until(t(10_000));
+    assert!(done.is_empty());
+    assert_eq!(w.drop_breakdown().retries_exhausted, 1);
+    assert_eq!(w.running_threads(front), 0, "front thread reclaimed");
+    assert!(w.is_quiescent());
+}
+
+#[test]
+fn drop_reasons_are_attributed() {
+    // Refused at the edge.
+    let config = WorldConfig {
+        net_delay: Dist::constant_us(0),
+        replica_startup: Dist::constant_ms(500),
+        ..WorldConfig::default()
+    };
+    let mut w = World::new(config, SimRng::seed_from(2));
+    let rt = RequestTypeId(0);
+    let svc = w.add_service(ServiceSpec::new("api").on(rt, Behavior::leaf(Dist::constant_ms(1))));
+    let rt = w.add_request_type_with_timeout("r", svc, Some(SimDuration::from_millis(50)));
+    w.add_replica(svc).unwrap(); // ready at 500 ms
+    w.inject_at(t(100), rt);
+    w.run_until(t(400));
+    assert_eq!(
+        w.drain_dropped(),
+        vec![(telemetry::RequestId(0), DropReason::Refused)]
+    );
+    // Timeout: close the thread gate so admitted work can never start.
+    w.set_thread_limit(svc, 0);
+    let id = w.inject_at(t(700), rt);
+    let _ = w.run_until(t(1_000));
+    let drops = w.drain_dropped();
+    assert!(
+        drops.contains(&(id, DropReason::ClientTimeout)),
+        "{drops:?}"
+    );
+    let b = w.drop_breakdown();
+    assert_eq!(b.refused, 1);
+    assert!(b.client_timeout >= 1);
+    assert_eq!(b.total(), w.dropped());
+}
+
+#[test]
+fn faults_are_deterministic_across_runs() {
+    let run = || {
+        let mut w = World::new(WorldConfig::default(), SimRng::seed_from(11));
+        let rt = RequestTypeId(0);
+        let svc = w.add_service(
+            ServiceSpec::new("api")
+                .threads(8)
+                .lb(LbPolicy::Random)
+                .on(rt, Behavior::leaf(Dist::exponential_ms(5.0))),
+        );
+        let rt = w.add_request_type("r", svc);
+        for _ in 0..3 {
+            let pod = w.add_replica(svc).unwrap();
+            w.make_ready(pod);
+        }
+        let node = w.node_of(w.ready_replicas(svc)[0]).unwrap();
+        w.install_faults(
+            FaultSchedule::new()
+                .crash(t(3_000), svc, Some(SimDuration::from_millis(500)))
+                .cpu_pressure(t(5_000), node, 0.4, SimDuration::from_millis(4_000))
+                .telemetry_blackout(t(5_000), BlackoutMode::Lag, SimDuration::from_millis(4_000)),
+        );
+        for i in 0..500 {
+            w.inject_at(t(i * 20), rt);
+        }
+        let done = w.run_until(t(60_000));
+        (done, w.fault_log().to_vec(), w.drop_breakdown())
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.0, b.0, "identical completion streams");
+    assert_eq!(a.1, b.1, "identical fault logs");
+    assert_eq!(a.2, b.2, "identical drop breakdowns");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Conservation holds across crash/recover/retry interleavings: with a
+    /// mid-run crash of the db tier (optionally restarted), client
+    /// timeouts and a bounded connect-retry budget, every injected request
+    /// still either completes or is dropped exactly once, all gates drain,
+    /// and the per-reason breakdown sums to the total.
+    #[test]
+    fn prop_crash_recover_retry_conservation(
+        n in 20usize..120,
+        crash_ms in 10u64..300,
+        restart_ms in 0u64..200, // 0 encodes "no restart"
+        timeout_ms in 20u64..80,
+        retries in 0u32..8,
+        seed in 0u64..300,
+    ) {
+        let config = WorldConfig {
+            max_connect_retries: retries,
+            ..WorldConfig::default()
+        };
+        let mut w = World::new(config, SimRng::seed_from(seed));
+        let rt = RequestTypeId(0);
+        let db_id = ServiceId(1);
+        let front = w.add_service(
+            ServiceSpec::new("front")
+                .threads(4)
+                .conns(db_id, 2)
+                .on(rt, Behavior::tier(Dist::exponential_ms(2.0), db_id, Dist::constant_ms(1))),
+        );
+        w.add_service(
+            ServiceSpec::new("db").threads(4).on(rt, Behavior::leaf(Dist::exponential_ms(3.0))),
+        );
+        let rt = w.add_request_type_with_timeout(
+            "r",
+            front,
+            Some(SimDuration::from_millis(timeout_ms)),
+        );
+        for svc in [front, db_id] {
+            let pod = w.add_replica(svc).unwrap();
+            w.make_ready(pod);
+        }
+        let restart = (restart_ms > 0).then(|| SimDuration::from_millis(restart_ms));
+        w.install_faults(FaultSchedule::new().crash(t(crash_ms), db_id, restart));
+        for i in 0..n {
+            w.inject_at(t(i as u64 * 2), rt);
+        }
+        let done = w.run_until(t(3_600_000));
+        prop_assert!(w.is_quiescent(), "events must drain");
+        prop_assert_eq!(done.len() as u64 + w.dropped(), n as u64);
+        prop_assert_eq!(w.drop_breakdown().total(), w.dropped());
         prop_assert_eq!(w.running_threads(front), 0);
         prop_assert_eq!(w.conns_in_use(front, db_id), 0);
     }

@@ -1,14 +1,16 @@
 //! The simulation world: services, replicas, requests and the event loop.
 
 use crate::config::{LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
+use crate::faults::{BlackoutMode, FaultKind, FaultSchedule};
 use crate::replica::{ConnWaiter, Replica, ReplicaState};
 use crate::request::{Frame, FrameIdx, RequestState};
-use cluster::{ClusterState, CpuJobId, Millicores, PlacementError};
+use cluster::{ClusterState, CpuJobId, Millicores, NodeId, PlacementError};
+use serde::Serialize;
 use sim_core::{EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use telemetry::{
     ClientLog, CompletionLog, ConcurrencyTracker, ReplicaId, RequestId, RequestTypeId, ServiceId,
-    SpanId, TraceWarehouse,
+    SpanId, Trace, TraceWarehouse,
 };
 
 /// A finished end-to-end request, as reported to the workload driver.
@@ -26,16 +28,61 @@ pub struct Completion {
     pub response_time: SimDuration,
 }
 
+/// Why a request was dropped (refused or aborted without a response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum DropReason {
+    /// Refused at the edge: no ready replica of the entry service.
+    Refused,
+    /// A replica holding one of the request's open frames failed.
+    ReplicaFailed,
+    /// The client-side timeout fired while the request was in flight.
+    ClientTimeout,
+    /// An inter-service call exhausted its connection-level retry budget
+    /// without finding a ready replica.
+    RetriesExhausted,
+}
+
+/// Cumulative drop counts broken down by [`DropReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DropBreakdown {
+    /// Requests refused at the edge.
+    pub refused: u64,
+    /// Requests aborted by a replica failure.
+    pub replica_failed: u64,
+    /// Requests abandoned by the client-side timeout.
+    pub client_timeout: u64,
+    /// Requests dropped after exhausting connection retries.
+    pub retries_exhausted: u64,
+}
+
+impl DropBreakdown {
+    fn count(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::Refused => self.refused += 1,
+            DropReason::ReplicaFailed => self.replica_failed += 1,
+            DropReason::ClientTimeout => self.client_timeout += 1,
+            DropReason::RetriesExhausted => self.retries_exhausted += 1,
+        }
+    }
+
+    /// Total drops across all reasons.
+    pub fn total(&self) -> u64 {
+        self.refused + self.replica_failed + self.client_timeout + self.retries_exhausted
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Event {
     /// A user request reaches its entry service.
     ExternalArrival { request: RequestId },
-    /// An inter-service call reaches the target service.
+    /// An inter-service call reaches the target service. `attempt` counts
+    /// connection-level retries taken because no replica was ready.
     ChildArrival {
         request: RequestId,
         parent: FrameIdx,
         call_idx: usize,
         target: ServiceId,
+        attempt: u32,
     },
     /// A child's response reaches the calling frame.
     ChildReturn {
@@ -49,6 +96,14 @@ enum Event {
     ReplicaReady { replica: ReplicaId },
     /// A request's client-side timeout fires (no-op if already finished).
     Timeout { request: RequestId },
+    /// An installed fault fires (see [`FaultSchedule`]).
+    Fault { kind: FaultKind },
+    /// A node's CPU-pressure window ends.
+    PressureEnd { node: NodeId },
+    /// A telemetry-blackout window ends.
+    BlackoutEnd,
+    /// A crashed replica's scheduled replacement is created.
+    ReplicaRestart { service: ServiceId },
 }
 
 struct ServiceRuntime {
@@ -113,7 +168,20 @@ pub struct World {
     /// Per-request-type client logs, indexed by `RequestTypeId`.
     client_by_type: Vec<ClientLog>,
     completed: Vec<Completion>,
-    dropped_log: Vec<RequestId>,
+    dropped_log: Vec<(RequestId, DropReason)>,
+    drop_breakdown: DropBreakdown,
+    /// Active node-pressure factors, keyed by node id, so replicas placed
+    /// onto a pressured node mid-window inherit the pressure.
+    node_pressure: BTreeMap<u32, f64>,
+    /// Active telemetry blackout, if any.
+    blackout: Option<BlackoutMode>,
+    /// Per-replica completion samples withheld during a `Lag` blackout,
+    /// in completion order.
+    lag_completions: Vec<(ReplicaId, SimTime, SimDuration)>,
+    /// Warehouse traces withheld during a `Lag` blackout.
+    lag_traces: Vec<Trace>,
+    /// Human-readable record of every fault applied, for reports.
+    fault_log: Vec<(SimTime, String)>,
     /// Scratch buffers reused across [`World::on_cpu_done`] invocations —
     /// the hottest event handler, fired once per compute stage — so the
     /// completion batch never re-allocates in steady state.
@@ -148,6 +216,12 @@ impl World {
             client_by_type: Vec::new(),
             completed: Vec::new(),
             dropped_log: Vec::new(),
+            drop_breakdown: DropBreakdown::default(),
+            node_pressure: BTreeMap::new(),
+            blackout: None,
+            lag_completions: Vec::new(),
+            lag_traces: Vec::new(),
+            fault_log: Vec::new(),
             cpu_jobs_scratch: Vec::new(),
             cpu_work_scratch: Vec::new(),
             next_request: 0,
@@ -228,7 +302,7 @@ impl World {
         let rt = &self.services[service.get() as usize];
         self.cluster.place(id.get(), rt.cpu_limit)?;
         self.next_replica += 1;
-        let replica = Replica::new(
+        let mut replica = Replica::new(
             service,
             rt.cpu_limit,
             rt.spec.csw_overhead,
@@ -236,6 +310,13 @@ impl World {
             &rt.conn_limits,
             self.config.metrics_horizon,
         );
+        // A pod scheduled onto a node inside an active CPU-pressure window
+        // inherits the pressure for the rest of the window.
+        if let Some(placement) = self.cluster.placement(id.get()) {
+            if let Some(&factor) = self.node_pressure.get(&placement.node.0) {
+                replica.cpu.set_pressure(self.now(), factor);
+            }
+        }
         self.replicas.insert(id, replica);
         self.services[service.get() as usize].replicas.push(id);
         let delay = self.config.replica_startup.sample(&mut self.rng);
@@ -301,12 +382,25 @@ impl World {
             .map(|(&id, _)| id)
             .collect();
         for req in touching {
-            self.abort_request(now, req);
+            self.abort_request(now, req, DropReason::ReplicaFailed);
         }
         if let Some(r) = self.replicas.get_mut(&replica) {
             r.state = ReplicaState::Draining;
         }
         self.remove_replica_final(now, replica);
+    }
+
+    /// Restarts a crashed replica of `service`: a replacement pod is placed
+    /// and goes through normal container start-up before taking traffic.
+    /// The counterpart of [`World::fail_replica`] — crash/recover pairs
+    /// model the paper's unasked question of what the control loop does
+    /// while capacity flaps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlacementError`] when no node can host the pod.
+    pub fn recover_replica(&mut self, service: ServiceId) -> Result<ReplicaId, PlacementError> {
+        self.add_replica(service)
     }
 
     fn remove_replica_final(&mut self, now: SimTime, replica: ReplicaId) {
@@ -384,6 +478,137 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Installs a [`FaultSchedule`]: each fault is queued as an ordinary
+    /// simulation event at its instant, so faults interleave with the rest
+    /// of the run deterministically.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        for event in schedule.events() {
+            self.queue.schedule(
+                event.at,
+                Event::Fault {
+                    kind: event.kind.clone(),
+                },
+            );
+        }
+    }
+
+    /// The sim-clock-stamped record of every fault applied so far.
+    pub fn fault_log(&self) -> &[(SimTime, String)] {
+        &self.fault_log
+    }
+
+    fn on_fault(&mut self, now: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::ReplicaCrash {
+                service,
+                restart_after,
+            } => {
+                // Deterministic victim: the longest-lived ready replica.
+                let Some(victim) = self.ready_replicas(service).first().copied() else {
+                    let name = self.service_name(service).to_string();
+                    self.fault_log
+                        .push((now, format!("crash {name}: no ready replica")));
+                    return;
+                };
+                let name = self.service_name(service).to_string();
+                self.fault_log
+                    .push((now, format!("crash {name} replica {victim}")));
+                self.fail_replica(victim);
+                if let Some(delay) = restart_after {
+                    self.queue
+                        .schedule(now + delay, Event::ReplicaRestart { service });
+                }
+            }
+            FaultKind::CpuPressure {
+                node,
+                factor,
+                duration,
+            } => {
+                self.fault_log.push((
+                    now,
+                    format!(
+                        "cpu pressure node {} factor {factor} for {}s",
+                        node.0,
+                        duration.as_secs_f64()
+                    ),
+                ));
+                self.node_pressure.insert(node.0, factor);
+                self.apply_node_pressure(now, node, factor);
+                self.queue
+                    .schedule(now + duration, Event::PressureEnd { node });
+            }
+            FaultKind::TelemetryBlackout { mode, duration } => {
+                self.fault_log.push((
+                    now,
+                    format!(
+                        "telemetry blackout ({mode:?}) for {}s",
+                        duration.as_secs_f64()
+                    ),
+                ));
+                self.blackout = Some(mode);
+                self.queue.schedule(now + duration, Event::BlackoutEnd);
+            }
+        }
+    }
+
+    /// Sets the pressure factor of every replica currently placed on `node`.
+    fn apply_node_pressure(&mut self, now: SimTime, node: NodeId, factor: f64) {
+        let ids: Vec<ReplicaId> = self.replicas.keys().copied().collect();
+        for id in ids {
+            let on_node = self
+                .cluster
+                .placement(id.get())
+                .is_some_and(|p| p.node == node);
+            if on_node {
+                if let Some(r) = self.replicas.get_mut(&id) {
+                    r.cpu.set_pressure(now, factor);
+                }
+                self.schedule_cpu(now, id);
+            }
+        }
+    }
+
+    fn on_pressure_end(&mut self, now: SimTime, node: NodeId) {
+        self.fault_log
+            .push((now, format!("cpu pressure node {} lifted", node.0)));
+        self.node_pressure.remove(&node.0);
+        self.apply_node_pressure(now, node, 1.0);
+    }
+
+    fn on_blackout_end(&mut self, now: SimTime) {
+        let lagged = matches!(self.blackout, Some(BlackoutMode::Lag));
+        self.blackout = None;
+        self.fault_log.push((
+            now,
+            format!(
+                "telemetry blackout ends ({} lagged samples delivered)",
+                if lagged {
+                    self.lag_completions.len()
+                } else {
+                    0
+                }
+            ),
+        ));
+        let completions = std::mem::take(&mut self.lag_completions);
+        let traces = std::mem::take(&mut self.lag_traces);
+        if lagged {
+            // Buffered in completion order, so per-replica time order holds.
+            for (replica, t, rt) in completions {
+                if let Some(r) = self.replicas.get_mut(&replica) {
+                    r.completions.record(t, rt);
+                    r.span_p99.observe(rt.as_millis_f64());
+                }
+            }
+            for trace in traces {
+                self.warehouse.push(trace);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Workload injection & the event loop
     // ------------------------------------------------------------------
 
@@ -434,7 +659,8 @@ impl World {
                 parent,
                 call_idx,
                 target,
-            } => self.on_child_arrival(now, request, parent, call_idx, target),
+                attempt,
+            } => self.on_child_arrival(now, request, parent, call_idx, target, attempt),
             Event::ChildReturn {
                 request,
                 parent,
@@ -444,7 +670,21 @@ impl World {
             Event::ReplicaReady { replica } => self.make_ready(replica),
             Event::Timeout { request } => {
                 if self.requests.contains_key(&request) {
-                    self.abort_request(now, request);
+                    self.abort_request(now, request, DropReason::ClientTimeout);
+                }
+            }
+            Event::Fault { kind } => self.on_fault(now, kind),
+            Event::PressureEnd { node } => self.on_pressure_end(now, node),
+            Event::BlackoutEnd => self.on_blackout_end(now),
+            Event::ReplicaRestart { service } => {
+                let name = self.service_name(service).to_string();
+                match self.recover_replica(service) {
+                    Ok(id) => self
+                        .fault_log
+                        .push((now, format!("restart {name} as replica {id}"))),
+                    Err(e) => self
+                        .fault_log
+                        .push((now, format!("restart {name} failed: {e}"))),
                 }
             }
         }
@@ -459,7 +699,8 @@ impl World {
             // No ready replica: the request is refused at the edge.
             self.requests.remove(&request);
             self.dropped += 1;
-            self.dropped_log.push(request);
+            self.drop_breakdown.count(DropReason::Refused);
+            self.dropped_log.push((request, DropReason::Refused));
             return;
         };
         let span = SpanId(self.next_span);
@@ -477,13 +718,19 @@ impl World {
         parent: FrameIdx,
         call_idx: usize,
         target: ServiceId,
+        attempt: u32,
     ) {
         if !self.requests.contains_key(&request) {
             return; // request aborted while the call was in flight
         }
         let Some(replica) = self.pick_replica(target) else {
             // No ready replica right now: retry shortly (connection-level
-            // retry, as a client library would).
+            // retry, as a client library would), up to the configured
+            // budget; beyond it the whole request fails.
+            if attempt >= self.config.max_connect_retries {
+                self.abort_request(now, request, DropReason::RetriesExhausted);
+                return;
+            }
             self.queue.schedule(
                 now + SimDuration::from_millis(10),
                 Event::ChildArrival {
@@ -491,6 +738,7 @@ impl World {
                     parent,
                     call_idx,
                     target,
+                    attempt: attempt + 1,
                 },
             );
             return;
@@ -637,7 +885,7 @@ impl World {
         let replica = self.requests[&request].frames[frame].replica;
         let Some(r) = self.replicas.get_mut(&replica) else {
             // Replica vanished between selection and admission (failure).
-            self.abort_request(now, request);
+            self.abort_request(now, request, DropReason::ReplicaFailed);
             return;
         };
         if r.threads.try_acquire() {
@@ -764,6 +1012,7 @@ impl World {
                         parent: frame,
                         call_idx,
                         target,
+                        attempt: 0,
                     },
                 );
             }
@@ -782,8 +1031,20 @@ impl World {
         };
         if let Some(r) = self.replicas.get_mut(&replica) {
             r.concurrency.leave(now);
-            r.completions.record(now, now - arrival);
-            r.span_p99.observe((now - arrival).as_millis_f64());
+            // Completion *samples* go through the telemetry pipeline, which
+            // a blackout window darkens; the concurrency tracker above keeps
+            // integrating (it reflects the replica's true state, which a
+            // controller would still pair with the missing rate samples).
+            match self.blackout {
+                None => {
+                    r.completions.record(now, now - arrival);
+                    r.span_p99.observe((now - arrival).as_millis_f64());
+                }
+                Some(BlackoutMode::Lag) => {
+                    self.lag_completions.push((replica, now, now - arrival));
+                }
+                Some(BlackoutMode::Drop) => {}
+            }
             r.threads.release();
         }
         self.drain_thread_queue(now, replica);
@@ -815,7 +1076,14 @@ impl World {
         let completed = now + net;
         let response_time = completed - issued;
         let trace = rs.into_trace();
-        self.warehouse.push(trace);
+        // The warehouse is part of the monitoring pipeline: blackout windows
+        // withhold traces. The client logs below model the experiment
+        // harness and always record.
+        match self.blackout {
+            None => self.warehouse.push(trace),
+            Some(BlackoutMode::Lag) => self.lag_traces.push(trace),
+            Some(BlackoutMode::Drop) => {}
+        }
         self.client.record(completed, response_time);
         self.client_by_type[rtype.get() as usize].record(completed, response_time);
         self.completed.push(Completion {
@@ -828,7 +1096,7 @@ impl World {
     }
 
     /// Aborts a request outright, reclaiming every resource its frames hold.
-    fn abort_request(&mut self, now: SimTime, request: RequestId) {
+    fn abort_request(&mut self, now: SimTime, request: RequestId, reason: DropReason) {
         let Some(rs) = self.requests.remove(&request) else {
             return;
         };
@@ -880,7 +1148,8 @@ impl World {
             self.maybe_reap_drained(now, replica);
         }
         self.dropped += 1;
-        self.dropped_log.push(request);
+        self.drop_breakdown.count(reason);
+        self.dropped_log.push((request, reason));
     }
 
     // ------------------------------------------------------------------
@@ -929,6 +1198,7 @@ impl World {
                             parent: w.frame,
                             call_idx: w.call_idx,
                             target,
+                            attempt: 0,
                         },
                     );
                 }
@@ -1017,11 +1287,22 @@ impl World {
         self.dropped
     }
 
-    /// Drains the ids of requests dropped since the last call — closed-loop
-    /// drivers use this to recycle the affected users (a real client would
-    /// see a connection error and retry).
-    pub fn drain_dropped(&mut self) -> Vec<RequestId> {
+    /// Cumulative drop counts broken down by cause.
+    pub fn drop_breakdown(&self) -> DropBreakdown {
+        self.drop_breakdown
+    }
+
+    /// Drains the requests dropped since the last call, each with the
+    /// reason — closed-loop drivers use this to recycle or retry the
+    /// affected users (a real client would see a connection error).
+    pub fn drain_dropped(&mut self) -> Vec<(RequestId, DropReason)> {
         std::mem::take(&mut self.dropped_log)
+    }
+
+    /// The node hosting `replica`, if it is placed (fault schedules use
+    /// this to aim CPU-pressure windows at a specific service's node).
+    pub fn node_of(&self, replica: ReplicaId) -> Option<NodeId> {
+        self.cluster.placement(replica.get()).map(|p| p.node)
     }
 
     /// Ready replica ids of `service`, in creation order.

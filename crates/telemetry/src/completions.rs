@@ -68,6 +68,12 @@ impl CompletionLog {
         }
     }
 
+    /// Time of the most recent retained completion, if any — the freshness
+    /// signal controllers use to detect telemetry staleness.
+    pub fn latest(&self) -> Option<SimTime> {
+        self.entries.back().map(|&(t, _)| t)
+    }
+
     /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -1,6 +1,7 @@
 //! Closed-loop RUBBoS-style user pool with a time-varying population.
 
-use crate::RateCurve;
+use crate::retry::{RetryDecision, RetryState};
+use crate::{RateCurve, RetryPolicy, RetryStats};
 use sim_core::{Dist, SimRng, SimTime};
 use std::collections::BinaryHeap;
 
@@ -63,6 +64,9 @@ pub struct UserPool {
     next_user: u64,
     /// Next instant the population target is re-evaluated.
     next_control: SimTime,
+    /// Optional retry policy state; `None` keeps the RUBBoS default of
+    /// think-then-resend on drops.
+    retry: Option<RetryState>,
 }
 
 impl UserPool {
@@ -81,7 +85,24 @@ impl UserPool {
             active: 0,
             next_user: 0,
             next_control: SimTime::ZERO,
+            retry: None,
         }
+    }
+
+    /// Attaches a [`RetryPolicy`]: dropped requests are re-sent after a
+    /// jittered exponential backoff (skipping the think time) until the
+    /// attempt bound or the retry budget runs out. The jitter stream is
+    /// split off the pool's seed, so attaching a policy does not perturb
+    /// think-time sampling in fault-free runs.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        let rng = self.rng.split("retry");
+        self.retry = Some(RetryState::new(policy, rng));
+        self
+    }
+
+    /// Retry counters accumulated so far (all zero when no policy is set).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry.as_ref().map(|r| r.stats()).unwrap_or_default()
     }
 
     /// Users currently alive.
@@ -148,10 +169,9 @@ impl UserPool {
         }
     }
 
-    /// Reports that `user`'s request finished at `now`; the user thinks and
-    /// then sends again (if the run is still on and the user was not
-    /// retired meanwhile).
-    pub fn on_completion(&mut self, now: SimTime, user: u64) {
+    /// Returns the user to the thinking state: they send again after one
+    /// think time (if the run is still on), or leave the pool otherwise.
+    fn recycle(&mut self, now: SimTime, user: u64) {
         debug_assert!(self.in_flight > 0, "completion without a send");
         self.in_flight = self.in_flight.saturating_sub(1);
         if now >= self.end() {
@@ -162,17 +182,42 @@ impl UserPool {
         self.pending.push(std::cmp::Reverse((now + delay, user)));
     }
 
+    /// Reports that `user`'s request finished at `now`; the user thinks and
+    /// then sends again (if the run is still on and the user was not
+    /// retired meanwhile).
+    pub fn on_completion(&mut self, now: SimTime, user: u64) {
+        if let Some(retry) = self.retry.as_mut() {
+            retry.on_success(user);
+        }
+        self.recycle(now, user);
+    }
+
     /// Reports that `user`'s request was dropped (no response will come).
-    /// The user retries after a think time, as RUBBoS clients do.
+    ///
+    /// With a [`RetryPolicy`] attached the user re-sends after a jittered
+    /// exponential backoff — unless the attempt bound or retry budget says
+    /// to give up, in which case (and always, without a policy) they retry
+    /// after a full think time, as RUBBoS clients do.
     pub fn on_drop(&mut self, now: SimTime, user: u64) {
-        self.on_completion(now, user);
+        match self.retry.as_mut().map(|r| r.on_drop(user)) {
+            Some(RetryDecision::Retry(backoff)) => {
+                debug_assert!(self.in_flight > 0, "drop without a send");
+                self.in_flight = self.in_flight.saturating_sub(1);
+                if now >= self.end() {
+                    self.active = self.active.saturating_sub(1);
+                    return;
+                }
+                self.pending.push(std::cmp::Reverse((now + backoff, user)));
+            }
+            Some(RetryDecision::GiveUp) | None => self.recycle(now, user),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::TraceShape;
+    use crate::{RetryPolicy, TraceShape};
     use sim_core::SimDuration;
 
     fn pool(peak: f64, secs: u64) -> UserPool {
@@ -254,5 +299,60 @@ mod tests {
         assert_eq!(p.in_flight(), 1);
         p.on_completion(at, user);
         assert_eq!(p.in_flight(), 0);
+    }
+
+    /// Polls until the pool emits a send.
+    fn first_send(p: &mut UserPool) -> (SimTime, u64) {
+        let mut now = SimTime::ZERO;
+        loop {
+            match p.next_action(now) {
+                UserAction::Send { at, user } => return (at, user),
+                UserAction::Idle { until } => now = until,
+                UserAction::Finished => panic!("should not finish"),
+            }
+        }
+    }
+
+    #[test]
+    fn retry_resends_after_backoff_not_think_time() {
+        let policy = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut p = pool(10.0, 60).with_retry(policy);
+        let (at, user) = first_send(&mut p);
+        p.on_drop(at, user);
+        assert_eq!(p.retry_stats().attempts, 1);
+        assert_eq!(p.in_flight(), 0);
+        let &std::cmp::Reverse((resend, _)) = p
+            .pending
+            .iter()
+            .find(|std::cmp::Reverse((_, who))| *who == user)
+            .expect("retry pending");
+        assert_eq!(
+            resend,
+            at + policy.base_backoff,
+            "exact backoff, no think draw"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_to_think_and_resend() {
+        let mut p = pool(10.0, 60).with_retry(RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        });
+        let (at, user) = first_send(&mut p);
+        p.on_drop(at, user);
+        assert_eq!(p.retry_stats().gave_up, 1);
+        assert_eq!(p.in_flight(), 0);
+        assert_eq!(p.active_users(), p.pending.len() as u64, "user recycled");
+    }
+
+    #[test]
+    fn retry_policy_leaves_fault_free_runs_untouched() {
+        let baseline = drive_instant_responses(pool(50.0, 60));
+        let with_retry = drive_instant_responses(pool(50.0, 60).with_retry(RetryPolicy::default()));
+        assert_eq!(baseline, with_retry, "no drops, no divergence");
     }
 }

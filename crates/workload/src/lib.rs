@@ -29,6 +29,7 @@ mod curve;
 mod mix;
 mod openloop;
 mod record;
+mod retry;
 mod shapes;
 
 pub use closedloop::{UserAction, UserPool};
@@ -36,4 +37,5 @@ pub use curve::RateCurve;
 pub use mix::Mix;
 pub use openloop::NhppArrivals;
 pub use record::{ArrivalRecord, WorkloadTrace};
+pub use retry::{RetryPolicy, RetryStats};
 pub use shapes::TraceShape;

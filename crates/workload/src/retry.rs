@@ -1,0 +1,215 @@
+//! Client retry policy: bounded retries, exponential backoff with
+//! deterministic jitter, and a retry budget.
+//!
+//! When a closed-loop user's request is dropped (replica failure, refusal,
+//! timeout), a real client library retries — but naive unbounded retries
+//! amplify failures into retry storms. [`RetryPolicy`] models the standard
+//! production discipline:
+//!
+//! * **bounded attempts**: at most `max_retries` per logical request;
+//! * **exponential backoff**: the `k`-th retry waits
+//!   `base_backoff · 2^(k−1)` capped at `max_backoff`, with multiplicative
+//!   jitter drawn from a dedicated [`SimRng`] stream (so retry timing never
+//!   perturbs think-time sampling, keeping fault-free runs byte-identical);
+//! * **retry budget**: a token bucket earns `budget_ratio` tokens per
+//!   successful completion (capped at `budget_cap`) and spends one per
+//!   retry, so a mass failure exhausts the budget and the storm becomes
+//!   *observable* in [`RetryStats::budget_denied`] instead of hiding as
+//!   load.
+//!
+//! [`UserPool::with_retry`](crate::UserPool::with_retry) attaches a policy
+//! to the closed loop; without one, the pool keeps its RUBBoS default of
+//! think-then-resend.
+
+use serde::Serialize;
+use sim_core::{SimDuration, SimRng};
+use std::collections::HashMap;
+
+/// A bounded, budgeted exponential-backoff retry policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retries per logical request before the client gives up.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    pub base_backoff: SimDuration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: SimDuration,
+    /// Multiplicative jitter half-width: each backoff is scaled by a
+    /// deterministic draw from `[1 − jitter_frac, 1 + jitter_frac]`.
+    pub jitter_frac: f64,
+    /// Budget tokens earned per successful completion.
+    pub budget_ratio: f64,
+    /// Maximum banked budget tokens (also the initial balance).
+    pub budget_cap: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_secs(5),
+            jitter_frac: 0.2,
+            budget_ratio: 0.1,
+            budget_cap: 50.0,
+        }
+    }
+}
+
+/// Counters exposing retry behaviour (and retry storms) to reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RetryStats {
+    /// Retries actually scheduled.
+    pub attempts: u64,
+    /// Logical requests abandoned after `max_retries` failures.
+    pub gave_up: u64,
+    /// Retries suppressed because the budget was exhausted — the
+    /// "observable retry storm" signal.
+    pub budget_denied: u64,
+}
+
+/// What the pool should do with a dropped request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RetryDecision {
+    /// Re-send the same logical request after this backoff.
+    Retry(SimDuration),
+    /// Stop retrying; the user falls back to think-then-resend.
+    GiveUp,
+}
+
+/// Per-pool retry state: policy, token bucket, per-user attempt counts and
+/// a dedicated jitter stream.
+#[derive(Debug, Clone)]
+pub(crate) struct RetryState {
+    policy: RetryPolicy,
+    tokens: f64,
+    rng: SimRng,
+    attempts: HashMap<u64, u32>,
+    stats: RetryStats,
+}
+
+impl RetryState {
+    pub(crate) fn new(policy: RetryPolicy, rng: SimRng) -> Self {
+        RetryState {
+            tokens: policy.budget_cap,
+            policy,
+            rng,
+            attempts: HashMap::new(),
+            stats: RetryStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// A request of `user` succeeded: reset their attempt count and earn
+    /// budget.
+    pub(crate) fn on_success(&mut self, user: u64) {
+        self.attempts.remove(&user);
+        self.tokens = (self.tokens + self.policy.budget_ratio).min(self.policy.budget_cap);
+    }
+
+    /// A request of `user` was dropped: decide between a backed-off retry
+    /// and giving up.
+    pub(crate) fn on_drop(&mut self, user: u64) -> RetryDecision {
+        let attempt = *self.attempts.get(&user).unwrap_or(&0);
+        if attempt >= self.policy.max_retries {
+            self.attempts.remove(&user);
+            self.stats.gave_up += 1;
+            return RetryDecision::GiveUp;
+        }
+        if self.tokens < 1.0 {
+            self.attempts.remove(&user);
+            self.stats.budget_denied += 1;
+            return RetryDecision::GiveUp;
+        }
+        self.tokens -= 1.0;
+        self.attempts.insert(user, attempt + 1);
+        self.stats.attempts += 1;
+        RetryDecision::Retry(self.backoff(attempt + 1))
+    }
+
+    /// Backoff before the `k`-th retry (1-based): exponential, capped,
+    /// jittered.
+    fn backoff(&mut self, k: u32) -> SimDuration {
+        let base = self.policy.base_backoff.as_nanos() as f64;
+        let cap = self.policy.max_backoff.as_nanos() as f64;
+        let exp = base * 2f64.powi(k.saturating_sub(1).min(62) as i32);
+        let jitter = 1.0 + self.policy.jitter_frac * (2.0 * self.rng.f64() - 1.0);
+        let nanos = (exp.min(cap) * jitter).max(0.0);
+        SimDuration::from_nanos(nanos as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(policy: RetryPolicy) -> RetryState {
+        RetryState::new(policy, SimRng::seed_from(9).split("retry"))
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut s = state(RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        });
+        assert_eq!(s.backoff(1), SimDuration::from_millis(100));
+        assert_eq!(s.backoff(2), SimDuration::from_millis(200));
+        assert_eq!(s.backoff(3), SimDuration::from_millis(400));
+        assert_eq!(s.backoff(10), SimDuration::from_secs(5), "capped");
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic() {
+        let draws: Vec<u64> = (1..=20)
+            .map(|k| state(RetryPolicy::default()).backoff(k).as_nanos())
+            .collect();
+        let again: Vec<u64> = (1..=20)
+            .map(|k| state(RetryPolicy::default()).backoff(k).as_nanos())
+            .collect();
+        assert_eq!(draws, again, "same seed, same jitter");
+        let b1 = state(RetryPolicy::default()).backoff(1).as_nanos() as f64;
+        let base = SimDuration::from_millis(100).as_nanos() as f64;
+        assert!((0.8 * base..=1.2 * base).contains(&b1), "{b1}");
+    }
+
+    #[test]
+    fn attempts_are_bounded_per_user() {
+        let mut s = state(RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        });
+        assert!(matches!(s.on_drop(7), RetryDecision::Retry(_)));
+        assert!(matches!(s.on_drop(7), RetryDecision::Retry(_)));
+        assert_eq!(s.on_drop(7), RetryDecision::GiveUp);
+        assert_eq!(s.stats().attempts, 2);
+        assert_eq!(s.stats().gave_up, 1);
+        // The counter reset on give-up: the next failure retries again.
+        assert!(matches!(s.on_drop(7), RetryDecision::Retry(_)));
+        // Success resets too.
+        s.on_success(7);
+        assert!(matches!(s.on_drop(7), RetryDecision::Retry(_)));
+    }
+
+    #[test]
+    fn budget_exhaustion_denies_retries_and_success_refills() {
+        let mut s = state(RetryPolicy {
+            max_retries: 100,
+            budget_cap: 2.0,
+            budget_ratio: 0.5,
+            ..RetryPolicy::default()
+        });
+        // Distinct users so max_retries never triggers first.
+        assert!(matches!(s.on_drop(1), RetryDecision::Retry(_)));
+        assert!(matches!(s.on_drop(2), RetryDecision::Retry(_)));
+        assert_eq!(s.on_drop(3), RetryDecision::GiveUp, "budget empty");
+        assert_eq!(s.stats().budget_denied, 1);
+        // Two successes earn one token.
+        s.on_success(1);
+        s.on_success(2);
+        assert!(matches!(s.on_drop(4), RetryDecision::Retry(_)));
+    }
+}

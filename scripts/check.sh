@@ -13,4 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault_resilience smoke (determinism across --jobs)"
+cargo build -q --release -p sora-bench --bin fault_resilience
+./target/release/fault_resilience --smoke --jobs 1 2>/dev/null > /tmp/fault_smoke_j1.txt
+./target/release/fault_resilience --smoke --jobs 4 2>/dev/null > /tmp/fault_smoke_j4.txt
+diff /tmp/fault_smoke_j1.txt /tmp/fault_smoke_j4.txt \
+  || { echo "fault_resilience output differs between --jobs 1 and --jobs 4"; exit 1; }
+rm -f /tmp/fault_smoke_j1.txt /tmp/fault_smoke_j4.txt
+
 echo "all checks passed"
