@@ -3,7 +3,7 @@
 use microsim::World;
 use scg::{ConcurrencyEstimate, ScgModel};
 use sim_core::{SimDuration, SimTime};
-use telemetry::{build_scatter, build_scatter_throughput, ScatterPoint, ServiceId};
+use telemetry::{build_scatter_into, ScatterPoint, ScatterScratch, ServiceId};
 
 /// Configuration of the estimation pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -31,21 +31,46 @@ impl Default for EstimatorConfig {
 /// Builds per-replica concurrency/goodput scatter graphs from the live
 /// samplers and runs the SCG model on them. The recommendation is
 /// per replica, which is what the soft-resource knobs control.
+///
+/// The estimator owns the scratch buffers of the whole
+/// scatter→bin→estimate pipeline (per-bucket averages and counts, merged
+/// points, dense bins), so a controller that calls
+/// [`ConcurrencyEstimator::estimate`] every tick allocates nothing in
+/// steady state.
 #[derive(Debug, Clone, Default)]
 pub struct ConcurrencyEstimator {
     config: EstimatorConfig,
     model: ScgModel,
+    scratch: ScatterScratch,
+    points: Vec<ScatterPoint>,
+    bins: Vec<(f64, f64, u64)>,
 }
 
 impl ConcurrencyEstimator {
     /// Creates an estimator.
     pub fn new(config: EstimatorConfig, model: ScgModel) -> Self {
-        ConcurrencyEstimator { config, model }
+        ConcurrencyEstimator {
+            config,
+            model,
+            scratch: ScatterScratch::default(),
+            points: Vec::new(),
+            bins: Vec::new(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &EstimatorConfig {
         &self.config
+    }
+
+    /// Start of the trailing estimation window ending at `now`.
+    fn window_start(&self, now: SimTime) -> SimTime {
+        let elapsed = now.saturating_since(SimTime::ZERO);
+        if elapsed > self.config.window {
+            SimTime::ZERO + (elapsed - self.config.window)
+        } else {
+            SimTime::ZERO
+        }
     }
 
     /// Collects the scatter for `service` over the trailing window,
@@ -59,52 +84,68 @@ impl ConcurrencyEstimator {
         now: SimTime,
         threshold: SimDuration,
     ) -> Vec<ScatterPoint> {
-        let elapsed = now.saturating_since(SimTime::ZERO);
-        let from = if elapsed > self.config.window {
-            SimTime::ZERO + (elapsed - self.config.window)
-        } else {
-            SimTime::ZERO
-        };
-        if from >= now {
-            return Vec::new();
-        }
+        let mut scratch = ScatterScratch::default();
         let mut points = Vec::new();
-        for replica in world.ready_replicas(service) {
+        self.scatter_into(world, service, now, threshold, &mut scratch, &mut points);
+        points
+    }
+
+    fn scatter_into(
+        &self,
+        world: &World,
+        service: ServiceId,
+        now: SimTime,
+        threshold: SimDuration,
+        scratch: &mut ScatterScratch,
+        points: &mut Vec<ScatterPoint>,
+    ) {
+        points.clear();
+        let from = self.window_start(now);
+        if from >= now {
+            return;
+        }
+        let thr = self.config.latency_aware.then_some(threshold);
+        for replica in world.ready_replicas_iter(service) {
             let (Some(conc), Some(comp)) =
                 (world.concurrency_of(replica), world.completions_of(replica))
             else {
                 continue;
             };
-            let pts = if self.config.latency_aware {
-                build_scatter(
-                    conc,
-                    comp,
-                    from,
-                    now,
-                    self.config.sampling_interval,
-                    threshold,
-                )
-            } else {
-                build_scatter_throughput(conc, comp, from, now, self.config.sampling_interval)
-            };
-            points.extend(pts);
+            build_scatter_into(
+                conc,
+                comp,
+                from,
+                now,
+                self.config.sampling_interval,
+                thr,
+                scratch,
+                points,
+            );
         }
-        points
     }
 
     /// Estimates the optimal per-replica concurrency for `service` under
     /// `threshold`. `None` means the window carries no trustworthy knee
     /// (insufficient data or an unsaturated pool) — the adapter then
     /// explores upward.
+    ///
+    /// Takes `&mut self` to reuse the estimator-owned scratch buffers —
+    /// the steady-state control loop performs no heap allocation here.
     pub fn estimate(
-        &self,
+        &mut self,
         world: &World,
         service: ServiceId,
         now: SimTime,
         threshold: SimDuration,
     ) -> Option<ConcurrencyEstimate> {
-        let points = self.scatter(world, service, now, threshold);
-        self.model.estimate(&points)
+        let mut points = std::mem::take(&mut self.points);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.scatter_into(world, service, now, threshold, &mut scratch, &mut points);
+        self.model.aggregate_counted_into(&points, &mut self.bins);
+        let estimate = self.model.estimate_binned(&self.bins);
+        self.points = points;
+        self.scratch = scratch;
+        estimate
     }
 }
 
@@ -192,7 +233,7 @@ mod tests {
     #[test]
     fn estimates_a_reasonable_knee_for_a_two_core_service() {
         let (w, svc) = loaded_world(24);
-        let est = ConcurrencyEstimator::default();
+        let mut est = ConcurrencyEstimator::default();
         // Generous threshold: knee driven by capacity, near a small multiple
         // of the core count.
         if let Some(e) = est.estimate(&w, svc, t(61_000), SimDuration::from_millis(60)) {
@@ -215,7 +256,7 @@ mod tests {
         w.add_request_type("r", svc);
         let pod = w.add_replica(svc).unwrap();
         w.make_ready(pod);
-        let est = ConcurrencyEstimator::default();
+        let mut est = ConcurrencyEstimator::default();
         assert!(est
             .estimate(&w, svc, SimTime::ZERO, SimDuration::from_millis(100))
             .is_none());

@@ -201,9 +201,8 @@ impl<H: Controller> Controller for SoraController<H> {
         // entirely rather than actuate on garbage.
         if self.config.degradation {
             let freshest = world
-                .ready_replicas(critical)
-                .iter()
-                .filter_map(|&id| world.completions_of(id).and_then(|log| log.latest()))
+                .ready_replicas_iter(critical)
+                .filter_map(|id| world.completions_of(id).and_then(|log| log.latest()))
                 .max();
             let stale = match freshest {
                 Some(at) => now.saturating_since(at) > self.config.staleness_bound,

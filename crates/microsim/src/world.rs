@@ -187,6 +187,9 @@ pub struct World {
     /// completion batch never re-allocates in steady state.
     cpu_jobs_scratch: Vec<CpuJobId>,
     cpu_work_scratch: Vec<(RequestId, FrameIdx)>,
+    /// Reusable snapshot of a service's replica list for the soft-resource
+    /// actuation loops (drains may mutate the list mid-walk).
+    actuation_scratch: Vec<ReplicaId>,
     next_request: u64,
     next_replica: u64,
     next_span: u64,
@@ -224,6 +227,7 @@ impl World {
             fault_log: Vec::new(),
             cpu_jobs_scratch: Vec::new(),
             cpu_work_scratch: Vec::new(),
+            actuation_scratch: Vec::new(),
             next_request: 0,
             next_replica: 0,
             next_span: 0,
@@ -428,15 +432,22 @@ impl World {
     ) -> Result<(), PlacementError> {
         let now = self.now();
         self.services[service.get() as usize].cpu_limit = limit;
-        let ids = self.services[service.get() as usize].replicas.clone();
-        for id in ids {
-            self.cluster.resize(id.get(), limit)?;
+        let mut ids = std::mem::take(&mut self.actuation_scratch);
+        ids.clear();
+        ids.extend_from_slice(&self.services[service.get() as usize].replicas);
+        let mut result = Ok(());
+        for &id in &ids {
+            if let Err(e) = self.cluster.resize(id.get(), limit) {
+                result = Err(e);
+                break;
+            }
             if let Some(r) = self.replicas.get_mut(&id) {
                 r.cpu.set_limit(now, limit);
             }
             self.schedule_cpu(now, id);
         }
-        Ok(())
+        self.actuation_scratch = ids;
+        result
     }
 
     /// Sets the per-replica thread-pool size of `service`, admitting queued
@@ -444,13 +455,16 @@ impl World {
     pub fn set_thread_limit(&mut self, service: ServiceId, limit: usize) {
         let now = self.now();
         self.services[service.get() as usize].thread_limit = limit;
-        let ids = self.services[service.get() as usize].replicas.clone();
-        for id in ids {
+        let mut ids = std::mem::take(&mut self.actuation_scratch);
+        ids.clear();
+        ids.extend_from_slice(&self.services[service.get() as usize].replicas);
+        for &id in &ids {
             if let Some(r) = self.replicas.get_mut(&id) {
                 r.threads.limit = limit;
             }
             self.drain_thread_queue(now, id);
         }
+        self.actuation_scratch = ids;
     }
 
     /// Sets the per-replica connection-pool size from `service` toward
@@ -460,8 +474,10 @@ impl World {
         self.services[service.get() as usize]
             .conn_limits
             .insert(target, limit);
-        let ids = self.services[service.get() as usize].replicas.clone();
-        for id in ids {
+        let mut ids = std::mem::take(&mut self.actuation_scratch);
+        ids.clear();
+        ids.extend_from_slice(&self.services[service.get() as usize].replicas);
+        for &id in &ids {
             if let Some(r) = self.replicas.get_mut(&id) {
                 let pool = r
                     .conns
@@ -475,6 +491,7 @@ impl World {
             }
             self.drain_conn_waiters(now, id, target);
         }
+        self.actuation_scratch = ids;
     }
 
     // ------------------------------------------------------------------
@@ -507,7 +524,7 @@ impl World {
                 restart_after,
             } => {
                 // Deterministic victim: the longest-lived ready replica.
-                let Some(victim) = self.ready_replicas(service).first().copied() else {
+                let Some(victim) = self.ready_replicas_iter(service).next() else {
                     let name = self.service_name(service).to_string();
                     self.fault_log
                         .push((now, format!("crash {name}: no ready replica")));
@@ -1307,6 +1324,12 @@ impl World {
 
     /// Ready replica ids of `service`, in creation order.
     pub fn ready_replicas(&self, service: ServiceId) -> Vec<ReplicaId> {
+        self.ready_replicas_iter(service).collect()
+    }
+
+    /// Non-allocating variant of [`World::ready_replicas`] for per-tick
+    /// monitoring loops.
+    pub fn ready_replicas_iter(&self, service: ServiceId) -> impl Iterator<Item = ReplicaId> + '_ {
         self.services[service.get() as usize]
             .replicas
             .iter()
@@ -1316,12 +1339,11 @@ impl World {
                     .get(id)
                     .is_some_and(|r| r.state == ReplicaState::Ready)
             })
-            .collect()
     }
 
     /// All live replica ids of `service` (starting + ready + draining).
-    pub fn all_replicas(&self, service: ServiceId) -> Vec<ReplicaId> {
-        self.services[service.get() as usize].replicas.clone()
+    pub fn all_replicas(&self, service: ServiceId) -> &[ReplicaId] {
+        &self.services[service.get() as usize].replicas
     }
 
     /// The concurrency sampler of one replica.
@@ -1338,35 +1360,31 @@ impl World {
     /// (worst replica), in milliseconds — the SLO-violation gauge FIRM-style
     /// managers scale on. `None` until any replica has completions.
     pub fn span_p99_ms(&self, service: ServiceId) -> Option<f64> {
-        self.ready_replicas(service)
-            .iter()
-            .filter_map(|id| self.replicas[id].span_p99.value())
+        self.ready_replicas_iter(service)
+            .filter_map(|id| self.replicas[&id].span_p99.value())
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Threads currently held across ready replicas of `service` (the
     /// paper's "Running Threads" panel).
     pub fn running_threads(&self, service: ServiceId) -> usize {
-        self.ready_replicas(service)
-            .iter()
-            .map(|id| self.replicas[id].threads.active)
+        self.ready_replicas_iter(service)
+            .map(|id| self.replicas[&id].threads.active)
             .sum()
     }
 
     /// Requests queued for a thread across ready replicas.
     pub fn queued_requests(&self, service: ServiceId) -> usize {
-        self.ready_replicas(service)
-            .iter()
-            .map(|id| self.replicas[id].threads.queue.len())
+        self.ready_replicas_iter(service)
+            .map(|id| self.replicas[&id].threads.queue.len())
             .sum()
     }
 
     /// Connections in use from `service` toward `target`, across ready
     /// replicas.
     pub fn conns_in_use(&self, service: ServiceId, target: ServiceId) -> usize {
-        self.ready_replicas(service)
-            .iter()
-            .filter_map(|id| self.replicas[id].conns.get(&target))
+        self.ready_replicas_iter(service)
+            .filter_map(|id| self.replicas[&id].conns.get(&target))
             .map(|p| p.in_use)
             .sum()
     }
@@ -1375,9 +1393,8 @@ impl World {
     /// `target`, across ready replicas (a saturation signal for the
     /// exploration logic).
     pub fn conn_waiting(&self, service: ServiceId, target: ServiceId) -> usize {
-        self.ready_replicas(service)
-            .iter()
-            .filter_map(|id| self.replicas[id].conns.get(&target))
+        self.ready_replicas_iter(service)
+            .filter_map(|id| self.replicas[&id].conns.get(&target))
             .map(|p| p.waiters.len())
             .sum()
     }
@@ -1386,9 +1403,8 @@ impl World {
     /// `target` across ready replicas — pool size × replica count, the
     /// paper's "Established DB Conn" panel.
     pub fn conns_established(&self, service: ServiceId, target: ServiceId) -> usize {
-        self.ready_replicas(service)
-            .iter()
-            .filter_map(|id| self.replicas[id].conns.get(&target))
+        self.ready_replicas_iter(service)
+            .filter_map(|id| self.replicas[&id].conns.get(&target))
             .map(|p| p.limit)
             .sum()
     }
@@ -1434,7 +1450,7 @@ impl World {
     /// Aggregate CPU capacity of `service` in cores (ready replicas ×
     /// per-replica limit).
     pub fn cpu_capacity_cores(&self, service: ServiceId) -> f64 {
-        self.ready_replicas(service).len() as f64 * self.cpu_limit(service).as_cores_f64()
+        self.ready_replicas_iter(service).count() as f64 * self.cpu_limit(service).as_cores_f64()
     }
 
     /// The name of `service` (for reports).

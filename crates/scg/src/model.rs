@@ -116,20 +116,50 @@ impl ScgModel {
     /// Like [`ScgModel::aggregate`] but also returns each bin's sample
     /// count, used to weight the curve fit.
     pub fn aggregate_counted(&self, points: &[ScatterPoint]) -> Vec<(f64, f64, u64)> {
-        let mut bins: std::collections::BTreeMap<u64, (f64, u64)> = Default::default();
+        let mut out = Vec::new();
+        self.aggregate_counted_into(points, &mut out);
+        out
+    }
+
+    /// [`ScgModel::aggregate_counted`] into a caller-owned buffer (cleared
+    /// first). The buffer doubles as the dense accumulation table — keyed
+    /// by rounded concurrency, compacted in place — so a caller that holds
+    /// it across ticks rebuilds the bins with zero allocation instead of a
+    /// fresh `BTreeMap` per estimate. Rates accumulate in point order
+    /// within each bin, exactly as the map-based fold did.
+    pub fn aggregate_counted_into(&self, points: &[ScatterPoint], out: &mut Vec<(f64, f64, u64)>) {
+        out.clear();
+        let valid = |p: &ScatterPoint| p.q.is_finite() && p.rate.is_finite() && p.q >= 0.5;
+        let mut max_key = 0u64;
+        let mut any = false;
         for p in points {
-            if !p.q.is_finite() || !p.rate.is_finite() || p.q < 0.5 {
-                continue; // idle samples carry no concurrency signal
+            if valid(p) {
+                // Idle samples (q < 0.5) carry no concurrency signal.
+                max_key = max_key.max(p.q.round() as u64);
+                any = true;
             }
-            let key = p.q.round() as u64;
-            let e = bins.entry(key).or_insert((0.0, 0));
-            e.0 += p.rate;
-            e.1 += 1;
         }
-        bins.into_iter()
-            .filter(|&(_, (_, n))| n >= self.config.min_bin_samples)
-            .map(|(q, (sum, n))| (q as f64, sum / n as f64, n))
-            .collect()
+        if !any {
+            return;
+        }
+        out.resize((max_key + 1) as usize, (0.0, 0.0, 0));
+        for p in points {
+            if valid(p) {
+                let e = &mut out[p.q.round() as usize];
+                e.1 += p.rate;
+                e.2 += 1;
+            }
+        }
+        let min_samples = self.config.min_bin_samples;
+        let mut w = 0;
+        for key in 0..out.len() {
+            let (_, sum, n) = out[key];
+            if n > 0 && n >= min_samples {
+                out[w] = (key as f64, sum / n as f64, n);
+                w += 1;
+            }
+        }
+        out.truncate(w);
     }
 
     /// Estimates the optimal concurrency from a scatter window.
@@ -139,7 +169,14 @@ impl ScgModel {
     /// framework to keep exploring by gradually raising the allocation
     /// (§3.2, Metrics Collection Phase).
     pub fn estimate(&self, points: &[ScatterPoint]) -> Option<ConcurrencyEstimate> {
-        let binned = self.aggregate_counted(points);
+        self.estimate_binned(&self.aggregate_counted(points))
+    }
+
+    /// Estimates from pre-aggregated `(q, mean_rate, samples)` bins — the
+    /// entry point for callers that already hold the window's bins (built
+    /// once via [`ScgModel::aggregate_counted_into`] from ring-served
+    /// buckets) and skips re-binning the raw scatter per estimate.
+    pub fn estimate_binned(&self, binned: &[(f64, f64, u64)]) -> Option<ConcurrencyEstimate> {
         if binned.len() < self.config.min_bins {
             return None;
         }

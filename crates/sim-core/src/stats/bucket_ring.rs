@@ -1,0 +1,159 @@
+//! Fixed-width ring buffer of per-bucket aggregates for streaming
+//! telemetry.
+//!
+//! A [`BucketRing`] maps an unbounded, monotonically advancing sequence of
+//! absolute bucket indices (`time / width`) onto a fixed pool of slots.
+//! Ingest folds each event into its bucket's slot in O(1) amortized time;
+//! windowed queries then read a contiguous run of slots instead of
+//! re-scanning raw history. Slots older than the pool's capacity are
+//! recycled: advancing to bucket `b` zeroes every slot between the previous
+//! frontier and `b`, so a slot always holds exactly the aggregate of the
+//! one bucket it currently represents.
+//!
+//! The ring itself is aggregate-agnostic: `T` is any `Copy + Default`
+//! accumulator (an integer integral, a pair of counters, …). Exactness is
+//! the caller's contract — the telemetry trackers store *integer* sums so
+//! ring-served answers are bit-identical to a scan over raw events.
+
+/// A ring of per-bucket aggregates over an unbounded, monotonically
+/// advancing bucket index space. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct BucketRing<T> {
+    width: u64,
+    slots: Box<[T]>,
+    /// One past the newest bucket index ever touched; `0` means empty.
+    next: u64,
+}
+
+impl<T: Copy + Default> BucketRing<T> {
+    /// Creates a ring of `capacity` buckets, each `width` nanoseconds wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `capacity` is zero.
+    pub fn new(width: u64, capacity: usize) -> Self {
+        assert!(width > 0, "bucket width must be non-zero");
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        BucketRing {
+            width,
+            slots: vec![T::default(); capacity].into_boxed_slice(),
+            next: 0,
+        }
+    }
+
+    /// Bucket width in nanoseconds.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Number of slots in the pool.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Absolute bucket index containing the instant `t_nanos`.
+    pub fn bucket_of(&self, t_nanos: u64) -> u64 {
+        t_nanos / self.width
+    }
+
+    /// One past the newest bucket index ever touched.
+    pub fn next_bucket(&self) -> u64 {
+        self.next
+    }
+
+    /// Oldest bucket index still backed by a slot. Queries starting before
+    /// this bucket cannot be served from the ring.
+    pub fn first_retained(&self) -> u64 {
+        self.next.saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Moves the frontier so `bucket` is backed by a slot, zeroing every
+    /// slot recycled on the way. Amortized O(1) per bucket of simulated
+    /// time; a jump larger than the capacity clears the whole pool once.
+    pub fn advance_to(&mut self, bucket: u64) {
+        if bucket < self.next {
+            return;
+        }
+        let cap = self.slots.len() as u64;
+        if bucket - self.next >= cap {
+            self.slots.fill(T::default());
+        } else {
+            for b in self.next..=bucket {
+                self.slots[(b % cap) as usize] = T::default();
+            }
+        }
+        self.next = bucket + 1;
+    }
+
+    /// Mutable access to `bucket`'s slot, advancing the frontier if the
+    /// bucket is new. `None` when the bucket has already been recycled.
+    pub fn slot_mut(&mut self, bucket: u64) -> Option<&mut T> {
+        self.advance_to(bucket);
+        if bucket < self.first_retained() {
+            return None;
+        }
+        let cap = self.slots.len() as u64;
+        Some(&mut self.slots[(bucket % cap) as usize])
+    }
+
+    /// Reads `bucket`'s aggregate. Buckets at or past the frontier are
+    /// empty by definition (`T::default()`); buckets older than the
+    /// retention window return `None`.
+    pub fn get(&self, bucket: u64) -> Option<T> {
+        if bucket < self.first_retained() {
+            return None;
+        }
+        if bucket >= self.next {
+            return Some(T::default());
+        }
+        let cap = self.slots.len() as u64;
+        Some(self.slots[(bucket % cap) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_and_reads_back() {
+        let mut r: BucketRing<u64> = BucketRing::new(10, 4);
+        *r.slot_mut(0).unwrap() += 5;
+        *r.slot_mut(2).unwrap() += 7;
+        assert_eq!(r.get(0), Some(5));
+        assert_eq!(r.get(1), Some(0));
+        assert_eq!(r.get(2), Some(7));
+        assert_eq!(r.get(3), Some(0), "past the frontier is empty");
+    }
+
+    #[test]
+    fn recycles_old_slots() {
+        let mut r: BucketRing<u64> = BucketRing::new(10, 4);
+        *r.slot_mut(0).unwrap() += 1;
+        *r.slot_mut(5).unwrap() += 2; // evicts buckets 0 and 1
+        assert_eq!(r.first_retained(), 2);
+        assert_eq!(r.get(0), None);
+        assert_eq!(r.get(2), Some(0), "recycled slot was zeroed");
+        assert_eq!(r.get(5), Some(2));
+    }
+
+    #[test]
+    fn large_jump_clears_pool() {
+        let mut r: BucketRing<u64> = BucketRing::new(10, 4);
+        *r.slot_mut(1).unwrap() += 9;
+        *r.slot_mut(1000).unwrap() += 3;
+        assert_eq!(r.get(1), None);
+        for b in 997..1000 {
+            assert_eq!(r.get(b), Some(0), "bucket {b}");
+        }
+        assert_eq!(r.get(1000), Some(3));
+    }
+
+    #[test]
+    fn stale_write_is_rejected() {
+        let mut r: BucketRing<u64> = BucketRing::new(10, 2);
+        *r.slot_mut(10).unwrap() += 1;
+        assert!(r.slot_mut(3).is_none());
+        assert_eq!(r.get(10), Some(1), "frontier unchanged by stale write");
+    }
+}

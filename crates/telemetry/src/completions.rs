@@ -1,6 +1,9 @@
 //! Per-service completion log: response times with time-horizon eviction.
 
+use crate::concurrency::RING_WIDTH_NANOS;
+use sim_core::stats::BucketRing;
 use sim_core::{SimDuration, SimTime};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// A bounded log of `(completion_time, response_time)` pairs for one
@@ -10,6 +13,18 @@ use std::collections::VecDeque;
 /// the response-time *threshold* is chosen later (by deadline propagation),
 /// the log stores raw response times and computes goodput for any threshold
 /// on demand, rather than committing to a threshold at ingest.
+///
+/// Windowed counting queries are served from a streaming aggregation ring:
+/// each `record` folds a `(total, good)` pair into a 10 ms [`BucketRing`]
+/// and each eviction subtracts it back out, so aligned queries read
+/// `O(window buckets)` slots instead of re-scanning the raw log. "Good" is
+/// relative to the most recently queried threshold; querying a *different*
+/// threshold re-folds the retained entries once (no worse than the scan it
+/// replaces) and subsequent queries at that threshold are ring reads. Counts
+/// are exact integers, so ring-served answers are bit-identical to the
+/// retained scan implementation (exposed as the `*_scan` oracle under
+/// `cfg(any(test, feature = "reference-scan"))`); unaligned or
+/// out-of-retention windows fall back to the scan transparently.
 ///
 /// # Example
 ///
@@ -28,14 +43,31 @@ use std::collections::VecDeque;
 pub struct CompletionLog {
     horizon: SimDuration,
     entries: VecDeque<(SimTime, SimDuration)>,
+    /// Interior mutability lets `&self` queries re-fold the good counts
+    /// when the threshold changes; the log is used single-threaded per
+    /// world, so `RefCell` costs nothing but a flag check.
+    counts: RefCell<CountRing>,
+}
+
+/// Per-10 ms `(total, good)` completion counts for the retained entries,
+/// with `good` valid for `threshold`.
+#[derive(Debug, Clone)]
+struct CountRing {
+    threshold: SimDuration,
+    ring: BucketRing<(u32, u32)>,
 }
 
 impl CompletionLog {
     /// Creates a log retaining `horizon` of history.
     pub fn new(horizon: SimDuration) -> Self {
+        let capacity = (horizon.as_nanos() / RING_WIDTH_NANOS + 2) as usize;
         CompletionLog {
             horizon,
             entries: VecDeque::new(),
+            counts: RefCell::new(CountRing {
+                threshold: SimDuration::MAX,
+                ring: BucketRing::new(RING_WIDTH_NANOS, capacity),
+            }),
         }
     }
 
@@ -50,6 +82,15 @@ impl CompletionLog {
             assert!(t >= last, "completions must be recorded in time order");
         }
         self.entries.push_back((t, rt));
+        let c = self.counts.get_mut();
+        let slot = c
+            .ring
+            .slot_mut(t.as_nanos() / RING_WIDTH_NANOS)
+            .expect("newest bucket is always retained");
+        slot.0 += 1;
+        if rt <= c.threshold {
+            slot.1 += 1;
+        }
         self.evict(t);
     }
 
@@ -59,9 +100,18 @@ impl CompletionLog {
             return;
         }
         let cutoff = SimTime::ZERO + (elapsed - self.horizon);
-        while let Some(&(t, _)) = self.entries.front() {
+        let c = self.counts.get_mut();
+        while let Some(&(t, rt)) = self.entries.front() {
             if t < cutoff {
                 self.entries.pop_front();
+                // Subtract so ring slots keep mirroring exactly the
+                // retained entries.
+                if let Some(slot) = c.ring.slot_mut(t.as_nanos() / RING_WIDTH_NANOS) {
+                    slot.0 -= 1;
+                    if rt <= c.threshold {
+                        slot.1 -= 1;
+                    }
+                }
             } else {
                 break;
             }
@@ -86,11 +136,36 @@ impl CompletionLog {
 
     /// Completions in `[from, to)`.
     pub fn count_in(&self, from: SimTime, to: SimTime) -> u64 {
+        let c = self.counts.borrow();
+        if Self::ring_serves(&c.ring, from, to) {
+            let (b0, b1) = (
+                from.as_nanos() / RING_WIDTH_NANOS,
+                to.as_nanos() / RING_WIDTH_NANOS,
+            );
+            return (b0..b1)
+                .map(|b| u64::from(c.ring.get(b).unwrap_or_default().0))
+                .sum();
+        }
+        drop(c);
         self.iter_window(from, to).count() as u64
     }
 
     /// Completions in `[from, to)` with response time ≤ `threshold`.
     pub fn goodput_in(&self, from: SimTime, to: SimTime, threshold: SimDuration) -> u64 {
+        let mut c = self.counts.borrow_mut();
+        if Self::ring_serves(&c.ring, from, to) {
+            if c.threshold != threshold {
+                Self::refold(&self.entries, &mut c, threshold);
+            }
+            let (b0, b1) = (
+                from.as_nanos() / RING_WIDTH_NANOS,
+                to.as_nanos() / RING_WIDTH_NANOS,
+            );
+            return (b0..b1)
+                .map(|b| u64::from(c.ring.get(b).unwrap_or_default().1))
+                .sum();
+        }
+        drop(c);
         self.iter_window(from, to)
             .filter(|&&(_, rt)| rt <= threshold)
             .count() as u64
@@ -116,9 +191,97 @@ impl CompletionLog {
         width: SimDuration,
         threshold: SimDuration,
     ) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        self.bucket_counts_into(from, to, width, threshold, &mut out);
+        out
+    }
+
+    /// [`CompletionLog::bucket_counts`] into a caller-owned buffer (cleared
+    /// first) — the zero-allocation path for per-tick callers that reuse
+    /// scratch.
+    pub fn bucket_counts_into(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        width: SimDuration,
+        threshold: SimDuration,
+        out: &mut Vec<(u64, u64)>,
+    ) {
         assert!(!width.is_zero(), "bucket width must be non-zero");
+        out.clear();
+        let w = width.as_nanos();
+        let n = to.saturating_since(from).as_nanos() / w;
+        if n == 0 {
+            return;
+        }
+        let mut c = self.counts.borrow_mut();
+        if !w.is_multiple_of(RING_WIDTH_NANOS)
+            || !from.as_nanos().is_multiple_of(RING_WIDTH_NANOS)
+            || from.as_nanos() / RING_WIDTH_NANOS < c.ring.first_retained()
+        {
+            drop(c);
+            self.scan_bucket_counts_into(from, to, width, threshold, out);
+            return;
+        }
+        if c.threshold != threshold {
+            Self::refold(&self.entries, &mut c, threshold);
+        }
+        let k = w / RING_WIDTH_NANOS;
+        let base = from.as_nanos() / RING_WIDTH_NANOS;
+        out.reserve(n as usize);
+        for i in 0..n {
+            let b0 = base + i * k;
+            let (mut total, mut good) = (0u64, 0u64);
+            for b in b0..b0 + k {
+                let (t_, g) = c.ring.get(b).unwrap_or_default();
+                total += u64::from(t_);
+                good += u64::from(g);
+            }
+            out.push((total, good));
+        }
+    }
+
+    /// Reference scan implementation of [`CompletionLog::bucket_counts`] —
+    /// the equivalence oracle for the ring path.
+    #[cfg(any(test, feature = "reference-scan"))]
+    pub fn bucket_counts_scan(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        width: SimDuration,
+        threshold: SimDuration,
+    ) -> Vec<(u64, u64)> {
+        assert!(!width.is_zero(), "bucket width must be non-zero");
+        let mut out = Vec::new();
+        self.scan_bucket_counts_into(from, to, width, threshold, &mut out);
+        out
+    }
+
+    /// Reference scan implementation of [`CompletionLog::count_in`].
+    #[cfg(any(test, feature = "reference-scan"))]
+    pub fn count_in_scan(&self, from: SimTime, to: SimTime) -> u64 {
+        self.iter_window(from, to).count() as u64
+    }
+
+    /// Reference scan implementation of [`CompletionLog::goodput_in`].
+    #[cfg(any(test, feature = "reference-scan"))]
+    pub fn goodput_in_scan(&self, from: SimTime, to: SimTime, threshold: SimDuration) -> u64 {
+        self.iter_window(from, to)
+            .filter(|&&(_, rt)| rt <= threshold)
+            .count() as u64
+    }
+
+    fn scan_bucket_counts_into(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        width: SimDuration,
+        threshold: SimDuration,
+        out: &mut Vec<(u64, u64)>,
+    ) {
         let n = (to.saturating_since(from).as_nanos() / width.as_nanos()) as usize;
-        let mut out = vec![(0u64, 0u64); n];
+        out.clear();
+        out.resize(n, (0u64, 0u64));
         for &(t, rt) in self.iter_window(from, from + width * n as u64) {
             let idx = ((t - from).as_nanos() / width.as_nanos()) as usize;
             out[idx].0 += 1;
@@ -126,7 +289,36 @@ impl CompletionLog {
                 out[idx].1 += 1;
             }
         }
-        out
+    }
+
+    /// True when `[from, to)` is 10 ms-aligned and inside ring retention.
+    fn ring_serves(ring: &BucketRing<(u32, u32)>, from: SimTime, to: SimTime) -> bool {
+        from.as_nanos().is_multiple_of(RING_WIDTH_NANOS)
+            && to.as_nanos().is_multiple_of(RING_WIDTH_NANOS)
+            && from.as_nanos() / RING_WIDTH_NANOS >= ring.first_retained()
+    }
+
+    /// Rebuilds the `good` half of every retained slot for a new threshold:
+    /// one pass over the retained entries, amortized across every later
+    /// aligned query at that threshold.
+    fn refold(
+        entries: &VecDeque<(SimTime, SimDuration)>,
+        c: &mut CountRing,
+        threshold: SimDuration,
+    ) {
+        c.threshold = threshold;
+        for b in c.ring.first_retained()..c.ring.next_bucket() {
+            if let Some(slot) = c.ring.slot_mut(b) {
+                slot.1 = 0;
+            }
+        }
+        for &(t, rt) in entries {
+            if rt <= threshold {
+                if let Some(slot) = c.ring.slot_mut(t.as_nanos() / RING_WIDTH_NANOS) {
+                    slot.1 += 1;
+                }
+            }
+        }
     }
 }
 
@@ -186,6 +378,37 @@ mod tests {
         let mut log = CompletionLog::new(SimDuration::from_secs(60));
         log.record(t(10), d(1));
         log.record(t(5), d(1));
+    }
+
+    #[test]
+    fn ring_matches_scan_across_thresholds_and_eviction() {
+        let mut log = CompletionLog::new(d(500));
+        for i in 0..300u64 {
+            log.record(t(i * 7), SimDuration::from_micros(i * 997 % 40_000));
+        }
+        // Alternating thresholds force repeated refolds.
+        for thr_ms in [5u64, 20, 5, 33] {
+            let (f, to) = (t(1700), t(2100));
+            assert_eq!(
+                log.bucket_counts(f, to, d(50), d(thr_ms)),
+                log.bucket_counts_scan(f, to, d(50), d(thr_ms)),
+                "threshold {thr_ms}"
+            );
+            assert_eq!(
+                log.goodput_in(f, to, d(thr_ms)),
+                log.goodput_in_scan(f, to, d(thr_ms))
+            );
+        }
+        // A window straddling the evicted region falls back to the scan and
+        // still matches.
+        assert_eq!(
+            log.bucket_counts(t(0), t(2100), d(100), d(10)),
+            log.bucket_counts_scan(t(0), t(2100), d(100), d(10))
+        );
+        assert_eq!(
+            log.count_in(t(0), t(2100)),
+            log.count_in_scan(t(0), t(2100))
+        );
     }
 
     proptest! {

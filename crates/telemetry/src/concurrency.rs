@@ -1,7 +1,13 @@
 //! Time-weighted concurrency tracking for one service.
 
+use sim_core::stats::BucketRing;
 use sim_core::{SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// Resolution of the streaming aggregation ring: 10 ms divides every
+/// sampling interval the pipeline uses (10/20/50/100/200/500 ms), so any
+/// interval-aligned window is a whole number of ring buckets.
+pub(crate) const RING_WIDTH_NANOS: u64 = 10_000_000;
 
 /// Tracks the number of requests concurrently *in service* (holding a
 /// thread / being processed) as a piecewise-constant level, and answers
@@ -10,6 +16,16 @@ use std::collections::VecDeque;
 ///
 /// Change points older than the retention horizon are compacted away, so
 /// memory stays bounded during long runs.
+///
+/// Windowed queries are served from a streaming aggregation ring: every
+/// closed level segment folds its exact integer `level · nanoseconds`
+/// integral into a 10 ms [`BucketRing`] at ingest, so an aligned query
+/// reads `O(window buckets)` slots instead of re-walking the change-point
+/// history. The integrals are integers divided once at query time, so
+/// ring-served answers are bit-identical to the retained scan
+/// implementation (exposed as the `*_scan` oracle under
+/// `cfg(any(test, feature = "reference-scan"))`); unaligned or
+/// out-of-retention windows fall back to the scan transparently.
 ///
 /// # Example
 ///
@@ -34,6 +50,10 @@ pub struct ConcurrencyTracker {
     changes: VecDeque<(SimTime, u32)>,
     current: u32,
     peak: u32,
+    /// Per-10 ms `level · nanoseconds` integrals of every *closed* segment
+    /// still described by `changes`. The open tail (last change point to
+    /// "now" at the current level) is added arithmetically at query time.
+    ring: BucketRing<u64>,
 }
 
 impl ConcurrencyTracker {
@@ -41,11 +61,15 @@ impl ConcurrencyTracker {
     pub fn new(horizon: SimDuration) -> Self {
         let mut changes = VecDeque::new();
         changes.push_back((SimTime::ZERO, 0));
+        // +2 slots of slack: the partially-filled newest bucket plus the
+        // bucket a horizon-length window starts in.
+        let capacity = (horizon.as_nanos() / RING_WIDTH_NANOS + 2) as usize;
         ConcurrencyTracker {
             horizon,
             changes,
             current: 0,
             peak: 0,
+            ring: BucketRing::new(RING_WIDTH_NANOS, capacity),
         }
     }
 
@@ -82,14 +106,43 @@ impl ConcurrencyTracker {
             return;
         }
         if t == last_t {
-            // Coalesce simultaneous changes.
+            // Coalesce simultaneous changes. The segment ending here was
+            // folded when this change point was first pushed.
             self.changes.back_mut().expect("never empty").1 = level;
         } else {
+            // The open segment [last_t, t) just closed: fold its integral
+            // into the ring before the deque moves on.
+            self.fold_segment(last_t, t, last_level, true);
             self.changes.push_back((t, level));
         }
         self.current = level;
         self.peak = self.peak.max(level);
         self.compact(t);
+    }
+
+    /// Adds (or subtracts) a closed segment's per-bucket integral.
+    fn fold_segment(&mut self, from: SimTime, to: SimTime, level: u32, add: bool) {
+        if level == 0 || to <= from {
+            return;
+        }
+        let (mut a, b) = (from.as_nanos(), to.as_nanos());
+        let lvl = u64::from(level);
+        self.ring.advance_to((b - 1) / RING_WIDTH_NANOS);
+        // Chunks below the retention window have no slot; skip them.
+        a = a.max(self.ring.first_retained() * RING_WIDTH_NANOS);
+        while a < b {
+            let bucket = a / RING_WIDTH_NANOS;
+            let chunk_end = b.min((bucket + 1) * RING_WIDTH_NANOS);
+            if let Some(slot) = self.ring.slot_mut(bucket) {
+                let dv = (chunk_end - a) * lvl;
+                if add {
+                    *slot += dv;
+                } else {
+                    *slot -= dv;
+                }
+            }
+            a = chunk_end;
+        }
     }
 
     /// Drops change points no longer needed to answer queries newer than
@@ -101,7 +154,33 @@ impl ConcurrencyTracker {
         }
         let cutoff = SimTime::ZERO + (keep_from - self.horizon);
         while self.changes.len() >= 2 && self.changes[1].0 <= cutoff {
-            self.changes.pop_front();
+            let (start, level) = self.changes.pop_front().expect("len checked");
+            let end = self.changes.front().expect("len checked").0;
+            // The dropped segment left the deque; subtract its integral so
+            // the ring keeps mirroring exactly the retained history.
+            self.fold_segment(start, end, level, false);
+        }
+    }
+
+    /// True when `[from, …)` windows of `width`-multiples can be answered
+    /// from the ring.
+    fn ring_serves(&self, from: SimTime, width_nanos: u64) -> bool {
+        width_nanos.is_multiple_of(RING_WIDTH_NANOS)
+            && from.as_nanos().is_multiple_of(RING_WIDTH_NANOS)
+            && from.as_nanos() / RING_WIDTH_NANOS >= self.ring.first_retained()
+    }
+
+    /// Integral of the open tail segment over `[bs, be)` nanoseconds.
+    fn open_tail(&self, bs: u64, be: u64) -> u64 {
+        let lvl = u64::from(self.current);
+        if lvl == 0 {
+            return 0;
+        }
+        let open = self.changes.back().expect("never empty").0.as_nanos();
+        if be > open {
+            (be - bs.max(open)) * lvl
+        } else {
+            0
         }
     }
 
@@ -112,6 +191,89 @@ impl ConcurrencyTracker {
     /// Panics if `from >= to`.
     pub fn average_in(&self, from: SimTime, to: SimTime) -> f64 {
         assert!(from < to, "empty window");
+        if self.ring_serves(from, RING_WIDTH_NANOS)
+            && to.as_nanos().is_multiple_of(RING_WIDTH_NANOS)
+        {
+            let (b0, b1) = (
+                from.as_nanos() / RING_WIDTH_NANOS,
+                to.as_nanos() / RING_WIDTH_NANOS,
+            );
+            let mut sum: u64 = 0;
+            for b in b0..b1 {
+                sum += self.ring.get(b).unwrap_or(0);
+            }
+            sum += self.open_tail(from.as_nanos(), to.as_nanos());
+            return sum as f64 / (to - from).as_nanos() as f64;
+        }
+        self.scan_average_in(from, to)
+    }
+
+    /// Average level in each `width`-sized bucket of `[from, to)`.
+    ///
+    /// `to − from` is truncated to a whole number of buckets.
+    pub fn bucket_averages(&self, from: SimTime, to: SimTime, width: SimDuration) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.bucket_averages_into(from, to, width, &mut out);
+        out
+    }
+
+    /// [`ConcurrencyTracker::bucket_averages`] into a caller-owned buffer
+    /// (cleared first) — the zero-allocation path for per-tick callers that
+    /// reuse scratch.
+    pub fn bucket_averages_into(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        width: SimDuration,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(!width.is_zero(), "bucket width must be non-zero");
+        out.clear();
+        let w = width.as_nanos();
+        let n = to.saturating_since(from).as_nanos() / w;
+        if n == 0 {
+            return;
+        }
+        if !self.ring_serves(from, w) {
+            self.scan_bucket_averages_into(from, to, width, out);
+            return;
+        }
+        let k = w / RING_WIDTH_NANOS;
+        let base = from.as_nanos() / RING_WIDTH_NANOS;
+        let wf = w as f64;
+        out.reserve(n as usize);
+        for i in 0..n {
+            let b0 = base + i * k;
+            let mut sum: u64 = 0;
+            for b in b0..b0 + k {
+                sum += self.ring.get(b).unwrap_or(0);
+            }
+            let bs = from.as_nanos() + i * w;
+            sum += self.open_tail(bs, bs + w);
+            out.push(sum as f64 / wf);
+        }
+    }
+
+    /// Reference scan implementation of [`ConcurrencyTracker::average_in`]
+    /// — the equivalence oracle for the ring path.
+    #[cfg(any(test, feature = "reference-scan"))]
+    pub fn average_in_scan(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(from < to, "empty window");
+        self.scan_average_in(from, to)
+    }
+
+    /// Reference scan implementation of
+    /// [`ConcurrencyTracker::bucket_averages`] — the equivalence oracle for
+    /// the ring path.
+    #[cfg(any(test, feature = "reference-scan"))]
+    pub fn bucket_averages_scan(&self, from: SimTime, to: SimTime, width: SimDuration) -> Vec<f64> {
+        assert!(!width.is_zero(), "bucket width must be non-zero");
+        let mut out = Vec::new();
+        self.scan_bucket_averages_into(from, to, width, &mut out);
+        out
+    }
+
+    fn scan_average_in(&self, from: SimTime, to: SimTime) -> f64 {
         let mut integral = 0.0;
         for (seg_start, seg_end, level) in self.segments() {
             let s = seg_start.max(from);
@@ -123,13 +285,16 @@ impl ConcurrencyTracker {
         integral / (to - from).as_nanos() as f64
     }
 
-    /// Average level in each `width`-sized bucket of `[from, to)`.
-    ///
-    /// `to − from` is truncated to a whole number of buckets.
-    pub fn bucket_averages(&self, from: SimTime, to: SimTime, width: SimDuration) -> Vec<f64> {
-        assert!(!width.is_zero(), "bucket width must be non-zero");
-        let n = ((to.saturating_since(from)).as_nanos() / width.as_nanos()) as usize;
-        let mut out = vec![0.0; n];
+    fn scan_bucket_averages_into(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        width: SimDuration,
+        out: &mut Vec<f64>,
+    ) {
+        let n = (to.saturating_since(from).as_nanos() / width.as_nanos()) as usize;
+        out.clear();
+        out.resize(n, 0.0);
         for (seg_start, seg_end, level) in self.segments() {
             if level == 0 {
                 continue;
@@ -149,10 +314,9 @@ impl ConcurrencyTracker {
             }
         }
         let w = width.as_nanos() as f64;
-        for v in &mut out {
+        for v in out.iter_mut() {
             *v /= w;
         }
-        out
     }
 
     /// Iterates `(start, end, level)` segments; the final segment extends to
@@ -249,6 +413,40 @@ mod tests {
         // 1/0 per ms → average 0.5.
         let avg = c.average_in(t(1950), t(1990));
         assert!((avg - 0.5).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn ring_matches_scan_on_aligned_and_unaligned_windows() {
+        let mut c = ConcurrencyTracker::new(SimDuration::from_secs(1));
+        let mut lvl = 0u32;
+        for i in 0..400u64 {
+            let at = SimTime::from_nanos(i * 7_777_777);
+            if lvl == 0 || i % 3 != 0 {
+                c.enter(at);
+                lvl += 1;
+            } else {
+                c.leave(at);
+                lvl -= 1;
+            }
+        }
+        for (from_ms, to_ms, w_ms) in [(0u64, 3000u64, 100u64), (2000, 3100, 50), (2500, 3000, 10)]
+        {
+            let ring = c.bucket_averages(t(from_ms), t(to_ms), SimDuration::from_millis(w_ms));
+            let scan = c.bucket_averages_scan(t(from_ms), t(to_ms), SimDuration::from_millis(w_ms));
+            assert_eq!(ring, scan, "window {from_ms}..{to_ms} w={w_ms}");
+        }
+        // Unaligned window exercises the fallback.
+        let f = SimTime::from_nanos(123_456);
+        let to = SimTime::from_nanos(2_000_123_456);
+        let w = SimDuration::from_nanos(77_000_003);
+        assert_eq!(
+            c.bucket_averages(f, to, w),
+            c.bucket_averages_scan(f, to, w)
+        );
+        assert_eq!(
+            c.average_in(t(2000), t(3000)).to_bits(),
+            c.average_in_scan(t(2000), t(3000)).to_bits()
+        );
     }
 
     proptest! {

@@ -1,0 +1,153 @@
+//! Property tests: ring-served windowed queries are *bit-identical* to the
+//! reference-scan oracle on arbitrary interleaved event streams, including
+//! compaction, eviction, threshold changes and windows that straddle
+//! evicted buckets or fall back to the scan path.
+
+use crate::scatter::{build_scatter_scan, ScatterScratch};
+use crate::{build_scatter_into, CompletionLog, ConcurrencyTracker};
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
+
+/// One stream step: `(dt_nanos, op, rt_nanos)` — advance time by `dt`,
+/// then op 0 = enter, 1 = leave (or enter when idle), 2 = record(`rt`).
+type Step = (u64, u8, u64);
+
+/// Replays a stream into a tracker + log with a 1 s horizon, keeping the
+/// level legal (a leave with nothing in service becomes an enter).
+/// Irregular, unaligned gaps up to 60 ms mean a few hundred events span
+/// several times the horizon, so compaction and ring recycling trigger.
+fn replay(stream: &[Step]) -> (ConcurrencyTracker, CompletionLog, SimTime) {
+    let horizon = SimDuration::from_secs(1);
+    let mut conc = ConcurrencyTracker::new(horizon);
+    let mut log = CompletionLog::new(horizon);
+    let mut now = 0u64;
+    let mut level = 0u32;
+    for &(dt, op, rt_nanos) in stream {
+        now += dt;
+        let at = SimTime::from_nanos(now);
+        match op {
+            0 => {
+                conc.enter(at);
+                level += 1;
+            }
+            1 if level > 0 => {
+                conc.leave(at);
+                level -= 1;
+            }
+            1 => {
+                conc.enter(at);
+                level += 1;
+            }
+            _ => log.record(at, SimDuration::from_nanos(rt_nanos)),
+        }
+    }
+    (conc, log, SimTime::from_nanos(now))
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Query windows exercising every serving mode: ring-served interior
+/// windows, windows straddling the compacted/evicted past (from = 0),
+/// windows extending past "now", and unaligned fallbacks.
+fn windows(now: SimTime) -> Vec<(SimTime, SimTime, SimDuration)> {
+    let ms = |v: u64| SimDuration::from_millis(v);
+    let end_ms = now.as_nanos() / 1_000_000;
+    let align = |v: u64, w: u64| SimTime::from_millis((v / w) * w);
+    let mut out = vec![
+        // Straddles everything ever evicted.
+        (SimTime::ZERO, now + ms(50), ms(100)),
+        // Unaligned width and start: scan fallback.
+        (
+            SimTime::from_nanos(12_345),
+            now,
+            SimDuration::from_nanos(33_333_333),
+        ),
+    ];
+    for w in [10u64, 20, 100] {
+        // Trailing aligned window just inside the horizon.
+        out.push((align(end_ms.saturating_sub(800), w), now, ms(w)));
+        // Aligned window straddling the eviction edge.
+        out.push((align(end_ms.saturating_sub(1100), w), now + ms(w), ms(w)));
+    }
+    out
+}
+
+fn steps() -> proptest::collection::VecStrategy<(
+    std::ops::Range<u64>,
+    std::ops::Range<u8>,
+    std::ops::Range<u64>,
+)> {
+    proptest::collection::vec((0u64..60_000_000, 0u8..3, 0u64..40_000_000), 1..300)
+}
+
+proptest! {
+    /// `bucket_averages` and `average_in` are bit-identical to the scan.
+    #[test]
+    fn prop_concurrency_ring_equals_scan(stream in steps()) {
+        let (conc, _, now) = replay(&stream);
+        for (from, to, w) in windows(now) {
+            prop_assert_eq!(
+                bits(&conc.bucket_averages(from, to, w)),
+                bits(&conc.bucket_averages_scan(from, to, w)),
+                "bucket_averages [{}, {}) w={}", from, to, w
+            );
+            if from < to {
+                prop_assert_eq!(
+                    conc.average_in(from, to).to_bits(),
+                    conc.average_in_scan(from, to).to_bits(),
+                    "average_in [{}, {})", from, to
+                );
+            }
+        }
+    }
+
+    /// `bucket_counts`, `count_in` and `goodput_in` equal the scan for a
+    /// sequence of alternating thresholds (each change re-folds the ring).
+    #[test]
+    fn prop_completion_ring_equals_scan(
+        stream in steps(),
+        thresholds in proptest::collection::vec(0u64..50_000_000, 1..5),
+    ) {
+        let (_, log, now) = replay(&stream);
+        for (from, to, w) in windows(now) {
+            for &thr in &thresholds {
+                let thr = SimDuration::from_nanos(thr);
+                prop_assert_eq!(
+                    log.bucket_counts(from, to, w, thr),
+                    log.bucket_counts_scan(from, to, w, thr),
+                    "bucket_counts [{}, {}) w={} thr={}", from, to, w, thr
+                );
+                prop_assert_eq!(log.count_in(from, to), log.count_in_scan(from, to));
+                prop_assert_eq!(
+                    log.goodput_in(from, to, thr),
+                    log.goodput_in_scan(from, to, thr)
+                );
+            }
+        }
+    }
+
+    /// Full scatter construction (goodput and throughput variants) is
+    /// exactly equal to the oracle built from the scan queries.
+    #[test]
+    fn prop_scatter_equals_scan(
+        stream in steps(),
+        thr in 0u64..50_000_000,
+    ) {
+        let (conc, log, now) = replay(&stream);
+        let mut scratch = ScatterScratch::default();
+        for (from, to, w) in windows(now) {
+            for threshold in [Some(SimDuration::from_nanos(thr)), None] {
+                let mut ring = Vec::new();
+                build_scatter_into(&conc, &log, from, to, w, threshold, &mut scratch, &mut ring);
+                let scan = build_scatter_scan(&conc, &log, from, to, w, threshold);
+                prop_assert_eq!(ring.len(), scan.len());
+                for (r, s) in ring.iter().zip(&scan) {
+                    prop_assert_eq!(r.q.to_bits(), s.q.to_bits());
+                    prop_assert_eq!(r.rate.to_bits(), s.rate.to_bits());
+                }
+            }
+        }
+    }
+}

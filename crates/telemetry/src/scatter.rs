@@ -51,14 +51,19 @@ pub fn build_scatter(
     interval: SimDuration,
     threshold: SimDuration,
 ) -> Vec<ScatterPoint> {
-    build_points(
+    let mut scratch = ScatterScratch::default();
+    let mut out = Vec::new();
+    build_scatter_into(
         concurrency,
         completions,
         from,
         to,
         interval,
         Some(threshold),
-    )
+        &mut scratch,
+        &mut out,
+    );
+    out
 }
 
 /// Like [`build_scatter`] but counts *all* completions — the
@@ -70,10 +75,62 @@ pub fn build_scatter_throughput(
     to: SimTime,
     interval: SimDuration,
 ) -> Vec<ScatterPoint> {
-    build_points(concurrency, completions, from, to, interval, None)
+    let mut scratch = ScatterScratch::default();
+    let mut out = Vec::new();
+    build_scatter_into(
+        concurrency,
+        completions,
+        from,
+        to,
+        interval,
+        None,
+        &mut scratch,
+        &mut out,
+    );
+    out
 }
 
-fn build_points(
+/// Reusable buffers for [`build_scatter_into`]: per-bucket concurrency
+/// averages and completion counts. Controllers hold one of these across
+/// ticks so scatter construction allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ScatterScratch {
+    qs: Vec<f64>,
+    counts: Vec<(u64, u64)>,
+}
+
+/// Zero-allocation scatter construction: appends one point per non-empty
+/// bucket of `[from, to)` to `out` (which is *not* cleared, so per-replica
+/// graphs can be overlaid into one buffer). `threshold = Some(d)` builds
+/// the goodput (SCG) variant, `None` the throughput (SCT) variant.
+#[allow(clippy::too_many_arguments)]
+pub fn build_scatter_into(
+    concurrency: &ConcurrencyTracker,
+    completions: &CompletionLog,
+    from: SimTime,
+    to: SimTime,
+    interval: SimDuration,
+    threshold: Option<SimDuration>,
+    scratch: &mut ScatterScratch,
+    out: &mut Vec<ScatterPoint>,
+) {
+    assert!(!interval.is_zero(), "sampling interval must be non-zero");
+    concurrency.bucket_averages_into(from, to, interval, &mut scratch.qs);
+    completions.bucket_counts_into(
+        from,
+        to,
+        interval,
+        threshold.unwrap_or(SimDuration::MAX),
+        &mut scratch.counts,
+    );
+    push_points(&scratch.qs, &scratch.counts, interval, threshold, out);
+}
+
+/// Reference implementation of [`build_scatter`]/[`build_scatter_throughput`]
+/// on top of the scan oracles — the equivalence baseline for property tests
+/// and the `estimation_pipeline` benchmark.
+#[cfg(any(test, feature = "reference-scan"))]
+pub fn build_scatter_scan(
     concurrency: &ConcurrencyTracker,
     completions: &CompletionLog,
     from: SimTime,
@@ -82,21 +139,31 @@ fn build_points(
     threshold: Option<SimDuration>,
 ) -> Vec<ScatterPoint> {
     assert!(!interval.is_zero(), "sampling interval must be non-zero");
-    let qs = concurrency.bucket_averages(from, to, interval);
+    let qs = concurrency.bucket_averages_scan(from, to, interval);
     let counts =
-        completions.bucket_counts(from, to, interval, threshold.unwrap_or(SimDuration::MAX));
+        completions.bucket_counts_scan(from, to, interval, threshold.unwrap_or(SimDuration::MAX));
+    let mut out = Vec::new();
+    push_points(&qs, &counts, interval, threshold, &mut out);
+    out
+}
+
+fn push_points(
+    qs: &[f64],
+    counts: &[(u64, u64)],
+    interval: SimDuration,
+    threshold: Option<SimDuration>,
+    out: &mut Vec<ScatterPoint>,
+) {
     let secs = interval.as_secs_f64();
-    qs.iter()
-        .zip(&counts)
-        .filter(|(&q, &(total, _))| q > 0.0 || total > 0)
-        .map(|(&q, &(total, good))| {
+    for (&q, &(total, good)) in qs.iter().zip(counts) {
+        if q > 0.0 || total > 0 {
             let n = if threshold.is_some() { good } else { total };
-            ScatterPoint {
+            out.push(ScatterPoint {
                 q,
                 rate: n as f64 / secs,
-            }
-        })
-        .collect()
+            });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> ring/scan equivalence proptests (--features reference-scan)"
+cargo test -q -p telemetry --features reference-scan ring_equivalence
+
+echo "==> canned scenario determinism (byte-identical metrics vs golden)"
+cargo build -q --release -p sora-bench --bin run_scenario
+cp results/scenario_short.json /tmp/scenario_short_golden.json
+./target/release/run_scenario scenarios/short.json > /tmp/scenario_short_stdout.txt
+python3 - <<'EOF'
+import json, sys
+def strip(d):  # perf blocks carry wall-clock timings and may differ run to run
+    return {k: v for k, v in d.items() if k != "perf"} if isinstance(d, dict) else d
+new = strip(json.load(open("results/scenario_short.json")))
+gold = strip(json.load(open("/tmp/scenario_short_golden.json")))
+if new != gold:
+    sys.exit("scenario_short metrics diverged from the committed golden")
+EOF
+mv /tmp/scenario_short_golden.json results/scenario_short.json
+rm -f /tmp/scenario_short_stdout.txt
+
 echo "==> fault_resilience smoke (determinism across --jobs)"
 cargo build -q --release -p sora-bench --bin fault_resilience
 ./target/release/fault_resilience --smoke --jobs 1 2>/dev/null > /tmp/fault_smoke_j1.txt
