@@ -212,6 +212,26 @@ impl Scenario {
         let done = world.run_until(end);
         handle_done(world, &mut self.pool, &mut user_of, done);
 
+        // Under auditing every scenario must finish with a clean ledger on
+        // both sides of the client/world seam. Audit state never enters
+        // RunResult: the serialized outputs stay byte-identical to
+        // audit-off builds.
+        #[cfg(feature = "audit")]
+        {
+            assert_eq!(
+                world.audit().total(),
+                0,
+                "world invariant violations: {}",
+                world.audit().summary()
+            );
+            assert_eq!(
+                self.pool.audit().total(),
+                0,
+                "retry-budget violations: {}",
+                self.pool.audit().summary()
+            );
+        }
+
         let client = world.client();
         let bucket = self.config.sample_period;
         let run_end = now;

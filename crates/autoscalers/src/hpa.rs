@@ -61,24 +61,42 @@ impl HpaController {
     pub fn service(&self) -> ServiceId {
         self.service
     }
+
+    /// Raw (unclamped) recommendation `ceil(ready × util / target)`, or
+    /// `None` when it is undefined: no ready replicas, or a non-finite
+    /// utilisation reading (probe with no samples). A NaN used to flow
+    /// through `ceil() as usize` into `0`, clamp to `min_replicas`, and
+    /// poison the stabilisation history with a bogus scale-to-minimum
+    /// recommendation; now the control period is skipped instead.
+    fn raw_desired(ready: usize, util: f64, target: f64) -> Option<usize> {
+        if ready == 0 || !util.is_finite() {
+            return None;
+        }
+        Some((ready as f64 * util / target).ceil().max(0.0) as usize)
+    }
+
+    /// Start (inclusive) of the stabilisation window at `now`: a
+    /// recommendation exactly `stabilization` old is still binding, and
+    /// during the startup phase (`now < stabilization`) the window spans
+    /// the whole run.
+    fn keep_from(now: SimTime, stabilization: SimDuration) -> SimTime {
+        SimTime::ZERO
+            + now
+                .saturating_since(SimTime::ZERO)
+                .saturating_sub_or_zero(stabilization)
+    }
 }
 
 impl Controller for HpaController {
     fn control(&mut self, world: &mut World, now: SimTime) {
         let util = self.probe.read(world, self.service, now);
         let ready = world.ready_replicas(self.service).len();
-        if ready == 0 {
-            return; // nothing ready yet (pods still starting)
-        }
-        let raw = (ready as f64 * util / self.config.target_utilization).ceil() as usize;
+        let Some(raw) = Self::raw_desired(ready, util, self.config.target_utilization) else {
+            return; // nothing ready yet, or no usable utilisation sample
+        };
         let desired = raw.clamp(self.config.min_replicas, self.config.max_replicas);
         self.history.push((now, desired));
-        let cutoff = now.saturating_since(SimTime::ZERO);
-        let keep_from = if cutoff > self.config.stabilization {
-            SimTime::ZERO + (cutoff - self.config.stabilization)
-        } else {
-            SimTime::ZERO
-        };
+        let keep_from = Self::keep_from(now, self.config.stabilization);
         self.history.retain(|&(t, _)| t >= keep_from);
 
         // Include replicas still starting so we don't over-provision while
@@ -211,6 +229,70 @@ mod tests {
         let counts = drive(&mut w, rt, &mut hpa, 120, 1); // heavy overload
         assert!(counts.iter().all(|&c| c <= 2));
         assert_eq!(*counts.last().unwrap(), 2);
+    }
+
+    /// Regression: a NaN utilisation reading used to become `raw = 0` (via
+    /// `NaN.ceil() as usize`), clamp to `min_replicas`, and enter the
+    /// stabilisation history as a spurious scale-to-minimum vote. The
+    /// control period is now skipped instead.
+    #[test]
+    fn nan_or_absent_utilization_skips_the_control_period() {
+        assert_eq!(HpaController::raw_desired(3, f64::NAN, 0.8), None);
+        assert_eq!(HpaController::raw_desired(3, f64::INFINITY, 0.8), None);
+        assert_eq!(HpaController::raw_desired(0, 0.5, 0.8), None);
+        // Sanity on the defined cases, including a negative reading which
+        // must floor at zero rather than wrap through `as usize`.
+        assert_eq!(HpaController::raw_desired(4, 0.9, 0.8), Some(5));
+        assert_eq!(HpaController::raw_desired(2, 0.0, 0.8), Some(0));
+        assert_eq!(HpaController::raw_desired(2, -0.5, 0.8), Some(0));
+    }
+
+    /// Boundary: during the startup phase (`now < stabilization`) nothing
+    /// is pruned, and a recommendation exactly `stabilization` old is
+    /// retained (inclusive window edge) while anything older is dropped.
+    #[test]
+    fn stabilization_window_edges_are_inclusive_and_startup_safe() {
+        let stab = SimDuration::from_secs(30);
+        // Startup phase: the window clamps to the run start.
+        assert_eq!(
+            HpaController::keep_from(SimTime::from_secs(10), stab),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            HpaController::keep_from(SimTime::from_secs(30), stab),
+            SimTime::ZERO
+        );
+        // Steady state: entries exactly `stabilization` old sit on the
+        // inclusive edge.
+        assert_eq!(
+            HpaController::keep_from(SimTime::from_secs(40), stab),
+            SimTime::from_secs(10)
+        );
+
+        // End-to-end through control(): an idle world yields finite (zero)
+        // utilisation, so every period records a recommendation.
+        let (mut w, svc, _rt) = world();
+        let mut hpa = HpaController::new(
+            svc,
+            HpaConfig {
+                stabilization: stab,
+                ..Default::default()
+            },
+        );
+        for secs in [10u64, 20, 30] {
+            w.run_until(SimTime::from_secs(secs));
+            hpa.control(&mut w, SimTime::from_secs(secs));
+        }
+        assert_eq!(hpa.history.len(), 3, "startup phase must not prune");
+        // At t = 40 s the t = 10 s entry is exactly 30 s old: retained.
+        w.run_until(SimTime::from_secs(40));
+        hpa.control(&mut w, SimTime::from_secs(40));
+        assert_eq!(hpa.history.len(), 4, "edge entry is inside the window");
+        assert_eq!(hpa.history[0].0, SimTime::from_secs(10));
+        // At t = 45 s it is 35 s old: pruned (along with nothing else).
+        w.run_until(SimTime::from_secs(45));
+        hpa.control(&mut w, SimTime::from_secs(45));
+        assert_eq!(hpa.history[0].0, SimTime::from_secs(20));
     }
 
     #[test]

@@ -170,6 +170,14 @@ fn run_variant(s: FaultSetup, controller: &mut dyn Controller) -> (RunResult, Wo
         },
     );
     let result = scenario.run(&mut shop.world, controller);
+    // Crash/pressure/blackout paths must also leave the ledgers clean.
+    #[cfg(feature = "audit")]
+    assert_eq!(
+        shop.world.audit().total(),
+        0,
+        "audit violations under faults: {}",
+        shop.world.audit().summary()
+    );
     (result, shop.world)
 }
 

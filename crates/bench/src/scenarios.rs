@@ -371,6 +371,18 @@ impl MonitoredCase {
     /// Runs the case's calibrated steady workload with the soft resource at
     /// `allocation`, returning the final world.
     pub fn run(self, allocation: usize, secs: u64, seed: u64) -> World {
+        let world = self.run_inner(allocation, secs, seed);
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            world.audit().total(),
+            0,
+            "{self:?}/{allocation}: {}",
+            world.audit().summary()
+        );
+        world
+    }
+
+    fn run_inner(self, allocation: usize, secs: u64, seed: u64) -> World {
         match self {
             MonitoredCase::CartThreads => {
                 let setup = CartSetup {

@@ -70,6 +70,10 @@ pub struct PsCpu {
     epoch: u64,
     busy_core_nanos: f64,
     useful_core_nanos: f64,
+    /// Capacity integral ∫ effective_cores dt since construction — the hard
+    /// ceiling busy time may never exceed. Audit-only state.
+    #[cfg(feature = "audit")]
+    cap_core_nanos: f64,
 }
 
 impl PsCpu {
@@ -98,6 +102,8 @@ impl PsCpu {
             epoch: 0,
             busy_core_nanos: 0.0,
             useful_core_nanos: 0.0,
+            #[cfg(feature = "audit")]
+            cap_core_nanos: 0.0,
         }
     }
 
@@ -161,6 +167,13 @@ impl PsCpu {
         );
         let dt = (now - self.last_update).as_nanos() as f64;
         self.last_update = now;
+        // Capacity accrues whether or not jobs are runnable, and every
+        // mutation (set_limit/set_pressure) advances first, so each term of
+        // the integral uses the cores/pressure in force over its interval.
+        #[cfg(feature = "audit")]
+        {
+            self.cap_core_nanos += dt * self.effective_cores();
+        }
         if dt == 0.0 || self.jobs.is_empty() {
             return;
         }
@@ -289,6 +302,40 @@ impl PsCpu {
         }
         if !out.is_empty() {
             self.epoch += 1;
+        }
+    }
+
+    /// Checks CPU-time conservation and reports violations into `sink`.
+    ///
+    /// Two laws must hold at every instant the CPU is advanced to:
+    /// busy ≤ ∫ effective_cores dt (a monitor can never observe more busy
+    /// time than the pressure-adjusted limit delivered), and
+    /// useful ≤ busy (overhead only ever loses work). Both hold exactly
+    /// term-by-term in `advance`, and f64 addition is monotone, so the
+    /// tolerance only covers the final comparison, not accumulated drift.
+    #[cfg(feature = "audit")]
+    pub fn audit_into(&self, now: SimTime, sink: &mut dyn sim_core::audit::AuditSink) {
+        use sim_core::audit::{Invariant, Violation};
+        let eps = 1.0 + self.cap_core_nanos * 1e-9;
+        if self.busy_core_nanos > self.cap_core_nanos + eps {
+            sink.record(Violation {
+                invariant: Invariant::CpuTimeConservation,
+                at_nanos: now.as_nanos(),
+                detail: format!(
+                    "busy {} core-ns exceeds capacity integral {} core-ns",
+                    self.busy_core_nanos, self.cap_core_nanos
+                ),
+            });
+        }
+        if self.useful_core_nanos > self.busy_core_nanos + eps {
+            sink.record(Violation {
+                invariant: Invariant::CpuTimeConservation,
+                at_nanos: now.as_nanos(),
+                detail: format!(
+                    "useful {} core-ns exceeds busy {} core-ns",
+                    self.useful_core_nanos, self.busy_core_nanos
+                ),
+            });
         }
     }
 }
@@ -484,6 +531,28 @@ mod tests {
         let slowdown = 1.0 + 0.25 * 2.0f64.sqrt();
         assert!((busy - 2.0 * 30e6).abs() < 1.0);
         assert!((useful - 2.0 / slowdown * 30e6).abs() < 2.0);
+    }
+
+    /// Under `--features audit` the capacity integral tracks pressure
+    /// windows: an oversubscribed CPU run through a pressure dip must still
+    /// satisfy busy ≤ cap and useful ≤ busy.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_is_clean_across_pressure_windows() {
+        use sim_core::audit::CountingSink;
+        let mut cpu = PsCpu::new(Millicores::from_cores(2), 0.1);
+        for _ in 0..6 {
+            cpu.add(SimTime::ZERO, ms(50));
+        }
+        cpu.set_pressure(SimTime::from_millis(10), 0.5);
+        cpu.advance(SimTime::from_millis(30));
+        cpu.set_pressure(SimTime::from_millis(30), 1.0);
+        let done = drain(&mut cpu);
+        assert_eq!(done.len(), 6);
+        let end = done.last().unwrap().0;
+        let mut sink = CountingSink::new();
+        cpu.audit_into(end, &mut sink);
+        assert_eq!(sink.total(), 0, "{}", sink.summary());
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub(crate) struct Frame {
     pub started: Option<SimTime>,
     /// When the span completed, if yet.
     pub departure: Option<SimTime>,
-    /// Downstream calls issued so far (end == start means outstanding).
+    /// Downstream calls issued so far (`end == SimTime::MAX` means
+    /// outstanding; a completed call can have `end == start` when network
+    /// delay and compute are both zero).
     pub calls: Vec<ChildCall>,
 }
 

@@ -194,6 +194,17 @@ pub struct World {
     next_replica: u64,
     next_span: u64,
     dropped: u64,
+    /// Conservation-law violations observed during dispatch. Audit-only
+    /// state: never serialized, never read by simulation logic.
+    #[cfg(feature = "audit")]
+    audit_sink: sim_core::audit::CountingSink,
+    /// Timestamp of the most recently dispatched event, for the
+    /// event-monotonicity check.
+    #[cfg(feature = "audit")]
+    audit_last_event: SimTime,
+    /// Next sim-time at which the per-replica boundary sweep runs.
+    #[cfg(feature = "audit")]
+    audit_next_boundary: SimTime,
 }
 
 impl World {
@@ -232,6 +243,12 @@ impl World {
             next_replica: 0,
             next_span: 0,
             dropped: 0,
+            #[cfg(feature = "audit")]
+            audit_sink: sim_core::audit::CountingSink::new(),
+            #[cfg(feature = "audit")]
+            audit_last_event: SimTime::ZERO,
+            #[cfg(feature = "audit")]
+            audit_next_boundary: SimTime::ZERO,
         }
     }
 
@@ -660,6 +677,8 @@ impl World {
             self.dispatch(now, event);
         }
         self.clock = self.clock.max(t);
+        #[cfg(feature = "audit")]
+        self.audit_run_boundary();
         std::mem::take(&mut self.completed)
     }
 
@@ -669,6 +688,8 @@ impl World {
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
+        #[cfg(feature = "audit")]
+        self.audit_pre_event(now);
         match event {
             Event::ExternalArrival { request } => self.on_external_arrival(now, request),
             Event::ChildArrival {
@@ -705,6 +726,8 @@ impl World {
                 }
             }
         }
+        #[cfg(feature = "audit")]
+        self.audit_post_event(now);
     }
 
     fn on_external_arrival(&mut self, now: SimTime, request: RequestId) {
@@ -993,10 +1016,14 @@ impl World {
             let call_idx = {
                 let rs = self.requests.get_mut(&request).expect("present");
                 let f = &mut rs.frames[frame];
+                // `end` stays at the SimTime::MAX sentinel until the child
+                // returns; a completed call may legitimately have end ==
+                // start (zero network delay + zero compute), so "end equals
+                // start" cannot mark outstandingness.
                 f.calls.push(telemetry::ChildCall {
                     service: target,
                     start: now,
-                    end: now,
+                    end: SimTime::MAX,
                 });
                 f.pending_children += 1;
                 f.calls.len() - 1
@@ -1147,7 +1174,7 @@ impl World {
             }
             // Release connections held by outstanding calls of this frame.
             for call in &frame.calls {
-                if call.end == call.start {
+                if call.end == SimTime::MAX {
                     // Outstanding (or waiting). If waiting, remove the waiter
                     // instead of releasing.
                     if let Some(r) = self.replicas.get_mut(&replica) {
@@ -1466,6 +1493,86 @@ impl World {
     /// The entry service of a request type.
     pub fn entry_of(&self, rtype: RequestTypeId) -> ServiceId {
         self.request_types[rtype.get() as usize].entry
+    }
+}
+
+// ------------------------------------------------------------------
+// Conservation-law auditing (compiled only with `--features audit`)
+// ------------------------------------------------------------------
+#[cfg(feature = "audit")]
+use sim_core::audit::AuditSink as _;
+
+#[cfg(feature = "audit")]
+impl World {
+    /// Violations observed so far. Empty on a correct simulator; harnesses
+    /// assert `world.audit().total() == 0` at the end of audited runs.
+    pub fn audit(&self) -> &sim_core::audit::CountingSink {
+        &self.audit_sink
+    }
+
+    /// Before each event: dispatch order must never move backwards in time.
+    /// `EventQueue` enforces this with its own assertions, so this check
+    /// firing means the queue invariant itself was broken.
+    fn audit_pre_event(&mut self, now: SimTime) {
+        if now < self.audit_last_event {
+            self.audit_sink.record(sim_core::audit::Violation {
+                invariant: sim_core::audit::Invariant::EventMonotonicity,
+                at_nanos: now.as_nanos(),
+                detail: format!(
+                    "event at {} ns dispatched after event at {} ns",
+                    now.as_nanos(),
+                    self.audit_last_event.as_nanos()
+                ),
+            });
+        }
+        self.audit_last_event = now;
+    }
+
+    /// After each event: request conservation. Every injected request is
+    /// exactly one of completed (client log), dropped (with a reason), or
+    /// still in flight — checked after every single event dispatch, so a
+    /// leak is caught at the event that caused it.
+    fn audit_post_event(&mut self, now: SimTime) {
+        let injected = self.next_request;
+        let accounted = self.client.total() + self.dropped + self.requests.len() as u64;
+        if injected != accounted {
+            self.audit_sink.record(sim_core::audit::Violation {
+                invariant: sim_core::audit::Invariant::RequestConservation,
+                at_nanos: now.as_nanos(),
+                detail: format!(
+                    "injected {} != completed {} + dropped {} + in-flight {}",
+                    injected,
+                    self.client.total(),
+                    self.dropped,
+                    self.requests.len()
+                ),
+            });
+        }
+        debug_assert_eq!(
+            self.dropped,
+            self.drop_breakdown.total(),
+            "drop breakdown out of sync with total"
+        );
+    }
+
+    /// At `run_until` boundaries: per-replica integral checks (CPU-time
+    /// conservation, concurrency-ring consistency). These are O(replicas ×
+    /// retained history) — far too costly per event, and closed-loop
+    /// drivers call `run_until` many times per simulated second — so the
+    /// sweep is throttled to at most once per simulated second (plus the
+    /// very first boundary). Drift in an integral persists until the
+    /// offending history leaves the retention horizon (60 s), so a 1 s
+    /// audit grid cannot miss it.
+    fn audit_run_boundary(&mut self) {
+        let now = self.clock;
+        if now < self.audit_next_boundary {
+            return;
+        }
+        self.audit_next_boundary = now + sim_core::SimDuration::from_secs(1);
+        for r in self.replicas.values() {
+            r.concurrency.audit_into(now, &mut self.audit_sink);
+            r.cpu.audit_into(now, &mut self.audit_sink);
+        }
     }
 }
 

@@ -1,0 +1,44 @@
+//! Regression tests for request-abort edge cases.
+
+use microsim::{Behavior, ServiceSpec, Stage, World, WorldConfig};
+use sim_core::{Dist, SimRng, SimTime};
+use telemetry::RequestTypeId;
+
+/// Regression: a *completed* zero-duration child call (zero network delay
+/// plus zero compute) used to be indistinguishable from an outstanding one —
+/// `end == start` was the outstandingness sentinel — so aborting the parent
+/// released the call's connection a second time: a "connection release
+/// without acquire" debug assertion here, a silent pool-limit breach in
+/// release builds. The sentinel is now `end == SimTime::MAX`.
+#[test]
+fn abort_after_zero_duration_call_releases_connection_once() {
+    let config = WorldConfig {
+        net_delay: Dist::constant_us(0),
+        ..WorldConfig::default()
+    };
+    let mut w = World::new(config, SimRng::seed_from(7));
+    let rt = RequestTypeId(0);
+    // The child does zero compute: its span starts and ends at one instant.
+    let child =
+        w.add_service(ServiceSpec::new("child").on(rt, Behavior::leaf(Dist::constant_ms(0))));
+    let parent = w.add_service(ServiceSpec::new("parent").conns(child, 2).on(
+        rt,
+        Behavior::new(vec![Stage::call(child), Stage::compute_ms(100)]),
+    ));
+    w.add_request_type("zero-call", parent);
+    let child_pod = w.add_replica(child).unwrap();
+    let parent_pod = w.add_replica(parent).unwrap();
+    w.make_ready(child_pod);
+    w.make_ready(parent_pod);
+
+    w.inject_at(SimTime::from_millis(1), rt);
+    // Let the zero-duration call complete; the parent is now mid-compute
+    // with the call's connection already released on child return.
+    w.run_until(SimTime::from_millis(50));
+    // Kill the parent replica: the abort path walks the completed call.
+    w.fail_replica(parent_pod);
+    w.run_until(SimTime::from_millis(200));
+    assert_eq!(w.dropped(), 1);
+    assert_eq!(w.drop_breakdown().replica_failed, 1);
+    assert_eq!(w.client().total(), 0);
+}

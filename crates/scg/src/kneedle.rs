@@ -51,23 +51,24 @@ impl Default for Kneedle {
 impl Kneedle {
     /// Detects the knee x-coordinate of the curve `(xs, ys)`.
     ///
-    /// `xs` must be strictly increasing (callers sort and deduplicate).
-    /// Returns `None` when the curve has fewer than three points, is flat,
-    /// or exhibits no confirmed knee.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `xs` and `ys` have different lengths or `xs` is not
-    /// strictly increasing.
+    /// Returns `None` for every degenerate input instead of panicking or
+    /// propagating NaN from the normalisation divide: mismatched array
+    /// lengths, fewer than three points, non-finite values, duplicate or
+    /// unsorted `xs`, and flat curves. A returned knee is always finite and
+    /// one of the supplied `xs`.
     pub fn detect(&self, xs: &[f64], ys: &[f64]) -> Option<f64> {
-        assert_eq!(xs.len(), ys.len(), "mismatched curve arrays");
-        assert!(
-            xs.windows(2).all(|w| w[0] < w[1]),
-            "xs must be strictly increasing"
-        );
+        if xs.len() != ys.len() {
+            return None;
+        }
         let n = xs.len();
         if n < 3 {
             return None;
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return None;
+        }
+        if !xs.windows(2).all(|w| w[0] < w[1]) {
+            return None; // duplicate or unsorted x: no well-defined curve
         }
         let (x_min, x_max) = (xs[0], xs[n - 1]);
         let y_min = ys.iter().copied().fold(f64::INFINITY, f64::min);
@@ -192,10 +193,25 @@ mod tests {
         assert_eq!(Kneedle::default().detect(&[1.0, 2.0], &[1.0, 2.0]), None);
     }
 
+    /// Regression: duplicate/unsorted `xs` and mismatched lengths used to
+    /// panic via asserts, and non-finite samples flowed NaN through the
+    /// normalisation divide. All degenerate inputs now return `None`.
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn unsorted_xs_panic() {
-        let _ = Kneedle::default().detect(&[1.0, 1.0, 2.0], &[0.0, 0.0, 0.0]);
+    fn degenerate_inputs_yield_none() {
+        let det = Kneedle::default();
+        // Duplicate and unsorted x values.
+        assert_eq!(det.detect(&[1.0, 1.0, 2.0], &[0.0, 1.0, 2.0]), None);
+        assert_eq!(det.detect(&[3.0, 2.0, 1.0], &[0.0, 1.0, 2.0]), None);
+        // Mismatched lengths.
+        assert_eq!(det.detect(&[1.0, 2.0, 3.0], &[0.0, 1.0]), None);
+        // Non-finite samples.
+        assert_eq!(det.detect(&[1.0, 2.0, 3.0], &[0.0, f64::NAN, 2.0]), None);
+        assert_eq!(
+            det.detect(&[1.0, f64::INFINITY, 3.0], &[0.0, 1.0, 2.0]),
+            None
+        );
+        // An all-NaN x axis is "flat" in no meaningful sense; still None.
+        assert_eq!(det.detect(&[f64::NAN; 3], &[0.0, 1.0, 2.0]), None);
     }
 
     #[test]
@@ -223,6 +239,32 @@ mod tests {
             let xs: Vec<f64> = (0..seed_ys.len()).map(|i| i as f64).collect();
             if let Some(k) = Kneedle::default().detect(&xs, &seed_ys) {
                 prop_assert!(k >= xs[0] && k <= *xs.last().unwrap());
+            }
+        }
+
+        /// `detect` never returns a non-finite knee (and never panics), even
+        /// when the samples include NaN/±∞ or the x axis is unsorted.
+        #[test]
+        fn prop_knee_is_always_finite(
+            raw in proptest::collection::vec((-1e6f64..1e6, 0u8..10), 0..40),
+            shuffle in 0u8..2,
+        ) {
+            // Tag 0 (one case in ten) poisons the sample with NaN.
+            let ys: Vec<f64> = raw
+                .iter()
+                .map(|&(v, tag)| if tag == 0 { f64::NAN } else { v })
+                .collect();
+            let mut xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            if shuffle == 1 {
+                xs.reverse();
+            }
+            for det in [
+                Kneedle::default(),
+                Kneedle { direction: KneeDirection::Elbow, ..Kneedle::default() },
+            ] {
+                if let Some(k) = det.detect(&xs, &ys) {
+                    prop_assert!(k.is_finite(), "non-finite knee {k}");
+                }
             }
         }
     }

@@ -11,7 +11,10 @@
 //!   microservice models;
 //! * [`stats`] — streaming statistics (mean/variance, histograms, exact
 //!   percentiles, Pearson correlation, MAPE) used both by the simulated
-//!   telemetry pipeline and by the experiment harness.
+//!   telemetry pipeline and by the experiment harness;
+//! * [`audit`] — the conservation-law audit seam ([`audit::AuditSink`])
+//!   through which components report invariant violations when the
+//!   workspace-wide `audit` feature is enabled.
 //!
 //! # Example
 //!
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod dist;
 mod queue;
 mod rng;

@@ -123,15 +123,25 @@ impl LatencyHistogram {
         n.min(self.total)
     }
 
-    /// The `p`-th percentile (0–100), or `None` when empty.
+    /// The `p`-th percentile, or `None` when the histogram is empty or `p`
+    /// is not a finite value in `[0, 100]`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 100]`.
+    /// Shares its edge-case contract with `ClientLog::percentile_in` in the
+    /// telemetry crate: `p = 0` returns the smallest sample, `p = 100` the
+    /// largest, and invalid `p` (NaN, ±∞, out of range) is `None` — never a
+    /// panic or an out-of-bounds rank.
     pub fn percentile(&self, p: f64) -> Option<SimDuration> {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
         if self.total == 0 {
             return None;
+        }
+        if p == 0.0 {
+            return Some(SimDuration::from_nanos(self.min));
+        }
+        if p == 100.0 {
+            return Some(SimDuration::from_nanos(self.max));
         }
         let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -261,6 +271,37 @@ mod tests {
         }
         let good = h.count_at_or_below(SimDuration::from_millis(400));
         assert_eq!(good, 90);
+    }
+
+    /// Regression: invalid `p` used to panic via `assert!`; NaN in particular
+    /// fails `contains` and took the panic path. The contract is now `None`.
+    #[test]
+    fn percentile_rejects_invalid_p_without_panicking() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_millis(5));
+        assert_eq!(h.percentile(f64::NAN), None);
+        assert_eq!(h.percentile(f64::INFINITY), None);
+        assert_eq!(h.percentile(-0.5), None);
+        assert_eq!(h.percentile(100.1), None);
+    }
+
+    /// Regression: the boundary percentiles must be the exact extremes, not
+    /// bucket midpoints, and a single-sample histogram must return that
+    /// sample for every valid `p`.
+    #[test]
+    fn percentile_boundaries_are_exact_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(3));
+        h.record(SimDuration::from_millis(250));
+        assert_eq!(h.percentile(0.0).unwrap().as_nanos(), 3_000);
+        assert_eq!(h.percentile(100.0).unwrap().as_millis(), 250);
+
+        let mut one = LatencyHistogram::new();
+        one.record(SimDuration::from_millis(7));
+        for p in [0.0, 50.0, 100.0] {
+            let got = one.percentile(p).unwrap().as_millis() as f64;
+            assert!((got - 7.0).abs() <= 1.0, "p{p}: got {got}");
+        }
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl ClientLog {
         n as f64 / (to - from).as_secs_f64()
     }
 
-    /// The `p`-th percentile of response time over the whole run.
+    /// The `p`-th percentile of response time over the whole run, or `None`
+    /// when the log is empty or `p` is not a finite value in `[0, 100]`
+    /// (same contract as [`LatencyHistogram::percentile`] and
+    /// [`ClientLog::percentile_in`]).
     pub fn percentile(&self, p: f64) -> Option<SimDuration> {
         self.histogram.percentile(p)
     }
@@ -120,8 +123,15 @@ impl ClientLog {
 
     /// Exact percentile over a sub-window. A quickselect of the window's
     /// samples — O(n) instead of the full sort the rank needs none of.
+    ///
+    /// Returns `None` when the window holds no samples or `p` is not a
+    /// finite value in `[0, 100]`; `p = 0` is the window minimum and
+    /// `p = 100` the maximum (same contract as
+    /// [`LatencyHistogram::percentile`]).
     pub fn percentile_in(&self, from: SimTime, to: SimTime, p: f64) -> Option<SimDuration> {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
         let mut rts: Vec<SimDuration> = self
             .outcomes
             .iter()
@@ -181,6 +191,37 @@ mod tests {
         let p99 = log.percentile_in(t(0), t(10_000), 99.0).unwrap();
         assert_eq!(p99.as_millis(), 990);
         assert_eq!(log.percentile_in(t(50_000), t(60_000), 50.0), None);
+    }
+
+    /// Regression: invalid `p` (NaN/out-of-range) used to panic in
+    /// `percentile_in` and in the histogram-backed `percentile`; both now
+    /// return `None`, and the boundary percentiles are the exact extremes.
+    #[test]
+    fn percentile_edge_cases_agree_across_paths() {
+        let log = ramp_log();
+        for bad in [f64::NAN, f64::NEG_INFINITY, -1.0, 100.5] {
+            assert_eq!(log.percentile(bad), None);
+            assert_eq!(log.percentile_in(t(0), t(10_000), bad), None);
+        }
+        // p = 0 / p = 100 are the window extremes, exactly.
+        assert_eq!(
+            log.percentile_in(t(0), t(10_000), 0.0).unwrap().as_millis(),
+            10
+        );
+        assert_eq!(
+            log.percentile_in(t(0), t(10_000), 100.0)
+                .unwrap()
+                .as_millis(),
+            1000
+        );
+        assert_eq!(log.percentile(0.0).unwrap().as_millis(), 10);
+        assert_eq!(log.percentile(100.0).unwrap().as_millis(), 1000);
+        // Single-sample window: every valid p returns that sample.
+        let mut one = ClientLog::new(d(1000));
+        one.record(t(100), d(42));
+        for p in [0.0, 37.5, 50.0, 100.0] {
+            assert_eq!(one.percentile_in(t(0), t(1000), p).unwrap(), d(42));
+        }
     }
 
     #[test]

@@ -319,6 +319,65 @@ impl ConcurrencyTracker {
         }
     }
 
+    /// Rebuilds the per-bucket integral of every *closed* retained segment
+    /// from the change-point ledger and compares it — exactly, bit for bit —
+    /// against the streaming ring, reporting divergences into `sink`.
+    ///
+    /// The reconstruction clips segments at the ring's current retention
+    /// start, mirroring what `fold_segment` did at ingest: contributions a
+    /// segment once made to since-dropped buckets are irrelevant, and for
+    /// every still-retained bucket the ingest-time and audit-time chunking
+    /// agree term by term (all arithmetic is integer), so any mismatch is a
+    /// real accounting bug, not tolerance noise.
+    #[cfg(feature = "audit")]
+    pub fn audit_into(&self, now: SimTime, sink: &mut dyn sim_core::audit::AuditSink) {
+        use sim_core::audit::{Invariant, Violation};
+        let first = self.ring.first_retained();
+        let next = self.ring.next_bucket();
+        if next <= first {
+            return;
+        }
+        let mut expected = vec![0u64; (next - first) as usize];
+        let clip = first * RING_WIDTH_NANOS;
+        for i in 0..self.changes.len().saturating_sub(1) {
+            let (start, level) = self.changes[i];
+            let end = self.changes[i + 1].0;
+            if level == 0 {
+                continue;
+            }
+            let (mut a, b) = (start.as_nanos().max(clip), end.as_nanos());
+            let lvl = u64::from(level);
+            while a < b {
+                let bucket = a / RING_WIDTH_NANOS;
+                let chunk_end = b.min((bucket + 1) * RING_WIDTH_NANOS);
+                if bucket >= first && bucket < next {
+                    expected[(bucket - first) as usize] += (chunk_end - a) * lvl;
+                }
+                a = chunk_end;
+            }
+        }
+        let mut bad = 0u64;
+        let mut example = None;
+        for (i, &want) in expected.iter().enumerate() {
+            let bucket = first + i as u64;
+            let got = self.ring.get(bucket).unwrap_or(0);
+            if got != want {
+                bad += 1;
+                example.get_or_insert((bucket, got, want));
+            }
+        }
+        if let Some((bucket, got, want)) = example {
+            sink.record(Violation {
+                invariant: Invariant::ConcurrencyIntegral,
+                at_nanos: now.as_nanos(),
+                detail: format!(
+                    "{bad} ring bucket(s) diverge from the enter/leave ledger; \
+                     first at bucket {bucket}: ring {got} vs ledger {want} level-ns"
+                ),
+            });
+        }
+    }
+
     /// Iterates `(start, end, level)` segments; the final segment extends to
     /// [`SimTime::MAX`] with the current level.
     fn segments(&self) -> impl Iterator<Item = (SimTime, SimTime, u32)> + '_ {
@@ -447,6 +506,22 @@ mod tests {
             c.average_in(t(2000), t(3000)).to_bits(),
             c.average_in_scan(t(2000), t(3000)).to_bits()
         );
+    }
+
+    /// Under `--features audit` the ring must equal the ledger integral
+    /// even after compaction has dropped old change points.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_is_clean_after_compaction() {
+        use sim_core::audit::CountingSink;
+        let mut c = ConcurrencyTracker::new(SimDuration::from_millis(100));
+        for i in 0..1000u64 {
+            c.enter(t(i * 2));
+            c.leave(t(i * 2 + 1));
+        }
+        let mut sink = CountingSink::new();
+        c.audit_into(t(2000), &mut sink);
+        assert_eq!(sink.total(), 0, "{}", sink.summary());
     }
 
     proptest! {

@@ -67,6 +67,10 @@ pub struct UserPool {
     /// Optional retry policy state; `None` keeps the RUBBoS default of
     /// think-then-resend on drops.
     retry: Option<RetryState>,
+    /// Retry-budget conservation violations, reconciled after every retry
+    /// decision. Audit-only state; never serialized.
+    #[cfg(feature = "audit")]
+    audit_sink: sim_core::audit::CountingSink,
 }
 
 impl UserPool {
@@ -86,6 +90,8 @@ impl UserPool {
             next_user: 0,
             next_control: SimTime::ZERO,
             retry: None,
+            #[cfg(feature = "audit")]
+            audit_sink: sim_core::audit::CountingSink::new(),
         }
     }
 
@@ -103,6 +109,12 @@ impl UserPool {
     /// Retry counters accumulated so far (all zero when no policy is set).
     pub fn retry_stats(&self) -> RetryStats {
         self.retry.as_ref().map(|r| r.stats()).unwrap_or_default()
+    }
+
+    /// Retry-budget conservation violations observed so far.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) -> &sim_core::audit::CountingSink {
+        &self.audit_sink
     }
 
     /// Users currently alive.
@@ -188,6 +200,8 @@ impl UserPool {
     pub fn on_completion(&mut self, now: SimTime, user: u64) {
         if let Some(retry) = self.retry.as_mut() {
             retry.on_success(user);
+            #[cfg(feature = "audit")]
+            retry.audit_into(now.as_nanos(), &mut self.audit_sink);
         }
         self.recycle(now, user);
     }
@@ -199,7 +213,12 @@ impl UserPool {
     /// to give up, in which case (and always, without a policy) they retry
     /// after a full think time, as RUBBoS clients do.
     pub fn on_drop(&mut self, now: SimTime, user: u64) {
-        match self.retry.as_mut().map(|r| r.on_drop(user)) {
+        let decision = self.retry.as_mut().map(|r| r.on_drop(user));
+        #[cfg(feature = "audit")]
+        if let Some(retry) = self.retry.as_ref() {
+            retry.audit_into(now.as_nanos(), &mut self.audit_sink);
+        }
+        match decision {
             Some(RetryDecision::Retry(backoff)) => {
                 debug_assert!(self.in_flight > 0, "drop without a send");
                 self.in_flight = self.in_flight.saturating_sub(1);

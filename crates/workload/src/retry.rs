@@ -77,25 +77,57 @@ pub(crate) enum RetryDecision {
     GiveUp,
 }
 
+/// One whole budget token, in integer micro-tokens.
+///
+/// The bucket is kept in `u64` micro-tokens rather than `f64` tokens: the
+/// default earn rate of 0.1 has no exact binary representation, so a f64
+/// bucket drifts relative to `budget_cap` over long runs (ten earns of 0.1
+/// sum to 0.9999999999999999 < 1.0, spuriously denying a retry) and makes
+/// `budget_denied` counts depend on accumulated rounding. Fractional
+/// `budget_ratio`/`budget_cap` are rounded once to whole micro-tokens when
+/// the policy is attached; thereafter every earn/spend is exact.
+const MICRO: u64 = 1_000_000;
+
 /// Per-pool retry state: policy, token bucket, per-user attempt counts and
 /// a dedicated jitter stream.
 #[derive(Debug, Clone)]
 pub(crate) struct RetryState {
     policy: RetryPolicy,
-    tokens: f64,
+    /// Banked budget, in micro-tokens ([`MICRO`] per retry).
+    tokens: u64,
+    cap: u64,
+    earn: u64,
     rng: SimRng,
     attempts: HashMap<u64, u32>,
     stats: RetryStats,
+    /// Micro-tokens spent on retries (audit ledger).
+    #[cfg(feature = "audit")]
+    spent: u64,
+    /// Micro-tokens earned by successes, before clipping at the cap.
+    #[cfg(feature = "audit")]
+    earned: u64,
+    /// Micro-tokens lost to clipping at the cap.
+    #[cfg(feature = "audit")]
+    clipped: u64,
 }
 
 impl RetryState {
     pub(crate) fn new(policy: RetryPolicy, rng: SimRng) -> Self {
+        let cap = (policy.budget_cap * MICRO as f64).round() as u64;
         RetryState {
-            tokens: policy.budget_cap,
+            tokens: cap,
+            cap,
+            earn: (policy.budget_ratio * MICRO as f64).round() as u64,
             policy,
             rng,
             attempts: HashMap::new(),
             stats: RetryStats::default(),
+            #[cfg(feature = "audit")]
+            spent: 0,
+            #[cfg(feature = "audit")]
+            earned: 0,
+            #[cfg(feature = "audit")]
+            clipped: 0,
         }
     }
 
@@ -107,7 +139,13 @@ impl RetryState {
     /// budget.
     pub(crate) fn on_success(&mut self, user: u64) {
         self.attempts.remove(&user);
-        self.tokens = (self.tokens + self.policy.budget_ratio).min(self.policy.budget_cap);
+        let refilled = (self.tokens + self.earn).min(self.cap);
+        #[cfg(feature = "audit")]
+        {
+            self.earned += self.earn;
+            self.clipped += self.tokens + self.earn - refilled;
+        }
+        self.tokens = refilled;
     }
 
     /// A request of `user` was dropped: decide between a backed-off retry
@@ -119,15 +157,48 @@ impl RetryState {
             self.stats.gave_up += 1;
             return RetryDecision::GiveUp;
         }
-        if self.tokens < 1.0 {
+        if self.tokens < MICRO {
             self.attempts.remove(&user);
             self.stats.budget_denied += 1;
             return RetryDecision::GiveUp;
         }
-        self.tokens -= 1.0;
+        self.tokens -= MICRO;
+        #[cfg(feature = "audit")]
+        {
+            self.spent += MICRO;
+        }
         self.attempts.insert(user, attempt + 1);
         self.stats.attempts += 1;
         RetryDecision::Retry(self.backoff(attempt + 1))
+    }
+
+    /// Checks retry-budget conservation and reports violations into `sink`:
+    /// the banked balance must equal the ledger
+    /// `cap + earned − clipped − spent` exactly, and never exceed the cap.
+    /// All quantities are integers, so equality is exact.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_into(&self, now_nanos: u64, sink: &mut dyn sim_core::audit::AuditSink) {
+        use sim_core::audit::{Invariant, Violation};
+        // i128 so a broken ledger reports a violation instead of underflowing.
+        let ledger =
+            self.cap as i128 + self.earned as i128 - self.clipped as i128 - self.spent as i128;
+        if self.tokens as i128 != ledger {
+            sink.record(Violation {
+                invariant: Invariant::RetryBudget,
+                at_nanos: now_nanos,
+                detail: format!(
+                    "balance {} micro-tokens != ledger {} (cap {} + earned {} - clipped {} - spent {})",
+                    self.tokens, ledger, self.cap, self.earned, self.clipped, self.spent
+                ),
+            });
+        }
+        if self.tokens > self.cap {
+            sink.record(Violation {
+                invariant: Invariant::RetryBudget,
+                at_nanos: now_nanos,
+                detail: format!("balance {} exceeds cap {}", self.tokens, self.cap),
+            });
+        }
     }
 
     /// Backoff before the `k`-th retry (1-based): exponential, capped,
@@ -192,6 +263,52 @@ mod tests {
         // Success resets too.
         s.on_success(7);
         assert!(matches!(s.on_drop(7), RetryDecision::Retry(_)));
+    }
+
+    /// Regression for the f64 token bucket: ten earns of 0.1 summed to
+    /// 0.9999999999999999 < 1.0, so a client that paid one token and then
+    /// banked ten successes was spuriously budget-denied on the next drop.
+    /// Integer micro-tokens make the balance exactly 1.0 token here.
+    #[test]
+    fn fractional_earns_accumulate_exactly() {
+        let mut s = state(RetryPolicy {
+            max_retries: 100,
+            budget_cap: 1.0,
+            budget_ratio: 0.1,
+            ..RetryPolicy::default()
+        });
+        assert!(matches!(s.on_drop(1), RetryDecision::Retry(_)), "1 -> 0");
+        for _ in 0..10 {
+            s.on_success(1);
+        }
+        assert!(
+            matches!(s.on_drop(2), RetryDecision::Retry(_)),
+            "10 × 0.1 must buy exactly one retry"
+        );
+        assert_eq!(s.stats().budget_denied, 0);
+    }
+
+    /// Under `--features audit` the earn/spend ledger reconciles exactly
+    /// through a mix of drops, clipped refills and give-ups.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_ledger_reconciles() {
+        use sim_core::audit::CountingSink;
+        let mut s = state(RetryPolicy {
+            max_retries: 2,
+            budget_cap: 3.0,
+            budget_ratio: 0.7,
+            ..RetryPolicy::default()
+        });
+        for user in 0..20u64 {
+            let _ = s.on_drop(user % 5);
+            if user % 3 == 0 {
+                s.on_success(user % 5);
+            }
+        }
+        let mut sink = CountingSink::new();
+        s.audit_into(1_000, &mut sink);
+        assert_eq!(sink.total(), 0, "{}", sink.summary());
     }
 
     #[test]

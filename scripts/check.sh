@@ -33,11 +33,35 @@ mv /tmp/scenario_short_golden.json results/scenario_short.json
 rm -f /tmp/scenario_short_stdout.txt
 
 echo "==> fault_resilience smoke (determinism across --jobs)"
+# Smoke/quick runs overwrite the committed full-run result files; stash and
+# restore them so the hygiene gate leaves the tree clean.
+cp results/fault_resilience.json /tmp/fault_resilience_golden.json
 cargo build -q --release -p sora-bench --bin fault_resilience
 ./target/release/fault_resilience --smoke --jobs 1 2>/dev/null > /tmp/fault_smoke_j1.txt
 ./target/release/fault_resilience --smoke --jobs 4 2>/dev/null > /tmp/fault_smoke_j4.txt
 diff /tmp/fault_smoke_j1.txt /tmp/fault_smoke_j4.txt \
   || { echo "fault_resilience output differs between --jobs 1 and --jobs 4"; exit 1; }
-rm -f /tmp/fault_smoke_j1.txt /tmp/fault_smoke_j4.txt
+rm -f /tmp/fault_smoke_j4.txt
+
+echo "==> audit lane: conservation laws (--features audit)"
+# Unit + metamorphic coverage of the audit layer itself.
+cargo test -q --features audit
+for p in cluster telemetry workload microsim; do
+  cargo test -q -p "$p" --features audit audit
+done
+# The tab01 quick sweep and the canned fault schedule run fully audited:
+# any conservation-law violation panics the binary and fails the gate.
+cp results/tab01_sampling_mape.json /tmp/tab01_golden.json
+cargo build -q --release -p sora-bench --features audit \
+  --bin tab01_sampling_mape --bin fault_resilience
+./target/release/tab01_sampling_mape --quick > /dev/null
+mv /tmp/tab01_golden.json results/tab01_sampling_mape.json
+# Auditing must not perturb the simulation: the audited smoke run's stdout
+# is byte-identical to the unaudited run saved above.
+./target/release/fault_resilience --smoke --jobs 4 2>/dev/null > /tmp/fault_smoke_audit.txt
+diff /tmp/fault_smoke_j1.txt /tmp/fault_smoke_audit.txt \
+  || { echo "fault_resilience output differs with --features audit"; exit 1; }
+rm -f /tmp/fault_smoke_j1.txt /tmp/fault_smoke_audit.txt
+mv /tmp/fault_resilience_golden.json results/fault_resilience.json
 
 echo "all checks passed"
