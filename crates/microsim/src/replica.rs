@@ -3,11 +3,15 @@
 use crate::request::FrameIdx;
 use cluster::{CpuJobId, Millicores, PsCpu};
 use sim_core::stats::P2Quantile;
-use sim_core::SimDuration;
+use sim_core::{SimDuration, SlabKey};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use telemetry::{CompletionLog, ConcurrencyTracker, RequestId, ServiceId};
+use telemetry::{CompletionLog, ConcurrencyTracker, ReplicaId, ServiceId};
 
 /// Lifecycle of a replica.
+///
+/// Stored outside [`Replica`], in the world's dense state array, so the
+/// load balancer's readiness scans walk a flat `Vec<ReplicaState>` instead
+/// of dereferencing whole replica structs (struct-of-arrays layout).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicaState {
     /// Created but not yet ready (container starting); receives no traffic.
@@ -25,7 +29,7 @@ pub enum ReplicaState {
 pub(crate) struct ThreadGate {
     pub limit: usize,
     pub active: usize,
-    pub queue: VecDeque<(RequestId, FrameIdx)>,
+    pub queue: VecDeque<(SlabKey, FrameIdx)>,
 }
 
 impl ThreadGate {
@@ -56,7 +60,7 @@ impl ThreadGate {
     }
 
     /// Pops the next queued request if a thread is free.
-    pub fn admit_next(&mut self) -> Option<(RequestId, FrameIdx)> {
+    pub fn admit_next(&mut self) -> Option<(SlabKey, FrameIdx)> {
         if self.active < self.limit {
             let next = self.queue.pop_front()?;
             self.active += 1;
@@ -71,7 +75,7 @@ impl ThreadGate {
 /// and which of its `calls` entries records the call.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ConnWaiter {
-    pub request: RequestId,
+    pub request: SlabKey,
     pub frame: FrameIdx,
     pub call_idx: usize,
 }
@@ -121,15 +125,19 @@ impl ConnPool {
 }
 
 /// One replica (pod) of a service.
+///
+/// Hot scheduling state (the [`ReplicaState`]) lives in the world's dense
+/// array; what remains here is the per-replica machinery the event handlers
+/// touch once a replica has been chosen.
 pub(crate) struct Replica {
+    pub id: ReplicaId,
     pub service: ServiceId,
-    pub state: ReplicaState,
     pub cpu: PsCpu,
     pub threads: ThreadGate,
     /// Connection pools toward limited targets (absent = unlimited).
     pub conns: BTreeMap<ServiceId, ConnPool>,
     /// Maps running CPU jobs back to the frame that issued them.
-    pub jobs: HashMap<CpuJobId, (RequestId, FrameIdx)>,
+    pub jobs: HashMap<CpuJobId, (SlabKey, FrameIdx)>,
     /// In-service concurrency sampler (SCG's `Q`).
     pub concurrency: ConcurrencyTracker,
     /// Span completions at this replica (SCG's goodput source).
@@ -141,6 +149,7 @@ pub(crate) struct Replica {
 
 impl Replica {
     pub fn new(
+        id: ReplicaId,
         service: ServiceId,
         cpu_limit: Millicores,
         csw_overhead: f64,
@@ -149,8 +158,8 @@ impl Replica {
         metrics_horizon: SimDuration,
     ) -> Self {
         Replica {
+            id,
             service,
-            state: ReplicaState::Starting,
             cpu: PsCpu::new(cpu_limit, csw_overhead),
             threads: ThreadGate::new(thread_limit),
             conns: conn_limits
@@ -180,8 +189,15 @@ mod tests {
     use super::*;
     use sim_core::SimTime;
 
+    fn key(n: usize) -> SlabKey {
+        // Mint distinct keys the way the world does: via a slab.
+        let mut slab = sim_core::Slab::new();
+        (0..=n).map(|i| slab.insert(i)).last().unwrap()
+    }
+
     fn replica() -> Replica {
         Replica::new(
+            ReplicaId(0),
             ServiceId(0),
             Millicores::from_cores(2),
             0.0,
@@ -197,11 +213,11 @@ mod tests {
         assert!(g.try_acquire());
         assert!(g.try_acquire());
         assert!(!g.try_acquire());
-        g.queue.push_back((RequestId(1), 0));
+        g.queue.push_back((key(1), 0));
         assert!(g.admit_next().is_none(), "no free thread yet");
         g.release();
         let (req, _) = g.admit_next().unwrap();
-        assert_eq!(req, RequestId(1));
+        assert_eq!(req, key(1));
         assert_eq!(g.active, 2);
     }
 
@@ -211,18 +227,18 @@ mod tests {
         assert!(p.try_acquire());
         assert!(!p.try_acquire());
         p.waiters.push_back(ConnWaiter {
-            request: RequestId(1),
+            request: key(1),
             frame: 0,
             call_idx: 0,
         });
         p.waiters.push_back(ConnWaiter {
-            request: RequestId(2),
+            request: key(2),
             frame: 0,
             call_idx: 0,
         });
         assert!(p.grant_next().is_none());
         p.release();
-        assert_eq!(p.grant_next().unwrap().request, RequestId(1));
+        assert_eq!(p.grant_next().unwrap().request, key(1));
         assert!(p.grant_next().is_none(), "pool full again");
     }
 

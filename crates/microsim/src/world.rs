@@ -6,8 +6,8 @@ use crate::replica::{ConnWaiter, Replica, ReplicaState};
 use crate::request::{Frame, FrameIdx, RequestState};
 use cluster::{ClusterState, CpuJobId, Millicores, NodeId, PlacementError};
 use serde::Serialize;
-use sim_core::{EventQueue, SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use sim_core::{EventQueue, QueueBackend, SimDuration, SimRng, SimTime, Slab, SlabKey};
+use std::collections::BTreeMap;
 use telemetry::{
     ClientLog, CompletionLog, ConcurrencyTracker, ReplicaId, RequestId, RequestTypeId, ServiceId,
     SpanId, Trace, TraceWarehouse,
@@ -73,12 +73,15 @@ impl DropBreakdown {
 
 #[derive(Debug, Clone)]
 enum Event {
-    /// A user request reaches its entry service.
-    ExternalArrival { request: RequestId },
+    /// A user request reaches its entry service. Requests are referenced
+    /// by generational slab key: a stale key (request already finished or
+    /// aborted) simply fails its lookup, which is exactly the "late event"
+    /// semantics the handlers want.
+    ExternalArrival { request: SlabKey },
     /// An inter-service call reaches the target service. `attempt` counts
     /// connection-level retries taken because no replica was ready.
     ChildArrival {
-        request: RequestId,
+        request: SlabKey,
         parent: FrameIdx,
         call_idx: usize,
         target: ServiceId,
@@ -86,7 +89,7 @@ enum Event {
     },
     /// A child's response reaches the calling frame.
     ChildReturn {
-        request: RequestId,
+        request: SlabKey,
         parent: FrameIdx,
         call_idx: usize,
     },
@@ -95,7 +98,7 @@ enum Event {
     /// A starting replica becomes ready.
     ReplicaReady { replica: ReplicaId },
     /// A request's client-side timeout fires (no-op if already finished).
-    Timeout { request: RequestId },
+    Timeout { request: SlabKey },
     /// An installed fault fires (see [`FaultSchedule`]).
     Fault { kind: FaultKind },
     /// A node's CPU-pressure window ends.
@@ -160,9 +163,22 @@ pub struct World {
     clock: SimTime,
     services: Vec<ServiceRuntime>,
     request_types: Vec<RequestTypeSpec>,
-    replicas: BTreeMap<ReplicaId, Replica>,
+    /// Replica storage: a dense generational slab instead of a pointer-
+    /// chasing map, plus two parallel arrays (struct-of-arrays layout) so
+    /// the hot load-balancer scans touch only flat memory.
+    replicas: Slab<Replica>,
+    /// `ReplicaId` → slab key of the live replica (`None` once removed).
+    /// Dense because replica ids are issued sequentially.
+    replica_lookup: Vec<Option<SlabKey>>,
+    /// Lifecycle state per replica *slot*, parallel to `replicas`: the
+    /// readiness scan in `pick_replica` walks this array and never touches
+    /// the replica structs themselves.
+    replica_states: Vec<ReplicaState>,
     cluster: ClusterState,
-    requests: HashMap<RequestId, RequestState>,
+    /// In-flight requests, slab-allocated: steady-state churn reuses slots
+    /// instead of hitting the allocator, and events hold generational keys
+    /// so late events cannot alias a recycled slot.
+    requests: Slab<RequestState>,
     warehouse: TraceWarehouse,
     client: ClientLog,
     /// Per-request-type client logs, indexed by `RequestTypeId`.
@@ -186,7 +202,7 @@ pub struct World {
     /// the hottest event handler, fired once per compute stage — so the
     /// completion batch never re-allocates in steady state.
     cpu_jobs_scratch: Vec<CpuJobId>,
-    cpu_work_scratch: Vec<(RequestId, FrameIdx)>,
+    cpu_work_scratch: Vec<(SlabKey, FrameIdx)>,
     /// Reusable snapshot of a service's replica list for the soft-resource
     /// actuation loops (drains may mutate the list mid-walk).
     actuation_scratch: Vec<ReplicaId>,
@@ -194,6 +210,8 @@ pub struct World {
     next_replica: u64,
     next_span: u64,
     dropped: u64,
+    /// Total events dispatched (the `scale` bench's events/sec numerator).
+    events_dispatched: u64,
     /// Conservation-law violations observed during dispatch. Audit-only
     /// state: never serialized, never read by simulation logic.
     #[cfg(feature = "audit")]
@@ -222,9 +240,11 @@ impl World {
             clock: SimTime::ZERO,
             services: Vec::new(),
             request_types: Vec::new(),
-            replicas: BTreeMap::new(),
+            replicas: Slab::new(),
+            replica_lookup: Vec::new(),
+            replica_states: Vec::new(),
             cluster: ClusterState::new(),
-            requests: HashMap::new(),
+            requests: Slab::new(),
             warehouse,
             client,
             client_by_type: Vec::new(),
@@ -243,6 +263,7 @@ impl World {
             next_replica: 0,
             next_span: 0,
             dropped: 0,
+            events_dispatched: 0,
             #[cfg(feature = "audit")]
             audit_sink: sim_core::audit::CountingSink::new(),
             #[cfg(feature = "audit")]
@@ -303,6 +324,60 @@ impl World {
         self.clock.max(self.queue.now())
     }
 
+    /// Switches the future-event-list engine, carrying pending events
+    /// over in canonical pop order (so FIFO tie-breaking — and with it
+    /// every downstream byte — is preserved). The `scale` bench uses this
+    /// to measure the `BinaryHeap` baseline against identical topologies;
+    /// both engines produce byte-identical simulations.
+    pub fn set_queue_backend(&mut self, backend: QueueBackend) {
+        if self.queue.backend() == backend {
+            return;
+        }
+        let mut fresh = EventQueue::with_backend(backend);
+        while let Some((t, ev)) = self.queue.pop() {
+            fresh.schedule(t, ev);
+        }
+        self.queue = fresh;
+    }
+
+    /// The engine behind the future event list.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.backend()
+    }
+
+    // ------------------------------------------------------------------
+    // Dense replica storage (struct-of-arrays hot state)
+    // ------------------------------------------------------------------
+
+    /// The slab key of a live replica, or `None` once it is removed.
+    fn rep_key(&self, id: ReplicaId) -> Option<SlabKey> {
+        self.replica_lookup
+            .get(id.get() as usize)
+            .copied()
+            .flatten()
+    }
+
+    fn rep(&self, id: ReplicaId) -> Option<&Replica> {
+        self.rep_key(id).and_then(|k| self.replicas.get(k))
+    }
+
+    fn rep_mut(&mut self, id: ReplicaId) -> Option<&mut Replica> {
+        let k = self.rep_key(id)?;
+        self.replicas.get_mut(k)
+    }
+
+    /// The lifecycle state of a replica, read from the dense state array.
+    fn state_of(&self, id: ReplicaId) -> Option<ReplicaState> {
+        self.rep_key(id)
+            .map(|k| self.replica_states[k.index() as usize])
+    }
+
+    fn set_state(&mut self, id: ReplicaId, state: ReplicaState) {
+        if let Some(k) = self.rep_key(id) {
+            self.replica_states[k.index() as usize] = state;
+        }
+    }
+
     // ------------------------------------------------------------------
     // Scaling & soft-resource actuation
     // ------------------------------------------------------------------
@@ -324,6 +399,7 @@ impl World {
         self.cluster.place(id.get(), rt.cpu_limit)?;
         self.next_replica += 1;
         let mut replica = Replica::new(
+            id,
             service,
             rt.cpu_limit,
             rt.spec.csw_overhead,
@@ -338,7 +414,17 @@ impl World {
                 replica.cpu.set_pressure(self.now(), factor);
             }
         }
-        self.replicas.insert(id, replica);
+        let key = self.replicas.insert(replica);
+        let slot = key.index() as usize;
+        if slot >= self.replica_states.len() {
+            self.replica_states.resize(slot + 1, ReplicaState::Starting);
+        }
+        self.replica_states[slot] = ReplicaState::Starting;
+        let idx = id.get() as usize;
+        if idx >= self.replica_lookup.len() {
+            self.replica_lookup.resize(idx + 1, None);
+        }
+        self.replica_lookup[idx] = Some(key);
         self.services[service.get() as usize].replicas.push(id);
         let delay = self.config.replica_startup.sample(&mut self.rng);
         self.queue.schedule(
@@ -351,10 +437,8 @@ impl World {
     /// Marks a starting replica ready immediately (used by tests and by
     /// initial topology construction, where pods pre-exist the run).
     pub fn make_ready(&mut self, replica: ReplicaId) {
-        if let Some(r) = self.replicas.get_mut(&replica) {
-            if r.state == ReplicaState::Starting {
-                r.state = ReplicaState::Ready;
-            }
+        if self.state_of(replica) == Some(ReplicaState::Starting) {
+            self.set_state(replica, ReplicaState::Ready);
         }
     }
 
@@ -368,19 +452,17 @@ impl World {
             .replicas
             .iter()
             .copied()
-            .filter(|id| {
-                self.replicas
-                    .get(id)
-                    .is_some_and(|r| r.state != ReplicaState::Draining)
+            .filter(|&id| {
+                self.state_of(id)
+                    .is_some_and(|s| s != ReplicaState::Draining)
             })
             .collect();
         if live.len() <= min_keep {
             return None;
         }
         let victim = *live.last()?;
-        let r = self.replicas.get_mut(&victim)?;
-        r.state = ReplicaState::Draining;
-        if r.is_idle() {
+        self.set_state(victim, ReplicaState::Draining);
+        if self.rep(victim)?.is_idle() {
             self.remove_replica_final(now, victim);
         }
         Some(victim)
@@ -392,7 +474,9 @@ impl World {
     /// tests.
     pub fn fail_replica(&mut self, replica: ReplicaId) {
         let now = self.now();
-        let touching: Vec<RequestId> = self
+        // Canonical abort order — by request id, not storage order — so the
+        // resulting event sequence is identical across runs and processes.
+        let mut touching: Vec<(RequestId, SlabKey)> = self
             .requests
             .iter()
             .filter(|(_, rs)| {
@@ -400,14 +484,13 @@ impl World {
                     .iter()
                     .any(|f| f.replica == replica && f.departure.is_none())
             })
-            .map(|(&id, _)| id)
+            .map(|(key, rs)| (rs.id, key))
             .collect();
-        for req in touching {
-            self.abort_request(now, req, DropReason::ReplicaFailed);
+        touching.sort_unstable();
+        for (_, key) in touching {
+            self.abort_request(now, key, DropReason::ReplicaFailed);
         }
-        if let Some(r) = self.replicas.get_mut(&replica) {
-            r.state = ReplicaState::Draining;
-        }
+        self.set_state(replica, ReplicaState::Draining);
         self.remove_replica_final(now, replica);
     }
 
@@ -425,7 +508,11 @@ impl World {
     }
 
     fn remove_replica_final(&mut self, now: SimTime, replica: ReplicaId) {
-        if let Some(mut r) = self.replicas.remove(&replica) {
+        let Some(key) = self.rep_key(replica) else {
+            return;
+        };
+        self.replica_lookup[replica.get() as usize] = None;
+        if let Some(mut r) = self.replicas.remove(key) {
             debug_assert!(r.is_idle(), "removing a busy replica");
             r.cpu.advance(now);
             let _ = self.cluster.remove(replica.get());
@@ -458,7 +545,7 @@ impl World {
                 result = Err(e);
                 break;
             }
-            if let Some(r) = self.replicas.get_mut(&id) {
+            if let Some(r) = self.rep_mut(id) {
                 r.cpu.set_limit(now, limit);
             }
             self.schedule_cpu(now, id);
@@ -476,7 +563,7 @@ impl World {
         ids.clear();
         ids.extend_from_slice(&self.services[service.get() as usize].replicas);
         for &id in &ids {
-            if let Some(r) = self.replicas.get_mut(&id) {
+            if let Some(r) = self.rep_mut(id) {
                 r.threads.limit = limit;
             }
             self.drain_thread_queue(now, id);
@@ -495,7 +582,7 @@ impl World {
         ids.clear();
         ids.extend_from_slice(&self.services[service.get() as usize].replicas);
         for &id in &ids {
-            if let Some(r) = self.replicas.get_mut(&id) {
+            if let Some(r) = self.rep_mut(id) {
                 let pool = r
                     .conns
                     .entry(target)
@@ -590,14 +677,17 @@ impl World {
 
     /// Sets the pressure factor of every replica currently placed on `node`.
     fn apply_node_pressure(&mut self, now: SimTime, node: NodeId, factor: f64) {
-        let ids: Vec<ReplicaId> = self.replicas.keys().copied().collect();
+        // Sorted to match the former BTreeMap iteration order, so the event
+        // sequence (and with it every downstream byte) is unchanged.
+        let mut ids: Vec<ReplicaId> = self.replicas.iter().map(|(_, r)| r.id).collect();
+        ids.sort_unstable();
         for id in ids {
             let on_node = self
                 .cluster
                 .placement(id.get())
                 .is_some_and(|p| p.node == node);
             if on_node {
-                if let Some(r) = self.replicas.get_mut(&id) {
+                if let Some(r) = self.rep_mut(id) {
                     r.cpu.set_pressure(now, factor);
                 }
                 self.schedule_cpu(now, id);
@@ -631,7 +721,7 @@ impl World {
         if lagged {
             // Buffered in completion order, so per-replica time order holds.
             for (replica, t, rt) in completions {
-                if let Some(r) = self.replicas.get_mut(&replica) {
+                if let Some(r) = self.rep_mut(replica) {
                     r.completions.record(t, rt);
                     r.span_p99.observe(rt.as_millis_f64());
                 }
@@ -658,13 +748,13 @@ impl World {
         );
         let id = RequestId(self.next_request);
         self.next_request += 1;
-        self.requests.insert(id, RequestState::new(id, rtype, at));
+        let key = self.requests.insert(RequestState::new(id, rtype, at));
         let net = self.config.net_delay.sample(&mut self.rng);
         self.queue
-            .schedule(at + net, Event::ExternalArrival { request: id });
+            .schedule(at + net, Event::ExternalArrival { request: key });
         if let Some(timeout) = self.request_types[rtype.get() as usize].timeout {
             self.queue
-                .schedule(at + timeout, Event::Timeout { request: id });
+                .schedule(at + timeout, Event::Timeout { request: key });
         }
         id
     }
@@ -672,8 +762,7 @@ impl World {
     /// Processes every event up to and including `t`, returning the
     /// requests that completed. The world's clock ends at `t`.
     pub fn run_until(&mut self, t: SimTime) -> Vec<Completion> {
-        while self.queue.peek_time().is_some_and(|pt| pt <= t) {
-            let (now, event) = self.queue.pop().expect("peeked");
+        while let Some((now, event)) = self.queue.pop_before(t) {
             self.dispatch(now, event);
         }
         self.clock = self.clock.max(t);
@@ -688,6 +777,7 @@ impl World {
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
+        self.events_dispatched += 1;
         #[cfg(feature = "audit")]
         self.audit_pre_event(now);
         match event {
@@ -707,7 +797,7 @@ impl World {
             Event::CpuDone { replica, epoch } => self.on_cpu_done(now, replica, epoch),
             Event::ReplicaReady { replica } => self.make_ready(replica),
             Event::Timeout { request } => {
-                if self.requests.contains_key(&request) {
+                if self.requests.contains(request) {
                     self.abort_request(now, request, DropReason::ClientTimeout);
                 }
             }
@@ -730,22 +820,23 @@ impl World {
         self.audit_post_event(now);
     }
 
-    fn on_external_arrival(&mut self, now: SimTime, request: RequestId) {
-        let Some(rs) = self.requests.get(&request) else {
+    fn on_external_arrival(&mut self, now: SimTime, request: SlabKey) {
+        let Some(rs) = self.requests.get(request) else {
             return;
         };
+        let id = rs.id;
         let entry = self.request_types[rs.rtype.get() as usize].entry;
         let Some(replica) = self.pick_replica(entry) else {
             // No ready replica: the request is refused at the edge.
-            self.requests.remove(&request);
+            self.requests.remove(request);
             self.dropped += 1;
             self.drop_breakdown.count(DropReason::Refused);
-            self.dropped_log.push((request, DropReason::Refused));
+            self.dropped_log.push((id, DropReason::Refused));
             return;
         };
         let span = SpanId(self.next_span);
         self.next_span += 1;
-        let rs = self.requests.get_mut(&request).expect("checked above");
+        let rs = self.requests.get_mut(request).expect("checked above");
         rs.frames.push(Frame::new(entry, replica, span, None, now));
         let frame = rs.frames.len() - 1;
         self.admit_or_queue(now, request, frame);
@@ -754,13 +845,13 @@ impl World {
     fn on_child_arrival(
         &mut self,
         now: SimTime,
-        request: RequestId,
+        request: SlabKey,
         parent: FrameIdx,
         call_idx: usize,
         target: ServiceId,
         attempt: u32,
     ) {
-        if !self.requests.contains_key(&request) {
+        if !self.requests.contains(request) {
             return; // request aborted while the call was in flight
         }
         let Some(replica) = self.pick_replica(target) else {
@@ -785,7 +876,7 @@ impl World {
         };
         let span = SpanId(self.next_span);
         self.next_span += 1;
-        let rs = self.requests.get_mut(&request).expect("checked above");
+        let rs = self.requests.get_mut(request).expect("checked above");
         rs.frames.push(Frame::new(
             target,
             replica,
@@ -800,11 +891,11 @@ impl World {
     fn on_child_return(
         &mut self,
         now: SimTime,
-        request: RequestId,
+        request: SlabKey,
         parent: FrameIdx,
         call_idx: usize,
     ) {
-        let Some(rs) = self.requests.get_mut(&request) else {
+        let Some(rs) = self.requests.get_mut(request) else {
             return;
         };
         let frame = &mut rs.frames[parent];
@@ -817,7 +908,7 @@ impl World {
         // Release the connection this call held and hand it to a waiter.
         self.release_conn(now, replica, target);
         if ready {
-            let rs = self.requests.get_mut(&request).expect("still present");
+            let rs = self.requests.get_mut(request).expect("still present");
             rs.frames[parent].stage += 1;
             self.run_frame(now, request, parent);
         }
@@ -826,7 +917,7 @@ impl World {
     fn on_cpu_done(&mut self, now: SimTime, replica: ReplicaId, epoch: u64) {
         let mut finished = std::mem::take(&mut self.cpu_jobs_scratch);
         let mut work = std::mem::take(&mut self.cpu_work_scratch);
-        let live = match self.replicas.get_mut(&replica) {
+        let live = match self.rep_mut(replica) {
             // A stale epoch means the event refers to a superseded schedule.
             Some(r) if r.cpu.epoch() == epoch => {
                 r.cpu.advance(now);
@@ -841,7 +932,7 @@ impl World {
             _ => false,
         };
         for (request, frame) in work.drain(..) {
-            if let Some(rs) = self.requests.get_mut(&request) {
+            if let Some(rs) = self.requests.get_mut(request) {
                 rs.frames[frame].stage += 1;
                 self.run_frame(now, request, frame);
             }
@@ -884,7 +975,9 @@ impl World {
                 let a = self.nth_ready(service, ka);
                 let kb = self.lb_rng.index(n);
                 let b = self.nth_ready(service, kb);
-                if self.replicas[&a].outstanding() <= self.replicas[&b].outstanding() {
+                let oa = self.rep(a).expect("ready replica").outstanding();
+                let ob = self.rep(b).expect("ready replica").outstanding();
+                if oa <= ob {
                     a
                 } else {
                     b
@@ -898,11 +991,7 @@ impl World {
         self.services[service.get() as usize]
             .replicas
             .iter()
-            .filter(|id| {
-                self.replicas
-                    .get(id)
-                    .is_some_and(|r| r.state == ReplicaState::Ready)
-            })
+            .filter(|&&id| self.state_of(id) == Some(ReplicaState::Ready))
             .count()
     }
 
@@ -912,18 +1001,19 @@ impl World {
             .replicas
             .iter()
             .copied()
-            .filter(|id| {
-                self.replicas
-                    .get(id)
-                    .is_some_and(|r| r.state == ReplicaState::Ready)
-            })
+            .filter(|&id| self.state_of(id) == Some(ReplicaState::Ready))
             .nth(n)
             .expect("nth_ready index is below the ready count")
     }
 
-    fn admit_or_queue(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
-        let replica = self.requests[&request].frames[frame].replica;
-        let Some(r) = self.replicas.get_mut(&replica) else {
+    fn admit_or_queue(&mut self, now: SimTime, request: SlabKey, frame: FrameIdx) {
+        let replica = self
+            .requests
+            .get(request)
+            .expect("admitting a live request")
+            .frames[frame]
+            .replica;
+        let Some(r) = self.rep_mut(replica) else {
             // Replica vanished between selection and admission (failure).
             self.abort_request(now, request, DropReason::ReplicaFailed);
             return;
@@ -935,15 +1025,15 @@ impl World {
         }
     }
 
-    fn start_service(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
+    fn start_service(&mut self, now: SimTime, request: SlabKey, frame: FrameIdx) {
         let rs = self
             .requests
-            .get_mut(&request)
+            .get_mut(request)
             .expect("admitting a live request");
         let f = &mut rs.frames[frame];
         f.started = Some(now);
         let replica = f.replica;
-        if let Some(r) = self.replicas.get_mut(&replica) {
+        if let Some(r) = self.rep_mut(replica) {
             r.concurrency.enter(now);
         }
         self.run_frame(now, request, frame);
@@ -951,9 +1041,9 @@ impl World {
 
     /// Executes stages of `frame` starting at its current stage until the
     /// frame blocks (CPU, downstream calls) or completes.
-    fn run_frame(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
+    fn run_frame(&mut self, now: SimTime, request: SlabKey, frame: FrameIdx) {
         loop {
-            let Some(rs) = self.requests.get(&request) else {
+            let Some(rs) = self.requests.get(request) else {
                 return;
             };
             let f = &rs.frames[frame];
@@ -977,7 +1067,7 @@ impl World {
                 }
                 Some(Stage::Compute { demand }) => {
                     let d = demand.sample(&mut self.rng);
-                    let Some(r) = self.replicas.get_mut(&replica) else {
+                    let Some(r) = self.rep_mut(replica) else {
                         return;
                     };
                     let job = r.cpu.add(now, d);
@@ -987,7 +1077,7 @@ impl World {
                 }
                 Some(Stage::Call { targets }) => {
                     if targets.is_empty() {
-                        let rs = self.requests.get_mut(&request).expect("present");
+                        let rs = self.requests.get_mut(request).expect("present");
                         rs.frames[frame].stage += 1;
                         continue;
                     }
@@ -1001,12 +1091,12 @@ impl World {
     fn issue_calls(
         &mut self,
         now: SimTime,
-        request: RequestId,
+        request: SlabKey,
         frame: FrameIdx,
         targets: &[ServiceId],
     ) {
         let replica = {
-            let rs = self.requests.get_mut(&request).expect("present");
+            let rs = self.requests.get_mut(request).expect("present");
             let f = &mut rs.frames[frame];
             // One growth step for the whole fan-out instead of one per call.
             f.calls.reserve(targets.len());
@@ -1014,7 +1104,7 @@ impl World {
         };
         for &target in targets {
             let call_idx = {
-                let rs = self.requests.get_mut(&request).expect("present");
+                let rs = self.requests.get_mut(request).expect("present");
                 let f = &mut rs.frames[frame];
                 // `end` stays at the SimTime::MAX sentinel until the child
                 // returns; a completed call may legitimately have end ==
@@ -1028,11 +1118,7 @@ impl World {
                 f.pending_children += 1;
                 f.calls.len() - 1
             };
-            let acquired = match self
-                .replicas
-                .get_mut(&replica)
-                .and_then(|r| r.conns.get_mut(&target))
-            {
+            let acquired = match self.rep_mut(replica).and_then(|r| r.conns.get_mut(&target)) {
                 Some(pool) => {
                     if pool.try_acquire() {
                         true
@@ -1063,17 +1149,18 @@ impl World {
         }
     }
 
-    fn complete_span(&mut self, now: SimTime, request: RequestId, frame: FrameIdx) {
+    fn complete_span(&mut self, now: SimTime, request: SlabKey, frame: FrameIdx) {
         let (replica, parent, arrival) = {
             let rs = self
                 .requests
-                .get_mut(&request)
+                .get_mut(request)
                 .expect("completing a live request");
             let f = &mut rs.frames[frame];
             f.departure = Some(now);
             (f.replica, f.parent, f.arrival)
         };
-        if let Some(r) = self.replicas.get_mut(&replica) {
+        if let Some(k) = self.rep_key(replica) {
+            let r = self.replicas.get_mut(k).expect("live replica key");
             r.concurrency.leave(now);
             // Completion *samples* go through the telemetry pipeline, which
             // a blackout window darkens; the concurrency tracker above keeps
@@ -1109,11 +1196,12 @@ impl World {
         }
     }
 
-    fn finalize_request(&mut self, now: SimTime, request: RequestId) {
+    fn finalize_request(&mut self, now: SimTime, request: SlabKey) {
         let rs = self
             .requests
-            .remove(&request)
+            .remove(request)
             .expect("finalizing a live request");
+        let id = rs.id;
         let issued = rs.issued;
         let rtype = rs.rtype;
         let net = self.config.net_delay.sample(&mut self.rng);
@@ -1131,7 +1219,7 @@ impl World {
         self.client.record(completed, response_time);
         self.client_by_type[rtype.get() as usize].record(completed, response_time);
         self.completed.push(Completion {
-            request,
+            request: id,
             rtype,
             issued,
             completed,
@@ -1140,10 +1228,11 @@ impl World {
     }
 
     /// Aborts a request outright, reclaiming every resource its frames hold.
-    fn abort_request(&mut self, now: SimTime, request: RequestId, reason: DropReason) {
-        let Some(rs) = self.requests.remove(&request) else {
+    fn abort_request(&mut self, now: SimTime, request: SlabKey, reason: DropReason) {
+        let Some(rs) = self.requests.remove(request) else {
             return;
         };
+        let id = rs.id;
         for frame in &rs.frames {
             if frame.departure.is_some() {
                 continue; // span finished; resources already released
@@ -1151,7 +1240,7 @@ impl World {
             let replica = frame.replica;
             // Reclaim the thread (if the frame had been admitted).
             if frame.started.is_some() {
-                if let Some(r) = self.replicas.get_mut(&replica) {
+                if let Some(r) = self.rep_mut(replica) {
                     r.concurrency.leave(now);
                     r.threads.release();
                     // Cancel any CPU job of this frame.
@@ -1168,7 +1257,7 @@ impl World {
                 }
                 self.schedule_cpu(now, replica);
                 self.drain_thread_queue(now, replica);
-            } else if let Some(r) = self.replicas.get_mut(&replica) {
+            } else if let Some(r) = self.rep_mut(replica) {
                 // Still in the accept queue: drop the entry lazily.
                 r.threads.queue.retain(|&(rq, _)| rq != request);
             }
@@ -1177,7 +1266,7 @@ impl World {
                 if call.end == SimTime::MAX {
                     // Outstanding (or waiting). If waiting, remove the waiter
                     // instead of releasing.
-                    if let Some(r) = self.replicas.get_mut(&replica) {
+                    if let Some(r) = self.rep_mut(replica) {
                         if let Some(pool) = r.conns.get_mut(&call.service) {
                             let before = pool.waiters.len();
                             pool.waiters.retain(|w| w.request != request);
@@ -1193,7 +1282,7 @@ impl World {
         }
         self.dropped += 1;
         self.drop_breakdown.count(reason);
-        self.dropped_log.push((request, reason));
+        self.dropped_log.push((id, reason));
     }
 
     // ------------------------------------------------------------------
@@ -1201,7 +1290,7 @@ impl World {
     // ------------------------------------------------------------------
 
     fn release_conn(&mut self, now: SimTime, replica: ReplicaId, target: ServiceId) {
-        if let Some(r) = self.replicas.get_mut(&replica) {
+        if let Some(r) = self.rep_mut(replica) {
             if r.conns.contains_key(&target) {
                 r.conns.get_mut(&target).expect("checked").release();
                 self.drain_conn_waiters(now, replica, target);
@@ -1214,7 +1303,12 @@ impl World {
     fn drain_conn_waiters(&mut self, now: SimTime, replica: ReplicaId, target: ServiceId) {
         loop {
             let waiter = {
-                let Some(r) = self.replicas.get_mut(&replica) else {
+                let Some(key) = self.rep_key(replica) else {
+                    return;
+                };
+                // Field-level borrow so the request check below can read
+                // the disjoint `requests` slab.
+                let Some(r) = self.replicas.get_mut(key) else {
                     return;
                 };
                 let Some(pool) = r.conns.get_mut(&target) else {
@@ -1222,7 +1316,7 @@ impl World {
                 };
                 match pool.grant_next() {
                     Some(w) => {
-                        if self.requests.contains_key(&w.request) {
+                        if self.requests.contains(w.request) {
                             Some(w)
                         } else {
                             pool.release(); // dead waiter: free the slot, try next
@@ -1255,12 +1349,15 @@ impl World {
     fn drain_thread_queue(&mut self, now: SimTime, replica: ReplicaId) {
         loop {
             let next = {
-                let Some(r) = self.replicas.get_mut(&replica) else {
+                let Some(key) = self.rep_key(replica) else {
+                    return;
+                };
+                let Some(r) = self.replicas.get_mut(key) else {
                     return;
                 };
                 match r.threads.admit_next() {
                     Some((req, frame)) => {
-                        if self.requests.contains_key(&req) {
+                        if self.requests.contains(req) {
                             Some((req, frame))
                         } else {
                             r.threads.release(); // dead entry: free thread, try next
@@ -1278,27 +1375,21 @@ impl World {
     }
 
     fn maybe_reap_drained(&mut self, now: SimTime, replica: ReplicaId) {
-        let should_remove = self
-            .replicas
-            .get(&replica)
-            .is_some_and(|r| r.state == ReplicaState::Draining && r.is_idle());
+        let should_remove = self.state_of(replica) == Some(ReplicaState::Draining)
+            && self.rep(replica).is_some_and(|r| r.is_idle());
         if should_remove {
             self.remove_replica_final(now, replica);
         }
     }
 
     fn schedule_cpu(&mut self, now: SimTime, replica: ReplicaId) {
-        if let Some(r) = self.replicas.get_mut(&replica) {
-            r.cpu.advance(now);
-            if let Some((t, _)) = r.cpu.next_completion() {
-                self.queue.schedule(
-                    t,
-                    Event::CpuDone {
-                        replica,
-                        epoch: r.cpu.epoch(),
-                    },
-                );
-            }
+        let Some(r) = self.rep_mut(replica) else {
+            return;
+        };
+        r.cpu.advance(now);
+        let next = r.cpu.next_completion().map(|(t, _)| (t, r.cpu.epoch()));
+        if let Some((t, epoch)) = next {
+            self.queue.schedule(t, Event::CpuDone { replica, epoch });
         }
     }
 
@@ -1331,6 +1422,27 @@ impl World {
         self.dropped
     }
 
+    /// Total simulation events dispatched since construction — the
+    /// events-per-second numerator reported by the `scale` bench.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Requests ever injected (completed + dropped + in flight).
+    pub fn requests_injected(&self) -> u64 {
+        self.next_request
+    }
+
+    /// Spans ever created (one per service invocation across all requests).
+    pub fn spans_created(&self) -> u64 {
+        self.next_span
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.requests.len()
+    }
+
     /// Cumulative drop counts broken down by cause.
     pub fn drop_breakdown(&self) -> DropBreakdown {
         self.drop_breakdown
@@ -1361,11 +1473,7 @@ impl World {
             .replicas
             .iter()
             .copied()
-            .filter(|id| {
-                self.replicas
-                    .get(id)
-                    .is_some_and(|r| r.state == ReplicaState::Ready)
-            })
+            .filter(|&id| self.state_of(id) == Some(ReplicaState::Ready))
     }
 
     /// All live replica ids of `service` (starting + ready + draining).
@@ -1375,12 +1483,12 @@ impl World {
 
     /// The concurrency sampler of one replica.
     pub fn concurrency_of(&self, replica: ReplicaId) -> Option<&ConcurrencyTracker> {
-        self.replicas.get(&replica).map(|r| &r.concurrency)
+        self.rep(replica).map(|r| &r.concurrency)
     }
 
     /// The completion log of one replica.
     pub fn completions_of(&self, replica: ReplicaId) -> Option<&CompletionLog> {
-        self.replicas.get(&replica).map(|r| &r.completions)
+        self.rep(replica).map(|r| &r.completions)
     }
 
     /// Live p99 of span response times across ready replicas of `service`
@@ -1388,7 +1496,7 @@ impl World {
     /// managers scale on. `None` until any replica has completions.
     pub fn span_p99_ms(&self, service: ServiceId) -> Option<f64> {
         self.ready_replicas_iter(service)
-            .filter_map(|id| self.replicas[&id].span_p99.value())
+            .filter_map(|id| self.rep(id).and_then(|r| r.span_p99.value()))
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
@@ -1396,14 +1504,14 @@ impl World {
     /// paper's "Running Threads" panel).
     pub fn running_threads(&self, service: ServiceId) -> usize {
         self.ready_replicas_iter(service)
-            .map(|id| self.replicas[&id].threads.active)
+            .map(|id| self.rep(id).expect("ready replica").threads.active)
             .sum()
     }
 
     /// Requests queued for a thread across ready replicas.
     pub fn queued_requests(&self, service: ServiceId) -> usize {
         self.ready_replicas_iter(service)
-            .map(|id| self.replicas[&id].threads.queue.len())
+            .map(|id| self.rep(id).expect("ready replica").threads.queue.len())
             .sum()
     }
 
@@ -1411,7 +1519,7 @@ impl World {
     /// replicas.
     pub fn conns_in_use(&self, service: ServiceId, target: ServiceId) -> usize {
         self.ready_replicas_iter(service)
-            .filter_map(|id| self.replicas[&id].conns.get(&target))
+            .filter_map(|id| self.rep(id).expect("ready replica").conns.get(&target))
             .map(|p| p.in_use)
             .sum()
     }
@@ -1421,7 +1529,7 @@ impl World {
     /// exploration logic).
     pub fn conn_waiting(&self, service: ServiceId, target: ServiceId) -> usize {
         self.ready_replicas_iter(service)
-            .filter_map(|id| self.replicas[&id].conns.get(&target))
+            .filter_map(|id| self.rep(id).expect("ready replica").conns.get(&target))
             .map(|p| p.waiters.len())
             .sum()
     }
@@ -1431,7 +1539,7 @@ impl World {
     /// paper's "Established DB Conn" panel.
     pub fn conns_established(&self, service: ServiceId, target: ServiceId) -> usize {
         self.ready_replicas_iter(service)
-            .filter_map(|id| self.replicas[&id].conns.get(&target))
+            .filter_map(|id| self.rep(id).expect("ready replica").conns.get(&target))
             .map(|p| p.limit)
             .sum()
     }
@@ -1466,7 +1574,7 @@ impl World {
         let mut total = self.services[svc].retired_busy_nanos;
         for i in 0..self.services[svc].replicas.len() {
             let id = self.services[svc].replicas[i];
-            if let Some(r) = self.replicas.get_mut(&id) {
+            if let Some(r) = self.rep_mut(id) {
                 r.cpu.advance(now);
                 total += r.cpu.busy_core_nanos();
             }
@@ -1569,7 +1677,7 @@ impl World {
             return;
         }
         self.audit_next_boundary = now + sim_core::SimDuration::from_secs(1);
-        for r in self.replicas.values() {
+        for (_, r) in self.replicas.iter() {
             r.concurrency.audit_into(now, &mut self.audit_sink);
             r.cpu.audit_into(now, &mut self.audit_sink);
         }

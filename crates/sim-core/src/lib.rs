@@ -35,10 +35,12 @@ pub mod audit;
 mod dist;
 mod queue;
 mod rng;
+mod slab;
 pub mod stats;
 mod time;
 
 pub use dist::Dist;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend, TimerWheel};
 pub use rng::SimRng;
+pub use slab::{Slab, SlabKey};
 pub use time::{SimDuration, SimTime};

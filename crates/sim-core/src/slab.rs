@@ -1,0 +1,342 @@
+//! Generational slab storage for hot simulation objects.
+//!
+//! The simulator used to heap-allocate every in-flight request behind a
+//! `HashMap` entry; at million-user scale the allocator and the hash probes
+//! dominate the event loop. A [`Slab`] keeps values in one dense `Vec`,
+//! recycles vacated slots through a free list (so steady-state churn is
+//! allocation-free once the high-water mark is reached), and tags each slot
+//! with a **generation** that is bumped on removal. A [`SlabKey`] captures
+//! the slot index *and* the generation it was issued for, so a stale key —
+//! one that outlived its value and whose slot has since been reused — can
+//! never alias the new occupant (the classic ABA hazard of index reuse).
+//! Lookups with stale keys simply return `None`, which is exactly the
+//! "request already finished" semantics the event loop wants for late
+//! timeouts and superseded events.
+
+use std::fmt;
+
+/// A generational handle into a [`Slab`].
+///
+/// Keys are `Copy`, 8 bytes, and safe to embed in queued events: if the
+/// value they referred to has been removed (even if the slot has been
+/// reused), every lookup returns `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlabKey {
+    index: u32,
+    generation: u32,
+}
+
+impl SlabKey {
+    /// The slot index (useful only for diagnostics; never dereference it
+    /// without the generation check a [`Slab`] lookup performs).
+    pub const fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The generation this key was issued for.
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl fmt::Display for SlabKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot-{}v{}", self.index, self.generation)
+    }
+}
+
+enum Slot<T> {
+    /// Live value; `generation` matches the keys issued for this occupancy.
+    Occupied { generation: u32, value: T },
+    /// Empty slot; `generation` is the value the *next* occupancy will use
+    /// (already bumped past every key issued for previous occupants).
+    Vacant { generation: u32 },
+}
+
+/// A dense, generational object store with O(1) insert/remove/lookup.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::Slab;
+///
+/// let mut slab: Slab<&'static str> = Slab::new();
+/// let a = slab.insert("alpha");
+/// assert_eq!(slab.get(a), Some(&"alpha"));
+/// slab.remove(a);
+/// let b = slab.insert("beta"); // reuses the slot...
+/// assert_eq!(a.index(), b.index());
+/// assert_eq!(slab.get(a), None, "...but the stale key cannot see it");
+/// assert_eq!(slab.get(b), Some(&"beta"));
+/// ```
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    /// Indices of vacant slots, reused LIFO (the most recently vacated slot
+    /// is the most likely to be cache-hot).
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab. Allocates nothing until the first insert.
+    pub const fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates a slab with room for `capacity` values before reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            len: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more values.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots ever allocated (the high-water mark of concurrent
+    /// occupancy).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores `value`, returning a generational key for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX` slots.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                let generation = match *slot {
+                    Slot::Vacant { generation } => generation,
+                    Slot::Occupied { .. } => unreachable!("free list points at an occupied slot"),
+                };
+                *slot = Slot::Occupied { generation, value };
+                SlabKey { index, generation }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("slab exceeds u32::MAX slots");
+                self.slots.push(Slot::Occupied {
+                    generation: 0,
+                    value,
+                });
+                SlabKey {
+                    index,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the value behind `key`, or `None` if the key is
+    /// stale (already removed, possibly with the slot since reused).
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let slot = self.slots.get_mut(key.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == key.generation => {
+                // Bump the generation as the slot is vacated, so every key
+                // issued for the old occupant goes stale immediately.
+                let next = key.generation.wrapping_add(1);
+                let old = std::mem::replace(slot, Slot::Vacant { generation: next });
+                self.free.push(key.index);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!("matched occupied above"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The value behind `key`, or `None` for stale keys.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        match self.slots.get(key.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == key.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value behind `key`, or `None` for stale keys.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        match self.slots.get_mut(key.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == key.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// True when `key` still refers to a live value.
+    pub fn contains(&self, key: SlabKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates live `(key, &value)` pairs in slot order (deterministic:
+    /// independent of hash state or insertion history beyond slot reuse).
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| match slot {
+                Slot::Occupied { generation, value } => Some((
+                    SlabKey {
+                        index: index as u32,
+                        generation: *generation,
+                    },
+                    value,
+                )),
+                Slot::Vacant { .. } => None,
+            })
+    }
+
+    /// Iterates live values mutably in slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (SlabKey, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(index, slot)| match slot {
+                Slot::Occupied { generation, value } => Some((
+                    SlabKey {
+                        index: index as u32,
+                        generation: *generation,
+                    },
+                    value,
+                )),
+                Slot::Vacant { .. } => None,
+            })
+    }
+}
+
+/// `Debug` shows occupancy, not contents (slabs hold thousands of values).
+impl<T> fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len)
+            .field("slots", &self.slots.len())
+            .field("free", &self.free.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&10));
+        assert_eq!(slab.get_mut(b).map(|v| std::mem::replace(v, 21)), Some(20));
+        assert_eq!(slab.remove(a), Some(10));
+        assert_eq!(slab.remove(a), None, "double remove is a no-op");
+        assert_eq!(slab.get(b), Some(&21));
+        assert_eq!(slab.len(), 1);
+    }
+
+    /// The ABA regression: a key issued for a previous occupant of a reused
+    /// slot must not read, write, or remove the new occupant. This is the
+    /// exact hazard of a late `Timeout` event racing a recycled request id.
+    #[test]
+    fn stale_key_cannot_alias_a_reused_slot() {
+        let mut slab = Slab::new();
+        let old = slab.insert("first");
+        assert_eq!(slab.remove(old), Some("first"));
+        let new = slab.insert("second");
+        assert_eq!(old.index(), new.index(), "slot is reused");
+        assert_ne!(old.generation(), new.generation());
+        assert_eq!(slab.get(old), None);
+        assert!(!slab.contains(old));
+        assert_eq!(slab.remove(old), None, "stale remove must not evict");
+        assert_eq!(slab.get(new), Some(&"second"));
+    }
+
+    #[test]
+    fn slots_are_reused_lifo_and_high_water_mark_holds() {
+        let mut slab = Slab::new();
+        let keys: Vec<SlabKey> = (0..8).map(|i| slab.insert(i)).collect();
+        assert_eq!(slab.slot_count(), 8);
+        for k in &keys {
+            slab.remove(*k);
+        }
+        // Refill: no new slots are allocated, and the most recently vacated
+        // slot comes back first.
+        let first = slab.insert(100);
+        assert_eq!(first.index(), keys[7].index());
+        for i in 0..7 {
+            slab.insert(i);
+        }
+        assert_eq!(slab.slot_count(), 8, "steady-state churn adds no slots");
+        assert_eq!(slab.len(), 8);
+    }
+
+    #[test]
+    fn generations_survive_many_reuse_cycles() {
+        let mut slab = Slab::new();
+        let mut key = slab.insert(0u64);
+        for round in 1..100u64 {
+            slab.remove(key);
+            let fresh = slab.insert(round);
+            assert_eq!(fresh.index(), key.index());
+            assert_eq!(slab.get(key), None, "round {round}: stale key resolved");
+            key = fresh;
+        }
+        assert_eq!(slab.get(key), Some(&99));
+    }
+
+    #[test]
+    fn iteration_is_in_slot_order_and_skips_vacancies() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        let c = slab.insert("c");
+        slab.remove(b);
+        let seen: Vec<&str> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, ["a", "c"]);
+        let keys: Vec<SlabKey> = slab.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, [a, c]);
+        for (_, v) in slab.iter_mut() {
+            *v = "z";
+        }
+        assert_eq!(slab.get(a), Some(&"z"));
+    }
+
+    #[test]
+    fn empty_and_default() {
+        let slab: Slab<u8> = Slab::default();
+        assert!(slab.is_empty());
+        assert_eq!(slab.len(), 0);
+        assert_eq!(slab.iter().count(), 0);
+    }
+}

@@ -2,8 +2,7 @@
 
 use crate::retry::{RetryDecision, RetryState};
 use crate::{RateCurve, RetryPolicy, RetryStats};
-use sim_core::{Dist, SimRng, SimTime};
-use std::collections::BinaryHeap;
+use sim_core::{Dist, SimRng, SimTime, TimerWheel};
 
 /// What the driver should do next, according to the user pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +54,10 @@ pub struct UserPool {
     curve: RateCurve,
     think: Dist,
     rng: SimRng,
-    /// Min-heap of pending sends (`Reverse` ordering by time).
-    pending: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+    /// Pending sends, ordered by `(time, user)`: the same hierarchical
+    /// timing wheel that backs `sim_core::EventQueue`, keyed by user id so
+    /// tie-breaking matches the binary heap it replaced byte-for-byte.
+    pending: TimerWheel<()>,
     /// Users currently waiting for a response.
     in_flight: u64,
     /// Users alive (thinking + in flight + pending send).
@@ -84,7 +85,7 @@ impl UserPool {
             curve,
             think,
             rng,
-            pending: BinaryHeap::new(),
+            pending: TimerWheel::new(),
             in_flight: 0,
             active: 0,
             next_user: 0,
@@ -147,7 +148,7 @@ impl UserPool {
             self.next_user += 1;
             self.active += 1;
             let delay = self.think.sample(&mut self.rng);
-            self.pending.push(std::cmp::Reverse((now + delay, user)));
+            self.pending.schedule(now + delay, user, ());
         }
         // Retire surplus users that are queued to send (never interrupt an
         // in-flight request).
@@ -165,19 +166,16 @@ impl UserPool {
             return UserAction::Finished;
         }
         self.rebalance(now);
-        match self.pending.peek() {
-            Some(&std::cmp::Reverse((at, user))) if at <= self.next_control.min(self.end()) => {
-                self.pending.pop();
+        let limit = self.next_control.min(self.end());
+        match self.pending.pop_before(limit) {
+            Some((at, user, ())) => {
                 self.in_flight += 1;
                 UserAction::Send {
                     at: at.max(now),
                     user,
                 }
             }
-            _ => {
-                let until = self.next_control.min(self.end());
-                UserAction::Idle { until }
-            }
+            None => UserAction::Idle { until: limit },
         }
     }
 
@@ -191,7 +189,7 @@ impl UserPool {
             return;
         }
         let delay = self.think.sample(&mut self.rng);
-        self.pending.push(std::cmp::Reverse((now + delay, user)));
+        self.pending.schedule(now + delay, user, ());
     }
 
     /// Reports that `user`'s request finished at `now`; the user thinks and
@@ -226,7 +224,7 @@ impl UserPool {
                     self.active = self.active.saturating_sub(1);
                     return;
                 }
-                self.pending.push(std::cmp::Reverse((now + backoff, user)));
+                self.pending.schedule(now + backoff, user, ());
             }
             Some(RetryDecision::GiveUp) | None => self.recycle(now, user),
         }
@@ -343,10 +341,10 @@ mod tests {
         p.on_drop(at, user);
         assert_eq!(p.retry_stats().attempts, 1);
         assert_eq!(p.in_flight(), 0);
-        let &std::cmp::Reverse((resend, _)) = p
+        let (resend, _, _) = p
             .pending
             .iter()
-            .find(|std::cmp::Reverse((_, who))| *who == user)
+            .find(|(_, who, _)| *who == user)
             .expect("retry pending");
         assert_eq!(
             resend,

@@ -43,6 +43,46 @@ diff /tmp/fault_smoke_j1.txt /tmp/fault_smoke_j4.txt \
   || { echo "fault_resilience output differs between --jobs 1 and --jobs 4"; exit 1; }
 rm -f /tmp/fault_smoke_j4.txt
 
+echo "==> scale smoke (timing wheel vs heap, determinism across --jobs, audited)"
+# ~500 generated services under 50k users, run on BOTH event-queue engines
+# with in-binary equality asserts, fully audited. The canonical stdout is
+# diffed byte-for-byte across worker counts, and the saved result file is
+# checked against the expected BENCH_scale.json schema.
+cp results/BENCH_scale.json /tmp/BENCH_scale_golden.json
+cargo build -q --release -p sora-bench --features audit --bin scale
+./target/release/scale --smoke --jobs 1 2>/dev/null > /tmp/scale_smoke_j1.txt
+./target/release/scale --smoke --jobs 4 2>/dev/null > /tmp/scale_smoke_j4.txt
+diff /tmp/scale_smoke_j1.txt /tmp/scale_smoke_j4.txt \
+  || { echo "scale output differs between --jobs 1 and --jobs 4"; exit 1; }
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("results/BENCH_scale.json"))
+data = doc["data"]
+point_keys = {
+    "point", "spans_per_request", "wheel", "heap", "engines_identical",
+    "events_per_sec_speedup", "hot_loop_pending", "hot_loop_ops",
+    "hot_loop_wheel_slab", "hot_loop_heap_box", "hot_loop_speedup",
+}
+engine_keys = {"counters", "events_per_sec", "bytes_per_request",
+               "allocs_per_request", "wall_secs"}
+counter_keys = {"completed", "dropped", "events", "requests", "spans",
+                "p99_ms_bits"}
+try:
+    assert {"trace", "smoke", "steady_state", "points"} <= set(data), "top-level keys"
+    assert data["steady_state"]["allocs"] == 0, "steady-state churn allocated"
+    assert len(data["points"]) >= 1, "no points"
+    for p in data["points"]:
+        assert set(p) == point_keys, f"point keys drifted: {sorted(set(p) ^ point_keys)}"
+        assert p["engines_identical"] is True, "engines diverged"
+        for eng in ("wheel", "heap"):
+            assert set(p[eng]) == engine_keys, f"{eng} keys drifted"
+            assert set(p[eng]["counters"]) == counter_keys, f"{eng} counters drifted"
+except AssertionError as e:
+    sys.exit(f"BENCH_scale.json schema drift: {e}")
+EOF
+rm -f /tmp/scale_smoke_j1.txt /tmp/scale_smoke_j4.txt
+mv /tmp/BENCH_scale_golden.json results/BENCH_scale.json
+
 echo "==> audit lane: conservation laws (--features audit)"
 # Unit + metamorphic coverage of the audit layer itself.
 cargo test -q --features audit

@@ -13,4 +13,5 @@ pub use scg;
 pub use sim_core;
 pub use sora_core;
 pub use telemetry;
+pub use topo;
 pub use workload;
