@@ -145,7 +145,9 @@ fn run_variant(s: FaultSetup, controller: &mut dyn Controller) -> (RunResult, Wo
         SimRng::seed_from(s.seed),
     );
     let faults = schedule(s, &shop.world);
-    shop.world.install_faults(faults);
+    shop.world
+        .install_faults(faults)
+        .expect("valid fault schedule");
     let curve = RateCurve::new(
         TraceShape::SteepTriPhase,
         s.max_users,

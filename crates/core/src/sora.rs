@@ -41,6 +41,15 @@ pub struct SoraConfig {
     /// window counts as stale. Must exceed the control period, or healthy
     /// low-traffic lulls would freeze the controller.
     pub staleness_bound: SimDuration,
+    /// Minimum completion samples the critical service must show inside the
+    /// trailing [`staleness_bound`](Self::staleness_bound) window for the
+    /// degradation guard to trust it. A lossy or reordering telemetry
+    /// network can keep *one* recent sample trickling through while losing
+    /// or delaying the bulk — freshness alone then green-lights estimating
+    /// from a nearly empty scatter. The default of `1` degenerates to the
+    /// pure freshness check (a fresh sample *is* one sample in the window),
+    /// so behaviour is unchanged unless raised.
+    pub min_window_samples: u64,
 }
 
 impl Default for SoraConfig {
@@ -54,6 +63,7 @@ impl Default for SoraConfig {
             deadline_propagation: true,
             degradation: true,
             staleness_bound: SimDuration::from_secs(30),
+            min_window_samples: 1,
         }
     }
 }
@@ -211,6 +221,27 @@ impl<H: Controller> Controller for SoraController<H> {
             if stale {
                 self.frozen_periods += 1;
                 return;
+            }
+            // Reordered-telemetry hardening: freshness checks the *newest*
+            // sample, but a lossy or delaying network can deliver a lone
+            // recent sample while the rest of the window is still in
+            // flight (or gone). Require a minimum population before
+            // trusting the scatter. Skipped at the default of 1, where the
+            // freshness check above already implies it.
+            if self.config.min_window_samples > 1 {
+                let from = SimTime::ZERO
+                    + now
+                        .saturating_since(SimTime::ZERO)
+                        .saturating_sub_or_zero(self.config.staleness_bound);
+                let samples: u64 = world
+                    .ready_replicas_iter(critical)
+                    .filter_map(|id| world.completions_of(id))
+                    .map(|log| log.count_in(from, now + SimDuration::from_nanos(1)))
+                    .sum();
+                if samples < self.config.min_window_samples {
+                    self.frozen_periods += 1;
+                    return;
+                }
             }
         }
 
@@ -500,6 +531,43 @@ mod tests {
     }
 
     #[test]
+    fn sparse_window_freezes_when_min_samples_raised() {
+        // A lossy/reordering telemetry network can keep one recent sample
+        // arriving while losing the bulk: freshness alone passes, the
+        // population check must not.
+        let run = |min_window_samples: u64| {
+            let (mut w, svc, rt) = overallocated_world();
+            let mut sora = SoraController::sora(
+                SoraConfig {
+                    min_window_samples,
+                    ..degradation_config()
+                },
+                registry_2_200(svc),
+                NullController,
+            );
+            let mut rng = SimRng::seed_from(3);
+            inject_span(&mut w, rt, &mut rng, 0, 30_000);
+            w.run_until(t(30_000));
+            sora.control(&mut w, t(30_000));
+            assert_eq!(sora.frozen_periods(), 0, "healthy window must not freeze");
+            // Traffic collapses to a trickle: the freshest sample stays
+            // young while the 20 s window holds only a handful.
+            for at in [55_000u64, 60_000, 65_000] {
+                w.inject_at(t(at), rt);
+            }
+            w.run_until(t(66_000));
+            sora.control(&mut w, t(66_000));
+            sora.frozen_periods()
+        };
+        assert_eq!(run(1), 0, "freshness-only guard passes the trickle");
+        assert_eq!(
+            run(50),
+            1,
+            "sparse window must freeze under a population floor"
+        );
+    }
+
+    #[test]
     fn estimation_resumes_within_one_period_after_blackout() {
         // Telemetry blackout 40–100 s; control on a 15 s grid. With the
         // 20 s staleness bound, ticks at 75 and 90 s are inside the frozen
@@ -511,7 +579,8 @@ mod tests {
                 t(40_000),
                 BlackoutMode::Drop,
                 SimDuration::from_secs(60),
-            ));
+            ))
+            .expect("valid fault schedule");
             let mut sora = SoraController::sora(
                 SoraConfig {
                     degradation,

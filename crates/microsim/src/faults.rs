@@ -7,7 +7,7 @@
 //! and schedule always reproduce the same run, byte for byte, regardless of
 //! host parallelism.
 //!
-//! Three fault families cover the paper's unmodelled failure regimes:
+//! Five fault families cover the paper's unmodelled failure regimes:
 //!
 //! * **Replica crash** ([`FaultKind::ReplicaCrash`]): abruptly kills one
 //!   ready replica of a service (requests with open frames on it are
@@ -28,6 +28,19 @@
 //!   the controller's view of them is — and the end-to-end client log keeps
 //!   recording, since it models the experiment harness rather than the
 //!   cluster's monitoring stack.
+//! * **Network partition** ([`FaultKind::Partition`]): with a network
+//!   installed (see `World::install_network`), messages between two
+//!   services are dropped in both directions for a window; messages
+//!   already in flight still arrive. Without a network the fault is
+//!   logged and ignored.
+//! * **Slow link** ([`FaultKind::LinkSlow`]): with a network installed,
+//!   sampled latencies between two services are multiplied by a factor
+//!   for a window (congestion or a flapping NIC rather than a clean cut).
+//!
+//! Schedules are validated when installed: inverted windows (`end <
+//! start` from the `*_between` builders) and overlapping crash windows on
+//! the same service are rejected with a typed [`FaultScheduleError`]
+//! instead of silently producing a nonsensical run.
 //!
 //! [`World::install_faults`]: crate::World::install_faults
 //! [`World::fail_replica`]: crate::World::fail_replica
@@ -35,6 +48,7 @@
 
 use cluster::NodeId;
 use sim_core::{SimDuration, SimTime};
+use std::fmt;
 use telemetry::ServiceId;
 
 /// What happens to telemetry samples produced during a blackout window.
@@ -75,6 +89,31 @@ pub enum FaultKind {
         /// How long the blackout window lasts.
         duration: SimDuration,
     },
+    /// Drop all messages between `a` and `b` (both directions) for
+    /// `duration`. Requires an installed network; otherwise logged and
+    /// ignored.
+    Partition {
+        /// One side of the cut.
+        a: ServiceId,
+        /// The other side.
+        b: ServiceId,
+        /// How long the partition window lasts.
+        duration: SimDuration,
+    },
+    /// Multiply sampled latencies between `a` and `b` (both directions)
+    /// by `factor` for `duration`. Requires an installed network;
+    /// otherwise logged and ignored.
+    LinkSlow {
+        /// One side of the degraded link.
+        a: ServiceId,
+        /// The other side.
+        b: ServiceId,
+        /// Latency multiplier, `> 0` (overlapping windows stack
+        /// multiplicatively).
+        factor: f64,
+        /// How long the slow window lasts.
+        duration: SimDuration,
+    },
 }
 
 /// A fault with its injection instant.
@@ -85,6 +124,62 @@ pub struct FaultEvent {
     /// What happens.
     pub kind: FaultKind,
 }
+
+/// A structurally invalid [`FaultSchedule`], detected by
+/// [`FaultSchedule::validate`] (which `World::install_faults` runs before
+/// accepting the schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScheduleError {
+    /// A `*_between` builder was given a window that ends before it
+    /// starts.
+    InvertedWindow {
+        /// Which fault family the window belongs to.
+        kind: &'static str,
+        /// The window's start.
+        start: SimTime,
+        /// The (earlier) end.
+        end: SimTime,
+    },
+    /// Two crash windows of the same service overlap: the second crash
+    /// would fire while the first one's replica is still down (or at the
+    /// very same instant), double-killing capacity the schedule's author
+    /// almost certainly did not intend.
+    OverlappingCrashWindows {
+        /// The doubly-crashed service.
+        service: ServiceId,
+        /// The earlier `[crash, restart]` window.
+        first: (SimTime, SimTime),
+        /// The overlapping later window.
+        second: (SimTime, SimTime),
+    },
+}
+
+impl fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultScheduleError::InvertedWindow { kind, start, end } => write!(
+                f,
+                "inverted {kind} window: ends at {} ns before starting at {} ns",
+                end.as_nanos(),
+                start.as_nanos()
+            ),
+            FaultScheduleError::OverlappingCrashWindows {
+                service,
+                first,
+                second,
+            } => write!(
+                f,
+                "overlapping crash windows on {service}: [{}, {}] ns and [{}, {}] ns",
+                first.0.as_nanos(),
+                first.1.as_nanos(),
+                second.0.as_nanos(),
+                second.1.as_nanos()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultScheduleError {}
 
 /// A deterministic, sim-clock-driven schedule of fault events.
 ///
@@ -106,6 +201,10 @@ pub struct FaultEvent {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultSchedule {
     events: Vec<FaultEvent>,
+    /// Raw `(start, end, kind)` windows recorded by the `*_between`
+    /// builders, kept verbatim (no saturation) so [`FaultSchedule::validate`]
+    /// can reject inversions the duration-form events cannot express.
+    windows: Vec<(SimTime, SimTime, &'static str)>,
 }
 
 impl FaultSchedule {
@@ -173,6 +272,150 @@ impl FaultSchedule {
         self
     }
 
+    /// Adds a partition window between `a` and `b` starting at `at`.
+    pub fn partition(
+        mut self,
+        at: SimTime,
+        a: ServiceId,
+        b: ServiceId,
+        duration: SimDuration,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::Partition { a, b, duration },
+        });
+        self
+    }
+
+    /// Adds a partition window between `a` and `b` spanning `[at, until]`.
+    /// An inverted window (`until < at`) is recorded but rejected by
+    /// [`FaultSchedule::validate`].
+    pub fn partition_between(
+        mut self,
+        at: SimTime,
+        until: SimTime,
+        a: ServiceId,
+        b: ServiceId,
+    ) -> Self {
+        self.windows.push((at, until, "partition"));
+        self.partition(at, a, b, until.saturating_since(at))
+    }
+
+    /// Adds a slow-link window between `a` and `b` starting at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite.
+    pub fn slow_link(
+        mut self,
+        at: SimTime,
+        a: ServiceId,
+        b: ServiceId,
+        factor: f64,
+        duration: SimDuration,
+    ) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "slow-link factor must be positive and finite"
+        );
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::LinkSlow {
+                a,
+                b,
+                factor,
+                duration,
+            },
+        });
+        self
+    }
+
+    /// Adds a crash at `at` whose replacement arrives at `until`. An
+    /// inverted window (`until < at`) is recorded but rejected by
+    /// [`FaultSchedule::validate`].
+    pub fn crash_between(mut self, at: SimTime, until: SimTime, service: ServiceId) -> Self {
+        self.windows.push((at, until, "crash"));
+        self.crash(at, service, Some(until.saturating_since(at)))
+    }
+
+    /// Adds a CPU-pressure window on `node` spanning `[at, until]`. An
+    /// inverted window (`until < at`) is recorded but rejected by
+    /// [`FaultSchedule::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn cpu_pressure_between(
+        mut self,
+        at: SimTime,
+        until: SimTime,
+        node: NodeId,
+        factor: f64,
+    ) -> Self {
+        self.windows.push((at, until, "cpu-pressure"));
+        self.cpu_pressure(at, node, factor, until.saturating_since(at))
+    }
+
+    /// Adds a telemetry blackout spanning `[at, until]`. An inverted
+    /// window (`until < at`) is recorded but rejected by
+    /// [`FaultSchedule::validate`].
+    pub fn telemetry_blackout_between(
+        mut self,
+        at: SimTime,
+        until: SimTime,
+        mode: BlackoutMode,
+    ) -> Self {
+        self.windows.push((at, until, "telemetry-blackout"));
+        self.telemetry_blackout(at, mode, until.saturating_since(at))
+    }
+
+    /// Checks the schedule for structural mistakes: inverted `*_between`
+    /// windows and overlapping crash windows on the same service. Run
+    /// automatically by `World::install_faults`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultScheduleError`] found.
+    pub fn validate(&self) -> Result<(), FaultScheduleError> {
+        for &(start, end, kind) in &self.windows {
+            if end < start {
+                return Err(FaultScheduleError::InvertedWindow { kind, start, end });
+            }
+        }
+        // A crash window spans [at, at + restart_after] (a restart-less
+        // crash is the degenerate instant window [at, at]). Two windows on
+        // the same service may not overlap — the second would fire while
+        // the first replica is still down.
+        let mut crashes: Vec<(ServiceId, SimTime, SimTime)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::ReplicaCrash {
+                    service,
+                    restart_after,
+                } => Some((
+                    service,
+                    e.at,
+                    e.at + restart_after.unwrap_or(SimDuration::ZERO),
+                )),
+                _ => None,
+            })
+            .collect();
+        crashes.sort_unstable();
+        for pair in crashes.windows(2) {
+            let (sa, a_start, a_end) = pair[0];
+            let (sb, b_start, b_end) = pair[1];
+            if sa == sb && b_start <= a_end {
+                return Err(FaultScheduleError::OverlappingCrashWindows {
+                    service: sa,
+                    first: (a_start, a_end),
+                    second: (b_start, b_end),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -186,5 +429,118 @@ impl FaultSchedule {
     /// True when no events are scheduled.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn valid_schedule_passes_validation() {
+        let s = FaultSchedule::new()
+            .crash(t(10), ServiceId(1), Some(SimDuration::from_secs(5)))
+            .crash(t(16), ServiceId(1), None)
+            .crash(t(12), ServiceId(2), Some(SimDuration::from_secs(60)))
+            .cpu_pressure_between(t(20), t(30), NodeId(0), 0.5)
+            .partition_between(t(40), t(50), ServiceId(1), ServiceId(2))
+            .telemetry_blackout_between(t(40), t(45), BlackoutMode::Lag)
+            .slow_link(
+                t(60),
+                ServiceId(0),
+                ServiceId(1),
+                4.0,
+                SimDuration::from_secs(5),
+            );
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn inverted_window_is_rejected() {
+        let s = FaultSchedule::new().partition_between(t(50), t(40), ServiceId(0), ServiceId(1));
+        assert_eq!(
+            s.validate(),
+            Err(FaultScheduleError::InvertedWindow {
+                kind: "partition",
+                start: t(50),
+                end: t(40),
+            })
+        );
+        let s = FaultSchedule::new().crash_between(t(9), t(8), ServiceId(3));
+        assert!(matches!(
+            s.validate(),
+            Err(FaultScheduleError::InvertedWindow { kind: "crash", .. })
+        ));
+        let s = FaultSchedule::new().cpu_pressure_between(t(2), t(1), NodeId(0), 1.0);
+        assert!(matches!(
+            s.validate(),
+            Err(FaultScheduleError::InvertedWindow {
+                kind: "cpu-pressure",
+                ..
+            })
+        ));
+        let s = FaultSchedule::new().telemetry_blackout_between(t(2), t(1), BlackoutMode::Drop);
+        assert!(matches!(
+            s.validate(),
+            Err(FaultScheduleError::InvertedWindow {
+                kind: "telemetry-blackout",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn overlapping_crash_windows_on_one_service_are_rejected() {
+        // Second crash fires while the first replica is still down.
+        let s = FaultSchedule::new()
+            .crash(t(10), ServiceId(1), Some(SimDuration::from_secs(10)))
+            .crash(t(15), ServiceId(1), Some(SimDuration::from_secs(10)));
+        assert_eq!(
+            s.validate(),
+            Err(FaultScheduleError::OverlappingCrashWindows {
+                service: ServiceId(1),
+                first: (t(10), t(20)),
+                second: (t(15), t(25)),
+            })
+        );
+        // Same instant, even without restarts, is a double-kill.
+        let s =
+            FaultSchedule::new()
+                .crash(t(10), ServiceId(1), None)
+                .crash(t(10), ServiceId(1), None);
+        assert!(matches!(
+            s.validate(),
+            Err(FaultScheduleError::OverlappingCrashWindows { .. })
+        ));
+        // Overlap across *different* services is fine.
+        let s = FaultSchedule::new()
+            .crash(t(10), ServiceId(1), Some(SimDuration::from_secs(10)))
+            .crash(t(15), ServiceId(2), Some(SimDuration::from_secs(10)));
+        assert_eq!(s.validate(), Ok(()));
+        // Back-to-back (restart strictly before the next crash) is fine.
+        let s = FaultSchedule::new()
+            .crash(t(10), ServiceId(1), Some(SimDuration::from_secs(4)))
+            .crash(t(15), ServiceId(1), None);
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let e = FaultScheduleError::InvertedWindow {
+            kind: "partition",
+            start: t(2),
+            end: t(1),
+        };
+        assert!(e.to_string().contains("inverted partition window"));
+        let e = FaultScheduleError::OverlappingCrashWindows {
+            service: ServiceId(4),
+            first: (t(1), t(2)),
+            second: (t(2), t(3)),
+        };
+        assert!(e.to_string().contains("svc-4"));
     }
 }

@@ -34,7 +34,7 @@ mod request;
 mod world;
 
 pub use config::{Behavior, LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
-pub use faults::{BlackoutMode, FaultEvent, FaultKind, FaultSchedule};
+pub use faults::{BlackoutMode, FaultEvent, FaultKind, FaultSchedule, FaultScheduleError};
 pub use world::{Completion, DropBreakdown, DropReason, World};
 
 #[cfg(test)]

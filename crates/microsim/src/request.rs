@@ -31,6 +31,11 @@ pub(crate) struct Frame {
     /// outstanding; a completed call can have `end == start` when network
     /// delay and compute are both zero).
     pub calls: Vec<ChildCall>,
+    /// Resend generation per call, parallel to `calls` — populated only
+    /// when a network is installed (function-edge worlds never allocate
+    /// it). A `CallTimeout` event carries the generation it was armed
+    /// with; a mismatch means a later resend superseded it.
+    pub attempts: Vec<u32>,
 }
 
 impl Frame {
@@ -52,6 +57,7 @@ impl Frame {
             started: None,
             departure: None,
             calls: Vec::new(),
+            attempts: Vec::new(),
         }
     }
 }
@@ -83,28 +89,65 @@ impl RequestState {
     /// # Panics
     ///
     /// Panics if any frame is still open (indicates a lifecycle bug).
+    #[cfg(test)]
     pub fn into_trace(self) -> Trace {
+        self.into_trace_with(Vec::new(), None)
+    }
+
+    /// Assembles the finished trace into `spans` (a recycled span vector
+    /// from the warehouse's spare pool — cleared before use, so only its
+    /// capacity is reused).
+    ///
+    /// `close_open_at`: with a network installed, a resend that raced its
+    /// original can leave a duplicate child frame still executing when the
+    /// root responds; passing `Some(now)` clamps such orphan frames (and
+    /// their outstanding calls) to `now` instead of panicking. Function-edge
+    /// worlds pass `None`, keeping the open-frame panic as a lifecycle
+    /// assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame is still open and `close_open_at` is `None`.
+    pub fn into_trace_with(
+        mut self,
+        mut spans: Vec<Span>,
+        close_open_at: Option<SimTime>,
+    ) -> Trace {
         let request = self.id;
         let rtype = self.rtype;
-        let frames = self.frames;
-        // Map frame index → span id for parent linking.
-        let span_ids: Vec<SpanId> = frames.iter().map(|f| f.span_id).collect();
-        let spans: Vec<Span> = frames
-            .into_iter()
-            .map(|f| Span {
+        spans.clear();
+        spans.reserve(self.frames.len());
+        // Index loop instead of a consuming map: parent span ids are read
+        // straight out of the arena (frames only ever point backwards), so
+        // no side table of span ids is allocated.
+        for i in 0..self.frames.len() {
+            let parent = self.frames[i].parent.map(|(p, _)| self.frames[p].span_id);
+            let f = &mut self.frames[i];
+            let mut children = std::mem::take(&mut f.calls);
+            let departure = match (f.departure, close_open_at) {
+                (Some(d), _) => d,
+                (None, Some(t)) => {
+                    for call in children.iter_mut() {
+                        if call.end == SimTime::MAX {
+                            call.end = t;
+                        }
+                    }
+                    t
+                }
+                (None, None) => panic!("open frame in finished request {request}"),
+            };
+            spans.push(Span {
                 id: f.span_id,
                 request,
                 service: f.service,
                 replica: f.replica,
-                parent: f.parent.map(|(p, _)| span_ids[p]),
+                parent,
                 arrival: f.arrival,
                 service_start: f.started.unwrap_or(f.arrival),
-                departure: f
-                    .departure
-                    .unwrap_or_else(|| panic!("open frame in finished request {request}")),
-                children: f.calls,
-            })
-            .collect();
+                departure,
+                children,
+            });
+        }
         Trace {
             request,
             request_type: rtype,
@@ -142,6 +185,50 @@ mod tests {
         assert_eq!(trace.spans[0].parent, None);
         assert_eq!(trace.spans[1].parent, Some(SpanId(100)));
         assert_eq!(trace.response_time(), SimDuration::from_millis(49));
+    }
+
+    #[test]
+    fn recycled_span_vec_is_cleared_and_reused() {
+        let mut req = RequestState::new(RequestId(2), RequestTypeId(0), t(0));
+        let mut root = Frame::new(ServiceId(0), ReplicaId(0), SpanId(5), None, t(0));
+        root.departure = Some(t(10));
+        req.frames.push(root);
+        // A dirty recycled vector: stale contents must not leak through.
+        let mut pool: Vec<Span> = Vec::with_capacity(8);
+        pool.push(Span {
+            id: SpanId(999),
+            request: RequestId(9),
+            service: ServiceId(9),
+            replica: ReplicaId(9),
+            parent: None,
+            arrival: t(0),
+            service_start: t(0),
+            departure: t(1),
+            children: Vec::new(),
+        });
+        let trace = req.into_trace_with(pool, None);
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].id, SpanId(5));
+    }
+
+    #[test]
+    fn close_open_at_clamps_orphan_frames_and_calls() {
+        let mut req = RequestState::new(RequestId(3), RequestTypeId(0), t(0));
+        let mut root = Frame::new(ServiceId(0), ReplicaId(0), SpanId(1), None, t(0));
+        root.departure = Some(t(50));
+        req.frames.push(root);
+        // Orphaned duplicate child: still open, with an outstanding call.
+        let mut orphan = Frame::new(ServiceId(1), ReplicaId(2), SpanId(2), Some((0, 0)), t(5));
+        orphan.started = Some(t(6));
+        orphan.calls.push(ChildCall {
+            service: ServiceId(2),
+            start: t(7),
+            end: SimTime::MAX,
+        });
+        req.frames.push(orphan);
+        let trace = req.into_trace_with(Vec::new(), Some(t(50)));
+        assert_eq!(trace.spans[1].departure, t(50));
+        assert_eq!(trace.spans[1].children[0].end, t(50));
     }
 
     #[test]

@@ -648,7 +648,8 @@ fn fault_schedule_crash_and_restart_round_trip() {
     let rt = w.add_request_type("r", svc);
     let pod = w.add_replica(svc).unwrap();
     w.make_ready(pod);
-    w.install_faults(FaultSchedule::new().crash(t(500), svc, Some(SimDuration::from_millis(200))));
+    w.install_faults(FaultSchedule::new().crash(t(500), svc, Some(SimDuration::from_millis(200))))
+        .expect("valid fault schedule");
     w.inject_at(t(0), rt); // in flight when the crash hits
     w.run_until(t(600));
     assert_eq!(w.ready_replicas(svc).len(), 0, "replica crashed");
@@ -673,7 +674,8 @@ fn cpu_pressure_window_slows_hosted_replicas_then_lifts() {
         node,
         0.5,
         SimDuration::from_millis(10_000),
-    ));
+    ))
+    .expect("valid fault schedule");
     w.inject_at(t(0), rt);
     let done = w.run_until(t(15_000));
     // Half the core delivered → the 100 ms job takes 200 ms.
@@ -694,7 +696,8 @@ fn pressure_window_covers_replicas_added_mid_window() {
         node,
         0.5,
         SimDuration::from_millis(60_000),
-    ));
+    ))
+    .expect("valid fault schedule");
     w.run_until(t(1_000));
     // Scale up inside the window; the lazy default node hosts everything.
     let pod2 = w.add_replica(svc).unwrap();
@@ -718,7 +721,8 @@ fn telemetry_blackout_drop_loses_samples_but_not_requests() {
         t(1_000),
         BlackoutMode::Drop,
         SimDuration::from_millis(2_000),
-    ));
+    ))
+    .expect("valid fault schedule");
     w.inject_at(t(0), rt); // before the window: sampled
     w.inject_at(t(2_000), rt); // inside: lost
     let done = w.run_until(t(5_000));
@@ -736,7 +740,8 @@ fn telemetry_blackout_lag_delivers_samples_at_window_end() {
         t(1_000),
         BlackoutMode::Lag,
         SimDuration::from_millis(2_000),
-    ));
+    ))
+    .expect("valid fault schedule");
     w.inject_at(t(2_000), rt);
     let mut done = w.run_until(t(2_500));
     assert_eq!(done.len(), 1, "the request itself completes normally");
@@ -842,7 +847,8 @@ fn faults_are_deterministic_across_runs() {
                 .crash(t(3_000), svc, Some(SimDuration::from_millis(500)))
                 .cpu_pressure(t(5_000), node, 0.4, SimDuration::from_millis(4_000))
                 .telemetry_blackout(t(5_000), BlackoutMode::Lag, SimDuration::from_millis(4_000)),
-        );
+        )
+        .expect("valid fault schedule");
         for i in 0..500 {
             w.inject_at(t(i * 20), rt);
         }
@@ -897,7 +903,8 @@ proptest! {
             w.make_ready(pod);
         }
         let restart = (restart_ms > 0).then(|| SimDuration::from_millis(restart_ms));
-        w.install_faults(FaultSchedule::new().crash(t(crash_ms), db_id, restart));
+        w.install_faults(FaultSchedule::new().crash(t(crash_ms), db_id, restart))
+            .expect("valid fault schedule");
         for i in 0..n {
             w.inject_at(t(i as u64 * 2), rt);
         }

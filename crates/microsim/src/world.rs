@@ -1,10 +1,11 @@
 //! The simulation world: services, replicas, requests and the event loop.
 
 use crate::config::{LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
-use crate::faults::{BlackoutMode, FaultKind, FaultSchedule};
+use crate::faults::{BlackoutMode, FaultKind, FaultSchedule, FaultScheduleError};
 use crate::replica::{ConnWaiter, Replica, ReplicaState};
 use crate::request::{Frame, FrameIdx, RequestState};
 use cluster::{ClusterState, CpuJobId, Millicores, NodeId, PlacementError};
+use net::{Endpoint, Network, NetworkConfig, SendOutcome};
 use serde::Serialize;
 use sim_core::{EventQueue, QueueBackend, SimDuration, SimRng, SimTime, Slab, SlabKey};
 use std::collections::BTreeMap;
@@ -40,6 +41,14 @@ pub enum DropReason {
     /// An inter-service call exhausted its connection-level retry budget
     /// without finding a ready replica.
     RetriesExhausted,
+    /// The ingress message was lost by the network (random loss or a
+    /// partition window on the client edge) before reaching the entry
+    /// service. Only produced with a network installed.
+    NetLost,
+    /// An inter-service call exhausted its per-call timeout resend budget
+    /// (the response — or every resend — was lost, partitioned away, or
+    /// too slow). Only produced with a network installed.
+    NetTimedOut,
 }
 
 /// Cumulative drop counts broken down by [`DropReason`].
@@ -53,6 +62,10 @@ pub struct DropBreakdown {
     pub client_timeout: u64,
     /// Requests dropped after exhausting connection retries.
     pub retries_exhausted: u64,
+    /// Requests whose ingress message the network lost.
+    pub net_lost: u64,
+    /// Requests dropped after a call exhausted its network-timeout resends.
+    pub net_timed_out: u64,
 }
 
 impl DropBreakdown {
@@ -62,12 +75,19 @@ impl DropBreakdown {
             DropReason::ReplicaFailed => self.replica_failed += 1,
             DropReason::ClientTimeout => self.client_timeout += 1,
             DropReason::RetriesExhausted => self.retries_exhausted += 1,
+            DropReason::NetLost => self.net_lost += 1,
+            DropReason::NetTimedOut => self.net_timed_out += 1,
         }
     }
 
     /// Total drops across all reasons.
     pub fn total(&self) -> u64 {
-        self.refused + self.replica_failed + self.client_timeout + self.retries_exhausted
+        self.refused
+            + self.replica_failed
+            + self.client_timeout
+            + self.retries_exhausted
+            + self.net_lost
+            + self.net_timed_out
     }
 }
 
@@ -107,6 +127,34 @@ enum Event {
     BlackoutEnd,
     /// A crashed replica's scheduled replacement is created.
     ReplicaRestart { service: ServiceId },
+    /// A caller-side per-call network timeout fires. Inert if the request
+    /// is gone, the call was answered, or a resend already bumped the
+    /// call past `generation`.
+    CallTimeout {
+        request: SlabKey,
+        parent: FrameIdx,
+        call_idx: usize,
+        target: ServiceId,
+        generation: u32,
+    },
+    /// A completion sample reaches the monitoring plane over the network
+    /// (possibly late and out of order relative to other replica samples).
+    TelemetrySample {
+        replica: ReplicaId,
+        completed: SimTime,
+        response_time: SimDuration,
+    },
+    /// A trace report reaches the warehouse over the network (possibly
+    /// late, and possibly a retransmit duplicate).
+    TelemetryTrace { trace: Box<Trace> },
+    /// A partition window between two services heals.
+    PartitionEnd { a: ServiceId, b: ServiceId },
+    /// A slow-link window between two services ends.
+    LinkSlowEnd {
+        a: ServiceId,
+        b: ServiceId,
+        factor: f64,
+    },
 }
 
 struct ServiceRuntime {
@@ -175,6 +223,11 @@ pub struct World {
     /// the replica structs themselves.
     replica_states: Vec<ReplicaState>,
     cluster: ClusterState,
+    /// The message-passing transport, when installed. `None` keeps the
+    /// original function-edge engine (constant `net_delay`, no loss) —
+    /// retained verbatim as the byte-identity oracle for transparent
+    /// network configs.
+    network: Option<Network>,
     /// In-flight requests, slab-allocated: steady-state churn reuses slots
     /// instead of hitting the allocator, and events hold generational keys
     /// so late events cannot alias a recycled slot.
@@ -244,6 +297,7 @@ impl World {
             replica_lookup: Vec::new(),
             replica_states: Vec::new(),
             cluster: ClusterState::new(),
+            network: None,
             requests: Slab::new(),
             warehouse,
             client,
@@ -599,13 +653,49 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Network substrate
+    // ------------------------------------------------------------------
+
+    /// Installs the message-passing network: from now on client ingress,
+    /// inter-service calls and responses, and (unless the telemetry edge
+    /// is transparent) telemetry reports ride the event queue as messages
+    /// with per-edge latency, loss, queueing, partitions and timeouts.
+    ///
+    /// The network draws from its own `"network"` split of the world seed,
+    /// so installing one cannot perturb service-demand or load-balancer
+    /// sampling. A transparent config ([`net::NetworkConfig::transparent`],
+    /// or constant latency matching [`WorldConfig::net_delay`] via
+    /// [`net::NetworkConfig::constant_latency`]) reproduces the
+    /// function-edge engine byte for byte.
+    pub fn install_network(&mut self, config: NetworkConfig) {
+        self.network = Some(Network::new(config, self.rng.split("network")));
+    }
+
+    /// The installed network, if any.
+    pub fn network(&self) -> Option<&Network> {
+        self.network.as_ref()
+    }
+
+    /// Transport counters of the installed network, if any.
+    pub fn network_stats(&self) -> Option<net::NetStats> {
+        self.network.as_ref().map(|n| *n.stats())
+    }
+
+    // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
 
     /// Installs a [`FaultSchedule`]: each fault is queued as an ordinary
     /// simulation event at its instant, so faults interleave with the rest
     /// of the run deterministically.
-    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+    ///
+    /// # Errors
+    ///
+    /// Rejects structurally invalid schedules (inverted windows,
+    /// overlapping crash windows on one service) without queueing anything
+    /// — see [`FaultSchedule::validate`].
+    pub fn install_faults(&mut self, schedule: FaultSchedule) -> Result<(), FaultScheduleError> {
+        schedule.validate()?;
         for event in schedule.events() {
             self.queue.schedule(
                 event.at,
@@ -614,6 +704,7 @@ impl World {
                 },
             );
         }
+        Ok(())
     }
 
     /// The sim-clock-stamped record of every fault applied so far.
@@ -672,7 +763,81 @@ impl World {
                 self.blackout = Some(mode);
                 self.queue.schedule(now + duration, Event::BlackoutEnd);
             }
+            FaultKind::Partition { a, b, duration } => {
+                let (an, bn) = (
+                    self.service_name(a).to_string(),
+                    self.service_name(b).to_string(),
+                );
+                match self.network.as_mut() {
+                    Some(network) => {
+                        network.partition(a, b);
+                        self.fault_log.push((
+                            now,
+                            format!("partition {an} <-> {bn} for {}s", duration.as_secs_f64()),
+                        ));
+                        self.queue
+                            .schedule(now + duration, Event::PartitionEnd { a, b });
+                    }
+                    None => self.fault_log.push((
+                        now,
+                        format!("partition {an} <-> {bn} ignored (no network installed)"),
+                    )),
+                }
+            }
+            FaultKind::LinkSlow {
+                a,
+                b,
+                factor,
+                duration,
+            } => {
+                let (an, bn) = (
+                    self.service_name(a).to_string(),
+                    self.service_name(b).to_string(),
+                );
+                match self.network.as_mut() {
+                    Some(network) => {
+                        network.slow_link(a, b, factor);
+                        self.fault_log.push((
+                            now,
+                            format!(
+                                "slow link {an} <-> {bn} x{factor} for {}s",
+                                duration.as_secs_f64()
+                            ),
+                        ));
+                        self.queue
+                            .schedule(now + duration, Event::LinkSlowEnd { a, b, factor });
+                    }
+                    None => self.fault_log.push((
+                        now,
+                        format!("slow link {an} <-> {bn} ignored (no network installed)"),
+                    )),
+                }
+            }
         }
+    }
+
+    fn on_partition_end(&mut self, now: SimTime, a: ServiceId, b: ServiceId) {
+        if let Some(network) = self.network.as_mut() {
+            network.heal(a, b);
+        }
+        let (an, bn) = (
+            self.service_name(a).to_string(),
+            self.service_name(b).to_string(),
+        );
+        self.fault_log
+            .push((now, format!("partition {an} <-> {bn} heals")));
+    }
+
+    fn on_link_slow_end(&mut self, now: SimTime, a: ServiceId, b: ServiceId, factor: f64) {
+        if let Some(network) = self.network.as_mut() {
+            network.heal_slow_link(a, b, factor);
+        }
+        let (an, bn) = (
+            self.service_name(a).to_string(),
+            self.service_name(b).to_string(),
+        );
+        self.fault_log
+            .push((now, format!("slow link {an} <-> {bn} recovers")));
     }
 
     /// Sets the pressure factor of every replica currently placed on `node`.
@@ -748,10 +913,25 @@ impl World {
         );
         let id = RequestId(self.next_request);
         self.next_request += 1;
+        let arrive = match self.network.as_mut() {
+            None => at + self.config.net_delay.sample(&mut self.rng),
+            Some(network) => {
+                let entry = self.request_types[rtype.get() as usize].entry;
+                match network.send(at, Endpoint::Client, Endpoint::Service(entry)) {
+                    SendOutcome::Deliver { at: arrive, .. } => arrive,
+                    SendOutcome::Lost(_) => {
+                        // Ingress lost: the user saw a connection error.
+                        self.dropped += 1;
+                        self.drop_breakdown.count(DropReason::NetLost);
+                        self.dropped_log.push((id, DropReason::NetLost));
+                        return id;
+                    }
+                }
+            }
+        };
         let key = self.requests.insert(RequestState::new(id, rtype, at));
-        let net = self.config.net_delay.sample(&mut self.rng);
         self.queue
-            .schedule(at + net, Event::ExternalArrival { request: key });
+            .schedule(arrive, Event::ExternalArrival { request: key });
         if let Some(timeout) = self.request_types[rtype.get() as usize].timeout {
             self.queue
                 .schedule(at + timeout, Event::Timeout { request: key });
@@ -804,6 +984,21 @@ impl World {
             Event::Fault { kind } => self.on_fault(now, kind),
             Event::PressureEnd { node } => self.on_pressure_end(now, node),
             Event::BlackoutEnd => self.on_blackout_end(now),
+            Event::CallTimeout {
+                request,
+                parent,
+                call_idx,
+                target,
+                generation,
+            } => self.on_call_timeout(now, request, parent, call_idx, target, generation),
+            Event::TelemetrySample {
+                replica,
+                completed,
+                response_time,
+            } => self.on_telemetry_sample(replica, completed, response_time),
+            Event::TelemetryTrace { trace } => self.on_telemetry_trace(*trace),
+            Event::PartitionEnd { a, b } => self.on_partition_end(now, a, b),
+            Event::LinkSlowEnd { a, b, factor } => self.on_link_slow_end(now, a, b, factor),
             Event::ReplicaRestart { service } => {
                 let name = self.service_name(service).to_string();
                 match self.recover_replica(service) {
@@ -824,6 +1019,9 @@ impl World {
         let Some(rs) = self.requests.get(request) else {
             return;
         };
+        if !rs.frames.is_empty() {
+            return; // duplicate delivery: the request already arrived
+        }
         let id = rs.id;
         let entry = self.request_types[rs.rtype.get() as usize].entry;
         let Some(replica) = self.pick_replica(entry) else {
@@ -899,6 +1097,12 @@ impl World {
             return;
         };
         let frame = &mut rs.frames[parent];
+        if frame.calls[call_idx].end != SimTime::MAX {
+            // Already answered: a resend raced the original (or a duplicate
+            // execution returned late). The first answer won; this one is
+            // inert.
+            return;
+        }
         frame.calls[call_idx].end = now;
         let target = frame.calls[call_idx].service;
         let replica = frame.replica;
@@ -1095,6 +1299,7 @@ impl World {
         frame: FrameIdx,
         targets: &[ServiceId],
     ) {
+        let net_mode = self.network.is_some();
         let replica = {
             let rs = self.requests.get_mut(request).expect("present");
             let f = &mut rs.frames[frame];
@@ -1116,6 +1321,9 @@ impl World {
                     end: SimTime::MAX,
                 });
                 f.pending_children += 1;
+                if net_mode {
+                    f.attempts.push(0);
+                }
                 f.calls.len() - 1
             };
             let acquired = match self.rep_mut(replica).and_then(|r| r.conns.get_mut(&target)) {
@@ -1134,31 +1342,136 @@ impl World {
                 None => true, // unlimited: no pool configured
             };
             if acquired {
-                let net = self.config.net_delay.sample(&mut self.rng);
+                self.send_child_call(now, request, frame, call_idx, target);
+            }
+        }
+    }
+
+    /// Dispatches one inter-service call message toward `target`, in either
+    /// engine mode. Under a network the caller-side per-call timeout (if
+    /// the edge configures one) is armed here — it starts when the message
+    /// is actually sent, i.e. after any connection-pool wait.
+    fn send_child_call(
+        &mut self,
+        now: SimTime,
+        request: SlabKey,
+        parent: FrameIdx,
+        call_idx: usize,
+        target: ServiceId,
+    ) {
+        if self.network.is_none() {
+            let net = self.config.net_delay.sample(&mut self.rng);
+            self.queue.schedule(
+                now + net,
+                Event::ChildArrival {
+                    request,
+                    parent,
+                    call_idx,
+                    target,
+                    attempt: 0,
+                },
+            );
+            return;
+        }
+        let rs = self
+            .requests
+            .get(request)
+            .expect("sending for a live request");
+        let caller = rs.frames[parent].service;
+        let generation = rs.frames[parent].attempts[call_idx];
+        let network = self.network.as_mut().expect("checked above");
+        let call_timeout = network
+            .config()
+            .params(Endpoint::Service(caller), Endpoint::Service(target))
+            .call_timeout;
+        match network.send(now, Endpoint::Service(caller), Endpoint::Service(target)) {
+            SendOutcome::Deliver { at, .. } => {
                 self.queue.schedule(
-                    now + net,
+                    at,
                     Event::ChildArrival {
                         request,
-                        parent: frame,
+                        parent,
                         call_idx,
                         target,
                         attempt: 0,
                     },
                 );
             }
+            // Lost in transit: nothing arrives. The timeout below (when
+            // configured) resends; otherwise only the client-side timeout
+            // can reclaim the request.
+            SendOutcome::Lost(_) => {}
+        }
+        if let Some(timeout) = call_timeout {
+            self.queue.schedule(
+                now + timeout,
+                Event::CallTimeout {
+                    request,
+                    parent,
+                    call_idx,
+                    target,
+                    generation,
+                },
+            );
         }
     }
 
+    /// A per-call network timeout fired: resend the call (a fresh message
+    /// and, at the target, a fresh execution) or — once the edge's resend
+    /// budget is spent — give the whole request up as a network timeout.
+    fn on_call_timeout(
+        &mut self,
+        now: SimTime,
+        request: SlabKey,
+        parent: FrameIdx,
+        call_idx: usize,
+        target: ServiceId,
+        generation: u32,
+    ) {
+        let Some(rs) = self.requests.get_mut(request) else {
+            return;
+        };
+        let frame = &mut rs.frames[parent];
+        if frame.calls[call_idx].end != SimTime::MAX {
+            return; // answered before the timeout fired
+        }
+        if frame.attempts[call_idx] != generation {
+            return; // a resend already superseded this timeout
+        }
+        let caller = frame.service;
+        let max_retries = self
+            .network
+            .as_ref()
+            .expect("call timeouts only exist under a network")
+            .config()
+            .params(Endpoint::Service(caller), Endpoint::Service(target))
+            .max_call_retries;
+        if generation >= max_retries {
+            self.abort_request(now, request, DropReason::NetTimedOut);
+            return;
+        }
+        let rs = self.requests.get_mut(request).expect("checked above");
+        rs.frames[parent].attempts[call_idx] = generation + 1;
+        self.network
+            .as_mut()
+            .expect("checked above")
+            .note_call_retry();
+        // The original connection grant is still held for this call, so the
+        // resend goes straight out — no second acquire.
+        self.send_child_call(now, request, parent, call_idx, target);
+    }
+
     fn complete_span(&mut self, now: SimTime, request: SlabKey, frame: FrameIdx) {
-        let (replica, parent, arrival) = {
+        let (service, replica, parent, arrival) = {
             let rs = self
                 .requests
                 .get_mut(request)
                 .expect("completing a live request");
             let f = &mut rs.frames[frame];
             f.departure = Some(now);
-            (f.replica, f.parent, f.arrival)
+            (f.service, f.replica, f.parent, f.arrival)
         };
+        let span_rt = now - arrival;
         if let Some(k) = self.rep_key(replica) {
             let r = self.replicas.get_mut(k).expect("live replica key");
             r.concurrency.leave(now);
@@ -1166,32 +1479,86 @@ impl World {
             // a blackout window darkens; the concurrency tracker above keeps
             // integrating (it reflects the replica's true state, which a
             // controller would still pair with the missing rate samples).
-            match self.blackout {
-                None => {
-                    r.completions.record(now, now - arrival);
-                    r.span_p99.observe((now - arrival).as_millis_f64());
+            // Under a network with a non-transparent telemetry edge the
+            // sample becomes a message instead: it may arrive late (and out
+            // of order with other replicas' samples) or never — and blackout
+            // windows are applied at *delivery* time, where the collector
+            // sits. Samples are exactly-once-or-lost; only trace reports
+            // (which carry span ids the warehouse can dedupe on) model
+            // retransmit duplication.
+            if self
+                .network
+                .as_ref()
+                .is_some_and(|n| !n.config().telemetry_is_transparent())
+            {
+                let network = self.network.as_mut().expect("checked above");
+                if let SendOutcome::Deliver { at, .. } =
+                    network.send(now, Endpoint::Service(service), Endpoint::Monitor)
+                {
+                    self.queue.schedule(
+                        at,
+                        Event::TelemetrySample {
+                            replica,
+                            completed: now,
+                            response_time: span_rt,
+                        },
+                    );
                 }
-                Some(BlackoutMode::Lag) => {
-                    self.lag_completions.push((replica, now, now - arrival));
+            } else {
+                match self.blackout {
+                    None => {
+                        r.completions.record(now, span_rt);
+                        r.span_p99.observe(span_rt.as_millis_f64());
+                    }
+                    Some(BlackoutMode::Lag) => {
+                        self.lag_completions.push((replica, now, span_rt));
+                    }
+                    Some(BlackoutMode::Drop) => {}
                 }
-                Some(BlackoutMode::Drop) => {}
             }
             r.threads.release();
         }
         self.drain_thread_queue(now, replica);
         self.maybe_reap_drained(now, replica);
         match parent {
-            Some((p, call_idx)) => {
-                let net = self.config.net_delay.sample(&mut self.rng);
-                self.queue.schedule(
-                    now + net,
-                    Event::ChildReturn {
-                        request,
-                        parent: p,
-                        call_idx,
-                    },
-                );
-            }
+            Some((p, call_idx)) => match self.network.as_mut() {
+                None => {
+                    let net = self.config.net_delay.sample(&mut self.rng);
+                    self.queue.schedule(
+                        now + net,
+                        Event::ChildReturn {
+                            request,
+                            parent: p,
+                            call_idx,
+                        },
+                    );
+                }
+                Some(network) => {
+                    let parent_service = self
+                        .requests
+                        .get(request)
+                        .expect("completing a live request")
+                        .frames[p]
+                        .service;
+                    match network.send(
+                        now,
+                        Endpoint::Service(service),
+                        Endpoint::Service(parent_service),
+                    ) {
+                        SendOutcome::Deliver { at, .. } => self.queue.schedule(
+                            at,
+                            Event::ChildReturn {
+                                request,
+                                parent: p,
+                                call_idx,
+                            },
+                        ),
+                        // The response vanished; the caller's per-call
+                        // timeout (if armed) resends the whole call.
+                        SendOutcome::Lost(_) => {}
+                    }
+                }
+            },
             None => self.finalize_request(now, request),
         }
     }
@@ -1204,17 +1571,67 @@ impl World {
         let id = rs.id;
         let issued = rs.issued;
         let rtype = rs.rtype;
-        let net = self.config.net_delay.sample(&mut self.rng);
-        let completed = now + net;
+        let entry = rs.frames[0].service;
+        let completed = match self.network.as_mut() {
+            None => now + self.config.net_delay.sample(&mut self.rng),
+            // The response rides the established client connection:
+            // latency applies, loss does not.
+            Some(network) => network.deliver_response(now, Endpoint::Service(entry)),
+        };
         let response_time = completed - issued;
-        let trace = rs.into_trace();
+        // Under a network, a resend that raced its (slow, not lost)
+        // original can leave duplicate child executions still running when
+        // the root responds. Their results are discarded: release whatever
+        // they hold and clamp their spans at `now`. The function-edge
+        // engine keeps the open-frame panic as a lifecycle assertion.
+        let mut close_open_at = None;
+        if self.network.is_some() && rs.frames.iter().any(|f| f.departure.is_none()) {
+            for fi in 0..rs.frames.len() {
+                if rs.frames[fi].departure.is_none() {
+                    self.release_open_frame(now, request, &rs, fi);
+                    self.network.as_mut().expect("checked above").note_orphan();
+                }
+            }
+            close_open_at = Some(now);
+        }
+        let spare = self.warehouse.take_spare_spans();
+        let trace = rs.into_trace_with(spare, close_open_at);
         // The warehouse is part of the monitoring pipeline: blackout windows
-        // withhold traces. The client logs below model the experiment
-        // harness and always record.
-        match self.blackout {
-            None => self.warehouse.push(trace),
-            Some(BlackoutMode::Lag) => self.lag_traces.push(trace),
-            Some(BlackoutMode::Drop) => {}
+        // withhold traces, and under a non-transparent telemetry edge the
+        // trace is a message that may arrive late, duplicated (a retransmit
+        // echo the warehouse dedupes by span id), or never. The client logs
+        // below model the experiment harness and always record.
+        if self
+            .network
+            .as_ref()
+            .is_some_and(|n| !n.config().telemetry_is_transparent())
+        {
+            let network = self.network.as_mut().expect("checked above");
+            match network.send_dup(now, Endpoint::Service(entry), Endpoint::Monitor) {
+                SendOutcome::Deliver { at, duplicate } => {
+                    if let Some(at2) = duplicate {
+                        self.queue.schedule(
+                            at2,
+                            Event::TelemetryTrace {
+                                trace: Box::new(trace.clone()),
+                            },
+                        );
+                    }
+                    self.queue.schedule(
+                        at,
+                        Event::TelemetryTrace {
+                            trace: Box::new(trace),
+                        },
+                    );
+                }
+                SendOutcome::Lost(_) => {}
+            }
+        } else {
+            match self.blackout {
+                None => self.warehouse.push(trace),
+                Some(BlackoutMode::Lag) => self.lag_traces.push(trace),
+                Some(BlackoutMode::Drop) => {}
+            }
         }
         self.client.record(completed, response_time);
         self.client_by_type[rtype.get() as usize].record(completed, response_time);
@@ -1227,62 +1644,115 @@ impl World {
         });
     }
 
+    /// Handles a completion sample delivered over the telemetry edge.
+    /// `completed` is when the span finished on its replica; delivery (the
+    /// current event's instant) may be much later, so the per-replica
+    /// completion log absorbs it out of order.
+    fn on_telemetry_sample(
+        &mut self,
+        replica: ReplicaId,
+        completed: SimTime,
+        response_time: SimDuration,
+    ) {
+        match self.blackout {
+            Some(BlackoutMode::Drop) => return,
+            Some(BlackoutMode::Lag) => {
+                self.lag_completions
+                    .push((replica, completed, response_time));
+                return;
+            }
+            None => {}
+        }
+        if let Some(r) = self.rep_mut(replica) {
+            r.completions.record(completed, response_time);
+            r.span_p99.observe(response_time.as_millis_f64());
+        }
+    }
+
+    /// Handles a trace report delivered over the telemetry edge. Duplicate
+    /// retransmits reach this same path; the warehouse ingest is idempotent
+    /// by root span id, so they cannot double-count.
+    fn on_telemetry_trace(&mut self, trace: Trace) {
+        match self.blackout {
+            None => self.warehouse.push(trace),
+            Some(BlackoutMode::Lag) => self.lag_traces.push(trace),
+            Some(BlackoutMode::Drop) => {}
+        }
+    }
+
     /// Aborts a request outright, reclaiming every resource its frames hold.
     fn abort_request(&mut self, now: SimTime, request: SlabKey, reason: DropReason) {
         let Some(rs) = self.requests.remove(request) else {
             return;
         };
         let id = rs.id;
-        for frame in &rs.frames {
-            if frame.departure.is_some() {
+        for fi in 0..rs.frames.len() {
+            if rs.frames[fi].departure.is_some() {
                 continue; // span finished; resources already released
             }
-            let replica = frame.replica;
-            // Reclaim the thread (if the frame had been admitted).
-            if frame.started.is_some() {
-                if let Some(r) = self.rep_mut(replica) {
-                    r.concurrency.leave(now);
-                    r.threads.release();
-                    // Cancel any CPU job of this frame.
-                    let jobs: Vec<_> = r
-                        .jobs
-                        .iter()
-                        .filter(|(_, &(rq, fi))| rq == request && fi == frame_index(&rs, frame))
-                        .map(|(&j, _)| j)
-                        .collect();
-                    for j in jobs {
-                        r.jobs.remove(&j);
-                        r.cpu.cancel(now, j);
-                    }
-                }
-                self.schedule_cpu(now, replica);
-                self.drain_thread_queue(now, replica);
-            } else if let Some(r) = self.rep_mut(replica) {
-                // Still in the accept queue: drop the entry lazily.
-                r.threads.queue.retain(|&(rq, _)| rq != request);
-            }
-            // Release connections held by outstanding calls of this frame.
-            for call in &frame.calls {
-                if call.end == SimTime::MAX {
-                    // Outstanding (or waiting). If waiting, remove the waiter
-                    // instead of releasing.
-                    if let Some(r) = self.rep_mut(replica) {
-                        if let Some(pool) = r.conns.get_mut(&call.service) {
-                            let before = pool.waiters.len();
-                            pool.waiters.retain(|w| w.request != request);
-                            if pool.waiters.len() == before {
-                                pool.release();
-                            }
-                        }
-                    }
-                    self.drain_conn_waiters(now, replica, call.service);
-                }
-            }
-            self.maybe_reap_drained(now, replica);
+            self.release_open_frame(now, request, &rs, fi);
         }
         self.dropped += 1;
         self.drop_breakdown.count(reason);
         self.dropped_log.push((id, reason));
+    }
+
+    /// Reclaims every resource one still-open frame holds: its thread (or
+    /// accept-queue slot), any CPU job, and connections held by its
+    /// outstanding calls. `rs` has already been removed from the slab;
+    /// `request` is the (now-stale) key its waiters and jobs are tagged
+    /// with. Shared by [`World::abort_request`] and the orphan-frame
+    /// reaping in [`World::finalize_request`].
+    fn release_open_frame(
+        &mut self,
+        now: SimTime,
+        request: SlabKey,
+        rs: &RequestState,
+        fi: FrameIdx,
+    ) {
+        let frame = &rs.frames[fi];
+        let replica = frame.replica;
+        // Reclaim the thread (if the frame had been admitted).
+        if frame.started.is_some() {
+            if let Some(r) = self.rep_mut(replica) {
+                r.concurrency.leave(now);
+                r.threads.release();
+                // Cancel any CPU job of this frame.
+                let jobs: Vec<_> = r
+                    .jobs
+                    .iter()
+                    .filter(|(_, &(rq, f))| rq == request && f == fi)
+                    .map(|(&j, _)| j)
+                    .collect();
+                for j in jobs {
+                    r.jobs.remove(&j);
+                    r.cpu.cancel(now, j);
+                }
+            }
+            self.schedule_cpu(now, replica);
+            self.drain_thread_queue(now, replica);
+        } else if let Some(r) = self.rep_mut(replica) {
+            // Still in the accept queue: drop the entry lazily.
+            r.threads.queue.retain(|&(rq, _)| rq != request);
+        }
+        // Release connections held by outstanding calls of this frame.
+        for call in &frame.calls {
+            if call.end == SimTime::MAX {
+                // Outstanding (or waiting). If waiting, remove the waiter
+                // instead of releasing.
+                if let Some(r) = self.rep_mut(replica) {
+                    if let Some(pool) = r.conns.get_mut(&call.service) {
+                        let before = pool.waiters.len();
+                        pool.waiters.retain(|w| w.request != request);
+                        if pool.waiters.len() == before {
+                            pool.release();
+                        }
+                    }
+                }
+                self.drain_conn_waiters(now, replica, call.service);
+            }
+        }
+        self.maybe_reap_drained(now, replica);
     }
 
     // ------------------------------------------------------------------
@@ -1327,19 +1797,7 @@ impl World {
                 }
             };
             match waiter {
-                Some(w) => {
-                    let net = self.config.net_delay.sample(&mut self.rng);
-                    self.queue.schedule(
-                        now + net,
-                        Event::ChildArrival {
-                            request: w.request,
-                            parent: w.frame,
-                            call_idx: w.call_idx,
-                            target,
-                            attempt: 0,
-                        },
-                    );
-                }
+                Some(w) => self.send_child_call(now, w.request, w.frame, w.call_idx, target),
                 None => return,
             }
         }
@@ -1681,6 +2139,7 @@ impl World {
             r.concurrency.audit_into(now, &mut self.audit_sink);
             r.cpu.audit_into(now, &mut self.audit_sink);
         }
+        self.warehouse.audit_into(now, &mut self.audit_sink);
     }
 }
 
@@ -1695,12 +2154,4 @@ impl std::fmt::Debug for World {
             .field("dropped", &self.dropped)
             .finish()
     }
-}
-
-/// Index of `frame` within `rs.frames` (frames are never removed).
-fn frame_index(rs: &RequestState, frame: &Frame) -> FrameIdx {
-    rs.frames
-        .iter()
-        .position(|f| std::ptr::eq(f, frame))
-        .expect("frame belongs to request")
 }

@@ -36,16 +36,21 @@ pub enum Invariant {
     RetryBudget,
     /// Events are dispatched in non-decreasing timestamp order.
     EventMonotonicity,
+    /// Telemetry ingest is idempotent: the trace warehouse never stores two
+    /// traces with the same root span id (network retransmits must be
+    /// deduplicated, not double-counted).
+    TelemetryIdempotence,
 }
 
 impl Invariant {
     /// All invariants, in reporting order.
-    pub const ALL: [Invariant; 5] = [
+    pub const ALL: [Invariant; 6] = [
         Invariant::RequestConservation,
         Invariant::CpuTimeConservation,
         Invariant::ConcurrencyIntegral,
         Invariant::RetryBudget,
         Invariant::EventMonotonicity,
+        Invariant::TelemetryIdempotence,
     ];
 
     /// Stable machine-readable name.
@@ -56,6 +61,7 @@ impl Invariant {
             Invariant::ConcurrencyIntegral => "concurrency_integral",
             Invariant::RetryBudget => "retry_budget",
             Invariant::EventMonotonicity => "event_monotonicity",
+            Invariant::TelemetryIdempotence => "telemetry_idempotence",
         }
     }
 
@@ -66,6 +72,7 @@ impl Invariant {
             Invariant::ConcurrencyIntegral => 2,
             Invariant::RetryBudget => 3,
             Invariant::EventMonotonicity => 4,
+            Invariant::TelemetryIdempotence => 5,
         }
     }
 }
@@ -113,7 +120,7 @@ pub trait AuditSink {
 /// few full [`Violation`] records for diagnostics.
 #[derive(Debug, Clone, Default)]
 pub struct CountingSink {
-    counts: [u64; 5],
+    counts: [u64; 6],
     first: Vec<Violation>,
 }
 

@@ -73,13 +73,18 @@ impl CompletionLog {
 
     /// Records a completion at `t` with response time `rt`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `t` precedes the last recorded completion (the simulator
-    /// emits completions in time order).
+    /// The fast path appends: the function-edge simulator emits completions
+    /// in time order. Under a simulated network, telemetry reports can be
+    /// delayed past each other and arrive *out of order*; a late sample is
+    /// sorted into place (keeping window queries exact) if it still falls
+    /// inside the retention window, and silently discarded otherwise — a
+    /// report that stale would have been evicted already had it arrived on
+    /// time, and dropping it keeps the count ring an exact mirror of the
+    /// retained entries.
     pub fn record(&mut self, t: SimTime, rt: SimDuration) {
-        if let Some(&(last, _)) = self.entries.back() {
-            assert!(t >= last, "completions must be recorded in time order");
+        match self.entries.back() {
+            Some(&(last, _)) if t < last => return self.record_late(t, rt),
+            _ => {}
         }
         self.entries.push_back((t, rt));
         let c = self.counts.get_mut();
@@ -92,6 +97,26 @@ impl CompletionLog {
             slot.1 += 1;
         }
         self.evict(t);
+    }
+
+    /// Sorted-insert path for a completion that arrived after a newer one.
+    ///
+    /// The ring slot is resolved *first*: a `None` slot means the sample
+    /// predates ring retention, and admitting it to `entries` without a ring
+    /// slot would break the entries↔ring mirror every windowed query relies
+    /// on — so the sample is dropped outright. Eviction is not re-run (the
+    /// newest timestamp has not advanced).
+    fn record_late(&mut self, t: SimTime, rt: SimDuration) {
+        let c = self.counts.get_mut();
+        let Some(slot) = c.ring.slot_mut(t.as_nanos() / RING_WIDTH_NANOS) else {
+            return; // beyond retention: would already have been evicted
+        };
+        slot.0 += 1;
+        if rt <= c.threshold {
+            slot.1 += 1;
+        }
+        let at = self.entries.partition_point(|&(et, _)| et <= t);
+        self.entries.insert(at, (t, rt));
     }
 
     fn evict(&mut self, now: SimTime) {
@@ -373,11 +398,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time order")]
-    fn out_of_order_record_panics() {
+    fn late_record_is_sorted_into_place() {
         let mut log = CompletionLog::new(SimDuration::from_secs(60));
         log.record(t(10), d(1));
-        log.record(t(5), d(1));
+        log.record(t(30), d(20));
+        log.record(t(20), d(1)); // late arrival
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.latest(), Some(t(30)), "latest() ignores late inserts");
+        let times: Vec<u64> = log
+            .iter_window(t(0), t(100))
+            .map(|&(et, _)| et.as_millis())
+            .collect();
+        assert_eq!(times, [10, 20, 30], "entries stay time-sorted");
+        assert_eq!(log.count_in(t(20), t(30)), 1);
+        assert_eq!(log.goodput_in(t(0), t(100), d(10)), 2);
+    }
+
+    #[test]
+    fn late_record_beyond_retention_is_discarded() {
+        let mut log = CompletionLog::new(d(100));
+        log.record(t(10), d(1));
+        log.record(t(500), d(1)); // evicts the 10 ms entry
+        log.record(t(10), d(1)); // far staler than the horizon: dropped
+        assert_eq!(log.len(), 1);
+        assert_eq!(
+            log.count_in(t(0), t(1000)),
+            log.count_in_scan(t(0), t(1000))
+        );
+    }
+
+    #[test]
+    fn ring_matches_scan_with_late_inserts() {
+        let mut log = CompletionLog::new(d(500));
+        for i in 0..100u64 {
+            log.record(t(1000 + i * 7), SimDuration::from_micros(i * 997 % 40_000));
+            if i.is_multiple_of(5) {
+                // A telemetry report delayed past its peers.
+                log.record(t(990 + i * 7), SimDuration::from_micros(i * 131 % 40_000));
+            }
+        }
+        let (f, to) = (t(1200), t(1600));
+        for thr_ms in [5u64, 20] {
+            assert_eq!(
+                log.bucket_counts(f, to, d(50), d(thr_ms)),
+                log.bucket_counts_scan(f, to, d(50), d(thr_ms)),
+                "threshold {thr_ms}"
+            );
+        }
+        assert_eq!(log.count_in(f, to), log.count_in_scan(f, to));
     }
 
     #[test]

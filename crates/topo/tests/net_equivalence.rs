@@ -1,0 +1,117 @@
+//! Byte-identity oracle: a world with a *transparent* network installed
+//! (constant latency, zero loss, no partitions) must be indistinguishable —
+//! completions, drops, span counts, and serialized traces — from the
+//! function-edge engine with the same latency folded into `net_delay`.
+//!
+//! The function-edge engine is kept in-tree precisely to serve as this
+//! oracle: the network substrate routes the same events through the same
+//! queue, and its per-edge randomness lives on a split RNG stream whose
+//! constant distributions draw nothing, so any divergence is a real bug in
+//! the message-passing path, not tolerance noise.
+
+use microsim::{Completion, WorldConfig};
+use net::NetworkConfig;
+use proptest::prelude::*;
+use sim_core::{Dist, SimDuration, SimRng, SimTime};
+use topo::{build, TopoParams};
+
+/// Drives one world to quiescence under a deterministic injection schedule
+/// derived from `params.seed`, returning everything observable.
+fn run(
+    params: &TopoParams,
+    delay_us: u64,
+    network: bool,
+) -> (Vec<Completion>, u64, u64, u64, String) {
+    let config = WorldConfig {
+        net_delay: if network {
+            // The network supplies the latency; the function-edge knob must
+            // contribute nothing (and, being constant, draws nothing).
+            Dist::constant_us(0)
+        } else {
+            Dist::constant_us(delay_us)
+        },
+        replica_startup: Dist::constant_us(0),
+        ..WorldConfig::default()
+    };
+    let mut t = build(params, config, SimRng::seed_from(params.seed ^ 0x5eed));
+    if network {
+        t.world
+            .install_network(NetworkConfig::constant_latency(SimDuration::from_micros(
+                delay_us,
+            )));
+    }
+    let mut sched = SimRng::seed_from(params.seed).split("inject");
+    let mut at = 0u64;
+    for i in 0..40u64 {
+        at += 1 + (sched.f64() * 9.0) as u64;
+        let rt = t.request_types[(i % params.request_types as u64) as usize];
+        t.world.inject_at(SimTime::from_millis(at), rt);
+    }
+    let done = t.world.run_until(SimTime::from_secs(120));
+    let traces = serde_json::to_string(&t.world.warehouse().iter().collect::<Vec<_>>())
+        .expect("traces serialize");
+    (
+        done,
+        t.world.dropped(),
+        t.world.spans_created(),
+        t.world.events_dispatched(),
+        traces,
+    )
+}
+
+fn assert_equivalent(params: &TopoParams, delay_us: u64) {
+    let (done_fn, dropped_fn, spans_fn, events_fn, traces_fn) = run(params, delay_us, false);
+    let (done_net, dropped_net, spans_net, events_net, traces_net) = run(params, delay_us, true);
+    assert!(!done_fn.is_empty(), "oracle run must complete requests");
+    assert_eq!(done_fn, done_net, "completions diverge ({params:?})");
+    assert_eq!(dropped_fn, dropped_net, "drops diverge ({params:?})");
+    assert_eq!(spans_fn, spans_net, "span counts diverge ({params:?})");
+    assert_eq!(events_fn, events_net, "event counts diverge ({params:?})");
+    assert_eq!(traces_fn, traces_net, "traces diverge ({params:?})");
+}
+
+#[test]
+fn sock_shop_preset_is_byte_identical_with_transparent_network() {
+    assert_equivalent(&TopoParams::sock_shop_like(30), 0);
+    assert_equivalent(&TopoParams::sock_shop_like(30), 200);
+}
+
+#[test]
+fn client_timeouts_stay_byte_identical() {
+    // Timeouts exercise the late-event path: most fire after their request
+    // finished, and the network mode must process them identically.
+    let params = TopoParams {
+        timeout: Some(SimDuration::from_millis(40)),
+        ..TopoParams::sock_shop_like(24)
+    };
+    assert_equivalent(&params, 150);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated topology, run under a transparent (constant-latency,
+    /// lossless, partition-free) network, is byte-identical to the
+    /// function-edge oracle.
+    #[test]
+    fn prop_transparent_network_matches_function_edge_oracle(
+        services in 8usize..24,
+        depth in 2usize..5,
+        fanout in 1usize..3,
+        request_types in 1usize..4,
+        seed in 0u64..1_000,
+        delay_pick in 0usize..3,
+    ) {
+        let delay_us = [0u64, 50, 200][delay_pick];
+        let services = services.max(depth);
+        let params = TopoParams {
+            services,
+            depth,
+            fanout,
+            request_types,
+            timeout: None,
+            seed,
+        };
+        assert_equivalent(&params, delay_us);
+    }
+}

@@ -2,8 +2,12 @@
 //! deterministic jitter, and a retry budget.
 //!
 //! When a closed-loop user's request is dropped (replica failure, refusal,
-//! timeout), a real client library retries — but naive unbounded retries
-//! amplify failures into retry storms. [`RetryPolicy`] models the standard
+//! timeout — and, with a network installed, message loss or a call-level
+//! network timeout), a real client library retries — but naive unbounded
+//! retries amplify failures into retry storms. The policy is
+//! drop-reason-agnostic, so `NetLost`/`NetTimedOut` drops are retryable
+//! like any other; the `net_resilience` retry-storm scenario leans on
+//! exactly this to pile resends into a bandwidth-bounded link. [`RetryPolicy`] models the standard
 //! production discipline:
 //!
 //! * **bounded attempts**: at most `max_retries` per logical request;

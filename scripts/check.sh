@@ -83,6 +83,58 @@ EOF
 rm -f /tmp/scale_smoke_j1.txt /tmp/scale_smoke_j4.txt
 mv /tmp/BENCH_scale_golden.json results/BENCH_scale.json
 
+echo "==> net_resilience smoke (network substrate, determinism across --jobs, audited)"
+# Partition-heal, slow-link, retry-storm, and reordered-telemetry scenarios
+# over the message-passing network, fully audited (loss, duplication, and
+# orphaned frames must leave every conservation ledger clean). The canonical
+# smoke stdout is byte-diffed across worker counts; the committed full-run
+# artifact is schema-checked, including the headline claims: partitions and
+# saturation are accounted as such, duplicate telemetry is deduped, and the
+# hardened degradation guard holds SLO violations below the no-guard
+# ablation under reordered telemetry.
+cp results/BENCH_net_resilience.json /tmp/BENCH_net_resilience_golden.json
+cargo build -q --release -p sora-bench --features audit --bin net_resilience
+./target/release/net_resilience --smoke --jobs 1 2>/dev/null > /tmp/net_smoke_j1.txt
+./target/release/net_resilience --smoke --jobs 4 2>/dev/null > /tmp/net_smoke_j4.txt
+diff /tmp/net_smoke_j1.txt /tmp/net_smoke_j4.txt \
+  || { echo "net_resilience output differs between --jobs 1 and --jobs 4"; exit 1; }
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("/tmp/BENCH_net_resilience_golden.json"))
+data = doc["data"]
+labels = ["partition-heal", "slow-link", "retry-storm",
+          "telemetry-reorder-guard", "telemetry-reorder-noguard"]
+variant_keys = {
+    "label", "completed", "dropped", "drop_breakdown", "retry",
+    "goodput_rps", "slo_violations", "p95_ms", "p99_ms", "net",
+    "telemetry_duplicates_dropped", "frozen_periods",
+    "final_thread_limit", "fault_log",
+}
+net_keys = {"messages", "lost_random", "lost_partitioned", "lost_saturated",
+            "duplicated", "call_retries", "orphaned_frames"}
+try:
+    v = {x["label"]: x for x in data["variants"]}
+    assert [x["label"] for x in data["variants"]] == labels, "variant labels drifted"
+    for x in data["variants"]:
+        assert set(x) == variant_keys, f"variant keys drifted: {sorted(set(x) ^ variant_keys)}"
+        assert set(x["net"]) == net_keys, f"net stats keys drifted"
+        assert {"net_lost", "net_timed_out"} <= set(x["drop_breakdown"]), "net drop reasons missing"
+    assert v["partition-heal"]["net"]["lost_partitioned"] > 0, "partition never dropped a message"
+    assert v["partition-heal"]["drop_breakdown"]["net_timed_out"] > 0, "no call-timeout aborts"
+    assert v["slow-link"]["net"]["lost_random"] + v["slow-link"]["net"]["lost_saturated"] == 0, \
+        "slow link must degrade latency, not lose messages"
+    assert v["retry-storm"]["net"]["lost_saturated"] > 0, "retry storm never saturated the link"
+    assert v["retry-storm"]["net"]["call_retries"] > 0, "retry storm never resent a call"
+    assert v["telemetry-reorder-guard"]["telemetry_duplicates_dropped"] > 0, "no duplicates deduped"
+    assert v["telemetry-reorder-guard"]["frozen_periods"] > 0, "guard never froze"
+    assert data["degradation_helps"] is True, \
+        "hardened guard must hold SLO violations below the no-guard ablation"
+except AssertionError as e:
+    sys.exit(f"BENCH_net_resilience.json schema drift: {e}")
+EOF
+rm -f /tmp/net_smoke_j1.txt /tmp/net_smoke_j4.txt
+mv /tmp/BENCH_net_resilience_golden.json results/BENCH_net_resilience.json
+
 echo "==> audit lane: conservation laws (--features audit)"
 # Unit + metamorphic coverage of the audit layer itself.
 cargo test -q --features audit
