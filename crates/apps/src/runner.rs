@@ -131,86 +131,173 @@ impl Scenario {
         self
     }
 
-    fn mix_at(&self, t: SimTime) -> &Mix {
-        self.mix_schedule
-            .iter()
-            .rev()
-            .find(|&&(from, _)| from <= t)
-            .map(|(_, m)| m)
-            .expect("schedule starts at time zero")
+    /// Converts the scenario into a [`ScenarioStepper`], the incremental
+    /// driver behind live `sora-server` sessions. Stepping to
+    /// [`SimTime::MAX`] and finishing is operation-for-operation identical
+    /// to [`Scenario::run`].
+    pub fn into_stepper(self) -> ScenarioStepper {
+        let next_sample = self.config.sample_period;
+        let next_control = self.config.control_period;
+        ScenarioStepper {
+            config: self.config,
+            pool: self.pool,
+            mix_schedule: self.mix_schedule,
+            watch: self.watch,
+            probe: self.probe,
+            rng: sim_core::SimRng::seed_from(0xC0FFEE),
+            user_of: HashMap::new(),
+            timeline: Vec::new(),
+            next_sample,
+            next_control,
+            now: SimTime::ZERO,
+            workload_done: false,
+        }
     }
 
     /// Runs the scenario to the end of the user pool's trace.
-    pub fn run(mut self, world: &mut World, controller: &mut dyn Controller) -> RunResult {
-        let mut rng = sim_core::SimRng::seed_from(0xC0FFEE);
-        let mut user_of: HashMap<RequestId, u64> = HashMap::new();
-        let mut timeline = Vec::new();
-        let mut next_sample = self.config.sample_period;
-        let mut next_control = self.config.control_period;
-        let mut now = SimTime::ZERO;
+    pub fn run(self, world: &mut World, controller: &mut dyn Controller) -> RunResult {
+        self.into_stepper().finish(world, controller)
+    }
+}
 
-        let handle_done = |world: &mut World,
-                           pool: &mut UserPool,
-                           user_of: &mut HashMap<RequestId, u64>,
-                           completions: Vec<microsim::Completion>| {
-            for c in completions {
-                if let Some(user) = user_of.remove(&c.request) {
-                    pool.on_completion(c.completed, user);
-                }
-            }
-            for (dropped, _reason) in world.drain_dropped() {
-                if let Some(user) = user_of.remove(&dropped) {
-                    // The client sees an error "now"; approximate with the
-                    // world clock.
-                    pool.on_drop(world.now(), user);
-                }
-            }
-        };
+/// Selects the mix active at `t`. A free function (not a method) so the
+/// stepper can sample it while holding a mutable borrow of its own RNG.
+fn mix_at(schedule: &[(SimTime, Mix)], t: SimTime) -> &Mix {
+    schedule
+        .iter()
+        .rev()
+        .find(|&&(from, _)| from <= t)
+        .map(|(_, m)| m)
+        .expect("schedule starts at time zero")
+}
 
+/// An incrementally-driven [`Scenario`]: the same closed-loop run, pausable
+/// at simulated-time targets. `sora-server` live sessions use this to
+/// interleave wire requests (telemetry snapshots, controller status) with
+/// simulation progress.
+///
+/// Pauses happen only *between* fully-executed pool actions — the pool's
+/// destructive `next_action` is never polled until the previous action
+/// completed — so any sequence of [`step_until`] calls followed by
+/// [`finish`] performs exactly the operations `Scenario::run` performs, and
+/// produces byte-identical results.
+///
+/// [`step_until`]: ScenarioStepper::step_until
+/// [`finish`]: ScenarioStepper::finish
+pub struct ScenarioStepper {
+    config: ScenarioConfig,
+    pool: UserPool,
+    mix_schedule: Vec<(SimTime, Mix)>,
+    watch: Watch,
+    probe: UtilizationProbe,
+    rng: sim_core::SimRng,
+    user_of: HashMap<RequestId, u64>,
+    timeline: Vec<SampleRow>,
+    next_sample: SimDuration,
+    next_control: SimDuration,
+    now: SimTime,
+    workload_done: bool,
+}
+
+impl ScenarioStepper {
+    /// The workload clock: how far the closed loop has driven the run.
+    /// (The world clock can trail this slightly between actions.)
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether the user pool has finished its trace (only [`finish`] remains).
+    ///
+    /// [`finish`]: ScenarioStepper::finish
+    pub fn workload_done(&self) -> bool {
+        self.workload_done
+    }
+
+    /// Gauge samples recorded so far.
+    pub fn samples(&self) -> &[SampleRow] {
+        &self.timeline
+    }
+
+    /// The goodput threshold the scenario reports against.
+    pub fn report_rtt(&self) -> SimDuration {
+        self.config.report_rtt
+    }
+
+    /// Advances the run until the workload clock reaches `target` (or the
+    /// trace ends). Returns `true` once the workload is finished.
+    ///
+    /// Pauses only between fully-executed actions, so the clock may
+    /// overshoot `target` by up to one action; re-invoking with the same
+    /// target is then a no-op.
+    pub fn step_until(
+        &mut self,
+        world: &mut World,
+        controller: &mut dyn Controller,
+        target: SimTime,
+    ) -> bool {
+        if self.workload_done {
+            return true;
+        }
         loop {
             // Fire any control/sample ticks we have reached.
-            let tick = SimTime::ZERO + next_sample.min(next_control);
-            if tick <= now {
+            let tick = SimTime::ZERO + self.next_sample.min(self.next_control);
+            if tick <= self.now {
                 let done = world.run_until(tick);
-                handle_done(world, &mut self.pool, &mut user_of, done);
-                if SimTime::ZERO + next_control == tick {
+                self.handle_done(world, done);
+                if SimTime::ZERO + self.next_control == tick {
                     controller.control(world, tick);
-                    next_control += self.config.control_period;
+                    self.next_control += self.config.control_period;
                 }
-                if SimTime::ZERO + next_sample == tick {
-                    timeline.push(self.sample(world, tick));
-                    next_sample += self.config.sample_period;
+                if SimTime::ZERO + self.next_sample == tick {
+                    let row = self.sample(world, tick);
+                    self.timeline.push(row);
+                    self.next_sample += self.config.sample_period;
                 }
                 continue;
             }
-            match self.pool.next_action(now) {
+            // Pause point: every tick at or before `now` has fired and no
+            // action is half-done, so resuming later continues the exact
+            // operation sequence of an uninterrupted run.
+            if self.now >= target {
+                return false;
+            }
+            match self.pool.next_action(self.now) {
                 UserAction::Send { at, user } => {
                     let bounded = at.min(tick);
                     if bounded < at {
                         // A grid tick falls before the send: process it first.
-                        now = bounded;
+                        self.now = bounded;
                         continue;
                     }
                     let done = world.run_until(at);
-                    handle_done(world, &mut self.pool, &mut user_of, done);
-                    let rtype = self.mix_at(at).sample(&mut rng);
+                    self.handle_done(world, done);
+                    let rtype = mix_at(&self.mix_schedule, at).sample(&mut self.rng);
                     let id = world.inject_at(at, rtype);
-                    user_of.insert(id, user);
-                    now = at;
+                    self.user_of.insert(id, user);
+                    self.now = at;
                 }
                 UserAction::Idle { until } => {
-                    let target = until.min(tick);
-                    let done = world.run_until(target);
-                    handle_done(world, &mut self.pool, &mut user_of, done);
-                    now = target;
+                    let until = until.min(tick);
+                    let done = world.run_until(until);
+                    self.handle_done(world, done);
+                    self.now = until;
                 }
-                UserAction::Finished => break,
+                UserAction::Finished => {
+                    self.workload_done = true;
+                    return true;
+                }
             }
         }
+    }
+
+    /// Runs the remaining trace (if any), drains in-flight requests, and
+    /// builds the [`RunResult`].
+    pub fn finish(mut self, world: &mut World, controller: &mut dyn Controller) -> RunResult {
+        self.step_until(world, controller, SimTime::MAX);
         // Drain whatever is still in flight.
-        let end = now + SimDuration::from_secs(30);
+        let end = self.now + SimDuration::from_secs(30);
         let done = world.run_until(end);
-        handle_done(world, &mut self.pool, &mut user_of, done);
+        self.handle_done(world, done);
 
         // Under auditing every scenario must finish with a clean ledger on
         // both sides of the client/world seam. Audit state never enters
@@ -233,8 +320,7 @@ impl Scenario {
         }
 
         let client = world.client();
-        let bucket = self.config.sample_period;
-        let run_end = now;
+        let run_end = self.now;
         let goodput_timeline: Vec<(f64, f64)> = client
             .goodput_timeline(self.config.report_rtt)
             .into_iter()
@@ -247,7 +333,6 @@ impl Scenario {
             .filter(|&(t, _)| t < run_end)
             .map(|(t, v)| (t.as_secs_f64(), v))
             .collect();
-        let _ = bucket;
         let summary = Summary {
             completed: client.total(),
             dropped: world.dropped(),
@@ -264,11 +349,27 @@ impl Scenario {
             },
         };
         RunResult {
-            timeline,
+            timeline: self.timeline,
             goodput_timeline,
             rt_timeline,
             retry: self.pool.retry_stats(),
             summary,
+        }
+    }
+
+    /// Routes drained completions and drops back to the user pool.
+    fn handle_done(&mut self, world: &mut World, completions: Vec<microsim::Completion>) {
+        for c in completions {
+            if let Some(user) = self.user_of.remove(&c.request) {
+                self.pool.on_completion(c.completed, user);
+            }
+        }
+        for (dropped, _reason) in world.drain_dropped() {
+            if let Some(user) = self.user_of.remove(&dropped) {
+                // The client sees an error "now"; approximate with the
+                // world clock.
+                self.pool.on_drop(world.now(), user);
+            }
         }
     }
 
@@ -365,6 +466,63 @@ mod tests {
             shop.world.completions_of(pod).unwrap().len() > 100,
             "catalogue traffic after the mix switch"
         );
+    }
+
+    /// The headline stepping invariant: driving the run through many
+    /// arbitrary pause points produces the same samples, summary and
+    /// timelines as an uninterrupted run — down to the last bit.
+    #[test]
+    fn stepped_run_is_identical_to_uninterrupted_run() {
+        let (mut shop, sc) = scenario(60, 400.0);
+        let mut ctl = NullController;
+        let base = sc.run(&mut shop.world, &mut ctl);
+
+        let (mut shop2, sc2) = scenario(60, 400.0);
+        let mut ctl2 = NullController;
+        let mut stepper = sc2.into_stepper();
+        // Uneven pause grid, deliberately misaligned with both the sample
+        // grid (1 s) and the control grid (15 s).
+        let mut t_ms = 700;
+        while !stepper.step_until(&mut shop2.world, &mut ctl2, SimTime::from_millis(t_ms)) {
+            let snap = shop2
+                .world
+                .telemetry_snapshot(SimTime::ZERO, SimDuration::from_millis(400));
+            assert_eq!(snap.completed + snap.dropped + snap.in_flight, {
+                let s2 = shop2
+                    .world
+                    .telemetry_snapshot(SimTime::ZERO, SimDuration::from_millis(400));
+                s2.completed + s2.dropped + s2.in_flight
+            });
+            t_ms += 1300;
+        }
+        let stepped = stepper.finish(&mut shop2.world, &mut ctl2);
+
+        assert_eq!(base.summary.completed, stepped.summary.completed);
+        assert_eq!(base.summary.dropped, stepped.summary.dropped);
+        assert_eq!(
+            base.summary.mean_rt_ms.to_bits(),
+            stepped.summary.mean_rt_ms.to_bits()
+        );
+        assert_eq!(
+            base.summary.p95_ms.to_bits(),
+            stepped.summary.p95_ms.to_bits()
+        );
+        assert_eq!(
+            base.summary.p99_ms.to_bits(),
+            stepped.summary.p99_ms.to_bits()
+        );
+        assert_eq!(
+            base.summary.goodput_rps.to_bits(),
+            stepped.summary.goodput_rps.to_bits()
+        );
+        assert_eq!(base.timeline.len(), stepped.timeline.len());
+        for (a, b) in base.timeline.iter().zip(&stepped.timeline) {
+            assert_eq!(a.t_secs.to_bits(), b.t_secs.to_bits());
+            assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+            assert_eq!(a.running_threads, b.running_threads);
+        }
+        assert_eq!(base.goodput_timeline, stepped.goodput_timeline);
+        assert_eq!(base.rt_timeline, stepped.rt_timeline);
     }
 
     #[test]

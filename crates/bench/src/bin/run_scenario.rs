@@ -40,10 +40,14 @@ fn main() {
             );
         }
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-            let spec: ScenarioSpec = serde_json::from_str(&text)
-                .unwrap_or_else(|e| panic!("invalid scenario config {path}: {e}"));
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let spec = ScenarioSpec::parse(&text).unwrap_or_else(|e| {
+                eprintln!("error: invalid scenario config {path}: {e}");
+                std::process::exit(2);
+            });
             println!("running: {spec:#?}");
             let run_spec = spec.clone();
             let sweep_outcome =
@@ -70,13 +74,7 @@ fn main() {
                 .unwrap_or("scenario");
             save_json_with_perf(
                 &format!("scenario_{stem}"),
-                &serde_json::json!({
-                    "spec": spec,
-                    "summary": outcome.summary,
-                    "timeline": outcome.result.timeline,
-                    "rt": outcome.result.rt_timeline,
-                    "goodput": outcome.result.goodput_timeline,
-                }),
+                &sora_bench::scenario_result_data(&spec, &outcome),
                 &sweep_outcome.perf,
             );
         }

@@ -111,6 +111,76 @@ pub struct ScenarioSpec {
     pub drift_at_secs: Option<u64>,
 }
 
+/// Why a scenario config was rejected. Typed (rather than a panic or a
+/// stringly error) so `sora-server` can map each cause onto a structured
+/// error reply and keep serving, and so the CLI can print a precise
+/// diagnosis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ScenarioError {
+    /// The text is not valid JSON, or its top level is not an object.
+    Malformed {
+        /// The parser's message.
+        message: String,
+    },
+    /// A top-level field the schema does not define — almost always a typo
+    /// that would otherwise be silently ignored.
+    UnknownField {
+        /// The offending field name.
+        field: String,
+    },
+    /// A known field failed to deserialize (wrong type, unknown enum
+    /// variant, missing required field).
+    BadField {
+        /// The deserializer's message.
+        message: String,
+    },
+    /// A field deserialized but its value is outside the physically
+    /// meaningful range.
+    InvalidValue {
+        /// The offending field name.
+        field: String,
+        /// Why the value is rejected.
+        message: String,
+    },
+    /// The drift switch does not fall inside the run window.
+    InvertedWindow {
+        /// The configured `drift_at_secs`.
+        drift_at_secs: u64,
+        /// The configured `duration_secs`.
+        duration_secs: u64,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Malformed { message } => {
+                write!(f, "malformed scenario JSON: {message}")
+            }
+            ScenarioError::UnknownField { field } => {
+                write!(f, "unknown scenario field `{field}`")
+            }
+            ScenarioError::BadField { message } => {
+                write!(f, "invalid scenario field: {message}")
+            }
+            ScenarioError::InvalidValue { field, message } => {
+                write!(f, "invalid value for `{field}`: {message}")
+            }
+            ScenarioError::InvertedWindow {
+                drift_at_secs,
+                duration_secs,
+            } => write!(
+                f,
+                "drift_at_secs ({drift_at_secs}) must fall inside the run \
+                 (duration_secs = {duration_secs})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// What a scenario run produces.
 #[derive(Debug)]
 pub struct ScenarioOutcome {
@@ -123,6 +193,97 @@ pub struct ScenarioOutcome {
 }
 
 impl ScenarioSpec {
+    /// Every top-level field the schema defines. `parse` rejects anything
+    /// else: the derive-level deserializer ignores unknown keys, which
+    /// would silently turn a typo (`"max_user"`) into a default value.
+    pub const KNOWN_FIELDS: [&'static str; 12] = [
+        "app",
+        "trace",
+        "max_users",
+        "duration_secs",
+        "sla_ms",
+        "hardware",
+        "soft",
+        "seed",
+        "cart_threads",
+        "cart_cores",
+        "home_timeline_conns",
+        "drift_at_secs",
+    ];
+
+    /// Parses and validates a scenario config, reporting the first problem
+    /// as a typed [`ScenarioError`]: malformed JSON, an unknown field, a
+    /// field that fails to deserialize, an out-of-range value, or an
+    /// inverted drift window.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let value = serde_json::parse(text).map_err(|e| ScenarioError::Malformed {
+            message: e.to_string(),
+        })?;
+        let obj = value.as_object().ok_or_else(|| ScenarioError::Malformed {
+            message: "scenario config must be a JSON object".to_string(),
+        })?;
+        for (key, _) in obj.iter() {
+            if !Self::KNOWN_FIELDS.contains(&key.as_str()) {
+                return Err(ScenarioError::UnknownField { field: key.clone() });
+            }
+        }
+        let spec: ScenarioSpec =
+            serde_json::from_value(&value).map_err(|e| ScenarioError::BadField {
+                message: e.to_string(),
+            })?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the semantic constraints `parse` enforces after
+    /// deserialization. Public so specs built in Rust get the same
+    /// screening as specs read from JSON.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let invalid = |field: &str, message: String| ScenarioError::InvalidValue {
+            field: field.to_string(),
+            message,
+        };
+        if !self.max_users.is_finite() || self.max_users <= 0.0 {
+            return Err(invalid(
+                "max_users",
+                format!("must be a finite positive number, got {}", self.max_users),
+            ));
+        }
+        if self.duration_secs == 0 {
+            return Err(invalid("duration_secs", "must be positive".to_string()));
+        }
+        if self.sla_ms == 0 {
+            return Err(invalid("sla_ms", "must be positive".to_string()));
+        }
+        if self.cart_threads == Some(0) {
+            return Err(invalid(
+                "cart_threads",
+                "the pool needs at least one thread".to_string(),
+            ));
+        }
+        if self.cart_cores == Some(0) {
+            return Err(invalid(
+                "cart_cores",
+                "the Cart pod needs at least one core".to_string(),
+            ));
+        }
+        if self.home_timeline_conns == Some(0) {
+            return Err(invalid(
+                "home_timeline_conns",
+                "the pool needs at least one connection".to_string(),
+            ));
+        }
+        if let Some(at) = self.drift_at_secs {
+            if at >= self.duration_secs {
+                return Err(ScenarioError::InvertedWindow {
+                    drift_at_secs: at,
+                    duration_secs: self.duration_secs,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The service the controllers focus on (Cart / Post Storage).
     fn focus(&self) -> ServiceId {
         match self.app {
@@ -180,8 +341,12 @@ impl ScenarioSpec {
         }
     }
 
-    /// Builds and runs the scenario.
-    pub fn run(&self) -> ScenarioOutcome {
+    /// Builds the world, the closed-loop scenario driver and the controller
+    /// stack without running anything — the seam `sora-server` live
+    /// sessions step incrementally. [`ScenarioSpec::run`] is exactly
+    /// `build()` followed by `Scenario::run`, so both paths produce
+    /// byte-identical results.
+    pub fn build(&self) -> BuiltScenario {
         let world_config = WorldConfig {
             trace_sample_every: 10,
             ..Default::default()
@@ -200,10 +365,10 @@ impl ScenarioSpec {
             report_rtt: SimDuration::from_millis(self.sla_ms),
             ..Default::default()
         };
-        let mut controller = self.build_controller();
-        let (result, world) = match self.app {
+        let controller = self.build_controller();
+        let (scenario, world) = match self.app {
             App::SockShop => {
-                let mut shop = SockShop::build_with_config(
+                let shop = SockShop::build_with_config(
                     SockShopParams {
                         cart_threads: self.cart_threads.unwrap_or(5),
                         cart_cores: self.cart_cores.unwrap_or(2),
@@ -221,13 +386,10 @@ impl ScenarioSpec {
                         conns: None,
                     },
                 );
-                (
-                    scenario.run(&mut shop.world, controller.as_mut()),
-                    shop.world,
-                )
+                (scenario, shop.world)
             }
             App::SocialNetwork => {
-                let mut sn = SocialNetwork::build_with_config(
+                let sn = SocialNetwork::build_with_config(
                     SocialNetworkParams {
                         home_timeline_conns: self.home_timeline_conns.unwrap_or(10),
                         ..Default::default()
@@ -250,9 +412,24 @@ impl ScenarioSpec {
                         Mix::single(sn.read_home_timeline_heavy),
                     );
                 }
-                (scenario.run(&mut sn.world, controller.as_mut()), sn.world)
+                (scenario, sn.world)
             }
         };
+        BuiltScenario {
+            world,
+            scenario,
+            controller,
+        }
+    }
+
+    /// Builds and runs the scenario.
+    pub fn run(&self) -> ScenarioOutcome {
+        let BuiltScenario {
+            mut world,
+            scenario,
+            mut controller,
+        } = self.build();
+        let result = scenario.run(&mut world, controller.as_mut());
         let summary = result.summary;
         ScenarioOutcome {
             result,
@@ -260,6 +437,37 @@ impl ScenarioSpec {
             world,
         }
     }
+}
+
+/// A scenario ready to run: the pieces [`ScenarioSpec::build`] assembles.
+pub struct BuiltScenario {
+    /// The simulated cluster.
+    pub world: World,
+    /// The closed-loop scenario driver.
+    pub scenario: Scenario,
+    /// The controller stack (hardware autoscaler, optionally wrapped by
+    /// Sora/ConScale).
+    pub controller: Box<dyn Controller>,
+}
+
+/// The canonical result payload of a scenario run — the `data` block of
+/// `results/scenario_<name>.json` and the body `sora-server` returns over
+/// the wire. Both sides build it here, which is what makes the wire and
+/// in-process outputs byte-identical.
+pub fn scenario_result_data(spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> serde_json::Value {
+    serde_json::json!({
+        "spec": spec,
+        "summary": outcome.summary,
+        "timeline": outcome.result.timeline,
+        "rt": outcome.result.rt_timeline,
+        "goodput": outcome.result.goodput_timeline,
+    })
+}
+
+/// Pretty-printed [`scenario_result_data`] — the exact bytes the farm
+/// caches and the server serves.
+pub fn scenario_result_text(spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> String {
+    serde_json::to_string_pretty(&scenario_result_data(spec, outcome)).expect("result serialises")
 }
 
 #[cfg(test)]
@@ -298,6 +506,78 @@ mod tests {
         assert_eq!(spec.soft, SoftAdaptation::None);
         let back = serde_json::to_string(&spec).unwrap();
         assert!(back.contains("social_network"));
+    }
+
+    #[test]
+    fn parse_rejects_each_failure_mode_with_its_typed_error() {
+        // Malformed JSON.
+        match ScenarioSpec::parse("{not json").unwrap_err() {
+            ScenarioError::Malformed { .. } => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Not an object.
+        match ScenarioSpec::parse("[1, 2]").unwrap_err() {
+            ScenarioError::Malformed { .. } => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Unknown field (a typo the derive would silently ignore).
+        let typo = r#"{"app": "sock_shop", "trace": "Steady", "max_user": 10.0,
+                       "duration_secs": 5, "sla_ms": 400}"#;
+        match ScenarioSpec::parse(typo).unwrap_err() {
+            ScenarioError::UnknownField { field } => assert_eq!(field, "max_user"),
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+        // Bad enum variant.
+        let bad_trace = r#"{"app": "sock_shop", "trace": "NoSuchTrace", "max_users": 10.0,
+                            "duration_secs": 5, "sla_ms": 400}"#;
+        match ScenarioSpec::parse(bad_trace).unwrap_err() {
+            ScenarioError::BadField { message } => {
+                assert!(message.contains("NoSuchTrace"), "{message}")
+            }
+            other => panic!("expected BadField, got {other:?}"),
+        }
+        // Missing required field.
+        let missing = r#"{"app": "sock_shop", "trace": "Steady", "max_users": 10.0,
+                          "sla_ms": 400}"#;
+        match ScenarioSpec::parse(missing).unwrap_err() {
+            ScenarioError::BadField { message } => {
+                assert!(message.contains("duration_secs"), "{message}")
+            }
+            other => panic!("expected BadField, got {other:?}"),
+        }
+        // Out-of-range value.
+        let zero_users = r#"{"app": "sock_shop", "trace": "Steady", "max_users": 0.0,
+                             "duration_secs": 5, "sla_ms": 400}"#;
+        match ScenarioSpec::parse(zero_users).unwrap_err() {
+            ScenarioError::InvalidValue { field, .. } => assert_eq!(field, "max_users"),
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+        // Drift at or past the end of the run.
+        let inverted = r#"{"app": "social_network", "trace": "Steady", "max_users": 10.0,
+                           "duration_secs": 30, "sla_ms": 400, "drift_at_secs": 30}"#;
+        match ScenarioSpec::parse(inverted).unwrap_err() {
+            ScenarioError::InvertedWindow {
+                drift_at_secs,
+                duration_secs,
+            } => {
+                assert_eq!((drift_at_secs, duration_secs), (30, 30));
+            }
+            other => panic!("expected InvertedWindow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_accepts_valid_specs_and_errors_round_trip_as_json() {
+        let ok = r#"{"app": "sock_shop", "trace": "Steady", "max_users": 10.0,
+                     "duration_secs": 5, "sla_ms": 400, "cart_threads": null}"#;
+        let spec = ScenarioSpec::parse(ok).expect("valid spec with explicit null");
+        assert_eq!(spec.cart_threads, None);
+
+        let err = ScenarioSpec::parse("{not json").unwrap_err();
+        let json = serde_json::to_string(&err).unwrap();
+        let back: ScenarioError = serde_json::from_str(&json).unwrap();
+        assert_eq!(err, back, "typed errors survive the wire");
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

@@ -14,12 +14,18 @@ pub mod report;
 pub mod scenarios;
 pub mod sweep;
 
+pub use config::{
+    scenario_result_data, scenario_result_text, BuiltScenario, ScenarioError, ScenarioOutcome,
+    ScenarioSpec,
+};
 pub use report::{print_table, save_json, save_json_with_perf, Table};
 pub use scenarios::{
     cart_run, cart_world, drift_run, post_storage_goodput, sweep_cart_goodput,
     sweep_cart_goodput_outcome, CartSetup, DriftSetup, MonitoredCase,
 };
-pub use sweep::{job, Job, PerfMetrics, PerfTimer, RunStat, Sweep, SweepOutcome};
+pub use sweep::{
+    ctx_job, job, CtxJob, CtxOutcome, Job, PerfMetrics, PerfTimer, RunStat, Sweep, SweepOutcome,
+};
 
 /// Returns `true` when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {

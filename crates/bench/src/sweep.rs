@@ -19,7 +19,7 @@
 //! and re-raised on the submitting thread once all workers have stopped.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -74,6 +74,37 @@ pub struct RunStat {
     pub label: String,
     /// The run's wall-clock in seconds.
     pub wall_secs: f64,
+}
+
+/// One labelled unit of work for [`Sweep::run_ctx`]: like [`Job`], but the
+/// closure borrows its worker's reusable context — e.g. a farm worker
+/// process handle that should serve many runs without respawning.
+pub struct CtxJob<'env, C, T> {
+    label: String,
+    run: Box<dyn FnOnce(&mut C) -> T + Send + 'env>,
+}
+
+/// Wraps a context-taking closure with a human-readable label (the
+/// context-aware sibling of [`job`]).
+pub fn ctx_job<'env, C, T>(
+    label: impl Into<String>,
+    run: impl FnOnce(&mut C) -> T + Send + 'env,
+) -> CtxJob<'env, C, T> {
+    CtxJob {
+        label: label.into(),
+        run: Box::new(run),
+    }
+}
+
+/// Results of a [`Sweep::run_ctx`] fan-out, in submission order. A `None`
+/// slot means the job never executed: the stop flag was raised first, or
+/// another job's panic is being re-raised.
+pub struct CtxOutcome<T> {
+    /// One slot per job, ordered by input index; executed jobs carry their
+    /// value and timing.
+    pub results: Vec<Option<(T, RunStat)>>,
+    /// The perf record (`runs` counts only executed jobs).
+    pub perf: PerfMetrics,
 }
 
 /// Results of a sweep, in submission order.
@@ -144,94 +175,156 @@ impl Sweep {
     /// drained) with the failing run's label printed to stderr; the first
     /// failing input index wins when several runs panic.
     pub fn run<'env, T: Send>(&self, jobs: Vec<Job<'env, T>>) -> SweepOutcome<T> {
+        let ctx_jobs = jobs
+            .into_iter()
+            .map(|j| {
+                let run = j.run;
+                ctx_job(j.label, move |_: &mut ()| run())
+            })
+            .collect();
+        let outcome = self.run_ctx(|_| (), None, ctx_jobs);
+        let mut results = Vec::with_capacity(outcome.results.len());
+        let mut run_stats = Vec::with_capacity(outcome.results.len());
+        for slot in outcome.results {
+            let (value, stat) = slot.expect("no stop flag: every job executes");
+            results.push(value);
+            run_stats.push(stat);
+        }
+        SweepOutcome {
+            results,
+            run_stats,
+            perf: outcome.perf,
+        }
+    }
+
+    /// The general fan-out engine behind [`Sweep::run`], with two extra
+    /// capabilities the sweep *farm* needs:
+    ///
+    /// * **per-worker contexts** — `make_ctx(worker_index)` runs once per
+    ///   worker (on that worker's thread) and the context is lent to every
+    ///   job the worker executes, so expensive resources (a spawned worker
+    ///   process, a connection) are reused across runs;
+    /// * **cooperative interruption** — when `stop` is raised, workers
+    ///   finish their current job and claim no more; unexecuted jobs leave
+    ///   `None` slots, which is what lets an interrupted farm flush a
+    ///   partial, resumable result set.
+    ///
+    /// Results land by input index, exactly like [`Sweep::run`]. With one
+    /// worker everything executes inline on the calling thread (panics
+    /// propagate raw); on the pool, a panicking job is labelled and
+    /// re-raised after all workers drain, and the remaining slots read
+    /// `None`.
+    pub fn run_ctx<'env, C, T: Send>(
+        &self,
+        make_ctx: impl Fn(usize) -> C + Sync,
+        stop: Option<&AtomicBool>,
+        jobs: Vec<CtxJob<'env, C, T>>,
+    ) -> CtxOutcome<T> {
         let started = Instant::now();
         let n = jobs.len();
         let workers = self.jobs.min(n.max(1));
+        let stopped = |stop: Option<&AtomicBool>| stop.is_some_and(|s| s.load(Ordering::SeqCst));
 
         if workers <= 1 {
+            let mut ctx = make_ctx(0);
             let mut results = Vec::with_capacity(n);
-            let mut run_stats = Vec::with_capacity(n);
             for job in jobs {
+                if stopped(stop) {
+                    results.push(None);
+                    continue;
+                }
                 let t0 = Instant::now();
-                let value = (job.run)();
+                let value = (job.run)(&mut ctx);
                 let wall_secs = t0.elapsed().as_secs_f64();
                 eprintln!("[sweep] {}: {:.2}s", job.label, wall_secs);
-                results.push(value);
-                run_stats.push(RunStat {
-                    label: job.label,
-                    wall_secs,
-                });
+                results.push(Some((
+                    value,
+                    RunStat {
+                        label: job.label,
+                        wall_secs,
+                    },
+                )));
             }
-            let total_wall_secs = started.elapsed().as_secs_f64();
-            return SweepOutcome {
+            let runs = results.iter().filter(|r| r.is_some()).count();
+            return CtxOutcome {
                 results,
-                run_stats,
                 perf: PerfMetrics {
-                    total_wall_secs,
+                    total_wall_secs: started.elapsed().as_secs_f64(),
                     jobs: 1,
-                    runs: n,
+                    runs,
                 },
             };
         }
 
         type Slot<T> = Option<Result<(T, RunStat), (String, Box<dyn std::any::Any + Send>)>>;
         let slots: Vec<Mutex<Slot<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let tasks: Vec<Mutex<Option<Job<'env, T>>>> =
+        let tasks: Vec<Mutex<Option<CtxJob<'env, C, T>>>> =
             jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         let next = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let job = tasks[i]
-                        .lock()
-                        .expect("task slot poisoned")
-                        .take()
-                        .expect("each task is taken exactly once");
-                    let label = job.label;
-                    let t0 = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(job.run));
-                    let wall_secs = t0.elapsed().as_secs_f64();
-                    let slot_value = match outcome {
-                        Ok(value) => {
-                            eprintln!("[sweep] {label}: {wall_secs:.2}s");
-                            Ok((value, RunStat { label, wall_secs }))
+            for w in 0..workers {
+                let (make_ctx, slots, tasks, next) = (&make_ctx, &slots, &tasks, &next);
+                scope.spawn(move || {
+                    let mut ctx = make_ctx(w);
+                    loop {
+                        if stopped(stop) {
+                            break;
                         }
-                        Err(payload) => Err((label, payload)),
-                    };
-                    *slots[i].lock().expect("result slot poisoned") = Some(slot_value);
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let job = tasks[i]
+                            .lock()
+                            .expect("task slot poisoned")
+                            .take()
+                            .expect("each task is taken exactly once");
+                        let label = job.label;
+                        let run = job.run;
+                        let t0 = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| run(&mut ctx)));
+                        let wall_secs = t0.elapsed().as_secs_f64();
+                        let slot_value = match outcome {
+                            Ok(value) => {
+                                eprintln!("[sweep] {label}: {wall_secs:.2}s");
+                                Ok((value, RunStat { label, wall_secs }))
+                            }
+                            Err(payload) => Err((label, payload)),
+                        };
+                        *slots[i].lock().expect("result slot poisoned") = Some(slot_value);
+                    }
                 });
             }
         });
 
         let mut results = Vec::with_capacity(n);
-        let mut run_stats = Vec::with_capacity(n);
+        let mut first_panic: Option<(String, Box<dyn std::any::Any + Send>)> = None;
         for slot in slots {
             match slot.into_inner().expect("result slot poisoned") {
-                Some(Ok((value, stat))) => {
-                    results.push(value);
-                    run_stats.push(stat);
+                Some(Ok(pair)) => results.push(Some(pair)),
+                Some(Err(labelled)) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(labelled);
+                    }
+                    results.push(None);
                 }
-                Some(Err((label, payload))) => {
-                    eprintln!("[sweep] run `{label}` panicked; re-raising");
-                    resume_unwind(payload);
-                }
-                None => unreachable!("worker pool exited with an unfilled slot"),
+                None => results.push(None),
             }
         }
+        if let Some((label, payload)) = first_panic {
+            eprintln!("[sweep] run `{label}` panicked; re-raising");
+            resume_unwind(payload);
+        }
+        let runs = results.iter().filter(|r| r.is_some()).count();
         let total_wall_secs = started.elapsed().as_secs_f64();
-        eprintln!("[sweep] {n} runs on {workers} workers in {total_wall_secs:.2}s");
-        SweepOutcome {
+        eprintln!("[sweep] {runs} runs on {workers} workers in {total_wall_secs:.2}s");
+        CtxOutcome {
             results,
-            run_stats,
             perf: PerfMetrics {
                 total_wall_secs,
                 jobs: workers,
-                runs: n,
+                runs,
             },
         }
     }
@@ -355,6 +448,61 @@ mod tests {
         assert_eq!(m.runs, 13);
         assert_eq!(m.jobs, 4);
         assert!((m.total_wall_secs - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_ctx_builds_one_context_per_worker_and_reuses_it() {
+        let created = AtomicUsize::new(0);
+        let outcome = Sweep::with_jobs(2).run_ctx(
+            |w| {
+                created.fetch_add(1, Ordering::SeqCst);
+                w
+            },
+            None,
+            (0..8)
+                .map(|i| ctx_job(format!("c{i}"), move |w: &mut usize| (*w, i)))
+                .collect(),
+        );
+        assert_eq!(created.load(Ordering::SeqCst), 2, "one context per worker");
+        let values: Vec<usize> = outcome
+            .results
+            .iter()
+            .map(|r| r.as_ref().expect("no stop flag").0 .1)
+            .collect();
+        assert_eq!(values, (0..8).collect::<Vec<_>>());
+        assert!(outcome.results.iter().all(|r| r.as_ref().unwrap().0 .0 < 2));
+        assert_eq!(outcome.perf.runs, 8);
+    }
+
+    #[test]
+    fn stop_flag_leaves_unexecuted_slots_empty() {
+        let stop = AtomicBool::new(false);
+        let stop_ref = &stop;
+        let outcome = Sweep::with_jobs(1).run_ctx(
+            |_| (),
+            Some(&stop),
+            (0..6)
+                .map(|i| {
+                    ctx_job(format!("s{i}"), move |_: &mut ()| {
+                        if i == 2 {
+                            stop_ref.store(true, Ordering::SeqCst);
+                        }
+                        i
+                    })
+                })
+                .collect(),
+        );
+        let executed: Vec<Option<usize>> = outcome
+            .results
+            .iter()
+            .map(|r| r.as_ref().map(|(v, _)| *v))
+            .collect();
+        assert_eq!(
+            executed,
+            vec![Some(0), Some(1), Some(2), None, None, None],
+            "inline workers stop claiming jobs once the flag is raised"
+        );
+        assert_eq!(outcome.perf.runs, 3);
     }
 
     #[test]

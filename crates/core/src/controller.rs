@@ -1,7 +1,42 @@
 //! The controller abstraction every autoscaler implements.
 
 use microsim::World;
+use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
+
+/// A point-in-time view of a controller's internal state, surfaced between
+/// simulation steps by the service plane (`sora-server`) so remote
+/// observers can watch a live run without reaching into controller
+/// internals. Controllers with no interesting state report just their name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerStatus {
+    /// The controller's report name (same as [`Controller::name`]).
+    pub name: String,
+    /// Control periods skipped by a degradation guard (0 when the
+    /// controller has none).
+    #[serde(default)]
+    pub frozen_periods: u64,
+    /// The last trustworthy optimal-concurrency estimate, when the
+    /// controller computes one.
+    #[serde(default)]
+    pub last_estimate: Option<usize>,
+    /// Soft-resource actuations applied so far (0 when not tracked).
+    #[serde(default)]
+    pub actuations: u64,
+}
+
+impl ControllerStatus {
+    /// A status carrying only a name (the default for stateless
+    /// controllers).
+    pub fn named(name: impl Into<String>) -> ControllerStatus {
+        ControllerStatus {
+            name: name.into(),
+            frozen_periods: 0,
+            last_estimate: None,
+            actuations: 0,
+        }
+    }
+}
 
 /// A runtime controller invoked once per control period by the scenario
 /// runner. Hardware autoscalers (HPA, VPA, FIRM), concurrency adapters
@@ -14,6 +49,12 @@ pub trait Controller {
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
+
+    /// A snapshot of the controller's state for live telemetry frames
+    /// (the `sora-server` stepping seam). Defaults to name-only.
+    fn status(&self) -> ControllerStatus {
+        ControllerStatus::named(self.name())
+    }
 }
 
 /// A controller that does nothing — the static-configuration baseline.
@@ -35,6 +76,10 @@ impl<C: Controller + ?Sized> Controller for Box<C> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn status(&self) -> ControllerStatus {
+        (**self).status()
     }
 }
 

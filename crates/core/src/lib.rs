@@ -33,7 +33,7 @@ mod resource;
 mod sora;
 
 pub use adapter::ConcurrencyAdapter;
-pub use controller::{Controller, NullController};
+pub use controller::{Controller, ControllerStatus, NullController};
 pub use estimator::{ConcurrencyEstimator, EstimatorConfig};
 pub use monitor::{Monitor, Observation};
 pub use probe::UtilizationProbe;

@@ -303,6 +303,15 @@ impl<H: Controller> Controller for SoraController<H> {
     fn name(&self) -> &str {
         self.name
     }
+
+    fn status(&self) -> crate::ControllerStatus {
+        crate::ControllerStatus {
+            name: self.name.to_string(),
+            frozen_periods: self.frozen_periods,
+            last_estimate: self.last_good,
+            actuations: self.actions.len() as u64,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ mod world;
 
 pub use config::{Behavior, LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
 pub use faults::{BlackoutMode, FaultEvent, FaultKind, FaultSchedule, FaultScheduleError};
-pub use world::{Completion, DropBreakdown, DropReason, World};
+pub use world::{Completion, DropBreakdown, DropReason, TelemetrySnapshot, World};
 
 #[cfg(test)]
 mod tests;

@@ -6,7 +6,7 @@ use crate::replica::{ConnWaiter, Replica, ReplicaState};
 use crate::request::{Frame, FrameIdx, RequestState};
 use cluster::{ClusterState, CpuJobId, Millicores, NodeId, PlacementError};
 use net::{Endpoint, Network, NetworkConfig, SendOutcome};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use sim_core::{EventQueue, QueueBackend, SimDuration, SimRng, SimTime, Slab, SlabKey};
 use std::collections::BTreeMap;
 use telemetry::{
@@ -52,7 +52,7 @@ pub enum DropReason {
 }
 
 /// Cumulative drop counts broken down by [`DropReason`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DropBreakdown {
     /// Requests refused at the edge.
     pub refused: u64,
@@ -89,6 +89,30 @@ impl DropBreakdown {
             + self.net_lost
             + self.net_timed_out
     }
+}
+
+/// A point-in-time telemetry snapshot, surfaced between simulation steps by
+/// the service plane (`sora-server`) so remote observers can watch a live
+/// run. Windowed counts cover `[window_from, now)` against the caller's
+/// goodput threshold; cumulative counts cover the whole run so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Simulation clock at snapshot time, in nanoseconds.
+    pub now_nanos: u64,
+    /// End-to-end completions so far (whole run).
+    pub completed: u64,
+    /// Dropped requests so far (whole run).
+    pub dropped: u64,
+    /// Requests currently in flight inside the cluster.
+    pub in_flight: u64,
+    /// Events dispatched by the engine so far.
+    pub events_dispatched: u64,
+    /// Completions inside the snapshot window.
+    pub window_completed: u64,
+    /// Completions inside the snapshot window within the goodput threshold.
+    pub window_good: u64,
+    /// Cumulative drop counts broken down by reason.
+    pub drop_breakdown: DropBreakdown,
 }
 
 #[derive(Debug, Clone)]
@@ -1904,6 +1928,30 @@ impl World {
     /// Cumulative drop counts broken down by cause.
     pub fn drop_breakdown(&self) -> DropBreakdown {
         self.drop_breakdown
+    }
+
+    /// A point-in-time telemetry snapshot: cumulative counters plus exact
+    /// completion-window counts over `[window_from, now)` against
+    /// `threshold`. This is the read-only seam the service plane
+    /// (`sora-server`) streams between simulation steps; taking a snapshot
+    /// never perturbs the simulation.
+    pub fn telemetry_snapshot(
+        &self,
+        window_from: SimTime,
+        threshold: SimDuration,
+    ) -> TelemetrySnapshot {
+        let now = self.now();
+        let (window_completed, window_good) = self.client.counts_in(window_from, now, threshold);
+        TelemetrySnapshot {
+            now_nanos: now.as_nanos(),
+            completed: self.client.total(),
+            dropped: self.dropped,
+            in_flight: self.requests.len() as u64,
+            events_dispatched: self.events_dispatched,
+            window_completed,
+            window_good,
+            drop_breakdown: self.drop_breakdown,
+        }
     }
 
     /// Drains the requests dropped since the last call, each with the

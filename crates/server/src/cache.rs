@@ -1,0 +1,98 @@
+//! The on-disk, content-addressed result cache.
+//!
+//! One file per completed run, named `<cache-key>.json` and holding the
+//! canonical result text. Writes go through a temp file and an atomic
+//! rename, so a killed farm never leaves a truncated entry: whatever is in
+//! the cache directory is complete and trustworthy, which is the whole
+//! resume story — a restarted sweep just looks its keys up again.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of completed results keyed by [`crate::canon::cache_key`].
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where `key`'s result lives (whether or not it exists yet).
+    pub fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// The cached result text, if this key has completed before.
+    pub fn lookup(&self, key: &str) -> Option<String> {
+        fs::read_to_string(self.path_of(key)).ok()
+    }
+
+    /// Stores a completed result: temp file + atomic rename, so readers
+    /// (and resumed farms) never observe a partial entry.
+    pub fn store(&self, key: &str, text: &str) -> io::Result<()> {
+        let tmp = self.dir.join(format!(".{key}.tmp"));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.path_of(key))
+    }
+
+    /// How many completed entries the cache holds.
+    pub fn stored(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.ends_with(".json") && !name.starts_with('.') && name != "manifest.json"
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sora-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let dir = tmp_dir("rt");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.lookup("deadbeef"), None);
+        cache.store("deadbeef", "{\"ok\": true}").unwrap();
+        assert_eq!(cache.lookup("deadbeef").as_deref(), Some("{\"ok\": true}"));
+        assert_eq!(cache.stored(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_and_temp_files_are_not_counted() {
+        let dir = tmp_dir("count");
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.store("aa", "1").unwrap();
+        fs::write(dir.join("manifest.json"), "{}").unwrap();
+        fs::write(dir.join(".bb.tmp"), "partial").unwrap();
+        assert_eq!(cache.stored(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

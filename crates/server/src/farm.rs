@@ -1,0 +1,294 @@
+//! The sweep farm: scenario runs fanned across worker *processes*.
+//!
+//! The coordinator parses every scenario up front (a typed
+//! [`ScenarioError`] aborts the whole sweep before any work starts),
+//! derives each run's content-addressed key, satisfies what it can from
+//! the [`ResultCache`], and fans the remaining runs across worker
+//! processes via [`Sweep::run_ctx`] — one long-lived worker process per
+//! pool thread, speaking the same length-prefixed protocol over stdio
+//! that the TCP server speaks. Every completed result is flushed to the
+//! cache the moment it lands, so a farm killed mid-sweep (SIGINT, OOM,
+//! power) leaves a cache that *is* the resume state: rerunning the same
+//! command skips the finished runs as hits and computes only the rest.
+
+use crate::cache::ResultCache;
+use crate::canon::{cache_key, ENGINE_FINGERPRINT};
+use crate::protocol::{read_frame, write_frame, Reply, Request};
+use serde_json::{json, Value};
+use sora_bench::{ctx_job, ScenarioError, ScenarioSpec, Sweep};
+use std::io::BufReader;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How the farm runs.
+pub struct FarmConfig {
+    /// Worker processes to fan across.
+    pub workers: usize,
+    /// The result cache (also where the manifest lives).
+    pub cache: ResultCache,
+    /// Command line of a worker process (argv; must speak the stdio
+    /// protocol, i.e. `sora-server worker`).
+    pub worker_cmd: Vec<String>,
+}
+
+/// What happened to one scenario of a farm sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// Served from the cache without running anything.
+    Hit,
+    /// Computed by a worker this sweep (and flushed to the cache).
+    Computed,
+    /// Never executed: the farm was interrupted first.
+    Skipped,
+    /// The worker rejected or failed the run.
+    Failed(String),
+}
+
+impl EntryStatus {
+    /// The manifest spelling of this status.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EntryStatus::Hit => "hit",
+            EntryStatus::Computed => "computed",
+            EntryStatus::Skipped => "skipped",
+            EntryStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One scenario's ledger line in a [`FarmOutcome`].
+#[derive(Debug, Clone)]
+pub struct FarmEntry {
+    /// The scenario's label (its file name, for CLI sweeps).
+    pub label: String,
+    /// The scenario's content-addressed cache key.
+    pub key: String,
+    /// What happened.
+    pub status: EntryStatus,
+}
+
+/// The ledger of a farm sweep, in submission order.
+#[derive(Debug, Clone)]
+pub struct FarmOutcome {
+    /// Scenarios submitted.
+    pub total: usize,
+    /// Scenarios whose results exist in the cache now (hits + computed).
+    pub completed: usize,
+    /// Scenarios served from the cache without running.
+    pub cache_hits: usize,
+    /// Whether the sweep was cut short by the stop flag.
+    pub interrupted: bool,
+    /// Per-scenario outcomes, in submission order.
+    pub entries: Vec<FarmEntry>,
+}
+
+/// A worker process handle: the child plus its framed stdio channel.
+///
+/// Dropping the handle shuts the worker down: a best-effort `Shutdown`
+/// frame, then stdin closes (the worker exits on EOF), then `wait` reaps
+/// the child.
+struct WorkerHandle {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerHandle {
+    fn spawn(cmd: &[String]) -> Result<WorkerHandle, String> {
+        let (prog, args) = cmd.split_first().ok_or("empty worker command")?;
+        let mut child = Command::new(prog)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning worker `{prog}`: {e}"))?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout was piped"));
+        Ok(WorkerHandle {
+            child,
+            stdin: Some(stdin),
+            stdout,
+        })
+    }
+
+    /// Runs one scenario on the worker, returning `(key, result_text)`.
+    fn submit(&mut self, scenario: &str) -> Result<(String, String), String> {
+        let stdin = self.stdin.as_mut().ok_or("worker stdin closed")?;
+        write_frame(
+            stdin,
+            &Request::Submit {
+                scenario: scenario.to_string(),
+            },
+        )
+        .map_err(|e| format!("sending to worker: {e}"))?;
+        match read_frame::<_, Reply>(&mut self.stdout) {
+            Ok(Reply::Result { key, text }) => Ok((key, text)),
+            Ok(Reply::Error { error }) => Err(error.to_string()),
+            Ok(other) => Err(format!("unexpected worker reply: {other:?}")),
+            Err(e) => Err(format!("reading from worker: {e}")),
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        if let Some(mut stdin) = self.stdin.take() {
+            let _ = write_frame(&mut stdin, &Request::Shutdown);
+            // Dropping stdin here closes the pipe; the worker exits on EOF
+            // even if it never understood the Shutdown frame.
+        }
+        let _ = self.child.wait();
+    }
+}
+
+/// A pool context: one worker process, spawned lazily on first use so a
+/// fully-cached sweep never forks anything, and respawned after a failure
+/// so one crashed worker does not poison the rest of the sweep.
+struct WorkerCtx {
+    cmd: Vec<String>,
+    handle: Option<WorkerHandle>,
+}
+
+impl WorkerCtx {
+    fn submit(&mut self, scenario: &str) -> Result<(String, String), String> {
+        if self.handle.is_none() {
+            self.handle = Some(WorkerHandle::spawn(&self.cmd)?);
+        }
+        let result = self.handle.as_mut().expect("just spawned").submit(scenario);
+        if result.is_err() {
+            // The channel is in an unknown state; respawn for the next run.
+            self.handle = None;
+        }
+        result
+    }
+}
+
+/// Runs a farm sweep over `scenarios` (label, config-text pairs).
+///
+/// Any scenario that fails to parse aborts the sweep with its typed error
+/// before any run starts. Raising `stop` (SIGINT does this via
+/// [`crate::signals`]) lets in-flight runs finish, flushes their results,
+/// and marks the rest [`EntryStatus::Skipped`]; the cache left behind is
+/// the resume manifest.
+pub fn run_farm(
+    scenarios: Vec<(String, String)>,
+    cfg: &FarmConfig,
+    stop: &AtomicBool,
+) -> Result<FarmOutcome, ScenarioError> {
+    // Parse everything first: a sweep with a typo runs nothing.
+    let mut parsed: Vec<(String, String, ScenarioSpec)> = Vec::with_capacity(scenarios.len());
+    for (label, text) in scenarios {
+        let spec = ScenarioSpec::parse(&text)?;
+        let key = cache_key(&spec);
+        parsed.push((label, key, spec));
+    }
+    let total = parsed.len();
+
+    // Triage against the cache.
+    let mut entries: Vec<FarmEntry> = Vec::with_capacity(total);
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, (label, key, _spec)) in parsed.iter().enumerate() {
+        let status = if cfg.cache.lookup(key).is_some() {
+            EntryStatus::Hit
+        } else {
+            misses.push(i);
+            EntryStatus::Skipped // placeholder until the run reports back
+        };
+        entries.push(FarmEntry {
+            label: label.clone(),
+            key: key.clone(),
+            status,
+        });
+    }
+    write_manifest(&cfg.cache, &entries, true);
+
+    // Fan the misses across worker processes; each completed result is
+    // flushed to the cache inside its job, before the pool moves on.
+    let jobs = misses
+        .iter()
+        .map(|&i| {
+            let (label, key, spec) = &parsed[i];
+            let text = serde_json::to_string(spec).expect("spec reserializes");
+            let cache = cfg.cache.clone();
+            let key = key.clone();
+            ctx_job(label.clone(), move |ctx: &mut WorkerCtx| {
+                let (worker_key, result) = ctx.submit(&text)?;
+                if worker_key != key {
+                    return Err(format!(
+                        "worker derived key {worker_key}, coordinator expected {key}"
+                    ));
+                }
+                cache
+                    .store(&key, &result)
+                    .map_err(|e| format!("flushing result: {e}"))?;
+                Ok::<(), String>(())
+            })
+        })
+        .collect();
+    let outcome = Sweep::with_jobs(cfg.workers).run_ctx(
+        |_worker| WorkerCtx {
+            cmd: cfg.worker_cmd.clone(),
+            handle: None,
+        },
+        Some(stop),
+        jobs,
+    );
+
+    for (slot, &i) in outcome.results.iter().zip(&misses) {
+        entries[i].status = match slot {
+            Some((Ok(()), _stat)) => EntryStatus::Computed,
+            Some((Err(message), _stat)) => EntryStatus::Failed(message.clone()),
+            None => EntryStatus::Skipped,
+        };
+    }
+
+    let cache_hits = entries
+        .iter()
+        .filter(|e| e.status == EntryStatus::Hit)
+        .count();
+    let completed = entries
+        .iter()
+        .filter(|e| matches!(e.status, EntryStatus::Hit | EntryStatus::Computed))
+        .count();
+    let interrupted =
+        stop.load(Ordering::SeqCst) || entries.iter().any(|e| e.status == EntryStatus::Skipped);
+    write_manifest(&cfg.cache, &entries, false);
+
+    Ok(FarmOutcome {
+        total,
+        completed,
+        cache_hits,
+        interrupted,
+        entries,
+    })
+}
+
+/// Writes the human-auditable sweep manifest next to the cached results.
+/// Purely informational (and therefore best-effort): resume reads the
+/// cache entries themselves, which are atomic and always trustworthy.
+fn write_manifest(cache: &ResultCache, entries: &[FarmEntry], in_progress: bool) {
+    let rows: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            json!({
+                "label": e.label,
+                "key": e.key,
+                "status": if in_progress && e.status == EntryStatus::Skipped {
+                    "pending"
+                } else {
+                    e.status.as_str()
+                },
+            })
+        })
+        .collect();
+    let manifest = json!({
+        "engine": ENGINE_FINGERPRINT,
+        "in_progress": in_progress,
+        "entries": rows,
+    });
+    let text = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+    if let Err(e) = std::fs::write(cache.dir().join("manifest.json"), text) {
+        eprintln!("[farm] could not write manifest: {e}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Live sessions: one scenario, initialised once, stepped on demand.
+//!
+//! A session owns its `World`, controller stack and [`ScenarioStepper`],
+//! and lives on the connection thread that created it (worlds are not
+//! `Send`). Between steps the server can read telemetry snapshots and
+//! controller status without perturbing the run; finishing a session
+//! yields the same canonical result text as running the scenario
+//! in-process — byte for byte, because the stepper pauses only between
+//! fully-executed workload actions.
+
+use crate::canon::cache_key;
+use crate::protocol::{SessionStatus, TelemetryFrame};
+use apps::ScenarioStepper;
+use microsim::World;
+use sim_core::{SimDuration, SimTime};
+use sora_bench::{scenario_result_text, BuiltScenario, ScenarioOutcome, ScenarioSpec};
+use sora_core::Controller;
+
+/// A scenario being stepped interactively over the wire.
+pub struct LiveSession {
+    key: String,
+    spec: ScenarioSpec,
+    world: World,
+    stepper: ScenarioStepper,
+    controller: Box<dyn Controller>,
+    subscribe_period: Option<SimDuration>,
+    /// Start of the next telemetry window (last streamed frame, or zero).
+    window_from: SimTime,
+    workload_done: bool,
+}
+
+impl LiveSession {
+    /// Builds the world and controller stack for `spec` without advancing
+    /// simulated time.
+    pub fn new(spec: ScenarioSpec) -> LiveSession {
+        let key = cache_key(&spec);
+        let BuiltScenario {
+            world,
+            scenario,
+            controller,
+        } = spec.build();
+        LiveSession {
+            key,
+            spec,
+            world,
+            stepper: scenario.into_stepper(),
+            controller,
+            subscribe_period: None,
+            window_from: SimTime::ZERO,
+            workload_done: false,
+        }
+    }
+
+    /// The session's content-addressed cache key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The workload clock.
+    pub fn now(&self) -> SimTime {
+        self.stepper.now()
+    }
+
+    /// Whether the trace has ended.
+    pub fn workload_done(&self) -> bool {
+        self.workload_done
+    }
+
+    /// Streams a telemetry frame every `period` of simulated time during
+    /// subsequent [`step_until`] calls.
+    ///
+    /// [`step_until`]: LiveSession::step_until
+    pub fn subscribe(&mut self, period: SimDuration) {
+        self.subscribe_period = Some(period);
+    }
+
+    /// A telemetry frame covering the window since the last streamed frame.
+    pub fn frame(&self) -> TelemetryFrame {
+        TelemetryFrame {
+            now_secs: self.stepper.now().as_secs_f64(),
+            snapshot: self
+                .world
+                .telemetry_snapshot(self.window_from, self.stepper.report_rtt()),
+            controller: self.controller.status(),
+        }
+    }
+
+    /// The full session status.
+    pub fn status(&self) -> SessionStatus {
+        SessionStatus {
+            key: self.key.clone(),
+            now_secs: self.stepper.now().as_secs_f64(),
+            workload_done: self.workload_done,
+            samples: self.stepper.samples().len() as u64,
+            controller: self.controller.status(),
+            snapshot: self
+                .world
+                .telemetry_snapshot(self.window_from, self.stepper.report_rtt()),
+        }
+    }
+
+    /// Advances the workload clock to `target`, emitting a telemetry frame
+    /// per subscription period along the way. Returns the clock and
+    /// whether the trace ended.
+    pub fn step_until(
+        &mut self,
+        target: SimTime,
+        mut emit: impl FnMut(TelemetryFrame),
+    ) -> (SimTime, bool) {
+        match self.subscribe_period {
+            None => {
+                self.workload_done =
+                    self.stepper
+                        .step_until(&mut self.world, self.controller.as_mut(), target);
+            }
+            Some(period) => {
+                while self.stepper.now() < target && !self.workload_done {
+                    let sub_target = (self.stepper.now() + period).min(target);
+                    self.workload_done = self.stepper.step_until(
+                        &mut self.world,
+                        self.controller.as_mut(),
+                        sub_target,
+                    );
+                    let frame = self.frame();
+                    self.window_from = self.stepper.now();
+                    emit(frame);
+                }
+            }
+        }
+        (self.stepper.now(), self.workload_done)
+    }
+
+    /// Completes the session: runs the remaining trace, drains in-flight
+    /// requests, and renders the canonical result text.
+    pub fn finish(self) -> (String, String) {
+        let LiveSession {
+            key,
+            spec,
+            mut world,
+            stepper,
+            mut controller,
+            ..
+        } = self;
+        let result = stepper.finish(&mut world, controller.as_mut());
+        let summary = result.summary;
+        let outcome = ScenarioOutcome {
+            result,
+            summary,
+            world,
+        };
+        (key, scenario_result_text(&spec, &outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::parse(
+            r#"{"app": "sock_shop", "trace": "Steady", "max_users": 120.0,
+                "duration_secs": 12, "sla_ms": 400, "seed": 11}"#,
+        )
+        .unwrap()
+    }
+
+    /// The tentpole invariant at the session layer: stepping a live
+    /// session in uneven increments and finishing produces exactly the
+    /// bytes of an in-process run.
+    #[test]
+    fn stepped_session_matches_in_process_run_byte_for_byte() {
+        let spec = tiny_spec();
+        let in_process = {
+            let outcome = spec.run();
+            scenario_result_text(&spec, &outcome)
+        };
+
+        let mut session = LiveSession::new(spec);
+        let mut frames = Vec::new();
+        session.subscribe(SimDuration::from_millis(2_500));
+        let mut done = false;
+        let mut t = 1.7;
+        while !done {
+            let (_, d) = session.step_until(SimTime::from_secs_f64(t), |f| frames.push(f));
+            done = d;
+            t += 3.3;
+        }
+        let (_, text) = session.finish();
+        assert_eq!(in_process, text);
+
+        // The streamed frames are causally consistent: time non-decreasing,
+        // cumulative counters monotone, windows sum to the total.
+        assert!(!frames.is_empty());
+        for pair in frames.windows(2) {
+            assert!(pair[1].now_secs >= pair[0].now_secs);
+            assert!(pair[1].snapshot.completed >= pair[0].snapshot.completed);
+            assert!(pair[1].snapshot.events_dispatched >= pair[0].snapshot.events_dispatched);
+        }
+        let windowed: u64 = frames.iter().map(|f| f.snapshot.window_completed).sum();
+        let last = frames.last().unwrap();
+        assert_eq!(windowed, last.snapshot.completed, "windows tile the run");
+        assert_eq!(last.controller.name, "static");
+    }
+
+    #[test]
+    fn status_reports_progress() {
+        let spec = tiny_spec();
+        let mut session = LiveSession::new(spec);
+        assert_eq!(session.now(), SimTime::ZERO);
+        let (now, done) = session.step_until(SimTime::from_secs(5), |_| {});
+        assert!(now >= SimTime::from_secs(5));
+        assert!(!done);
+        let status = session.status();
+        assert!(status.now_secs >= 5.0);
+        assert!(!status.workload_done);
+        assert!(status.samples >= 4);
+        assert!(status.snapshot.completed > 0);
+        assert_eq!(status.key, session.key());
+    }
+}

@@ -1,0 +1,73 @@
+//! SIGINT/SIGTERM → a process-wide stop flag, with no libc dependency.
+//!
+//! The handler only flips an atomic (the one operation that is
+//! async-signal-safe by construction); the accept loop and the sweep farm
+//! poll the flag and wind down cooperatively — workers finish their
+//! current run, completed results are already flushed to the cache, and
+//! the process exits with partial state that *is* the resume manifest.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide stop flag. `false` until a termination signal arrives
+/// (or [`request_stop`] is called, e.g. by a `Shutdown` request).
+pub fn stop_flag() -> &'static AtomicBool {
+    &STOP
+}
+
+/// Raises the stop flag programmatically.
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::STOP;
+    use std::sync::atomic::Ordering;
+
+    // Declared by hand: the workspace builds offline, so no libc crate.
+    // `signal(2)` is in every libc this repo can run on.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; `signal` itself is just a handler swap.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent) and returns the flag.
+/// On non-Unix targets this is just [`stop_flag`].
+pub fn install() -> &'static AtomicBool {
+    #[cfg(unix)]
+    unix::install();
+    &STOP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stop_raises_the_flag() {
+        assert!(!stop_flag().load(Ordering::SeqCst));
+        request_stop();
+        assert!(stop_flag().load(Ordering::SeqCst));
+        // Reset for other tests in this process.
+        STOP.store(false, Ordering::SeqCst);
+    }
+}

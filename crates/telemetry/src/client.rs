@@ -78,6 +78,23 @@ impl ClientLog {
         n as f64 / (to - from).as_secs_f64()
     }
 
+    /// Exact `(completed, within-threshold)` counts over `[from, to)` —
+    /// the completion-window numbers the service plane streams between
+    /// simulation steps.
+    pub fn counts_in(&self, from: SimTime, to: SimTime, threshold: SimDuration) -> (u64, u64) {
+        let mut total = 0u64;
+        let mut good = 0u64;
+        for &(t, rt) in &self.outcomes {
+            if t >= from && t < to {
+                total += 1;
+                if rt <= threshold {
+                    good += 1;
+                }
+            }
+        }
+        (total, good)
+    }
+
     /// The `p`-th percentile of response time over the whole run, or `None`
     /// when the log is empty or `p` is not a finite value in `[0, 100]`
     /// (same contract as [`LatencyHistogram::percentile`] and
@@ -173,6 +190,17 @@ mod tests {
         assert_eq!(log.total(), 100);
         assert_eq!(log.goodput_count(d(400)), 40);
         assert_eq!(log.goodput_count(d(5)), 0);
+    }
+
+    #[test]
+    fn counts_in_window_are_exact() {
+        let log = ramp_log();
+        // [0, 2 s): completions at 50..1950 ms → 39; rts 10..390 all ≤ 400.
+        assert_eq!(log.counts_in(t(0), t(2000), d(400)), (39, 39));
+        // Whole run: 100 completions, 40 within 400 ms.
+        assert_eq!(log.counts_in(t(0), t(10_000), d(400)), (100, 40));
+        // Empty window.
+        assert_eq!(log.counts_in(t(50_000), t(60_000), d(400)), (0, 0));
     }
 
     #[test]

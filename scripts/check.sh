@@ -135,6 +135,92 @@ EOF
 rm -f /tmp/net_smoke_j1.txt /tmp/net_smoke_j4.txt
 mv /tmp/BENCH_net_resilience_golden.json results/BENCH_net_resilience.json
 
+echo "==> service plane: wire-vs-inprocess bytes, sweep farm kill/resume (sora-server)"
+# The control plane's headline invariant: a scenario submitted over the wire
+# (TCP submit, and the worker-process farm at any worker count) produces
+# byte-identical result JSON to the same scenario run in-process. Then the
+# farm is killed mid-sweep with SIGINT and must resume from its cache.
+cargo test -q -p sora-server
+cargo build -q --release -p sora-server
+SRV=./target/release/sora-server
+LANE=$(mktemp -d /tmp/sora-server-lane.XXXXXX)
+
+# Cache-key hygiene: a terse spelling of short.json (keys reordered, floats
+# as integers, null/default fields omitted) must share its cache key.
+python3 - "$LANE" <<'EOF'
+import json, sys
+spec = json.load(open("scenarios/short.json"))
+terse = {k: v for k, v in reversed(list(spec.items())) if v is not None}
+terse["max_users"] = int(spec["max_users"])
+terse["duration_secs"] = float(spec["duration_secs"])
+json.dump(terse, open(sys.argv[1] + "/terse.json", "w"))
+EOF
+KEY_A=$("$SRV" canon-key scenarios/short.json)
+KEY_B=$("$SRV" canon-key "$LANE/terse.json")
+[ "$KEY_A" = "$KEY_B" ] \
+  || { echo "equivalent scenario spellings got different cache keys: $KEY_A vs $KEY_B"; exit 1; }
+
+# TCP submit returns the exact bytes of the in-process run.
+"$SRV" run-local scenarios/short.json > "$LANE/local.json"
+PORT=$((20000 + $$ % 20000))
+"$SRV" serve --addr 127.0.0.1:$PORT 2>/dev/null &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+  "$SRV" ping --addr 127.0.0.1:$PORT >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$SRV" submit --addr 127.0.0.1:$PORT scenarios/short.json > "$LANE/remote.json"
+kill -INT $SRV_PID 2>/dev/null; wait $SRV_PID || true
+cmp "$LANE/local.json" "$LANE/remote.json" \
+  || { echo "wire result differs from in-process result"; exit 1; }
+
+# The farm produces those same bytes at --workers 1 and --workers 4.
+for s in 101 102 103; do
+  sed 's/"seed": 7/"seed": '$s'/' scenarios/short.json > "$LANE/s$s.json"
+done
+"$SRV" sweep --cache "$LANE/c1" --workers 1 "$LANE"/s10?.json > /dev/null 2>&1
+"$SRV" sweep --cache "$LANE/c4" --workers 4 "$LANE"/s10?.json > /dev/null 2>&1
+for s in 101 102 103; do
+  K=$("$SRV" canon-key "$LANE/s$s.json")
+  "$SRV" run-local "$LANE/s$s.json" > "$LANE/inproc.json"
+  cmp "$LANE/c1/$K.json" "$LANE/inproc.json" \
+    || { echo "farm --workers 1 bytes differ from in-process for seed $s"; exit 1; }
+  cmp "$LANE/c4/$K.json" "$LANE/inproc.json" \
+    || { echo "farm --workers 4 bytes differ from in-process for seed $s"; exit 1; }
+done
+
+# Kill the farm mid-sweep; the flushed partial cache is the resume state.
+sed -e 's/"duration_secs": 60/"duration_secs": 300/' -e 's/"max_users": 800.0/"max_users": 2000/' \
+  scenarios/short.json > "$LANE/heavy.json"
+for s in 201 202 203 204 205 206; do
+  sed 's/"seed": 7/"seed": '$s'/' "$LANE/heavy.json" > "$LANE/k$s.json"
+done
+"$SRV" sweep --cache "$LANE/ck" --workers 1 "$LANE"/k20?.json > "$LANE/sweep1.out" 2>/dev/null &
+FARM_PID=$!
+for _ in $(seq 1 400); do
+  FLUSHED=$(ls "$LANE/ck" 2>/dev/null | grep -c '^[0-9a-f].*\.json$' || true)
+  [ "${FLUSHED:-0}" -ge 1 ] && break
+  sleep 0.05
+done
+kill -INT $FARM_PID
+FARM_RC=0; wait $FARM_PID || FARM_RC=$?
+[ "$FARM_RC" -eq 130 ] || { echo "interrupted farm exited $FARM_RC, expected 130"; exit 1; }
+grep -q "interrupted=true" "$LANE/sweep1.out" \
+  || { echo "interrupted farm did not report interrupted=true"; exit 1; }
+BEFORE=$(ls "$LANE/ck" | grep -c '^[0-9a-f].*\.json$')
+[ "$BEFORE" -ge 1 ] && [ "$BEFORE" -lt 6 ] \
+  || { echo "kill window missed: $BEFORE of 6 results flushed"; exit 1; }
+"$SRV" sweep --cache "$LANE/ck" --workers 1 "$LANE"/k20?.json > "$LANE/sweep2.out" 2>/dev/null \
+  || { echo "resumed farm failed"; exit 1; }
+grep -q "interrupted=false" "$LANE/sweep2.out" \
+  || { echo "resumed farm did not run to completion"; exit 1; }
+HITS=$(sed -n 's/.*cache_hits=\([0-9]*\).*/\1/p' "$LANE/sweep2.out")
+[ "$HITS" -eq "$BEFORE" ] \
+  || { echo "resume reported $HITS cache hits, expected $BEFORE"; exit 1; }
+AFTER=$(ls "$LANE/ck" | grep -c '^[0-9a-f].*\.json$')
+[ "$AFTER" -eq 6 ] || { echo "resume left $AFTER of 6 results"; exit 1; }
+rm -rf "$LANE"
+
 echo "==> audit lane: conservation laws (--features audit)"
 # Unit + metamorphic coverage of the audit layer itself.
 cargo test -q --features audit
