@@ -151,6 +151,7 @@ impl Scenario {
             next_control,
             now: SimTime::ZERO,
             workload_done: false,
+            done_scratch: Vec::new(),
         }
     }
 
@@ -197,6 +198,9 @@ pub struct ScenarioStepper {
     next_control: SimDuration,
     now: SimTime,
     workload_done: bool,
+    /// Reusable completion buffer for `World::run_until_into`, so the
+    /// per-action simulation steps never allocate a fresh `Vec`.
+    done_scratch: Vec<microsim::Completion>,
 }
 
 impl ScenarioStepper {
@@ -242,8 +246,8 @@ impl ScenarioStepper {
             // Fire any control/sample ticks we have reached.
             let tick = SimTime::ZERO + self.next_sample.min(self.next_control);
             if tick <= self.now {
-                let done = world.run_until(tick);
-                self.handle_done(world, done);
+                world.run_until_into(tick, &mut self.done_scratch);
+                self.handle_done(world);
                 if SimTime::ZERO + self.next_control == tick {
                     controller.control(world, tick);
                     self.next_control += self.config.control_period;
@@ -269,8 +273,8 @@ impl ScenarioStepper {
                         self.now = bounded;
                         continue;
                     }
-                    let done = world.run_until(at);
-                    self.handle_done(world, done);
+                    world.run_until_into(at, &mut self.done_scratch);
+                    self.handle_done(world);
                     let rtype = mix_at(&self.mix_schedule, at).sample(&mut self.rng);
                     let id = world.inject_at(at, rtype);
                     self.user_of.insert(id, user);
@@ -278,8 +282,8 @@ impl ScenarioStepper {
                 }
                 UserAction::Idle { until } => {
                     let until = until.min(tick);
-                    let done = world.run_until(until);
-                    self.handle_done(world, done);
+                    world.run_until_into(until, &mut self.done_scratch);
+                    self.handle_done(world);
                     self.now = until;
                 }
                 UserAction::Finished => {
@@ -296,8 +300,8 @@ impl ScenarioStepper {
         self.step_until(world, controller, SimTime::MAX);
         // Drain whatever is still in flight.
         let end = self.now + SimDuration::from_secs(30);
-        let done = world.run_until(end);
-        self.handle_done(world, done);
+        world.run_until_into(end, &mut self.done_scratch);
+        self.handle_done(world);
 
         // Under auditing every scenario must finish with a clean ledger on
         // both sides of the client/world seam. Audit state never enters
@@ -358,8 +362,8 @@ impl ScenarioStepper {
     }
 
     /// Routes drained completions and drops back to the user pool.
-    fn handle_done(&mut self, world: &mut World, completions: Vec<microsim::Completion>) {
-        for c in completions {
+    fn handle_done(&mut self, world: &mut World) {
+        for c in self.done_scratch.drain(..) {
             if let Some(user) = self.user_of.remove(&c.request) {
                 self.pool.on_completion(c.completed, user);
             }

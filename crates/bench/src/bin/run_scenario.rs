@@ -27,6 +27,7 @@ fn template() -> ScenarioSpec {
         cart_cores: Some(2),
         home_timeline_conns: None,
         drift_at_secs: None,
+        shards: None,
     }
 }
 

@@ -18,10 +18,10 @@
 
 use microsim::WorldConfig;
 use serde::Serialize;
+use sim_core::allocmeter::{self, Scope};
 use sim_core::{Dist, QueueBackend, SimDuration, SimRng, SimTime, Slab, TimerWheel};
 use sora_bench::{job, print_table, save_json_with_perf, Sweep, Table};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
 use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 use telemetry::RequestId;
@@ -29,21 +29,18 @@ use topo::TopoParams;
 use workload::{RateCurve, TraceShape, UserAction, UserPool};
 
 // ---------------------------------------------------------------------
-// Counting allocator: thread-local, so each sweep job measures exactly
-// its own run regardless of `--jobs`.
+// Counting allocator, backed by `sim_core::allocmeter`: every thread owns
+// lock-free thread-local counters, and each measurement opens a scope
+// that worker threads (e.g. the sharded engine's window workers) adopt —
+// so per-job numbers stay exact for any `--jobs` value AND any shard
+// count, with the workers' allocations folded in at report time.
 // ---------------------------------------------------------------------
-
-thread_local! {
-    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
-    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
-}
 
 struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let _ = ALLOC_BYTES.try_with(|b| b.set(b.get() + layout.size() as u64));
-        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        allocmeter::note_alloc(layout.size() as u64);
         System.alloc(layout)
     }
 
@@ -52,19 +49,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let grown = new_size.saturating_sub(layout.size()) as u64;
-        let _ = ALLOC_BYTES.try_with(|b| b.set(b.get() + grown));
-        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        allocmeter::note_alloc(new_size.saturating_sub(layout.size()) as u64);
         System.realloc(ptr, layout, new_size)
     }
 }
 
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
-
-fn alloc_snapshot() -> (u64, u64) {
-    (ALLOC_BYTES.with(|b| b.get()), ALLOC_COUNT.with(|c| c.get()))
-}
 
 // ---------------------------------------------------------------------
 // End-to-end points
@@ -163,9 +154,10 @@ fn run_point(p: Point, backend: QueueBackend) -> EngineRun {
     let mut mix_rng = SimRng::seed_from(p.users ^ 0x5ca1e);
     let mut user_of: HashMap<RequestId, u64> = HashMap::new();
 
-    let (bytes0, count0) = alloc_snapshot();
+    let scope = Scope::begin();
     let wall = Instant::now();
     let mut now = SimTime::ZERO;
+    let mut done: Vec<microsim::Completion> = Vec::new();
     loop {
         let action = pool.next_action(now);
         let run_to = match action {
@@ -173,7 +165,8 @@ fn run_point(p: Point, backend: QueueBackend) -> EngineRun {
             UserAction::Idle { until } => until,
             UserAction::Finished => break,
         };
-        for c in t.world.run_until(run_to) {
+        t.world.run_until_into(run_to, &mut done);
+        for c in done.drain(..) {
             if let Some(u) = user_of.remove(&c.request) {
                 pool.on_completion(c.completed, u);
             }
@@ -192,13 +185,15 @@ fn run_point(p: Point, backend: QueueBackend) -> EngineRun {
         now = run_to;
     }
     // Drain in-flight work past the trace end.
-    for c in t.world.run_until(now + SimDuration::from_secs(30)) {
+    t.world
+        .run_until_into(now + SimDuration::from_secs(30), &mut done);
+    for c in done.drain(..) {
         if let Some(u) = user_of.remove(&c.request) {
             pool.on_completion(c.completed, u);
         }
     }
     let wall_secs = wall.elapsed().as_secs_f64();
-    let (bytes1, count1) = alloc_snapshot();
+    let stats = scope.finish();
 
     #[cfg(feature = "audit")]
     assert_eq!(
@@ -224,8 +219,8 @@ fn run_point(p: Point, backend: QueueBackend) -> EngineRun {
     EngineRun {
         counters,
         events_per_sec: counters.events as f64 / wall_secs.max(1e-9),
-        bytes_per_request: (bytes1 - bytes0) as f64 / (requests as f64).max(1.0),
-        allocs_per_request: (count1 - count0) as f64 / (requests as f64).max(1.0),
+        bytes_per_request: stats.bytes as f64 / (requests as f64).max(1.0),
+        allocs_per_request: stats.count as f64 / (requests as f64).max(1.0),
         wall_secs,
     }
 }
@@ -478,13 +473,12 @@ fn steady_state_allocs(churn_ops: u64) -> u64 {
     // DELTA/POPULATION each, and we entered at most DELTA past the
     // boundary.
     let ops = churn_ops.min((L1_SPAN - 4 * DELTA) * POPULATION / DELTA);
-    let (_, count0) = alloc_snapshot();
+    let scope = Scope::begin();
     for _ in 0..ops {
         let (at, key, ()) = queue.pop().expect("stationary");
         queue.schedule(at + SimDuration::from_nanos(DELTA), key, ());
     }
-    let (_, count1) = alloc_snapshot();
-    count1 - count0
+    scope.finish().count
 }
 
 // ---------------------------------------------------------------------

@@ -109,6 +109,14 @@ pub struct ScenarioSpec {
     /// Social Network: flip to heavy reads at this second.
     #[serde(default)]
     pub drift_at_secs: Option<u64>,
+    /// World-engine shard count (DESIGN §14): `1` runs the sharded
+    /// engine's sequential oracle, `N` partitions services across `N`
+    /// concurrent shards — byte-identical outputs either way. Omitted
+    /// (the default) keeps the classic single-wheel engine. Values are
+    /// clamped to the app's service count at build time; `0` and values
+    /// above 64 are rejected at parse time.
+    #[serde(default)]
+    pub shards: Option<usize>,
 }
 
 /// Why a scenario config was rejected. Typed (rather than a panic or a
@@ -196,7 +204,7 @@ impl ScenarioSpec {
     /// Every top-level field the schema defines. `parse` rejects anything
     /// else: the derive-level deserializer ignores unknown keys, which
     /// would silently turn a typo (`"max_user"`) into a default value.
-    pub const KNOWN_FIELDS: [&'static str; 12] = [
+    pub const KNOWN_FIELDS: [&'static str; 13] = [
         "app",
         "trace",
         "max_users",
@@ -209,6 +217,7 @@ impl ScenarioSpec {
         "cart_cores",
         "home_timeline_conns",
         "drift_at_secs",
+        "shards",
     ];
 
     /// Parses and validates a scenario config, reporting the first problem
@@ -280,6 +289,21 @@ impl ScenarioSpec {
                     duration_secs: self.duration_secs,
                 });
             }
+        }
+        match self.shards {
+            Some(0) => {
+                return Err(invalid(
+                    "shards",
+                    "the world needs at least one shard".to_string(),
+                ));
+            }
+            Some(n) if n > 64 => {
+                return Err(invalid(
+                    "shards",
+                    format!("at most 64 shards are supported, got {n}"),
+                ));
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -415,6 +439,15 @@ impl ScenarioSpec {
                 (scenario, sn.world)
             }
         };
+        let mut world = world;
+        if let Some(n) = self.shards {
+            // Validated to 1..=64 by `validate`; the app's service count
+            // is the remaining physical ceiling.
+            let n = n.clamp(1, world.service_count());
+            world
+                .enable_sharding(n)
+                .expect("freshly built world accepts sharding");
+        }
         BuiltScenario {
             world,
             scenario,
@@ -488,6 +521,7 @@ mod tests {
             cart_cores: None,
             home_timeline_conns: None,
             drift_at_secs: None,
+            shards: None,
         }
     }
 
@@ -628,5 +662,51 @@ mod tests {
         };
         let outcome = spec.run();
         assert!(outcome.summary.completed > 1_000);
+    }
+
+    #[test]
+    fn shards_out_of_range_is_rejected_with_typed_error() {
+        let zero = r#"{"app": "sock_shop", "trace": "Steady", "max_users": 10.0,
+                       "duration_secs": 5, "sla_ms": 400, "shards": 0}"#;
+        match ScenarioSpec::parse(zero).unwrap_err() {
+            ScenarioError::InvalidValue { field, .. } => assert_eq!(field, "shards"),
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+        let huge = r#"{"app": "sock_shop", "trace": "Steady", "max_users": 10.0,
+                       "duration_secs": 5, "sla_ms": 400, "shards": 65}"#;
+        match ScenarioSpec::parse(huge).unwrap_err() {
+            ScenarioError::InvalidValue { field, message } => {
+                assert_eq!(field, "shards");
+                assert!(message.contains("64"), "{message}");
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+        // Negative and fractional counts fail at the deserializer.
+        let neg = r#"{"app": "sock_shop", "trace": "Steady", "max_users": 10.0,
+                      "duration_secs": 5, "sla_ms": 400, "shards": -2}"#;
+        assert!(matches!(
+            ScenarioSpec::parse(neg).unwrap_err(),
+            ScenarioError::BadField { .. }
+        ));
+    }
+
+    #[test]
+    fn sharded_scenario_is_shard_count_invariant() {
+        // The sharded engine's sequential oracle (shards = 1) and a
+        // 2-shard run must produce byte-identical result payloads; a
+        // shard count above the app's service count clamps instead of
+        // failing.
+        let run_text = |shards: usize| {
+            let spec = ScenarioSpec {
+                shards: Some(shards),
+                duration_secs: 10,
+                ..base()
+            };
+            spec.validate().expect("valid spec");
+            scenario_result_text(&base(), &spec.run())
+        };
+        let oracle = run_text(1);
+        assert_eq!(oracle, run_text(2), "2-shard run diverged from oracle");
+        assert_eq!(oracle, run_text(64), "clamped run diverged from oracle");
     }
 }

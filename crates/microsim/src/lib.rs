@@ -31,10 +31,12 @@ mod config;
 mod faults;
 mod replica;
 mod request;
+mod shard;
 mod world;
 
 pub use config::{Behavior, LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
 pub use faults::{BlackoutMode, FaultEvent, FaultKind, FaultSchedule, FaultScheduleError};
+pub use shard::ShardError;
 pub use world::{Completion, DropBreakdown, DropReason, TelemetrySnapshot, World};
 
 #[cfg(test)]

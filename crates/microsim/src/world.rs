@@ -4,11 +4,13 @@ use crate::config::{LbPolicy, RequestTypeSpec, ServiceSpec, Stage, WorldConfig};
 use crate::faults::{BlackoutMode, FaultKind, FaultSchedule, FaultScheduleError};
 use crate::replica::{ConnWaiter, Replica, ReplicaState};
 use crate::request::{Frame, FrameIdx, RequestState};
+use crate::shard::{ShardEngine, ShardError};
 use cluster::{ClusterState, CpuJobId, Millicores, NodeId, PlacementError};
 use net::{Endpoint, Network, NetworkConfig, SendOutcome};
 use serde::{Deserialize, Serialize};
 use sim_core::{EventQueue, QueueBackend, SimDuration, SimRng, SimTime, Slab, SlabKey};
 use std::collections::BTreeMap;
+use std::ops::Range;
 use telemetry::{
     ClientLog, CompletionLog, ConcurrencyTracker, ReplicaId, RequestId, RequestTypeId, ServiceId,
     SpanId, Trace, TraceWarehouse,
@@ -69,7 +71,7 @@ pub struct DropBreakdown {
 }
 
 impl DropBreakdown {
-    fn count(&mut self, reason: DropReason) {
+    pub(crate) fn count(&mut self, reason: DropReason) {
         match reason {
             DropReason::Refused => self.refused += 1,
             DropReason::ReplicaFailed => self.replica_failed += 1,
@@ -181,19 +183,21 @@ enum Event {
     },
 }
 
-struct ServiceRuntime {
-    spec: ServiceSpec,
+pub(crate) struct ServiceRuntime {
+    pub(crate) spec: ServiceSpec,
     /// All replica ids ever assigned to this service that still exist.
-    replicas: Vec<ReplicaId>,
+    /// With the sharded engine enabled this list is owned by the shard
+    /// cores instead and stays empty here.
+    pub(crate) replicas: Vec<ReplicaId>,
     /// Round-robin cursor.
-    rr: usize,
+    pub(crate) rr: usize,
     /// Current (mutable) settings; new replicas inherit these.
-    cpu_limit: Millicores,
-    thread_limit: usize,
-    conn_limits: BTreeMap<ServiceId, usize>,
+    pub(crate) cpu_limit: Millicores,
+    pub(crate) thread_limit: usize,
+    pub(crate) conn_limits: BTreeMap<ServiceId, usize>,
     /// Busy core-nanoseconds carried over from removed replicas, so the
     /// service-level counter stays monotone across scale-downs.
-    retired_busy_nanos: f64,
+    pub(crate) retired_busy_nanos: f64,
 }
 
 /// The discrete-event microservice cluster simulator.
@@ -289,6 +293,13 @@ pub struct World {
     dropped: u64,
     /// Total events dispatched (the `scale` bench's events/sec numerator).
     events_dispatched: u64,
+    /// The conservative-parallel sharded engine, when enabled via
+    /// [`World::enable_sharding`]. Once set, the classic event loop above
+    /// is dormant and every public method delegates here.
+    engine: Option<Box<ShardEngine>>,
+    /// Whether a fault schedule was installed (sharding must be enabled
+    /// before faults so the schedule lands in the barrier queue).
+    faults_installed: bool,
     /// Conservation-law violations observed during dispatch. Audit-only
     /// state: never serialized, never read by simulation logic.
     #[cfg(feature = "audit")]
@@ -342,6 +353,8 @@ impl World {
             next_span: 0,
             dropped: 0,
             events_dispatched: 0,
+            engine: None,
+            faults_installed: false,
             #[cfg(feature = "audit")]
             audit_sink: sim_core::audit::CountingSink::new(),
             #[cfg(feature = "audit")]
@@ -354,11 +367,25 @@ impl World {
     /// Adds a node with the given CPU capacity. If no node is ever added, a
     /// first placement lazily creates a huge default node.
     pub fn add_node(&mut self, capacity: Millicores) {
-        self.cluster.add_node(capacity);
+        match self.engine.as_mut() {
+            Some(e) => e.add_node(capacity),
+            None => {
+                self.cluster.add_node(capacity);
+            }
+        }
     }
 
     /// Registers a service, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sharding is already enabled (the shard plan is fixed over
+    /// the service set).
     pub fn add_service(&mut self, spec: ServiceSpec) -> ServiceId {
+        assert!(
+            self.engine.is_none(),
+            "add_service: topology is frozen once sharding is enabled"
+        );
         let id = ServiceId(self.services.len() as u32);
         self.services.push(ServiceRuntime {
             cpu_limit: spec.cpu_limit,
@@ -386,6 +413,10 @@ impl World {
         entry: ServiceId,
         timeout: Option<SimDuration>,
     ) -> RequestTypeId {
+        assert!(
+            self.engine.is_none(),
+            "add_request_type: topology is frozen once sharding is enabled"
+        );
         let id = RequestTypeId(self.request_types.len() as u32);
         self.request_types.push(RequestTypeSpec {
             name: name.into(),
@@ -399,7 +430,108 @@ impl World {
 
     /// The current simulated instant (the `run_until` high-water mark).
     pub fn now(&self) -> SimTime {
-        self.clock.max(self.queue.now())
+        match &self.engine {
+            Some(e) => e.now(),
+            None => self.clock.max(self.queue.now()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Conservative-parallel sharding
+    // ------------------------------------------------------------------
+
+    /// Enables the conservative-parallel sharded engine with `shards`
+    /// contiguous, evenly sized service partitions. See
+    /// [`World::enable_sharding_with_plan`] for semantics and errors.
+    pub fn enable_sharding(&mut self, shards: usize) -> Result<(), ShardError> {
+        let n = self.services.len();
+        let plan: Vec<Range<usize>> = (0..shards)
+            .map(|k| (k * n / shards)..((k + 1) * n / shards))
+            .collect();
+        self.enable_sharding_with_plan(&plan)
+    }
+
+    /// Enables the conservative-parallel sharded engine with an explicit
+    /// partition plan (contiguous, non-empty service ranges covering every
+    /// service). Must be called on a pristine world: topology built (all
+    /// services, request types and replicas added), but before any
+    /// injection, simulation, network installation or fault installation.
+    ///
+    /// The sharded engine is a distinct, self-consistent engine family:
+    /// runs are byte-identical across shard counts (`shards = 1` is the
+    /// family's sequential oracle), but not to the classic engine. Classic
+    /// replica start-up events queued before the switch are discarded and
+    /// redrawn from per-service streams. See `DESIGN.md` §14.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] when the world already has an engine, a network, a
+    /// fault schedule or simulated history; when the plan is not a
+    /// contiguous cover; or when `net_delay` has a zero lower bound (no
+    /// lookahead to parallelise under).
+    pub fn enable_sharding_with_plan(&mut self, plan: &[Range<usize>]) -> Result<(), ShardError> {
+        if self.engine.is_some() {
+            return Err(ShardError::AlreadySharded);
+        }
+        if self.network.is_some() {
+            return Err(ShardError::NetworkInstalled);
+        }
+        if self.faults_installed {
+            return Err(ShardError::FaultsInstalled);
+        }
+        if self.clock != SimTime::ZERO || self.next_request != 0 || !self.requests.is_empty() {
+            return Err(ShardError::AlreadyStarted);
+        }
+        // Validate before moving observability state into the engine.
+        ShardEngine::validate(&self.config, plan, self.services.len())?;
+        let mut engine = ShardEngine::new(
+            self.config.clone(),
+            plan,
+            self.services.len(),
+            &self.rng,
+            std::mem::replace(&mut self.cluster, ClusterState::new()),
+            std::mem::replace(
+                &mut self.warehouse,
+                TraceWarehouse::new(self.config.trace_horizon, self.config.trace_sample_every),
+            ),
+            std::mem::replace(&mut self.client, ClientLog::new(self.config.client_bucket)),
+            std::mem::take(&mut self.client_by_type),
+        )
+        .expect("validated above");
+        engine.set_next_replica(self.next_replica);
+        // Adopt live replicas in service order, then creation order. The
+        // classic queue's pending ReplicaReady events are discarded; the
+        // engine redraws start-up delays from per-service streams.
+        for sid in 0..self.services.len() {
+            let service = ServiceId(sid as u32);
+            let ids = self.services[sid].replicas.clone();
+            for id in ids {
+                let state = self.state_of(id).expect("live replica");
+                engine.adopt_replica(&self.services, service, id, state);
+            }
+        }
+        self.queue = EventQueue::new();
+        self.replicas = Slab::new();
+        self.replica_lookup.clear();
+        self.replica_states.clear();
+        for svc in &mut self.services {
+            svc.replicas.clear();
+            svc.rr = 0;
+        }
+        self.engine = Some(engine);
+        Ok(())
+    }
+
+    /// Number of shards the engine runs with (1 for the classic engine).
+    pub fn shard_count(&self) -> usize {
+        self.engine.as_ref().map_or(1, |e| e.shard_count())
+    }
+
+    /// The cross-shard lookahead in nanoseconds (`None` for the classic
+    /// engine): the minimum network delay, which bounds how far shards may
+    /// run ahead of each other.
+    pub fn shard_lookahead_nanos(&self) -> Option<u64> {
+        self.engine.as_ref().map(|e| e.lookahead_nanos())
     }
 
     /// Switches the future-event-list engine, carrying pending events
@@ -408,6 +540,9 @@ impl World {
     /// to measure the `BinaryHeap` baseline against identical topologies;
     /// both engines produce byte-identical simulations.
     pub fn set_queue_backend(&mut self, backend: QueueBackend) {
+        if self.engine.is_some() {
+            return; // sharded engine owns its per-shard timer wheels
+        }
         if self.queue.backend() == backend {
             return;
         }
@@ -436,7 +571,10 @@ impl World {
     }
 
     fn rep(&self, id: ReplicaId) -> Option<&Replica> {
-        self.rep_key(id).and_then(|k| self.replicas.get(k))
+        match &self.engine {
+            Some(e) => e.rep(id),
+            None => self.rep_key(id).and_then(|k| self.replicas.get(k)),
+        }
     }
 
     fn rep_mut(&mut self, id: ReplicaId) -> Option<&mut Replica> {
@@ -446,8 +584,12 @@ impl World {
 
     /// The lifecycle state of a replica, read from the dense state array.
     fn state_of(&self, id: ReplicaId) -> Option<ReplicaState> {
-        self.rep_key(id)
-            .map(|k| self.replica_states[k.index() as usize])
+        match &self.engine {
+            Some(e) => e.state_of(id),
+            None => self
+                .rep_key(id)
+                .map(|k| self.replica_states[k.index() as usize]),
+        }
     }
 
     fn set_state(&mut self, id: ReplicaId, state: ReplicaState) {
@@ -468,6 +610,9 @@ impl World {
     ///
     /// Propagates [`PlacementError`] when no node can host the pod.
     pub fn add_replica(&mut self, service: ServiceId) -> Result<ReplicaId, PlacementError> {
+        if let Some(engine) = self.engine.as_mut() {
+            return engine.add_replica(&self.services, service);
+        }
         if self.cluster.nodes().is_empty() {
             // Lazy default: effectively unbounded machine.
             self.cluster.add_node(Millicores::from_cores(1_000_000));
@@ -515,6 +660,10 @@ impl World {
     /// Marks a starting replica ready immediately (used by tests and by
     /// initial topology construction, where pods pre-exist the run).
     pub fn make_ready(&mut self, replica: ReplicaId) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.make_ready(replica);
+            return;
+        }
         if self.state_of(replica) == Some(ReplicaState::Starting) {
             self.set_state(replica, ReplicaState::Ready);
         }
@@ -524,6 +673,11 @@ impl World {
     /// added), draining in-flight work first. Returns the drained replica's
     /// id, or `None` if the service has at most `min_keep` replicas.
     pub fn drain_replica(&mut self, service: ServiceId, min_keep: usize) -> Option<ReplicaId> {
+        if let Some(engine) = self.engine.as_mut() {
+            let victim = engine.drain_replica(service, min_keep);
+            engine.settle_retired(&mut self.services);
+            return victim;
+        }
         let now = self.now();
         let rt = &self.services[service.get() as usize];
         let live: Vec<ReplicaId> = rt
@@ -551,6 +705,11 @@ impl World {
     /// and CPU jobs elsewhere are reclaimed). Used for failure-injection
     /// tests.
     pub fn fail_replica(&mut self, replica: ReplicaId) {
+        if let Some(engine) = self.engine.as_mut() {
+            let now = engine.now();
+            engine.kill_replica(now, replica, &mut self.services);
+            return;
+        }
         let now = self.now();
         // Canonical abort order — by request id, not storage order — so the
         // resulting event sequence is identical across runs and processes.
@@ -612,6 +771,9 @@ impl World {
         service: ServiceId,
         limit: Millicores,
     ) -> Result<(), PlacementError> {
+        if let Some(engine) = self.engine.as_mut() {
+            return engine.set_cpu_limit(&mut self.services, service, limit);
+        }
         let now = self.now();
         self.services[service.get() as usize].cpu_limit = limit;
         let mut ids = std::mem::take(&mut self.actuation_scratch);
@@ -635,6 +797,10 @@ impl World {
     /// Sets the per-replica thread-pool size of `service`, admitting queued
     /// requests immediately if the limit grew.
     pub fn set_thread_limit(&mut self, service: ServiceId, limit: usize) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.set_thread_limit(&mut self.services, service, limit);
+            return;
+        }
         let now = self.now();
         self.services[service.get() as usize].thread_limit = limit;
         let mut ids = std::mem::take(&mut self.actuation_scratch);
@@ -652,6 +818,10 @@ impl World {
     /// Sets the per-replica connection-pool size from `service` toward
     /// `target`, granting queued calls immediately if the limit grew.
     pub fn set_conn_limit(&mut self, service: ServiceId, target: ServiceId, limit: usize) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.set_conn_limit(&mut self.services, service, target, limit);
+            return;
+        }
         let now = self.now();
         self.services[service.get() as usize]
             .conn_limits
@@ -692,6 +862,10 @@ impl World {
     /// [`net::NetworkConfig::constant_latency`]) reproduces the
     /// function-edge engine byte for byte.
     pub fn install_network(&mut self, config: NetworkConfig) {
+        assert!(
+            self.engine.is_none(),
+            "install_network: the message-passing network is incompatible with the sharded engine"
+        );
         self.network = Some(Network::new(config, self.rng.split("network")));
     }
 
@@ -720,20 +894,35 @@ impl World {
     /// — see [`FaultSchedule::validate`].
     pub fn install_faults(&mut self, schedule: FaultSchedule) -> Result<(), FaultScheduleError> {
         schedule.validate()?;
-        for event in schedule.events() {
-            self.queue.schedule(
-                event.at,
-                Event::Fault {
-                    kind: event.kind.clone(),
-                },
-            );
+        self.faults_installed = true;
+        match self.engine.as_mut() {
+            Some(engine) => {
+                // Sharded engine: faults become coordinator barriers,
+                // applied between lookahead windows in schedule order.
+                for event in schedule.events() {
+                    engine.push_fault(event.at, event.kind.clone());
+                }
+            }
+            None => {
+                for event in schedule.events() {
+                    self.queue.schedule(
+                        event.at,
+                        Event::Fault {
+                            kind: event.kind.clone(),
+                        },
+                    );
+                }
+            }
         }
         Ok(())
     }
 
     /// The sim-clock-stamped record of every fault applied so far.
     pub fn fault_log(&self) -> &[(SimTime, String)] {
-        &self.fault_log
+        match &self.engine {
+            Some(e) => e.fault_log(),
+            None => &self.fault_log,
+        }
     }
 
     fn on_fault(&mut self, now: SimTime, kind: FaultKind) {
@@ -935,6 +1124,9 @@ impl World {
             (rtype.get() as usize) < self.request_types.len(),
             "unknown request type {rtype}"
         );
+        if let Some(engine) = self.engine.as_mut() {
+            return engine.inject_at(at, rtype, &self.request_types[rtype.get() as usize]);
+        }
         let id = RequestId(self.next_request);
         self.next_request += 1;
         let arrive = match self.network.as_mut() {
@@ -966,18 +1158,35 @@ impl World {
     /// Processes every event up to and including `t`, returning the
     /// requests that completed. The world's clock ends at `t`.
     pub fn run_until(&mut self, t: SimTime) -> Vec<Completion> {
-        while let Some((now, event)) = self.queue.pop_before(t) {
-            self.dispatch(now, event);
+        let mut out = Vec::new();
+        self.run_until_into(t, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`World::run_until`]: appends the
+    /// completions to `out` (which the caller clears and reuses across
+    /// steps) instead of returning a fresh `Vec` per step.
+    pub fn run_until_into(&mut self, t: SimTime, out: &mut Vec<Completion>) {
+        match self.engine.as_mut() {
+            Some(engine) => engine.run_until_into(t, &mut self.services, out),
+            None => {
+                while let Some((now, event)) = self.queue.pop_before(t) {
+                    self.dispatch(now, event);
+                }
+                self.clock = self.clock.max(t);
+                #[cfg(feature = "audit")]
+                self.audit_run_boundary();
+                out.append(&mut self.completed);
+            }
         }
-        self.clock = self.clock.max(t);
-        #[cfg(feature = "audit")]
-        self.audit_run_boundary();
-        std::mem::take(&mut self.completed)
     }
 
     /// True when no events are pending (all requests finished or dropped).
     pub fn is_quiescent(&self) -> bool {
-        self.queue.is_empty()
+        match &self.engine {
+            Some(e) => e.is_quiescent(),
+            None => self.queue.is_empty(),
+        }
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
@@ -1881,12 +2090,18 @@ impl World {
 
     /// The trace warehouse (Sora's Monitoring Module storage).
     pub fn warehouse(&self) -> &TraceWarehouse {
-        &self.warehouse
+        match &self.engine {
+            Some(e) => e.warehouse(),
+            None => &self.warehouse,
+        }
     }
 
     /// The end-to-end client log (experiment reporting).
     pub fn client(&self) -> &ClientLog {
-        &self.client
+        match &self.engine {
+            Some(e) => e.client(),
+            None => &self.client,
+        }
     }
 
     /// The end-to-end client log restricted to one request type — e.g. to
@@ -1896,38 +2111,72 @@ impl World {
     ///
     /// Panics if `rtype` was never registered.
     pub fn client_of(&self, rtype: RequestTypeId) -> &ClientLog {
-        &self.client_by_type[rtype.get() as usize]
+        match &self.engine {
+            Some(e) => e.client_of(rtype),
+            None => &self.client_by_type[rtype.get() as usize],
+        }
     }
 
     /// Requests refused or aborted without a response.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        match &self.engine {
+            Some(e) => e.dropped(),
+            None => self.dropped,
+        }
     }
 
     /// Total simulation events dispatched since construction — the
     /// events-per-second numerator reported by the `scale` bench.
     pub fn events_dispatched(&self) -> u64 {
-        self.events_dispatched
+        match &self.engine {
+            Some(e) => e.events_dispatched(),
+            None => self.events_dispatched,
+        }
+    }
+
+    /// Events on the conservative critical path: the sum over execution
+    /// windows of the *maximum* per-shard dispatch count, i.e. the
+    /// makespan of an idealised run with one core per shard. The ratio
+    /// `events_dispatched / critical_path_events` is the speedup the
+    /// window schedule exposes independent of host core count; with one
+    /// shard (or the classic engine) it equals [`World::events_dispatched`].
+    pub fn critical_path_events(&self) -> u64 {
+        match &self.engine {
+            Some(e) => e.critical_path_events(),
+            None => self.events_dispatched,
+        }
     }
 
     /// Requests ever injected (completed + dropped + in flight).
     pub fn requests_injected(&self) -> u64 {
-        self.next_request
+        match &self.engine {
+            Some(e) => e.requests_injected(),
+            None => self.next_request,
+        }
     }
 
     /// Spans ever created (one per service invocation across all requests).
     pub fn spans_created(&self) -> u64 {
-        self.next_span
+        match &self.engine {
+            Some(e) => e.spans_created(),
+            None => self.next_span,
+        }
     }
 
     /// Requests currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.requests.len()
+        match &self.engine {
+            Some(e) => e.in_flight() as usize,
+            None => self.requests.len(),
+        }
     }
 
     /// Cumulative drop counts broken down by cause.
     pub fn drop_breakdown(&self) -> DropBreakdown {
-        self.drop_breakdown
+        match &self.engine {
+            Some(e) => e.drop_breakdown(),
+            None => self.drop_breakdown,
+        }
     }
 
     /// A point-in-time telemetry snapshot: cumulative counters plus exact
@@ -1941,16 +2190,16 @@ impl World {
         threshold: SimDuration,
     ) -> TelemetrySnapshot {
         let now = self.now();
-        let (window_completed, window_good) = self.client.counts_in(window_from, now, threshold);
+        let (window_completed, window_good) = self.client().counts_in(window_from, now, threshold);
         TelemetrySnapshot {
             now_nanos: now.as_nanos(),
-            completed: self.client.total(),
-            dropped: self.dropped,
-            in_flight: self.requests.len() as u64,
-            events_dispatched: self.events_dispatched,
+            completed: self.client().total(),
+            dropped: self.dropped(),
+            in_flight: self.in_flight() as u64,
+            events_dispatched: self.events_dispatched(),
             window_completed,
             window_good,
-            drop_breakdown: self.drop_breakdown,
+            drop_breakdown: self.drop_breakdown(),
         }
     }
 
@@ -1958,13 +2207,19 @@ impl World {
     /// reason — closed-loop drivers use this to recycle or retry the
     /// affected users (a real client would see a connection error).
     pub fn drain_dropped(&mut self) -> Vec<(RequestId, DropReason)> {
-        std::mem::take(&mut self.dropped_log)
+        match self.engine.as_mut() {
+            Some(e) => e.drain_dropped(),
+            None => std::mem::take(&mut self.dropped_log),
+        }
     }
 
     /// The node hosting `replica`, if it is placed (fault schedules use
     /// this to aim CPU-pressure windows at a specific service's node).
     pub fn node_of(&self, replica: ReplicaId) -> Option<NodeId> {
-        self.cluster.placement(replica.get()).map(|p| p.node)
+        match &self.engine {
+            Some(e) => e.node_of(replica),
+            None => self.cluster.placement(replica.get()).map(|p| p.node),
+        }
     }
 
     /// Ready replica ids of `service`, in creation order.
@@ -1975,8 +2230,7 @@ impl World {
     /// Non-allocating variant of [`World::ready_replicas`] for per-tick
     /// monitoring loops.
     pub fn ready_replicas_iter(&self, service: ServiceId) -> impl Iterator<Item = ReplicaId> + '_ {
-        self.services[service.get() as usize]
-            .replicas
+        self.all_replicas(service)
             .iter()
             .copied()
             .filter(|&id| self.state_of(id) == Some(ReplicaState::Ready))
@@ -1984,7 +2238,10 @@ impl World {
 
     /// All live replica ids of `service` (starting + ready + draining).
     pub fn all_replicas(&self, service: ServiceId) -> &[ReplicaId] {
-        &self.services[service.get() as usize].replicas
+        match &self.engine {
+            Some(e) => e.service_replicas(service),
+            None => &self.services[service.get() as usize].replicas,
+        }
     }
 
     /// The concurrency sampler of one replica.
@@ -2075,6 +2332,9 @@ impl World {
     /// — see `sora_core::UtilizationProbe` — so concurrent monitors never
     /// corrupt each other's view.
     pub fn cpu_busy_core_secs(&mut self, service: ServiceId) -> f64 {
+        if let Some(engine) = self.engine.as_mut() {
+            return engine.cpu_busy_core_secs(&mut self.services, service);
+        }
         let now = self.now();
         let svc = service.get() as usize;
         let mut total = self.services[svc].retired_busy_nanos;
@@ -2121,7 +2381,10 @@ impl World {
     /// Violations observed so far. Empty on a correct simulator; harnesses
     /// assert `world.audit().total() == 0` at the end of audited runs.
     pub fn audit(&self) -> &sim_core::audit::CountingSink {
-        &self.audit_sink
+        match &self.engine {
+            Some(e) => e.audit(),
+            None => &self.audit_sink,
+        }
     }
 
     /// Before each event: dispatch order must never move backwards in time.
@@ -2193,13 +2456,17 @@ impl World {
 
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let replicas = match &self.engine {
+            Some(e) => e.replica_count(),
+            None => self.replicas.len(),
+        };
         f.debug_struct("World")
             .field("now", &self.now())
             .field("services", &self.services.len())
-            .field("replicas", &self.replicas.len())
-            .field("in_flight", &self.requests.len())
-            .field("completed", &self.client.total())
-            .field("dropped", &self.dropped)
+            .field("replicas", &replicas)
+            .field("in_flight", &self.in_flight())
+            .field("completed", &self.client().total())
+            .field("dropped", &self.dropped())
             .finish()
     }
 }

@@ -257,6 +257,27 @@ impl NetworkConfig {
     pub fn telemetry_is_transparent(&self) -> bool {
         self.telemetry_edge.is_transparent()
     }
+
+    /// The conservative cross-shard lookahead this network admits: the
+    /// minimum over every message-carrying edge (client, default, and all
+    /// overrides) of the latency distribution's lower bound.
+    ///
+    /// A parallel engine may advance two partitions independently for up to
+    /// this long, because no message sent by one can reach the other
+    /// sooner. Zero (e.g. an exponential-latency edge, or a transparent
+    /// network) means the topology admits no lookahead and must run
+    /// sequentially.
+    pub fn lookahead(&self) -> SimDuration {
+        let mut min = self
+            .client_edge
+            .latency
+            .lower_bound()
+            .min(self.default_edge.latency.lower_bound());
+        for params in self.overrides.values() {
+            min = min.min(params.latency.lower_bound());
+        }
+        min
+    }
 }
 
 /// Why the network dropped a message.
@@ -533,6 +554,34 @@ mod tests {
         let mut a = before;
         let mut b = n.rng.clone();
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn lookahead_is_min_over_message_edges() {
+        // Transparent: every edge is zero-latency → no lookahead.
+        assert_eq!(NetworkConfig::transparent().lookahead(), SimDuration::ZERO);
+        // Constant latency everywhere → that latency.
+        let d = SimDuration::from_micros(200);
+        assert_eq!(NetworkConfig::constant_latency(d).lookahead(), d);
+        // An override with a smaller lower bound wins.
+        let cfg = NetworkConfig::constant_latency(d).edge(
+            svc(3),
+            svc(4),
+            EdgeParams::constant(SimDuration::from_micros(50)),
+        );
+        assert_eq!(cfg.lookahead(), SimDuration::from_micros(50));
+        // Unbounded-below edge latency (exponential) kills all lookahead.
+        let cfg = NetworkConfig::constant_latency(d).edge(
+            svc(1),
+            svc(2),
+            EdgeParams::default().latency(Dist::exponential_ms(1.0)),
+        );
+        assert_eq!(cfg.lookahead(), SimDuration::ZERO);
+        // The telemetry edge does not constrain lookahead: reports are
+        // merged at barriers, not exchanged between shards mid-window.
+        let cfg = NetworkConfig::constant_latency(d)
+            .telemetry_edge(EdgeParams::default().latency(Dist::exponential_ms(1.0)));
+        assert_eq!(cfg.lookahead(), d);
     }
 
     #[test]

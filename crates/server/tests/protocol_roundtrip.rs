@@ -253,3 +253,78 @@ proptest! {
         }
     }
 }
+
+/// Wire-level screening of the engine-options `shards` knob (DESIGN §14):
+/// a submission with an out-of-range shard count must come back over the
+/// frame protocol as the *typed* `invalid_value` scenario error — not a
+/// panic, not a stringly bad-request — and the error must survive the
+/// round trip intact.
+#[test]
+fn submitted_out_of_range_shards_is_rejected_over_the_wire() {
+    use sora_server::worker_loop_on;
+
+    for (shards, expect_invalid) in [("0", true), ("65", true), ("-3", false)] {
+        let scenario = format!(
+            r#"{{"app": "sock_shop", "trace": "Steady", "max_users": 80.0,
+                "duration_secs": 8, "sla_ms": 400, "shards": {shards}}}"#
+        );
+        let mut input = Vec::new();
+        write_frame(&mut input, &Request::Submit { scenario }).unwrap();
+        write_frame(&mut input, &Request::Shutdown).unwrap();
+        let mut output = Vec::new();
+        worker_loop_on(&mut Cursor::new(&input), &mut output);
+
+        let mut cursor = Cursor::new(&output);
+        let reply: Reply = read_frame(&mut cursor).unwrap();
+        match reply {
+            Reply::Error {
+                error: ServerError::Scenario { error },
+            } => {
+                if expect_invalid {
+                    match error {
+                        ScenarioError::InvalidValue { field, .. } => {
+                            assert_eq!(field, "shards", "shards={shards}")
+                        }
+                        other => panic!("shards={shards}: expected InvalidValue, got {other:?}"),
+                    }
+                } else {
+                    assert!(
+                        matches!(error, ScenarioError::BadField { .. }),
+                        "shards={shards}: negative counts fail at the deserializer"
+                    );
+                }
+            }
+            other => panic!("shards={shards}: expected scenario rejection, got {other:?}"),
+        }
+    }
+}
+
+/// A valid `shards` value travels the wire and runs: the worker returns a
+/// result whose serialized spec echoes the knob.
+#[test]
+fn submitted_valid_shards_runs_over_the_wire() {
+    use sora_server::worker_loop_on;
+
+    let scenario = r#"{"app": "sock_shop", "trace": "Steady", "max_users": 80.0,
+                       "duration_secs": 8, "sla_ms": 400, "seed": 3, "shards": 2}"#;
+    let mut input = Vec::new();
+    write_frame(
+        &mut input,
+        &Request::Submit {
+            scenario: scenario.to_string(),
+        },
+    )
+    .unwrap();
+    write_frame(&mut input, &Request::Shutdown).unwrap();
+    let mut output = Vec::new();
+    worker_loop_on(&mut Cursor::new(&input), &mut output);
+
+    let mut cursor = Cursor::new(&output);
+    let reply: Reply = read_frame(&mut cursor).unwrap();
+    match reply {
+        Reply::Result { text, .. } => {
+            assert!(text.contains("\"shards\": 2"), "result echoes the knob");
+        }
+        other => panic!("expected a result, got {other:?}"),
+    }
+}

@@ -139,6 +139,32 @@ impl Dist {
         SimDuration::from_nanos(nanos.round() as u64)
     }
 
+    /// The smallest duration this distribution can produce.
+    ///
+    /// Used as the conservative cross-shard lookahead by the parallel
+    /// engine: no message drawn from this distribution can arrive sooner
+    /// than `lower_bound()` after it was sent. Unbounded-below variants
+    /// (exponential, Erlang, log-normal with positive sigma) report zero.
+    pub fn lower_bound(&self) -> SimDuration {
+        let nanos = match *self {
+            Dist::Constant { nanos } => nanos,
+            Dist::Uniform { low, .. } => low,
+            Dist::BoundedPareto { low, .. } => low,
+            Dist::Exponential { .. } | Dist::Erlang { .. } => 0,
+            Dist::LogNormal {
+                median_nanos,
+                sigma,
+            } => {
+                if sigma == 0.0 {
+                    median_nanos
+                } else {
+                    0
+                }
+            }
+        };
+        SimDuration::from_nanos(nanos)
+    }
+
     /// Draws one duration.
     pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         let nanos = match *self {
@@ -282,6 +308,40 @@ mod tests {
             assert!((2..=6).contains(&ms));
         }
         assert_eq!(d.mean().as_millis(), 4);
+    }
+
+    #[test]
+    fn lower_bound_is_never_exceeded_downward() {
+        let dists = [
+            Dist::constant_us(200),
+            Dist::uniform_ms(2, 6),
+            Dist::exponential_ms(4.0),
+            Dist::lognormal_ms(4.0, 0.4),
+            Dist::lognormal_ms(3.0, 0.0),
+            Dist::BoundedPareto {
+                low: 1_000,
+                high: 1_000_000,
+                alpha: 1.5,
+            },
+            Dist::Erlang {
+                k: 4,
+                mean_nanos: 1_000_000,
+            },
+        ];
+        let mut rng = SimRng::seed_from(11);
+        for d in dists {
+            let lb = d.lower_bound();
+            for _ in 0..2_000 {
+                assert!(d.sample(&mut rng) >= lb, "{d:?} sampled below {lb:?}");
+            }
+        }
+        assert_eq!(Dist::constant_us(200).lower_bound().as_nanos(), 200_000);
+        assert_eq!(Dist::exponential_ms(1.0).lower_bound().as_nanos(), 0);
+        assert_eq!(
+            Dist::lognormal_ms(3.0, 0.0).lower_bound().as_millis(),
+            3,
+            "zero-sigma lognormal is a constant"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocmeter;
 pub mod audit;
 mod dist;
 mod queue;

@@ -105,6 +105,58 @@ pub struct Topology {
     pub layer_sizes: Vec<usize>,
 }
 
+impl Topology {
+    /// A layer-aware shard plan for this topology — see [`shard_plan`].
+    pub fn shard_plan(&self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        shard_plan(&self.layer_sizes, shards)
+    }
+}
+
+/// Splits service ids `0..n` (where `n = layer_sizes.iter().sum()`) into
+/// `shards` contiguous, balanced ranges for the parallel world engine.
+///
+/// Because generated call edges only go from layer `l` to layer `l + 1`
+/// and service ids are assigned layer by layer, a cut placed *at a layer
+/// boundary* severs only the edges crossing that one boundary — any other
+/// cut additionally splits intra-layer sibling fan-outs across shards.
+/// Each interior cut therefore snaps to the nearest layer boundary when
+/// one lies within half an ideal shard width of the balanced cut point,
+/// and falls back to the balanced point otherwise (needed when
+/// `shards > depth`). Every shard is non-empty and the ranges tile
+/// `0..n` in order.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `shards > n`.
+pub fn shard_plan(layer_sizes: &[usize], shards: usize) -> Vec<std::ops::Range<usize>> {
+    let n: usize = layer_sizes.iter().sum();
+    assert!(shards >= 1, "need at least one shard");
+    assert!(shards <= n, "more shards ({shards}) than services ({n})");
+    let mut bounds = Vec::with_capacity(layer_sizes.len() + 1);
+    bounds.push(0usize);
+    for &s in layer_sizes {
+        bounds.push(bounds.last().unwrap() + s);
+    }
+    let mut cuts = Vec::with_capacity(shards + 1);
+    cuts.push(0usize);
+    for k in 1..shards {
+        let ideal = k * n / shards;
+        let prev = *cuts.last().unwrap();
+        // Leave at least one service for each remaining shard.
+        let max_cut = n - (shards - k);
+        let snapped = bounds
+            .iter()
+            .copied()
+            .filter(|&b| b > prev && b <= max_cut)
+            .min_by_key(|&b| b.abs_diff(ideal))
+            // Snap only when the boundary is within half a shard width.
+            .filter(|&b| b.abs_diff(ideal) * 2 * shards <= n);
+        cuts.push(snapped.unwrap_or_else(|| ideal.clamp(prev + 1, max_cut)));
+    }
+    cuts.push(n);
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
 /// Splits `n` services across `depth` layers with geometrically growing
 /// widths (1 : 2 : 4 : …), every layer non-empty, summing exactly to `n`.
 fn layer_sizes(n: usize, depth: usize) -> Vec<usize> {
@@ -283,6 +335,40 @@ mod tests {
         }
         let sizes = layer_sizes(500, 5);
         assert!(sizes[0] < *sizes.last().unwrap(), "leaves are the widest");
+    }
+
+    #[test]
+    fn shard_plan_tiles_balances_and_snaps_to_layers() {
+        let sizes = layer_sizes(500, 5);
+        let mut bounds = vec![0usize];
+        for &s in &sizes {
+            bounds.push(bounds.last().unwrap() + s);
+        }
+        for shards in [1, 2, 3, 4, 7, 8, 16] {
+            let plan = shard_plan(&sizes, shards);
+            assert_eq!(plan.len(), shards);
+            assert_eq!(plan[0].start, 0);
+            assert_eq!(plan.last().unwrap().end, 500);
+            for w in plan.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous tiling");
+            }
+            for r in &plan {
+                assert!(!r.is_empty(), "no empty shard at shards = {shards}");
+                // Balanced within one ideal shard width either way.
+                assert!(r.len() * shards <= 2 * 500, "shard too fat: {r:?}");
+            }
+        }
+        // With few shards, every interior cut lands on a layer boundary.
+        let plan = shard_plan(&sizes, 2);
+        assert!(
+            bounds.contains(&plan[0].end),
+            "cut {} should snap to a layer boundary {bounds:?}",
+            plan[0].end
+        );
+        // Degenerate cases.
+        assert_eq!(shard_plan(&sizes, 1), vec![0..500]);
+        let singles = shard_plan(&[1, 1, 1], 3);
+        assert_eq!(singles, vec![0..1, 1..2, 2..3]);
     }
 
     #[test]

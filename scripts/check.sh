@@ -83,6 +83,50 @@ EOF
 rm -f /tmp/scale_smoke_j1.txt /tmp/scale_smoke_j4.txt
 mv /tmp/BENCH_scale_golden.json results/BENCH_scale.json
 
+echo "==> par_scale smoke (sharded engine byte-identity across shard counts, audited)"
+# A 500-service world under a canned fault schedule (replica crash with
+# restart, CPU pressure, telemetry blackout), fully audited, run at 1 and
+# 4 shards. The canonical digest — counters, drop breakdown, fault log and
+# order-sensitive stream hashes — must be byte-identical: the conservative
+# window engine's partition is unobservable (DESIGN §14). The committed
+# full-run artifact is then schema-checked, including the headline claims.
+cargo build -q --release -p sora-bench --features audit --bin par_scale
+./target/release/par_scale --smoke --shards 1 2>/dev/null > /tmp/par_smoke_s1.txt
+./target/release/par_scale --smoke --shards 4 2>/dev/null > /tmp/par_smoke_s4.txt
+diff /tmp/par_smoke_s1.txt /tmp/par_smoke_s4.txt \
+  || { echo "par_scale digest differs between --shards 1 and --shards 4"; exit 1; }
+grep -q "^fault: " /tmp/par_smoke_s1.txt \
+  || { echo "par_scale smoke ran without its fault schedule"; exit 1; }
+rm -f /tmp/par_smoke_s1.txt /tmp/par_smoke_s4.txt
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("results/BENCH_par_scale.json"))
+data = doc["data"]
+top_keys = {"services", "requests", "sim_secs", "host_cores", "shard_counts",
+            "engines_identical", "critical_path_speedup_at_4",
+            "wall_speedup_at_4", "runs"}
+run_keys = {"shards", "counters", "critical_path_events",
+            "critical_path_speedup", "events_per_sec", "wall_secs"}
+counter_keys = {"completed", "dropped", "events", "requests", "spans",
+                "p99_ms_bits", "completions_fnv", "drops_fnv"}
+try:
+    assert set(data) == top_keys, f"top-level keys drifted: {sorted(set(data) ^ top_keys)}"
+    assert data["engines_identical"] is True, "shard counts diverged"
+    assert data["critical_path_speedup_at_4"] >= 1.5, \
+        "window schedule exposes < 1.5x parallelism at 4 shards"
+    runs = data["runs"]
+    assert [r["shards"] for r in runs] == list(data["shard_counts"]), "run order drifted"
+    assert runs[0]["shards"] == 1, "sequential oracle missing"
+    for r in runs:
+        assert set(r) == run_keys, f"run keys drifted: {sorted(set(r) ^ run_keys)}"
+        assert set(r["counters"]) == counter_keys, "counters drifted"
+        assert r["counters"] == runs[0]["counters"], f"shards={r['shards']} diverged"
+    assert runs[0]["critical_path_events"] == runs[0]["counters"]["events"], \
+        "one-shard critical path must equal total events"
+except AssertionError as e:
+    sys.exit(f"BENCH_par_scale.json schema drift: {e}")
+EOF
+
 echo "==> net_resilience smoke (network substrate, determinism across --jobs, audited)"
 # Partition-heal, slow-link, retry-storm, and reordered-telemetry scenarios
 # over the message-passing network, fully audited (loss, duplication, and

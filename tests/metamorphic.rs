@@ -156,3 +156,95 @@ fn fault_free_run_is_audit_clean() {
         assert_eq!(w.audit().total(), 0, "seed {seed}: {}", w.audit().summary());
     }
 }
+
+/// Sharding the three-tier world is unobservable: shards = 1 is the
+/// engine family's sequential oracle, and the same seed run at 2 and 4
+/// shards must reproduce its completion stream, counters, percentiles
+/// and drop breakdown exactly — the conservative window protocol admits
+/// no partition-dependent behaviour.
+#[test]
+fn shard_count_is_unobservable() {
+    let run = |shards: usize| {
+        let (mut w, rt) = three_tier(31);
+        w.enable_sharding(shards)
+            .expect("fresh world accepts sharding");
+        for i in 0..400u64 {
+            w.inject_at(SimTime::from_millis(1 + i * 2), rt);
+        }
+        let done = w.run_until(SimTime::from_secs(3_600));
+        assert!(w.is_quiescent());
+        (w, done)
+    };
+    let (base_w, base_done) = run(1);
+    assert!(!base_done.is_empty());
+    for shards in [2usize, 4] {
+        let (w, done) = run(shards);
+        assert_eq!(
+            done, base_done,
+            "completion stream diverged at {shards} shards"
+        );
+        assert_eq!(w.dropped(), base_w.dropped());
+        assert_eq!(w.events_dispatched(), base_w.events_dispatched());
+        assert_eq!(w.spans_created(), base_w.spans_created());
+        assert_eq!(w.drop_breakdown(), base_w.drop_breakdown());
+        assert_eq!(w.client().total(), base_w.client().total());
+        for p in [50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(w.client().percentile(p), base_w.client().percentile(p));
+        }
+    }
+}
+
+/// A sharded run over a canned fault schedule — a replica crash with
+/// restart, a CPU-pressure window and a telemetry blackout, all applied
+/// as coordinator barriers — stays audit-clean and shard-count
+/// invariant: every conservation ledger holds across mailbox hand-offs
+/// and barrier-ordered kills.
+#[cfg(feature = "audit")]
+#[test]
+fn audited_sharded_fault_run_is_clean_and_invariant() {
+    use cluster::NodeId;
+    use microsim::{BlackoutMode, FaultSchedule};
+    let run = |shards: usize| {
+        let (mut w, rt) = three_tier(47);
+        w.enable_sharding(shards)
+            .expect("fresh world accepts sharding");
+        w.install_faults(
+            FaultSchedule::new()
+                .crash(
+                    SimTime::from_millis(120),
+                    ServiceId(1),
+                    Some(SimDuration::from_millis(80)),
+                )
+                .cpu_pressure(
+                    SimTime::from_millis(200),
+                    NodeId(0),
+                    0.5,
+                    SimDuration::from_millis(150),
+                )
+                .telemetry_blackout(
+                    SimTime::from_millis(300),
+                    BlackoutMode::Lag,
+                    SimDuration::from_millis(100),
+                ),
+        )
+        .expect("canned schedule validates");
+        for i in 0..400u64 {
+            w.inject_at(SimTime::from_millis(1 + i), rt);
+        }
+        let done = w.run_until(SimTime::from_secs(3_600));
+        assert!(w.is_quiescent());
+        assert_eq!(
+            w.audit().total(),
+            0,
+            "shards={shards}: {}",
+            w.audit().summary()
+        );
+        (w, done)
+    };
+    let (base_w, base_done) = run(1);
+    let (w, done) = run(4);
+    assert!(base_w.fault_log().len() >= 3, "all three faults must fire");
+    assert_eq!(done, base_done, "fault-schedule completions diverged");
+    assert_eq!(w.fault_log(), base_w.fault_log());
+    assert_eq!(w.drop_breakdown(), base_w.drop_breakdown());
+}
