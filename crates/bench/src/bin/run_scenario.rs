@@ -28,6 +28,11 @@ fn template() -> ScenarioSpec {
         home_timeline_conns: None,
         drift_at_secs: None,
         shards: None,
+        services: None,
+        topo_seed: None,
+        retry: None,
+        net: None,
+        faults: Vec::new(),
     }
 }
 

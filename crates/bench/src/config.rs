@@ -7,8 +7,9 @@ use apps::{
     SockShopParams, Watch,
 };
 use autoscalers::{FirmConfig, FirmController, HpaConfig, HpaController, VpaConfig, VpaController};
-use cluster::Millicores;
-use microsim::{World, WorldConfig};
+use cluster::{Millicores, NodeId};
+use microsim::{BlackoutMode, FaultSchedule, World, WorldConfig};
+use net::{EdgeParams, NetworkConfig};
 use scg::LocalizeConfig;
 use serde::{Deserialize, Serialize};
 use sim_core::{Dist, SimDuration, SimRng, SimTime};
@@ -17,7 +18,8 @@ use sora_core::{
     SoraController,
 };
 use telemetry::ServiceId;
-use workload::{Mix, RateCurve, TraceShape, UserPool};
+use topo::TopoParams;
+use workload::{Mix, RateCurve, RetryPolicy, TraceShape, UserPool};
 
 /// Which benchmark application to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,6 +29,10 @@ pub enum App {
     SockShop,
     /// The 36-service Social Network, driven on read-home-timeline.
     SocialNetwork,
+    /// A generated Sock-Shop-shaped topology (`crates/topo`), sized by
+    /// [`ScenarioSpec::services`] and structured by
+    /// [`ScenarioSpec::topo_seed`], driven on its first request mix.
+    Generated,
 }
 
 /// The hardware autoscaler under (or without) Sora.
@@ -57,6 +63,245 @@ pub enum SoftAdaptation {
     Conscale,
 }
 
+/// One fault in a scenario's [`ScenarioSpec::faults`] schedule — the
+/// JSON-facing mirror of `microsim`'s `FaultKind`, with instants and
+/// window lengths in whole milliseconds since run start.
+///
+/// [`ScenarioSpec::validate`] converts the list to a [`FaultSchedule`]
+/// and defers to [`FaultSchedule::validate_within`], so the fault crate
+/// stays the single authority on what a legal schedule is; this type only
+/// adds the bounds a *spec* needs (service indices that exist, node 0,
+/// network faults only when a network is installed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultSpec {
+    /// Crash the longest-lived ready replica of `service`, optionally
+    /// restarting one `restart_after_ms` later.
+    Crash {
+        /// Victim service index.
+        service: u32,
+        /// Crash instant, ms since run start.
+        at_ms: u64,
+        /// Delay before a replacement replica starts (`None`: no restart).
+        #[serde(default)]
+        restart_after_ms: Option<u64>,
+    },
+    /// Scale node `node`'s CPU capacity by `factor` for the window.
+    CpuPressure {
+        /// Pressured node index (the apps place every pod on node 0).
+        node: u32,
+        /// Window start, ms since run start.
+        at_ms: u64,
+        /// Window length in ms.
+        duration_ms: u64,
+        /// Remaining capacity fraction in `(0, 1]`.
+        factor: f64,
+    },
+    /// Suppress (`lag = false`) or delay (`lag = true`) telemetry reports
+    /// for the window.
+    TelemetryBlackout {
+        /// Window start, ms since run start.
+        at_ms: u64,
+        /// Window length in ms.
+        duration_ms: u64,
+        /// Lag mode delivers reports late instead of dropping them.
+        lag: bool,
+    },
+    /// Sever the network link between services `a` and `b` for the window.
+    /// Requires [`ScenarioSpec::net`].
+    Partition {
+        /// One side of the severed link.
+        a: u32,
+        /// The other side.
+        b: u32,
+        /// Window start, ms since run start.
+        at_ms: u64,
+        /// Window length in ms.
+        duration_ms: u64,
+    },
+    /// Multiply latency on the `a` ↔ `b` link by `factor` for the window.
+    /// Requires [`ScenarioSpec::net`].
+    LinkSlow {
+        /// One side of the slowed link.
+        a: u32,
+        /// The other side.
+        b: u32,
+        /// Window start, ms since run start.
+        at_ms: u64,
+        /// Window length in ms.
+        duration_ms: u64,
+        /// Latency multiplier, at least 1.
+        factor: f64,
+    },
+}
+
+impl FaultSpec {
+    /// The same fault translated `delta_ms` later — the input half of the
+    /// time-translation metamorphic oracle (shift *every* input, faults
+    /// included, and completions must shift exactly).
+    pub fn shifted_ms(self, delta_ms: u64) -> FaultSpec {
+        let mut f = self;
+        match &mut f {
+            FaultSpec::Crash { at_ms, .. }
+            | FaultSpec::CpuPressure { at_ms, .. }
+            | FaultSpec::TelemetryBlackout { at_ms, .. }
+            | FaultSpec::Partition { at_ms, .. }
+            | FaultSpec::LinkSlow { at_ms, .. } => *at_ms += delta_ms,
+        }
+        f
+    }
+
+    /// Appends this fault to a schedule under construction.
+    fn apply(self, s: FaultSchedule) -> FaultSchedule {
+        let at = |ms: u64| SimTime::from_millis(ms);
+        match self {
+            FaultSpec::Crash {
+                service,
+                at_ms,
+                restart_after_ms,
+            } => s.crash(
+                at(at_ms),
+                ServiceId(service),
+                restart_after_ms.map(SimDuration::from_millis),
+            ),
+            FaultSpec::CpuPressure {
+                node,
+                at_ms,
+                duration_ms,
+                factor,
+            } => s.cpu_pressure_between(at(at_ms), at(at_ms + duration_ms), NodeId(node), factor),
+            FaultSpec::TelemetryBlackout {
+                at_ms,
+                duration_ms,
+                lag,
+            } => s.telemetry_blackout_between(
+                at(at_ms),
+                at(at_ms + duration_ms),
+                if lag {
+                    BlackoutMode::Lag
+                } else {
+                    BlackoutMode::Drop
+                },
+            ),
+            FaultSpec::Partition {
+                a,
+                b,
+                at_ms,
+                duration_ms,
+            } => s.partition_between(
+                at(at_ms),
+                at(at_ms + duration_ms),
+                ServiceId(a),
+                ServiceId(b),
+            ),
+            FaultSpec::LinkSlow {
+                a,
+                b,
+                at_ms,
+                duration_ms,
+                factor,
+            } => s.slow_link(
+                at(at_ms),
+                ServiceId(a),
+                ServiceId(b),
+                factor,
+                SimDuration::from_millis(duration_ms),
+            ),
+        }
+    }
+}
+
+/// Client retry policy knobs ([`ScenarioSpec::retry`]). Every field is
+/// optional; `None` takes the corresponding [`RetryPolicy`] default, so
+/// `{"max_retries": 2}` is a complete policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrySpec {
+    /// Maximum retries per logical request.
+    #[serde(default)]
+    pub max_retries: Option<u32>,
+    /// Backoff before the first retry, in ms (doubles per attempt).
+    #[serde(default)]
+    pub base_backoff_ms: Option<u64>,
+    /// Upper bound on any single backoff, in ms.
+    #[serde(default)]
+    pub max_backoff_ms: Option<u64>,
+    /// Multiplicative jitter half-width in `[0, 1]`.
+    #[serde(default)]
+    pub jitter_frac: Option<f64>,
+    /// Budget tokens earned per successful completion.
+    #[serde(default)]
+    pub budget_ratio: Option<f64>,
+    /// Maximum banked budget tokens (also the initial balance).
+    #[serde(default)]
+    pub budget_cap: Option<f64>,
+}
+
+impl RetrySpec {
+    /// The concrete policy, with defaults filled in.
+    pub fn policy(&self) -> RetryPolicy {
+        let d = RetryPolicy::default();
+        RetryPolicy {
+            max_retries: self.max_retries.unwrap_or(d.max_retries),
+            base_backoff: self
+                .base_backoff_ms
+                .map(SimDuration::from_millis)
+                .unwrap_or(d.base_backoff),
+            max_backoff: self
+                .max_backoff_ms
+                .map(SimDuration::from_millis)
+                .unwrap_or(d.max_backoff),
+            jitter_frac: self.jitter_frac.unwrap_or(d.jitter_frac),
+            budget_ratio: self.budget_ratio.unwrap_or(d.budget_ratio),
+            budget_cap: self.budget_cap.unwrap_or(d.budget_cap),
+        }
+    }
+}
+
+/// Message-passing network knobs ([`ScenarioSpec::net`]): one uniform
+/// parameter set applied to every client and service edge (telemetry
+/// stays transparent). `None` fields take the transparent default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// Constant one-way edge latency in microseconds.
+    #[serde(default)]
+    pub latency_us: Option<u64>,
+    /// Per-message drop probability in `[0, 1)`.
+    #[serde(default)]
+    pub loss: Option<f64>,
+    /// Per-telemetry-message duplicate-delivery probability in `[0, 1)`.
+    #[serde(default)]
+    pub duplicate: Option<f64>,
+    /// Caller-side per-call timeout in ms; expiry resends the call.
+    #[serde(default)]
+    pub call_timeout_ms: Option<u64>,
+    /// Resend budget after timeouts (requires `call_timeout_ms`).
+    #[serde(default)]
+    pub max_call_retries: Option<u32>,
+}
+
+impl NetSpec {
+    /// The concrete network configuration.
+    pub fn network_config(&self) -> NetworkConfig {
+        let latency = SimDuration::from_micros(self.latency_us.unwrap_or(0));
+        let mut edge = EdgeParams::constant(latency);
+        if let Some(p) = self.loss {
+            edge = edge.loss(p);
+        }
+        if let Some(p) = self.duplicate {
+            edge = edge.duplicate(p);
+        }
+        if let Some(t) = self.call_timeout_ms {
+            edge = edge.timeout(
+                SimDuration::from_millis(t),
+                self.max_call_retries.unwrap_or(0),
+            );
+        }
+        NetworkConfig::transparent()
+            .default_edge(edge)
+            .client_edge(EdgeParams::constant(latency))
+    }
+}
+
 /// A declarative experiment.
 ///
 /// # Example
@@ -76,7 +321,7 @@ pub enum SoftAdaptation {
 /// let outcome = cfg.run();
 /// assert!(outcome.summary.completed > 0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// The application topology.
     pub app: App,
@@ -114,9 +359,28 @@ pub struct ScenarioSpec {
     /// concurrent shards — byte-identical outputs either way. Omitted
     /// (the default) keeps the classic single-wheel engine. Values are
     /// clamped to the app's service count at build time; `0` and values
-    /// above 64 are rejected at parse time.
+    /// above 64 are rejected at parse time. Incompatible with `net`.
     #[serde(default)]
     pub shards: Option<usize>,
+    /// Generated app: total services in the topology. Required for (and
+    /// only meaningful with) `"app": "generated"`.
+    #[serde(default)]
+    pub services: Option<usize>,
+    /// Generated app: structure seed for the topology generator (layer
+    /// widths, call edges, service-time medians). Defaults to the
+    /// Sock-Shop-like preset seed.
+    #[serde(default)]
+    pub topo_seed: Option<u64>,
+    /// Client retry policy (bounded, budgeted exponential backoff).
+    #[serde(default)]
+    pub retry: Option<RetrySpec>,
+    /// Message-passing network between services (DESIGN §13).
+    /// Incompatible with `shards`.
+    #[serde(default)]
+    pub net: Option<NetSpec>,
+    /// Fault schedule, gated through [`FaultSchedule::validate_within`].
+    #[serde(default)]
+    pub faults: Vec<FaultSpec>,
 }
 
 /// Why a scenario config was rejected. Typed (rather than a panic or a
@@ -204,7 +468,7 @@ impl ScenarioSpec {
     /// Every top-level field the schema defines. `parse` rejects anything
     /// else: the derive-level deserializer ignores unknown keys, which
     /// would silently turn a typo (`"max_user"`) into a default value.
-    pub const KNOWN_FIELDS: [&'static str; 13] = [
+    pub const KNOWN_FIELDS: [&'static str; 18] = [
         "app",
         "trace",
         "max_users",
@@ -218,6 +482,11 @@ impl ScenarioSpec {
         "home_timeline_conns",
         "drift_at_secs",
         "shards",
+        "services",
+        "topo_seed",
+        "retry",
+        "net",
+        "faults",
     ];
 
     /// Parses and validates a scenario config, reporting the first problem
@@ -225,6 +494,16 @@ impl ScenarioSpec {
     /// field that fails to deserialize, an out-of-range value, or an
     /// inverted drift window.
     pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let spec = Self::parse_unchecked(text)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// [`parse`](Self::parse) without the [`validate`](Self::validate)
+    /// pass: syntax, unknown-field, and field-shape errors only. Exists
+    /// for tooling that needs to inspect specs the semantic gate rejects
+    /// (the fuzz regression corpus keeps such reproducers on disk).
+    pub fn parse_unchecked(text: &str) -> Result<ScenarioSpec, ScenarioError> {
         let value = serde_json::parse(text).map_err(|e| ScenarioError::Malformed {
             message: e.to_string(),
         })?;
@@ -236,12 +515,9 @@ impl ScenarioSpec {
                 return Err(ScenarioError::UnknownField { field: key.clone() });
             }
         }
-        let spec: ScenarioSpec =
-            serde_json::from_value(&value).map_err(|e| ScenarioError::BadField {
-                message: e.to_string(),
-            })?;
-        spec.validate()?;
-        Ok(spec)
+        serde_json::from_value(&value).map_err(|e| ScenarioError::BadField {
+            message: e.to_string(),
+        })
     }
 
     /// Checks the semantic constraints `parse` enforces after
@@ -258,11 +534,38 @@ impl ScenarioSpec {
                 format!("must be a finite positive number, got {}", self.max_users),
             ));
         }
+        if self.max_users > 10_000_000.0 {
+            return Err(invalid(
+                "max_users",
+                format!("at most 10M users are supported, got {}", self.max_users),
+            ));
+        }
         if self.duration_secs == 0 {
             return Err(invalid("duration_secs", "must be positive".to_string()));
         }
+        // A day of simulated time keeps every ms → ns conversion far from
+        // u64 overflow; without the cap a huge duration passes validation
+        // and panics later in `build` (the gate gap the fuzzer hunts).
+        if self.duration_secs > 86_400 {
+            return Err(invalid(
+                "duration_secs",
+                format!(
+                    "at most 86400 s (one day) is supported, got {}",
+                    self.duration_secs
+                ),
+            ));
+        }
         if self.sla_ms == 0 {
             return Err(invalid("sla_ms", "must be positive".to_string()));
+        }
+        if self.sla_ms > 3_600_000 {
+            return Err(invalid(
+                "sla_ms",
+                format!(
+                    "at most 3600000 ms (one hour) is supported, got {}",
+                    self.sla_ms
+                ),
+            ));
         }
         if self.cart_threads == Some(0) {
             return Err(invalid(
@@ -305,14 +608,303 @@ impl ScenarioSpec {
             }
             _ => {}
         }
+        // App-specific knobs on the wrong app would be silently ignored by
+        // `build`, so two behaviourally identical specs would cache under
+        // different canon keys. Reject the mismatch instead.
+        if self.app != App::SockShop {
+            if self.cart_threads.is_some() {
+                return Err(invalid(
+                    "cart_threads",
+                    "only meaningful for app = sock_shop".to_string(),
+                ));
+            }
+            if self.cart_cores.is_some() {
+                return Err(invalid(
+                    "cart_cores",
+                    "only meaningful for app = sock_shop".to_string(),
+                ));
+            }
+        }
+        if self.app != App::SocialNetwork && self.home_timeline_conns.is_some() {
+            return Err(invalid(
+                "home_timeline_conns",
+                "only meaningful for app = social_network".to_string(),
+            ));
+        }
+        if self.app == App::SockShop && self.drift_at_secs.is_some() {
+            return Err(invalid(
+                "drift_at_secs",
+                "sock_shop drives a single request mix; drift needs \
+                 social_network or generated"
+                    .to_string(),
+            ));
+        }
+        match self.app {
+            App::Generated => match self.services {
+                None => {
+                    return Err(invalid(
+                        "services",
+                        "app = generated requires a service count".to_string(),
+                    ));
+                }
+                Some(n) if !(5..=2_000).contains(&n) => {
+                    return Err(invalid(
+                        "services",
+                        format!("generated topologies support 5..=2000 services, got {n}"),
+                    ));
+                }
+                Some(_) => {}
+            },
+            App::SockShop | App::SocialNetwork => {
+                if self.services.is_some() {
+                    return Err(invalid(
+                        "services",
+                        "only meaningful for app = generated".to_string(),
+                    ));
+                }
+                if self.topo_seed.is_some() {
+                    return Err(invalid(
+                        "topo_seed",
+                        "only meaningful for app = generated".to_string(),
+                    ));
+                }
+            }
+        }
+        if let Some(retry) = &self.retry {
+            let bad_frac = |v: f64| !v.is_finite() || !(0.0..=1.0).contains(&v);
+            if retry.jitter_frac.is_some_and(bad_frac) {
+                return Err(invalid(
+                    "retry.jitter_frac",
+                    "must be in [0, 1]".to_string(),
+                ));
+            }
+            if retry
+                .budget_ratio
+                .is_some_and(|v| !v.is_finite() || v < 0.0)
+            {
+                return Err(invalid(
+                    "retry.budget_ratio",
+                    "must be finite and non-negative".to_string(),
+                ));
+            }
+            if retry.budget_cap.is_some_and(|v| !v.is_finite() || v < 0.0) {
+                return Err(invalid(
+                    "retry.budget_cap",
+                    "must be finite and non-negative".to_string(),
+                ));
+            }
+            if retry.max_retries.is_some_and(|v| v > 100) {
+                return Err(invalid(
+                    "retry.max_retries",
+                    "at most 100 retries are supported".to_string(),
+                ));
+            }
+            let day_ms = 86_400_000;
+            if retry.base_backoff_ms.is_some_and(|v| v > day_ms)
+                || retry.max_backoff_ms.is_some_and(|v| v > day_ms)
+            {
+                return Err(invalid(
+                    "retry",
+                    "backoffs above one day are not supported".to_string(),
+                ));
+            }
+        }
+        if let Some(net) = &self.net {
+            if self.shards.is_some() {
+                return Err(invalid(
+                    "net",
+                    "the message-passing network is incompatible with the \
+                     sharded engine; drop `shards` or `net`"
+                        .to_string(),
+                ));
+            }
+            let bad_prob = |v: f64| !v.is_finite() || !(0.0..1.0).contains(&v);
+            if net.loss.is_some_and(bad_prob) {
+                return Err(invalid("net.loss", "must be in [0, 1)".to_string()));
+            }
+            if net.duplicate.is_some_and(bad_prob) {
+                return Err(invalid("net.duplicate", "must be in [0, 1)".to_string()));
+            }
+            if net.latency_us.is_some_and(|v| v > 10_000_000) {
+                return Err(invalid(
+                    "net.latency_us",
+                    "at most 10 s of edge latency is supported".to_string(),
+                ));
+            }
+            if net.call_timeout_ms == Some(0) {
+                return Err(invalid(
+                    "net.call_timeout_ms",
+                    "a zero call timeout would expire every call at send \
+                     time"
+                        .to_string(),
+                ));
+            }
+            if net.call_timeout_ms.is_some_and(|v| v > 86_400_000) {
+                return Err(invalid(
+                    "net.call_timeout_ms",
+                    "at most one day is supported".to_string(),
+                ));
+            }
+            if net.max_call_retries.is_some() && net.call_timeout_ms.is_none() {
+                return Err(invalid(
+                    "net.max_call_retries",
+                    "meaningless without net.call_timeout_ms".to_string(),
+                ));
+            }
+            if net.max_call_retries.is_some_and(|v| v > 100) {
+                return Err(invalid(
+                    "net.max_call_retries",
+                    "at most 100 resends are supported".to_string(),
+                ));
+            }
+        }
+        self.validate_faults()?;
         Ok(())
     }
 
-    /// The service the controllers focus on (Cart / Post Storage).
+    /// The fault-specific half of [`ScenarioSpec::validate`]: spec-level
+    /// bounds first (indices that exist, sane factors, network faults only
+    /// with a network), then the whole list through the single schedule
+    /// gate [`FaultSchedule::validate_within`].
+    fn validate_faults(&self) -> Result<(), ScenarioError> {
+        let invalid = |message: String| ScenarioError::InvalidValue {
+            field: "faults".to_string(),
+            message,
+        };
+        // One day in ms: keeps every `at_ms + duration_ms` → SimTime
+        // conversion far from u64 nanosecond overflow before the horizon
+        // check can reject it.
+        let day_ms = 86_400_000u64;
+        let services = self.service_count() as u32;
+        let check_service = |s: u32| {
+            if s >= services {
+                Err(invalid(format!(
+                    "service index {s} out of range (the app has {services} services)"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        for f in &self.faults {
+            let (at_ms, duration_ms) = match *f {
+                FaultSpec::Crash {
+                    service,
+                    at_ms,
+                    restart_after_ms,
+                } => {
+                    check_service(service)?;
+                    (at_ms, restart_after_ms.unwrap_or(0))
+                }
+                FaultSpec::CpuPressure {
+                    node,
+                    at_ms,
+                    duration_ms,
+                    factor,
+                } => {
+                    if node != 0 {
+                        return Err(invalid(format!(
+                            "cpu_pressure node {node}: the apps place every pod on node 0"
+                        )));
+                    }
+                    if !factor.is_finite() || !(0.0..=1.0).contains(&factor) || factor == 0.0 {
+                        return Err(invalid(format!(
+                            "cpu_pressure factor {factor} must be in (0, 1]"
+                        )));
+                    }
+                    (at_ms, duration_ms)
+                }
+                FaultSpec::TelemetryBlackout {
+                    at_ms, duration_ms, ..
+                } => (at_ms, duration_ms),
+                FaultSpec::Partition {
+                    a,
+                    b,
+                    at_ms,
+                    duration_ms,
+                } => {
+                    check_service(a)?;
+                    check_service(b)?;
+                    if a == b {
+                        return Err(invalid(format!("partition of service {a} with itself")));
+                    }
+                    if self.net.is_none() {
+                        return Err(invalid(
+                            "partition faults need `net` (without a network they would \
+                             be silently ignored)"
+                                .to_string(),
+                        ));
+                    }
+                    (at_ms, duration_ms)
+                }
+                FaultSpec::LinkSlow {
+                    a,
+                    b,
+                    at_ms,
+                    duration_ms,
+                    factor,
+                } => {
+                    check_service(a)?;
+                    check_service(b)?;
+                    if a == b {
+                        return Err(invalid(format!("slow link from service {a} to itself")));
+                    }
+                    if self.net.is_none() {
+                        return Err(invalid(
+                            "link_slow faults need `net` (without a network they would \
+                             be silently ignored)"
+                                .to_string(),
+                        ));
+                    }
+                    if !factor.is_finite() || !(1.0..=1_000.0).contains(&factor) {
+                        return Err(invalid(format!(
+                            "link_slow factor {factor} must be in [1, 1000]"
+                        )));
+                    }
+                    (at_ms, duration_ms)
+                }
+            };
+            if at_ms > day_ms || duration_ms > day_ms {
+                return Err(invalid(format!(
+                    "fault window at {at_ms} ms for {duration_ms} ms exceeds the one-day cap"
+                )));
+            }
+        }
+        self.fault_schedule()
+            .validate_within(SimTime::from_secs(self.duration_secs))
+            .map_err(|e| invalid(e.to_string()))
+    }
+
+    /// The [`FaultSchedule`] this spec's `faults` list describes. Public
+    /// so harnesses (e.g. the scenario fuzzer) can replay a spec's faults
+    /// against worlds they build themselves.
+    pub fn fault_schedule(&self) -> FaultSchedule {
+        self.faults
+            .iter()
+            .fold(FaultSchedule::new(), |s, f| f.apply(s))
+    }
+
+    /// Services in the topology this spec builds.
+    pub fn service_count(&self) -> usize {
+        match self.app {
+            App::SockShop => 12,
+            App::SocialNetwork => 36,
+            App::Generated => self.services.unwrap_or(0),
+        }
+    }
+
+    /// The service the controllers focus on (Cart / Post Storage / the
+    /// first service of the generated topology's connection-pool tier).
     fn focus(&self) -> ServiceId {
         match self.app {
             App::SockShop => ServiceId(1),
             App::SocialNetwork => ServiceId(2),
+            App::Generated => {
+                // Service ids are assigned layer by layer, so the first
+                // conn-tier id is the total width of the layers above it.
+                let sizes = topo::layer_widths(self.services.unwrap_or(5), 5);
+                let conn_layer = sizes.len() - 2;
+                ServiceId(sizes[..conn_layer].iter().sum::<usize>() as u32)
+            }
         }
     }
 
@@ -325,6 +917,9 @@ impl ScenarioSpec {
             App::SocialNetwork => SoftResource::ConnPool {
                 caller: ServiceId(1),
                 target: ServiceId(2),
+            },
+            App::Generated => SoftResource::ThreadPool {
+                service: self.focus(),
             },
         }
     }
@@ -380,11 +975,14 @@ impl ScenarioSpec {
             self.max_users,
             SimDuration::from_secs(self.duration_secs),
         );
-        let pool = UserPool::new(
+        let mut pool = UserPool::new(
             curve,
             Dist::exponential_ms(crate::scenarios::THINK_MS),
             SimRng::seed_from(self.seed ^ 0xABCD),
         );
+        if let Some(retry) = &self.retry {
+            pool = pool.with_retry(retry.policy());
+        }
         let scenario_config = ScenarioConfig {
             report_rtt: SimDuration::from_millis(self.sla_ms),
             ..Default::default()
@@ -438,8 +1036,39 @@ impl ScenarioSpec {
                 }
                 (scenario, sn.world)
             }
+            App::Generated => {
+                let n = self
+                    .services
+                    .expect("validated: generated requires `services`");
+                let mut params = TopoParams::sock_shop_like(n);
+                if let Some(seed) = self.topo_seed {
+                    params.seed = seed;
+                }
+                let t = topo::build(&params, world_config, SimRng::seed_from(self.seed));
+                let mut scenario = Scenario::new(
+                    scenario_config,
+                    pool,
+                    Mix::single(t.request_types[0]),
+                    Watch {
+                        service: self.focus(),
+                        conns: None,
+                    },
+                );
+                if let Some(at) = self.drift_at_secs {
+                    // The preset generates three mixes; drift hops to the
+                    // second, traversing a different subgraph.
+                    scenario = scenario
+                        .with_mix_change(SimTime::from_secs(at), Mix::single(t.request_types[1]));
+                }
+                (scenario, t.world)
+            }
         };
         let mut world = world;
+        if let Some(net) = &self.net {
+            // `validate` rejects net + shards, so the world still runs the
+            // classic engine here.
+            world.install_network(net.network_config());
+        }
         if let Some(n) = self.shards {
             // Validated to 1..=64 by `validate`; the app's service count
             // is the remaining physical ceiling.
@@ -448,11 +1077,32 @@ impl ScenarioSpec {
                 .enable_sharding(n)
                 .expect("freshly built world accepts sharding");
         }
+        if !self.faults.is_empty() {
+            // Installed after `enable_sharding` so sharded runs get their
+            // faults as coordinator barriers.
+            world
+                .install_faults(self.fault_schedule())
+                .expect("validated by ScenarioSpec::validate");
+        }
         BuiltScenario {
             world,
             scenario,
             controller,
         }
+    }
+
+    /// The spec's canonical JSON emission: parsing it back yields an equal
+    /// spec (`parse(emit(s)) == Ok(s)`), the round-trip property the
+    /// fuzzer checks and the canon cache key builds on.
+    ///
+    /// Unset optional fields are omitted rather than spelled as `null`
+    /// (every optional field is `#[serde(default)]`, so omission and
+    /// `null` parse identically). This keeps committed reproducers under
+    /// `scenarios/` minimal, and makes `emit().len()` an honest size
+    /// metric for the fuzzer's shrinker.
+    pub fn emit(&self) -> String {
+        let stripped = strip_unset(&serde_json::to_value(self));
+        serde_json::to_string_pretty(&stripped).expect("spec serialises")
     }
 
     /// Builds and runs the scenario.
@@ -472,6 +1122,26 @@ impl ScenarioSpec {
     }
 }
 
+/// Drops `null` members and empty arrays from objects, recursively. Safe
+/// for [`ScenarioSpec`] because every optional field is `#[serde(default)]`:
+/// an omitted member deserialises to the same value as an explicit `null`
+/// (or empty list).
+fn strip_unset(v: &serde_json::Value) -> serde_json::Value {
+    use serde_json::Value;
+    match v {
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .filter(|(_, val)| {
+                    !val.is_null() && !matches!(val, Value::Array(a) if a.is_empty())
+                })
+                .map(|(k, val)| (k.clone(), strip_unset(val)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(strip_unset).collect()),
+        other => other.clone(),
+    }
+}
+
 /// A scenario ready to run: the pieces [`ScenarioSpec::build`] assembles.
 pub struct BuiltScenario {
     /// The simulated cluster.
@@ -488,13 +1158,29 @@ pub struct BuiltScenario {
 /// the wire. Both sides build it here, which is what makes the wire and
 /// in-process outputs byte-identical.
 pub fn scenario_result_data(spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> serde_json::Value {
-    serde_json::json!({
+    let mut data = serde_json::json!({
         "spec": spec,
         "summary": outcome.summary,
         "timeline": outcome.result.timeline,
         "rt": outcome.result.rt_timeline,
         "goodput": outcome.result.goodput_timeline,
-    })
+    });
+    // Fault-bearing specs additionally report the world's fault log, so a
+    // cached result shows what was injected and when. Keyed on the spec
+    // (not the log) so fault-free scenarios keep their exact historical
+    // bytes.
+    if !spec.faults.is_empty() {
+        if let serde_json::Value::Object(map) = &mut data {
+            let log: Vec<String> = outcome
+                .world
+                .fault_log()
+                .iter()
+                .map(|(t, msg)| format!("{}ms {msg}", t.as_millis()))
+                .collect();
+            map.insert("fault_log".to_string(), serde_json::to_value(&log));
+        }
+    }
+    data
 }
 
 /// Pretty-printed [`scenario_result_data`] — the exact bytes the farm
@@ -522,6 +1208,11 @@ mod tests {
             home_timeline_conns: None,
             drift_at_secs: None,
             shards: None,
+            services: None,
+            topo_seed: None,
+            retry: None,
+            net: None,
+            faults: Vec::new(),
         }
     }
 
@@ -688,6 +1379,265 @@ mod tests {
             ScenarioSpec::parse(neg).unwrap_err(),
             ScenarioError::BadField { .. }
         ));
+    }
+
+    #[test]
+    fn extended_specs_round_trip_through_emit() {
+        let spec = ScenarioSpec {
+            app: App::SockShop,
+            duration_secs: 20,
+            retry: Some(RetrySpec {
+                max_retries: Some(2),
+                base_backoff_ms: None,
+                max_backoff_ms: Some(2_000),
+                jitter_frac: None,
+                budget_ratio: None,
+                budget_cap: Some(10.0),
+            }),
+            net: Some(NetSpec {
+                latency_us: Some(200),
+                loss: Some(0.01),
+                duplicate: None,
+                call_timeout_ms: Some(1_000),
+                max_call_retries: Some(1),
+            }),
+            faults: vec![
+                FaultSpec::Crash {
+                    service: 1,
+                    at_ms: 5_000,
+                    restart_after_ms: Some(2_000),
+                },
+                FaultSpec::Partition {
+                    a: 0,
+                    b: 1,
+                    at_ms: 8_000,
+                    duration_ms: 3_000,
+                },
+                FaultSpec::TelemetryBlackout {
+                    at_ms: 12_000,
+                    duration_ms: 2_000,
+                    lag: true,
+                },
+            ],
+            ..base()
+        };
+        spec.validate().expect("valid extended spec");
+        let back = ScenarioSpec::parse(&spec.emit()).expect("emit parses");
+        assert_eq!(back, spec, "parse(emit(spec)) == spec");
+        // And again: emission is a fixed point.
+        assert_eq!(back.emit(), spec.emit());
+    }
+
+    #[test]
+    fn app_mismatched_knobs_are_rejected() {
+        // Silently-ignored knobs would make behaviourally identical specs
+        // cache under different canon keys.
+        let spec = ScenarioSpec {
+            app: App::SocialNetwork,
+            cart_threads: Some(5),
+            ..base()
+        };
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ScenarioError::InvalidValue { field, .. } if field == "cart_threads"
+        ));
+        let spec = ScenarioSpec {
+            home_timeline_conns: Some(10),
+            ..base()
+        };
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ScenarioError::InvalidValue { field, .. } if field == "home_timeline_conns"
+        ));
+        let spec = ScenarioSpec {
+            drift_at_secs: Some(10),
+            ..base()
+        };
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ScenarioError::InvalidValue { field, .. } if field == "drift_at_secs"
+        ));
+        let spec = ScenarioSpec {
+            services: Some(50),
+            ..base()
+        };
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ScenarioError::InvalidValue { field, .. } if field == "services"
+        ));
+        // The inverted-window diagnosis still wins over the mismatch one.
+        let spec = ScenarioSpec {
+            drift_at_secs: Some(30),
+            duration_secs: 30,
+            ..base()
+        };
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ScenarioError::InvertedWindow { .. }
+        ));
+    }
+
+    #[test]
+    fn fault_specs_are_gated_by_the_schedule_validator() {
+        // Service index out of range.
+        let spec = ScenarioSpec {
+            faults: vec![FaultSpec::Crash {
+                service: 12,
+                at_ms: 1_000,
+                restart_after_ms: None,
+            }],
+            ..base()
+        };
+        let err = spec.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("out of range"),
+            "unexpected: {err}"
+        );
+        // Network faults without a network would be silently ignored.
+        let spec = ScenarioSpec {
+            faults: vec![FaultSpec::Partition {
+                a: 0,
+                b: 1,
+                at_ms: 1_000,
+                duration_ms: 1_000,
+            }],
+            ..base()
+        };
+        assert!(spec.validate().unwrap_err().to_string().contains("net"));
+        // Windows straddling the horizon flow through validate_within.
+        let spec = ScenarioSpec {
+            duration_secs: 30,
+            faults: vec![FaultSpec::Crash {
+                service: 1,
+                at_ms: 29_000,
+                restart_after_ms: Some(5_000),
+            }],
+            ..base()
+        };
+        assert!(
+            spec.validate().unwrap_err().to_string().contains("horizon"),
+            "straddling crash restart must be rejected"
+        );
+        // Overlapping blackout windows flow through validate too.
+        let spec = ScenarioSpec {
+            faults: vec![
+                FaultSpec::TelemetryBlackout {
+                    at_ms: 1_000,
+                    duration_ms: 5_000,
+                    lag: false,
+                },
+                FaultSpec::TelemetryBlackout {
+                    at_ms: 4_000,
+                    duration_ms: 2_000,
+                    lag: true,
+                },
+            ],
+            ..base()
+        };
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("overlapping"));
+        // net + shards cannot coexist (the network asserts the classic
+        // engine at install time; reject it here instead of panicking).
+        let spec = ScenarioSpec {
+            net: Some(NetSpec {
+                latency_us: Some(100),
+                loss: None,
+                duplicate: None,
+                call_timeout_ms: None,
+                max_call_retries: None,
+            }),
+            shards: Some(2),
+            ..base()
+        };
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ScenarioError::InvalidValue { field, .. } if field == "net"
+        ));
+    }
+
+    #[test]
+    fn generated_app_runs_and_respects_drift() {
+        let spec = ScenarioSpec {
+            app: App::Generated,
+            services: Some(24),
+            topo_seed: Some(7),
+            max_users: 60.0,
+            duration_secs: 20,
+            drift_at_secs: Some(10),
+            ..base()
+        };
+        spec.validate().expect("valid generated spec");
+        let outcome = spec.run();
+        assert!(outcome.summary.completed > 100, "{:?}", outcome.summary);
+        // The focus service sits in the conn tier (layer depth-2).
+        let widths = topo::layer_widths(24, 5);
+        let first_conn: usize = widths[..3].iter().sum();
+        assert_eq!(spec.focus(), ServiceId(first_conn as u32));
+        // Missing `services` is rejected before it can panic the builder.
+        let spec = ScenarioSpec {
+            app: App::Generated,
+            services: None,
+            ..base()
+        };
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ScenarioError::InvalidValue { field, .. } if field == "services"
+        ));
+    }
+
+    #[test]
+    fn faulted_and_retried_spec_runs_and_logs_faults() {
+        let spec = ScenarioSpec {
+            duration_secs: 20,
+            retry: Some(RetrySpec {
+                max_retries: Some(2),
+                base_backoff_ms: Some(50),
+                max_backoff_ms: None,
+                jitter_frac: None,
+                budget_ratio: None,
+                budget_cap: None,
+            }),
+            faults: vec![FaultSpec::Crash {
+                service: 1,
+                at_ms: 5_000,
+                restart_after_ms: Some(2_000),
+            }],
+            ..base()
+        };
+        spec.validate().expect("valid faulted spec");
+        let outcome = spec.run();
+        assert!(outcome.summary.completed > 500);
+        assert!(
+            outcome
+                .world
+                .fault_log()
+                .iter()
+                .any(|(_, m)| m.contains("crash")),
+            "fault log records the crash: {:?}",
+            outcome.world.fault_log()
+        );
+    }
+
+    #[test]
+    fn networked_spec_runs() {
+        let spec = ScenarioSpec {
+            duration_secs: 10,
+            net: Some(NetSpec {
+                latency_us: Some(150),
+                loss: Some(0.001),
+                duplicate: Some(0.01),
+                call_timeout_ms: None,
+                max_call_retries: None,
+            }),
+            ..base()
+        };
+        spec.validate().expect("valid networked spec");
+        let outcome = spec.run();
+        assert!(outcome.summary.completed > 200);
+        assert!(outcome.world.network_stats().is_some());
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Deterministic scenario-fuzzing campaign over a seed range.
+//!
+//! ```text
+//! fuzz --seeds A..B [--jobs N] [--inject-bad] [--no-save]
+//! ```
+//!
+//! Generates one valid `ScenarioSpec` per seed, runs the oracle stack
+//! (round-trip/canon-key, panic-free audited execution, shard-count
+//! invariance, time translation, replica permutation), shrinks every
+//! violation to a 1-minimal reproducer, prints the canonical report to
+//! stdout and archives it (plus harness perf) as
+//! `results/BENCH_fuzz.json`. The stdout bytes are identical at any
+//! `--jobs` count; build with `--features audit` to arm the
+//! conservation-law oracle.
+//!
+//! Exits 2 when a real (non-injected) violation is found, so CI lanes can
+//! gate on a clean corpus.
+
+use sora_fuzz::{campaign, FuzzOptions};
+
+fn usage() -> ! {
+    eprintln!("usage: fuzz --seeds A..B [--jobs N] [--inject-bad] [--no-save]");
+    std::process::exit(64);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: Option<(u64, u64)> = None;
+    let mut inject_bad = false;
+    let mut save = true;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let Some(range) = it.next() else { usage() };
+                let Some((a, b)) = range.split_once("..") else {
+                    usage()
+                };
+                match (a.parse(), b.parse()) {
+                    (Ok(a), Ok(b)) if a < b => seeds = Some((a, b)),
+                    _ => usage(),
+                }
+            }
+            "--inject-bad" => inject_bad = true,
+            "--no-save" => save = false,
+            // Consumed by Sweep::from_env; tolerated here.
+            "--jobs" => {
+                it.next();
+            }
+            s if s.starts_with("--jobs=") => {}
+            _ => usage(),
+        }
+    }
+    let Some((start, end)) = seeds else { usage() };
+
+    let jobs = sora_bench::Sweep::from_env().jobs();
+    let opts = FuzzOptions { inject_bad };
+    let (report, perf) = campaign(start, end, jobs, opts);
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serialises")
+    );
+    if save {
+        sora_bench::save_json_with_perf("BENCH_fuzz", &report, &perf);
+    }
+
+    let real_findings = report.findings.iter().filter(|f| f.oracle != "injected");
+    if real_findings.count() > 0 {
+        eprintln!(
+            "fuzz: {} violation(s) in seeds {start}..{end}",
+            report.findings.len()
+        );
+        std::process::exit(2);
+    }
+}

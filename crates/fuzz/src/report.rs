@@ -1,0 +1,120 @@
+//! The campaign driver: fan a seed range over the sweep harness and fold
+//! the verdicts into one deterministic, serialisable report.
+//!
+//! Determinism contract: [`campaign`] over the same seed range produces an
+//! identical [`FuzzReport`] at any worker count. The harness guarantees
+//! submission-order results, every per-seed step (generate → check →
+//! shrink) is itself deterministic, and nothing wall-clock-shaped enters
+//! the report — perf metrics live in the separate [`SweepOutcome`] the
+//! binary archives alongside.
+
+use serde::Serialize;
+use sora_bench::config::ScenarioSpec;
+use sora_bench::{job, PerfMetrics, Sweep};
+
+use crate::gen::generate;
+use crate::oracle::{check, FuzzOptions};
+use crate::shrink::shrink;
+
+/// One confirmed oracle violation, with its shrunken reproducer.
+#[derive(Debug, Clone, Serialize)]
+pub struct FuzzFinding {
+    /// The generator seed that produced the violating scenario.
+    pub seed: u64,
+    /// Which oracle fired.
+    pub oracle: String,
+    /// The oracle's diagnosis (deterministic text).
+    pub detail: String,
+    /// Emitted size of the original spec, in bytes.
+    pub spec_bytes: usize,
+    /// Emitted size of the shrunken reproducer, in bytes.
+    pub shrunk_bytes: usize,
+    /// The original generated spec.
+    pub spec: ScenarioSpec,
+    /// The 1-minimal reproducer that still trips the same oracle.
+    pub shrunk: ScenarioSpec,
+}
+
+/// The deterministic outcome of a fuzz campaign over `seed_start..seed_end`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FuzzReport {
+    /// First seed fuzzed (inclusive).
+    pub seed_start: u64,
+    /// One past the last seed fuzzed.
+    pub seed_end: u64,
+    /// Seeds actually run (`seed_end - seed_start`).
+    pub seeds_run: u64,
+    /// Seeds whose scenario passed every oracle.
+    pub clean: u64,
+    /// Whether the test-only seeded defect was armed.
+    pub injected: bool,
+    /// Whether the conservation-law audit oracle was compiled in.
+    pub audited: bool,
+    /// The engine fingerprint the campaign ran against (a finding is only
+    /// meaningful relative to the engine revision that produced it).
+    pub engine_fingerprint: String,
+    /// Violations, in seed order.
+    pub findings: Vec<FuzzFinding>,
+}
+
+/// Fuzzes every seed in `seed_start..seed_end` with `jobs` workers,
+/// shrinking each violation to its minimal reproducer. Returns the report
+/// and the harness perf record (the only wall-clock-bearing piece).
+pub fn campaign(
+    seed_start: u64,
+    seed_end: u64,
+    jobs: usize,
+    opts: FuzzOptions,
+) -> (FuzzReport, PerfMetrics) {
+    let work: Vec<_> = (seed_start..seed_end)
+        .map(|seed| {
+            job(format!("fuzz seed {seed}"), move || {
+                let spec = generate(seed);
+                check(&spec, &opts).map(|violation| {
+                    let shrunk = shrink(&spec, &violation, &opts);
+                    FuzzFinding {
+                        seed,
+                        oracle: violation.oracle.to_string(),
+                        detail: violation.detail,
+                        spec_bytes: spec.emit().len(),
+                        shrunk_bytes: shrunk.emit().len(),
+                        spec,
+                        shrunk,
+                    }
+                })
+            })
+        })
+        .collect();
+    let outcome = Sweep::with_jobs(jobs).run(work);
+    let findings: Vec<FuzzFinding> = outcome.results.into_iter().flatten().collect();
+    let seeds_run = seed_end.saturating_sub(seed_start);
+    let report = FuzzReport {
+        seed_start,
+        seed_end,
+        seeds_run,
+        clean: seeds_run - findings.len() as u64,
+        injected: opts.inject_bad,
+        audited: cfg!(feature = "audit"),
+        engine_fingerprint: sora_server::canon::ENGINE_FINGERPRINT.to_string(),
+        findings,
+    };
+    (report, outcome.perf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline determinism claim: the same seed range yields an
+    /// identical report at one worker and at four.
+    #[test]
+    fn campaign_reports_are_identical_at_any_job_count() {
+        let opts = FuzzOptions::default();
+        let (seq, _) = campaign(0, 12, 1, opts);
+        let (par, _) = campaign(0, 12, 4, opts);
+        let render = |r: &FuzzReport| serde_json::to_string_pretty(r).expect("report serialises");
+        assert_eq!(render(&seq), render(&par));
+        assert_eq!(seq.seeds_run, 12);
+        assert_eq!(seq.clean + seq.findings.len() as u64, seq.seeds_run);
+    }
+}

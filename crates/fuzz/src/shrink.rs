@@ -1,0 +1,242 @@
+//! Delta-debugging shrinker: reduce a violating spec to a minimal
+//! reproducer that still trips the *same* oracle.
+//!
+//! The algorithm is greedy fixpoint iteration over a fixed candidate
+//! order: each pass proposes every single-step simplification (drop one
+//! fault, strip one optional feature, halve one magnitude), keeps the
+//! first candidate that (a) still satisfies [`ScenarioSpec::validate`] and
+//! (b) still fails [`check`] with the original oracle, then restarts.
+//! When a full pass accepts nothing, the spec is 1-minimal with respect to
+//! the candidate set. Everything is deterministic — candidate order is
+//! fixed and no clocks or entropy are involved — so the same violation
+//! always shrinks to the same reproducer.
+
+use sora_bench::config::ScenarioSpec;
+
+use crate::oracle::{check, FuzzOptions, Violation};
+
+/// All single-step simplifications of `spec`, cheapest-payoff first:
+/// feature strips come before magnitude halvings so the reproducer loses
+/// whole subsystems early.
+fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    let mut push = |mutate: &dyn Fn(&mut ScenarioSpec)| {
+        let mut c = spec.clone();
+        mutate(&mut c);
+        if c != *spec {
+            out.push(c);
+        }
+    };
+
+    // Drop each fault individually.
+    for i in 0..spec.faults.len() {
+        push(&move |s: &mut ScenarioSpec| {
+            s.faults.remove(i);
+        });
+    }
+    // Collapse to the smallest hand-built app: drops the generated
+    // topology and every knob tied to the original app in one step.
+    push(&|s| {
+        s.app = sora_bench::config::App::SockShop;
+        s.services = None;
+        s.topo_seed = None;
+        s.drift_at_secs = None;
+        s.home_timeline_conns = None;
+    });
+    // Strip optional features.
+    push(&|s| s.retry = None);
+    push(&|s| s.net = None);
+    push(&|s| s.shards = None);
+    push(&|s| s.drift_at_secs = None);
+    push(&|s| s.cart_threads = None);
+    push(&|s| s.cart_cores = None);
+    push(&|s| s.home_timeline_conns = None);
+    push(&|s| s.topo_seed = None);
+    push(&|s| s.hardware = sora_bench::config::Hardware::None);
+    push(&|s| s.soft = sora_bench::config::SoftAdaptation::None);
+    push(&|s| s.trace = workload::TraceShape::Steady);
+    push(&|s| s.seed = 0);
+    // Halve magnitudes (floors keep the candidates inside validate's
+    // bounds most of the time; validate re-checks regardless).
+    push(&|s| s.duration_secs = (s.duration_secs / 2).max(2));
+    push(&|s| s.max_users = (s.max_users / 2.0).max(5.0));
+    push(&|s| s.sla_ms = (s.sla_ms / 2).max(50));
+    if let Some(n) = spec.services {
+        push(&|s| s.services = Some((n / 2).max(5)));
+    }
+    if spec.shards.is_some() {
+        push(&|s| s.shards = Some(2));
+    }
+    // Shrink each fault's window in place.
+    for i in 0..spec.faults.len() {
+        push(&move |s: &mut ScenarioSpec| shrink_fault(&mut s.faults[i]));
+    }
+
+    out
+}
+
+/// One halving step on a fault's window fields.
+fn shrink_fault(f: &mut sora_bench::config::FaultSpec) {
+    use sora_bench::config::FaultSpec;
+    match f {
+        FaultSpec::Crash {
+            restart_after_ms, ..
+        } => *restart_after_ms = None,
+        FaultSpec::CpuPressure { duration_ms, .. }
+        | FaultSpec::TelemetryBlackout { duration_ms, .. }
+        | FaultSpec::Partition { duration_ms, .. }
+        | FaultSpec::LinkSlow { duration_ms, .. } => {
+            *duration_ms = (*duration_ms / 2).max(10);
+        }
+    }
+}
+
+/// `true` when `candidate` is a valid spec that still trips the same
+/// oracle as the original violation.
+fn still_fails(candidate: &ScenarioSpec, violation: &Violation, opts: &FuzzOptions) -> bool {
+    candidate.validate().is_ok()
+        && check(candidate, opts).is_some_and(|v| v.oracle == violation.oracle)
+}
+
+/// Shrinks `spec` — known to fail with `violation` under `opts` — to a
+/// 1-minimal reproducer that fails the same oracle. Returns the shrunk
+/// spec (possibly `spec` itself if nothing simplifies).
+pub fn shrink(spec: &ScenarioSpec, violation: &Violation, opts: &FuzzOptions) -> ScenarioSpec {
+    let mut current = spec.clone();
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&current) {
+            if still_fails(&candidate, violation, opts) {
+                current = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sora_bench::config::{App, FaultSpec, Hardware, RetrySpec, SoftAdaptation};
+    use workload::TraceShape;
+
+    /// A deliberately feature-rich scenario: the "known-bad" input for the
+    /// seeded-defect pipeline test, carrying every subsystem the shrinker
+    /// should be able to discard.
+    fn rich_spec_with_trigger() -> ScenarioSpec {
+        let spec = ScenarioSpec {
+            app: App::Generated,
+            trace: TraceShape::SteepTriPhase,
+            max_users: 180.0,
+            duration_secs: 20,
+            sla_ms: 450,
+            hardware: Hardware::Hpa,
+            soft: SoftAdaptation::Sora,
+            seed: 14_857_223_931_550_411_203,
+            cart_threads: None,
+            cart_cores: None,
+            home_timeline_conns: None,
+            drift_at_secs: Some(12),
+            shards: None,
+            services: Some(48),
+            topo_seed: Some(9_444_906_213_773_011_807),
+            retry: Some(RetrySpec {
+                max_retries: Some(4),
+                base_backoff_ms: Some(35),
+                max_backoff_ms: Some(2_600),
+                jitter_frac: Some(0.318_276_415_112_903),
+                budget_ratio: Some(0.204_119_850_276_331),
+                budget_cap: Some(62.0),
+            }),
+            net: Some(sora_bench::config::NetSpec {
+                latency_us: Some(750),
+                loss: Some(0.012_640_418_332_705),
+                duplicate: Some(0.004_118_220_965_387),
+                call_timeout_ms: Some(1_800),
+                max_call_retries: Some(2),
+            }),
+            faults: vec![
+                FaultSpec::Crash {
+                    service: 7,
+                    at_ms: 2_500,
+                    restart_after_ms: Some(1_200),
+                },
+                FaultSpec::Partition {
+                    a: 3,
+                    b: 21,
+                    at_ms: 3_500,
+                    duration_ms: 900,
+                },
+                FaultSpec::LinkSlow {
+                    a: 11,
+                    b: 40,
+                    at_ms: 17_000,
+                    duration_ms: 1_000,
+                    factor: 5.271_908_334_442_618,
+                },
+                FaultSpec::Crash {
+                    service: 19,
+                    at_ms: 6_000,
+                    restart_after_ms: None,
+                },
+                FaultSpec::CpuPressure {
+                    node: 0,
+                    at_ms: 9_000,
+                    duration_ms: 1_500,
+                    factor: 0.611_224_793_580_114,
+                },
+                FaultSpec::TelemetryBlackout {
+                    at_ms: 12_000,
+                    duration_ms: 800,
+                    lag: true,
+                },
+                // The seeded trigger: blackout at an odd millisecond.
+                FaultSpec::TelemetryBlackout {
+                    at_ms: 15_001,
+                    duration_ms: 400,
+                    lag: false,
+                },
+            ],
+        };
+        spec.validate().expect("rich spec is valid");
+        spec
+    }
+
+    /// Seeded-defect pipeline: inject a violation keyed to "telemetry
+    /// blackout at an odd millisecond", then require the shrinker to strip
+    /// everything else while preserving the trigger — and to land at no
+    /// more than a quarter of the original spec's emitted size.
+    #[test]
+    fn seeded_defect_shrinks_to_a_quarter_of_the_spec() {
+        let opts = FuzzOptions { inject_bad: true };
+        let spec = rich_spec_with_trigger();
+
+        let violation = check(&spec, &opts).expect("seeded defect detected");
+        assert_eq!(violation.oracle, "injected");
+
+        let shrunk = shrink(&spec, &violation, &opts);
+        shrunk.validate().expect("shrunk spec is valid");
+        let v = check(&shrunk, &opts).expect("shrunk spec still fails");
+        assert_eq!(v.oracle, "injected");
+        // The trigger survived and everything incidental went away.
+        assert_eq!(shrunk.faults.len(), 1);
+        assert!(matches!(
+            shrunk.faults[0],
+            FaultSpec::TelemetryBlackout { at_ms, .. } if at_ms % 2 == 1
+        ));
+        assert!(shrunk.retry.is_none());
+        assert!(shrunk.net.is_none());
+        assert_eq!(shrunk.app, App::SockShop, "topology collapsed away");
+        let (before, after) = (spec.emit().len(), shrunk.emit().len());
+        assert!(
+            after * 4 <= before,
+            "shrunk reproducer is {after} bytes; expected <= 25% of {before}"
+        );
+        // Shrinking is deterministic.
+        assert_eq!(shrunk, shrink(&spec, &violation, &opts));
+    }
+}

@@ -152,6 +152,42 @@ pub enum FaultScheduleError {
         /// The overlapping later window.
         second: (SimTime, SimTime),
     },
+    /// Two telemetry blackout windows overlap (or touch). The world keeps
+    /// a single blackout state, so the first window's end would cut the
+    /// second window short — found by the scenario fuzzer and rejected
+    /// here rather than silently mis-modelled.
+    OverlappingBlackoutWindows {
+        /// The earlier `[start, end]` window.
+        first: (SimTime, SimTime),
+        /// The overlapping later window.
+        second: (SimTime, SimTime),
+    },
+    /// Two CPU-pressure windows on the same node overlap (or touch). The
+    /// per-node pressure factor is a single scalar, so the first window's
+    /// end would lift the second window's pressure early.
+    OverlappingPressureWindows {
+        /// The doubly-pressured node.
+        node: NodeId,
+        /// The earlier `[start, end]` window.
+        first: (SimTime, SimTime),
+        /// The overlapping later window.
+        second: (SimTime, SimTime),
+    },
+    /// A fault window extends past the run horizon given to
+    /// [`FaultSchedule::validate_within`]: the fault would fire but its
+    /// end (restart, pressure lift, blackout end) would never be applied,
+    /// leaving the run in a half-faulted state the schedule's author
+    /// cannot have reasoned about.
+    WindowBeyondHorizon {
+        /// Which fault family the window belongs to.
+        kind: &'static str,
+        /// The window's start.
+        start: SimTime,
+        /// The window's end, past the horizon.
+        end: SimTime,
+        /// The run horizon.
+        horizon: SimTime,
+    },
 }
 
 impl fmt::Display for FaultScheduleError {
@@ -174,6 +210,39 @@ impl fmt::Display for FaultScheduleError {
                 first.1.as_nanos(),
                 second.0.as_nanos(),
                 second.1.as_nanos()
+            ),
+            FaultScheduleError::OverlappingBlackoutWindows { first, second } => write!(
+                f,
+                "overlapping telemetry blackout windows: [{}, {}] ns and [{}, {}] ns",
+                first.0.as_nanos(),
+                first.1.as_nanos(),
+                second.0.as_nanos(),
+                second.1.as_nanos()
+            ),
+            FaultScheduleError::OverlappingPressureWindows {
+                node,
+                first,
+                second,
+            } => write!(
+                f,
+                "overlapping cpu-pressure windows on node {}: [{}, {}] ns and [{}, {}] ns",
+                node.0,
+                first.0.as_nanos(),
+                first.1.as_nanos(),
+                second.0.as_nanos(),
+                second.1.as_nanos()
+            ),
+            FaultScheduleError::WindowBeyondHorizon {
+                kind,
+                start,
+                end,
+                horizon,
+            } => write!(
+                f,
+                "{kind} window [{}, {}] ns extends past the run horizon {} ns",
+                start.as_nanos(),
+                end.as_nanos(),
+                horizon.as_nanos()
             ),
         }
     }
@@ -370,8 +439,16 @@ impl FaultSchedule {
     }
 
     /// Checks the schedule for structural mistakes: inverted `*_between`
-    /// windows and overlapping crash windows on the same service. Run
-    /// automatically by `World::install_faults`.
+    /// windows, and overlapping crash windows on the same service,
+    /// overlapping telemetry blackout windows, or overlapping CPU-pressure
+    /// windows on the same node. Run automatically by
+    /// `World::install_faults`.
+    ///
+    /// The overlap rules all exist for the same reason: each of these
+    /// fault families is applied through a single piece of world state (a
+    /// downed replica, the global blackout flag, a per-node pressure
+    /// scalar), so a second overlapping window would be silently truncated
+    /// or double-applied instead of composing.
     ///
     /// # Errors
     ///
@@ -410,6 +487,86 @@ impl FaultSchedule {
                     service: sa,
                     first: (a_start, a_end),
                     second: (b_start, b_end),
+                });
+            }
+        }
+        // The blackout flag is global: overlapping (or touching) windows
+        // would end each other early.
+        let mut blackouts: Vec<(SimTime, SimTime)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::TelemetryBlackout { duration, .. } => Some((e.at, e.at + duration)),
+                _ => None,
+            })
+            .collect();
+        blackouts.sort_unstable();
+        for pair in blackouts.windows(2) {
+            if pair[1].0 <= pair[0].1 {
+                return Err(FaultScheduleError::OverlappingBlackoutWindows {
+                    first: pair[0],
+                    second: pair[1],
+                });
+            }
+        }
+        // The pressure factor is one scalar per node: same rule, per node.
+        let mut pressures: Vec<(u32, SimTime, SimTime)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::CpuPressure { node, duration, .. } => {
+                    Some((node.0, e.at, e.at + duration))
+                }
+                _ => None,
+            })
+            .collect();
+        pressures.sort_unstable();
+        for pair in pressures.windows(2) {
+            let (na, a_start, a_end) = pair[0];
+            let (nb, b_start, b_end) = pair[1];
+            if na == nb && b_start <= a_end {
+                return Err(FaultScheduleError::OverlappingPressureWindows {
+                    node: NodeId(na),
+                    first: (a_start, a_end),
+                    second: (b_start, b_end),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`FaultSchedule::validate`] plus the horizon rule: every fault must
+    /// fire strictly before `horizon`, and every window it opens (crash →
+    /// restart, pressure, blackout, partition, slow link) must close at or
+    /// before `horizon` — a window straddling the end of the run would
+    /// leave the world half-faulted with no record of the end ever being
+    /// applied. This is the single gate a scenario generator should trust:
+    /// a schedule that passes for its run horizon must neither panic the
+    /// world nor trip the audit layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultScheduleError`] found.
+    pub fn validate_within(&self, horizon: SimTime) -> Result<(), FaultScheduleError> {
+        self.validate()?;
+        for e in &self.events {
+            let (kind, end) = match e.kind {
+                FaultKind::ReplicaCrash { restart_after, .. } => {
+                    ("crash", e.at + restart_after.unwrap_or(SimDuration::ZERO))
+                }
+                FaultKind::CpuPressure { duration, .. } => ("cpu-pressure", e.at + duration),
+                FaultKind::TelemetryBlackout { duration, .. } => {
+                    ("telemetry-blackout", e.at + duration)
+                }
+                FaultKind::Partition { duration, .. } => ("partition", e.at + duration),
+                FaultKind::LinkSlow { duration, .. } => ("slow-link", e.at + duration),
+            };
+            if e.at >= horizon || end > horizon {
+                return Err(FaultScheduleError::WindowBeyondHorizon {
+                    kind,
+                    start: e.at,
+                    end,
+                    horizon,
                 });
             }
         }
@@ -526,6 +683,93 @@ mod tests {
             .crash(t(10), ServiceId(1), Some(SimDuration::from_secs(4)))
             .crash(t(15), ServiceId(1), None);
         assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn overlapping_blackout_windows_are_rejected() {
+        // The blackout flag is global state: touching windows end each other
+        // early, so even mixed modes may not overlap.
+        let s = FaultSchedule::new()
+            .telemetry_blackout_between(t(10), t(20), BlackoutMode::Drop)
+            .telemetry_blackout_between(t(15), t(25), BlackoutMode::Lag);
+        assert_eq!(
+            s.validate(),
+            Err(FaultScheduleError::OverlappingBlackoutWindows {
+                first: (t(10), t(20)),
+                second: (t(15), t(25)),
+            })
+        );
+        // Disjoint windows are fine.
+        let s = FaultSchedule::new()
+            .telemetry_blackout_between(t(10), t(20), BlackoutMode::Drop)
+            .telemetry_blackout_between(t(21), t(25), BlackoutMode::Lag);
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn overlapping_pressure_windows_on_one_node_are_rejected() {
+        let s = FaultSchedule::new()
+            .cpu_pressure_between(t(10), t(20), NodeId(3), 0.5)
+            .cpu_pressure_between(t(20), t(30), NodeId(3), 0.25);
+        assert_eq!(
+            s.validate(),
+            Err(FaultScheduleError::OverlappingPressureWindows {
+                node: NodeId(3),
+                first: (t(10), t(20)),
+                second: (t(20), t(30)),
+            })
+        );
+        // Overlap across different nodes is fine.
+        let s = FaultSchedule::new()
+            .cpu_pressure_between(t(10), t(20), NodeId(3), 0.5)
+            .cpu_pressure_between(t(15), t(25), NodeId(4), 0.5);
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn windows_straddling_the_horizon_are_rejected() {
+        let horizon = t(100);
+        // Entirely inside: fine.
+        let s = FaultSchedule::new().crash(t(10), ServiceId(1), Some(SimDuration::from_secs(5)));
+        assert_eq!(s.validate_within(horizon), Ok(()));
+        // Restart lands past the horizon: the service would stay down with
+        // no restart ever applied.
+        let s = FaultSchedule::new().crash(t(90), ServiceId(1), Some(SimDuration::from_secs(20)));
+        assert_eq!(
+            s.validate_within(horizon),
+            Err(FaultScheduleError::WindowBeyondHorizon {
+                kind: "crash",
+                start: t(90),
+                end: t(110),
+                horizon,
+            })
+        );
+        // Fault firing at or after the horizon never runs at all.
+        let s = FaultSchedule::new().crash(t(100), ServiceId(1), None);
+        assert!(matches!(
+            s.validate_within(horizon),
+            Err(FaultScheduleError::WindowBeyondHorizon { kind: "crash", .. })
+        ));
+        // Window-style faults straddling the end are rejected too.
+        let s = FaultSchedule::new().partition_between(t(95), t(105), ServiceId(0), ServiceId(1));
+        assert!(matches!(
+            s.validate_within(horizon),
+            Err(FaultScheduleError::WindowBeyondHorizon {
+                kind: "partition",
+                ..
+            })
+        ));
+        // A window closing exactly at the horizon is allowed.
+        let s = FaultSchedule::new().cpu_pressure_between(t(90), t(100), NodeId(0), 0.5);
+        assert_eq!(s.validate_within(horizon), Ok(()));
+        // validate_within still applies the structural checks.
+        let s = FaultSchedule::new()
+            .crash(t(10), ServiceId(1), Some(SimDuration::from_secs(10)))
+            .crash(t(15), ServiceId(1), None);
+        assert!(matches!(
+            s.validate_within(horizon),
+            Err(FaultScheduleError::OverlappingCrashWindows { .. })
+        ));
     }
 
     #[test]

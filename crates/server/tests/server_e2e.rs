@@ -88,6 +88,49 @@ fn submit_over_the_wire_is_byte_identical_to_in_process() {
     stop.store(true, Ordering::SeqCst);
 }
 
+/// A fuzz-shaped extended spec: generated topology, retry policy, and a
+/// fault schedule — the feature set the scenario fuzzer composes. The
+/// service plane must treat it like any other scenario: wire bytes equal
+/// in-process bytes, and the canon cache key is spelling-independent.
+const FAULTED: &str = r#"{"app": "generated", "trace": "BigSpike", "max_users": 60,
+                          "duration_secs": 8, "sla_ms": 400, "seed": 31,
+                          "services": 16, "topo_seed": 9,
+                          "retry": {"max_retries": 2, "base_backoff_ms": 40},
+                          "faults": [
+                            {"crash": {"service": 3, "at_ms": 2000, "restart_after_ms": 800}},
+                            {"telemetry_blackout": {"at_ms": 4000, "duration_ms": 500, "lag": true}}
+                          ]}"#;
+
+#[test]
+fn fault_bearing_spec_round_trips_the_wire_and_canon_paths() {
+    let (expected_key, expected_text) = in_process(FAULTED);
+    // Canon key is stable across respellings: the spec's own canonical
+    // emission (key order normalised, defaults omitted) shares the key.
+    let spec = ScenarioSpec::parse(FAULTED).unwrap();
+    let respelled = ScenarioSpec::parse(&spec.emit()).unwrap();
+    assert_eq!(respelled, spec, "parse(emit(spec)) drifted");
+    assert_eq!(cache_key(&respelled), expected_key);
+
+    let (addr, stop) = start_server(None);
+    let mut client = Client::connect(&addr);
+    match client.ask(&Request::Submit {
+        scenario: FAULTED.to_string(),
+    }) {
+        Reply::Result { key, text } => {
+            assert_eq!(key, expected_key);
+            assert_eq!(text, expected_text, "wire bytes != in-process bytes");
+        }
+        other => panic!("expected a result, got {other:?}"),
+    }
+    // The fault schedule actually ran: the result text carries the fault
+    // log with both injected events.
+    assert!(
+        expected_text.contains("crash") && expected_text.contains("blackout"),
+        "fault log missing from result text"
+    );
+    stop.store(true, Ordering::SeqCst);
+}
+
 #[test]
 fn cached_submissions_return_the_same_bytes() {
     let dir = tmp_dir("submit-cache");

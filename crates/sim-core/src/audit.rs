@@ -177,6 +177,40 @@ impl AuditSink for CountingSink {
     }
 }
 
+/// A queryable, serializable snapshot of a [`CountingSink`] — the audit
+/// layer's *verdict* on a finished run. Where [`CountingSink::summary`]
+/// renders for humans, `AuditReport` is for machinery: the scenario fuzzer
+/// treats it as an oracle, diffing `clean` and the per-invariant counts
+/// across runs and embedding the whole report in shrunken reproducers.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AuditReport {
+    /// True iff no invariant fired.
+    pub clean: bool,
+    /// Total violations across all invariants.
+    pub total: u64,
+    /// `(invariant name, count)` for every invariant with a non-zero
+    /// count, in [`Invariant::ALL`] order.
+    pub counts: Vec<(String, u64)>,
+    /// The first few violations, rendered (`[name] t=...ns: detail`).
+    pub details: Vec<String>,
+}
+
+impl CountingSink {
+    /// The sink's verdict as a structured [`AuditReport`].
+    pub fn report(&self) -> AuditReport {
+        AuditReport {
+            clean: self.total() == 0,
+            total: self.total(),
+            counts: Invariant::ALL
+                .iter()
+                .filter(|&&inv| self.count(inv) > 0)
+                .map(|&inv| (inv.name().to_string(), self.count(inv)))
+                .collect(),
+            details: self.first.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +240,32 @@ mod tests {
         let s = sink.summary();
         assert!(s.contains("request_conservation=20"), "{s}");
         assert!(s.contains("event_monotonicity=1"), "{s}");
+    }
+
+    #[test]
+    fn report_is_queryable_and_round_trips() {
+        let mut sink = CountingSink::new();
+        assert!(sink.report().clean);
+        assert_eq!(sink.report().total, 0);
+        sink.record(Violation {
+            invariant: Invariant::RetryBudget,
+            at_nanos: 5,
+            detail: "tokens 51 > cap 50".into(),
+        });
+        sink.record(Violation {
+            invariant: Invariant::RetryBudget,
+            at_nanos: 9,
+            detail: "tokens 52 > cap 50".into(),
+        });
+        let report = sink.report();
+        assert!(!report.clean);
+        assert_eq!(report.total, 2);
+        assert_eq!(report.counts, vec![("retry_budget".to_string(), 2)]);
+        assert_eq!(report.details.len(), 2);
+        assert!(report.details[0].contains("tokens 51"), "{report:?}");
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
     }
 
     #[test]

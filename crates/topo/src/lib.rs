@@ -159,7 +159,10 @@ pub fn shard_plan(layer_sizes: &[usize], shards: usize) -> Vec<std::ops::Range<u
 
 /// Splits `n` services across `depth` layers with geometrically growing
 /// widths (1 : 2 : 4 : …), every layer non-empty, summing exactly to `n`.
-fn layer_sizes(n: usize, depth: usize) -> Vec<usize> {
+/// This is the id-assignment rule [`build`] uses, exposed so callers can
+/// locate a layer (e.g. the connection-pool tier at `depth - 2`) without
+/// building the world.
+pub fn layer_widths(n: usize, depth: usize) -> Vec<usize> {
     let weights: Vec<u64> = (0..depth as u32).map(|l| 1u64 << l.min(16)).collect();
     let total: u64 = weights.iter().sum();
     let mut sizes: Vec<usize> = weights
@@ -199,7 +202,7 @@ pub fn build(params: &TopoParams, config: WorldConfig, rng: SimRng) -> Topology 
     assert!(params.request_types >= 1, "need at least one request type");
 
     let mut structure = SimRng::seed_from(params.seed).split("topo-structure");
-    let sizes = layer_sizes(params.services, params.depth);
+    let sizes = layer_widths(params.services, params.depth);
 
     // Service ids are assigned in declaration order: layer 0 first.
     let mut first_id = vec![0u32; params.depth];
@@ -328,18 +331,18 @@ mod tests {
     #[test]
     fn layer_sizes_sum_and_grow() {
         for (n, depth) in [(12, 5), (500, 5), (5_000, 4), (7, 5)] {
-            let sizes = layer_sizes(n, depth);
+            let sizes = layer_widths(n, depth);
             assert_eq!(sizes.len(), depth);
             assert_eq!(sizes.iter().sum::<usize>(), n, "n = {n}");
             assert!(sizes.iter().all(|&s| s >= 1));
         }
-        let sizes = layer_sizes(500, 5);
+        let sizes = layer_widths(500, 5);
         assert!(sizes[0] < *sizes.last().unwrap(), "leaves are the widest");
     }
 
     #[test]
     fn shard_plan_tiles_balances_and_snaps_to_layers() {
-        let sizes = layer_sizes(500, 5);
+        let sizes = layer_widths(500, 5);
         let mut bounds = vec![0usize];
         for &s in &sizes {
             bounds.push(bounds.last().unwrap() + s);

@@ -286,4 +286,45 @@ diff /tmp/fault_smoke_j1.txt /tmp/fault_smoke_audit.txt \
 rm -f /tmp/fault_smoke_j1.txt /tmp/fault_smoke_audit.txt
 mv /tmp/fault_resilience_golden.json results/fault_resilience.json
 
+echo "==> fuzz lane: scenario fuzzing (fixed seeds, audited, deterministic)"
+# A fixed seed window through the generator → oracle → shrinker pipeline
+# (crates/fuzz, DESIGN.md §15), built with the conservation-law audit
+# armed. The canonical report on stdout must be byte-identical across
+# worker counts and fully clean; the seeded test-only defect
+# (--inject-bad) must be detected by the `injected` oracle and shrunk to
+# at most 25% of the original spec, proving the detector → shrinker
+# pipeline is live. The committed 10k-seed campaign artifact is
+# schema-checked without being re-run.
+cargo build -q --release -p sora-fuzz --features audit --bin fuzz
+./target/release/fuzz --seeds 0..40 --no-save --jobs 1 2>/dev/null > /tmp/fuzz_j1.json
+./target/release/fuzz --seeds 0..40 --no-save --jobs 4 2>/dev/null > /tmp/fuzz_j4.json
+diff /tmp/fuzz_j1.json /tmp/fuzz_j4.json \
+  || { echo "fuzz report differs between --jobs 1 and --jobs 4"; exit 1; }
+grep -q '"clean": 40' /tmp/fuzz_j1.json \
+  || { echo "fuzz lane found violations in the fixed seed window"; exit 1; }
+rm -f /tmp/fuzz_j1.json /tmp/fuzz_j4.json
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("results/BENCH_fuzz.json"))
+data = doc["data"]
+top_keys = {"seed_start", "seed_end", "seeds_run", "clean", "injected",
+            "audited", "engine_fingerprint", "findings"}
+finding_keys = {"seed", "oracle", "detail", "spec_bytes", "shrunk_bytes",
+                "spec", "shrunk"}
+try:
+    assert set(data) == top_keys, f"top-level keys drifted: {sorted(set(data) ^ top_keys)}"
+    assert data["seeds_run"] >= 10_000, "campaign budget shrank below 10k seeds"
+    assert data["audited"] is True, "campaign ran without the audit oracle"
+    assert data["injected"] is False, "campaign artifact ran with the seeded defect armed"
+    assert data["clean"] + len(data["findings"]) == data["seeds_run"], "verdicts don't sum"
+    assert not data["findings"], \
+        "campaign artifact carries unfixed findings — fix them and re-run the campaign"
+    for f in data["findings"]:
+        assert set(f) == finding_keys, f"finding keys drifted: {sorted(set(f) ^ finding_keys)}"
+        assert 4 * f["shrunk_bytes"] <= f["spec_bytes"], \
+            f"seed {f['seed']}: reproducer not shrunk to <= 25%"
+except AssertionError as e:
+    sys.exit(f"BENCH_fuzz.json schema drift: {e}")
+EOF
+
 echo "all checks passed"

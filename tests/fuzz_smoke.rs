@@ -1,0 +1,68 @@
+//! Fixed-seed fuzz corpus as a standing integration test.
+//!
+//! The full campaign lives in the `fuzz` binary (`fuzz --seeds A..B`, see
+//! DESIGN.md §15); this smoke keeps a small deterministic slice of it in
+//! `cargo test` so a regression in the generator, an oracle, or the
+//! shrinker is caught without running the standing search. Each property
+//! draws seeds from a fixed window and pushes the generated scenario
+//! through the oracle stack: round-trip/canon-key, panic-free (audited)
+//! execution, shard-count invariance, time translation, and
+//! replica-spawn permutation.
+
+use proptest::prelude::*;
+use sora_fuzz::{check, generate, shrink, FuzzOptions, Violation};
+
+/// The corpus window the smoke covers. The standing campaign in
+/// `scripts/check.sh` fuzzes a superset of this range.
+const CORPUS_BASE: u64 = 0;
+
+fn assert_clean(seed: u64) {
+    let spec = generate(seed);
+    spec.validate()
+        .unwrap_or_else(|e| panic!("seed {seed}: generator emitted invalid spec: {e}"));
+    if let Some(Violation { oracle, detail }) = check(&spec, &FuzzOptions::default()) {
+        panic!(
+            "seed {seed}: {oracle} violation: {detail}\nspec:\n{}",
+            spec.emit()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every corpus seed passes the full oracle stack.
+    #[test]
+    fn corpus_seeds_pass_all_oracles(offset in 0u64..48) {
+        assert_clean(CORPUS_BASE + offset);
+    }
+}
+
+/// The seeded-defect path stays wired end to end: arming `inject_bad`
+/// turns an otherwise clean corpus seed with a planted trigger into a
+/// detected, shrinkable violation — and disarming it restores a clean
+/// verdict on the shrunken reproducer.
+#[test]
+fn injected_defect_is_detected_and_shrunk() {
+    let opts = FuzzOptions { inject_bad: true };
+    let mut spec = generate(3);
+    spec.faults.clear();
+    spec.faults.push(sora_fuzz::FaultSpec::TelemetryBlackout {
+        at_ms: 1_001,
+        duration_ms: 100,
+        lag: false,
+    });
+    spec.validate().expect("planted spec is valid");
+    let violation = check(&spec, &opts).expect("seeded defect must be detected");
+    assert_eq!(violation.oracle, "injected");
+    let shrunk = shrink(&spec, &violation, &opts);
+    assert_eq!(
+        check(&shrunk, &opts)
+            .expect("reproducer still trips")
+            .oracle,
+        "injected"
+    );
+    // Without the flag the same reproducer is clean — the defect is
+    // test-only, not a real simulator bug.
+    assert!(check(&shrunk, &FuzzOptions::default()).is_none());
+}
